@@ -1,0 +1,296 @@
+//! AReaL-style partial rollout (Figure 3(d)).
+//!
+//! Rollouts generate continuously into an experience buffer with no batch
+//! barrier; the trainer samples a global batch whenever enough trajectories
+//! exist (staleness unbounded, per the paper's AReaL configuration). Each
+//! time the trainer publishes new weights, *every* rollout interrupts its
+//! in-flight trajectories, rebuilds their KVCache under the new version
+//! (the re-prefill overhead), and continues — so long trajectories mix
+//! several policy versions.
+//!
+//! Unlike the barrier pipelines this system has genuine event interleaving
+//! (interrupts land mid-generation), so it runs on the discrete-event
+//! engine.
+
+use crate::common::{consumed_at, RlSystem, RunReport, SystemConfig};
+use laminar_cluster::TrainModel;
+use laminar_rollout::{CompletedTraj, ReplicaEngine};
+use laminar_sim::{Duration, Scheduler, SimWorld, Simulation, Time};
+use laminar_workload::{Dataset, TrajectorySpec};
+use std::collections::VecDeque;
+
+/// The partial-rollout baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialRollout;
+
+#[derive(Debug)]
+enum Ev {
+    ReplicaWake { r: usize, epoch: u64 },
+    TrainerCheck,
+    TrainerDone { tokens: f64 },
+    Interrupt { version: u64 },
+}
+
+struct World {
+    cfg: SystemConfig,
+    engines: Vec<ReplicaEngine>,
+    buffer: VecDeque<CompletedTraj>,
+    specs: VecDeque<TrajectorySpec>,
+    dataset: Dataset,
+    batches_issued: u64,
+    train: TrainModel,
+    nccl_secs: f64,
+    version: u64,
+    trainer_busy: bool,
+    iterations_done: usize,
+    last_train_done: Time,
+    report: RunReport,
+    gen_tokens_prev: f64,
+    gen_sample_prev: Time,
+}
+
+impl World {
+    fn refill_specs(&mut self) {
+        while self.specs.len() < 2 * self.cfg.global_batch() {
+            let evolution = 1.0 + self.cfg.evolution_rate * self.batches_issued as f64;
+            let batch = self.dataset.next_batch(self.cfg.prompts_per_batch);
+            self.specs.extend(self.cfg.workload.batch(&batch, evolution));
+            self.batches_issued += 1;
+        }
+    }
+
+    fn top_up(&mut self, r: usize, now: Time) {
+        self.refill_specs();
+        while self.engines[r].n_reqs() < self.cfg.max_concurrency {
+            match self.specs.pop_front() {
+                Some(s) => self.engines[r].submit(s, now),
+                None => break,
+            }
+        }
+    }
+
+    fn drain(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
+        let done = self.engines[r].take_completions();
+        if !done.is_empty() {
+            for c in &done {
+                self.report
+                    .latencies
+                    .push(c.finished_at.since(c.started_at).as_secs_f64());
+            }
+            self.buffer.extend(done);
+            sched.immediately(Ev::TrainerCheck);
+        }
+    }
+
+    fn wake(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
+        if let Some(t) = self.engines[r].next_event_time() {
+            sched.at(t, Ev::ReplicaWake { r, epoch: self.engines[r].epoch() });
+        }
+    }
+
+    fn sample_gen_throughput(&mut self, now: Time) {
+        let total: f64 = self.engines.iter().map(|e| e.tokens_decoded()).sum();
+        let dt = now.since(self.gen_sample_prev).as_secs_f64();
+        if dt > 1e-9 {
+            self.report
+                .gen_series
+                .push(now, (total - self.gen_tokens_prev) / dt);
+        }
+        self.gen_tokens_prev = total;
+        self.gen_sample_prev = now;
+    }
+
+    fn done(&self) -> bool {
+        self.iterations_done >= self.cfg.total_iterations()
+    }
+}
+
+impl SimWorld for World {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.done() {
+            return;
+        }
+        match ev {
+            Ev::ReplicaWake { r, epoch } => {
+                if epoch < self.engines[r].epoch() {
+                    return; // superseded by a mutation since scheduling
+                }
+                self.engines[r].advance_to(now);
+                self.drain(r, sched);
+                self.top_up(r, now);
+                self.wake(r, sched);
+            }
+            Ev::TrainerCheck => {
+                if self.trainer_busy || self.buffer.len() < self.cfg.global_batch() {
+                    return;
+                }
+                let mut tokens = 0.0;
+                for _ in 0..self.cfg.global_batch() {
+                    let c = self.buffer.pop_front().expect("length checked");
+                    tokens += c.spec.total_tokens() as f64;
+                    if self.iterations_done >= self.cfg.warmup {
+                        self.report.consumed.push(consumed_at(&c, self.version));
+                    }
+                }
+                self.trainer_busy = true;
+                let dur = self.train.iteration_secs(tokens, self.cfg.minibatches);
+                sched.after(Duration::from_secs_f64(dur), Ev::TrainerDone { tokens });
+            }
+            Ev::TrainerDone { tokens } => {
+                self.version += 1;
+                self.trainer_busy = false;
+                if self.iterations_done >= self.cfg.warmup {
+                    self.report
+                        .iteration_secs
+                        .push(now.since(self.last_train_done).as_secs_f64());
+                    self.report.iteration_tokens.push(tokens);
+                    self.report
+                        .train_series
+                        .push(now, tokens / now.since(self.last_train_done).as_secs_f64().max(1e-9));
+                    // Every replica blocks on the global broadcast when the
+                    // interrupt lands.
+                    for _ in 0..self.engines.len() {
+                        self.report.rollout_waits.push(self.nccl_secs);
+                    }
+                }
+                self.last_train_done = now;
+                self.iterations_done += 1;
+                self.sample_gen_throughput(now);
+                if !self.done() {
+                    sched.immediately(Ev::Interrupt { version: self.version });
+                    sched.immediately(Ev::TrainerCheck);
+                }
+            }
+            Ev::Interrupt { version } => {
+                // Every replica blocks for the GPU-direct broadcast, then
+                // rebuilds the KVCache of all in-flight trajectories —
+                // the pause-and-sync cycle of §2.3.
+                let sync_end = now + Duration::from_secs_f64(self.nccl_secs);
+                for r in 0..self.engines.len() {
+                    self.engines[r].advance_to(now);
+                    self.engines[r].stall_prefill_queue(sync_end);
+                    self.engines[r].interrupt_with_weights(version, now);
+                }
+                for r in 0..self.engines.len() {
+                    self.drain(r, sched);
+                    self.wake(r, sched);
+                }
+            }
+        }
+    }
+}
+
+impl RlSystem for PartialRollout {
+    fn name(&self) -> &'static str {
+        "partial-rollout"
+    }
+
+    fn run(&self, cfg: &SystemConfig) -> RunReport {
+        assert!(cfg.train_gpus > 0, "partial rollout is disaggregated: set train_gpus > 0");
+        let replicas = cfg.replicas();
+        let engines: Vec<ReplicaEngine> = (0..replicas)
+            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), cfg.engine_config()))
+            .collect();
+        let world = World {
+            cfg: cfg.clone(),
+            engines,
+            buffer: VecDeque::new(),
+            specs: VecDeque::new(),
+            dataset: cfg.dataset(),
+            batches_issued: 0,
+            train: {
+                // AReaL only supports Megatron-LM training (§8 baselines):
+                // lower achieved MFU than the FSDP stack, worsening with the
+                // pipeline-parallel depth of Appendix A.2 (PP=1/2/4 for
+                // 7B/32B/72B).
+                let mut t = cfg.train_model();
+                t.mfu = if cfg.model.params < 10e9 {
+                    0.30
+                } else if cfg.model.params < 50e9 {
+                    0.27
+                } else {
+                    0.24
+                };
+                t
+            },
+            nccl_secs: cfg.collective().nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus),
+            version: 0,
+            trainer_busy: false,
+            iterations_done: 0,
+            last_train_done: Time::ZERO,
+            report: RunReport { system: self.name().into(), ..RunReport::default() },
+            gen_tokens_prev: 0.0,
+            gen_sample_prev: Time::ZERO,
+        };
+        let mut sim = Simulation::new(world);
+        for r in 0..replicas {
+            sim.world.top_up(r, Time::ZERO);
+            let epoch = sim.world.engines[r].epoch();
+            if let Some(t) = sim.world.engines[r].next_event_time() {
+                sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
+            }
+        }
+        sim.scheduler.immediately(Ev::TrainerCheck);
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "partial-rollout run did not complete its iterations");
+        let mut report = sim.world.report;
+        report.mean_kv_utilization = sim
+            .world
+            .engines
+            .iter()
+            .map(|e| e.mean_kv_utilization())
+            .sum::<f64>()
+            / replicas as f64;
+        report.finalize();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OneStepStaleness;
+    use laminar_workload::{Checkpoint, WorkloadGenerator};
+
+    fn cfg() -> SystemConfig {
+        let mut c =
+            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        c.train_gpus = 4;
+        c.rollout_gpus = 4;
+        c
+    }
+
+    #[test]
+    fn partial_rollout_completes_and_mixes_versions() {
+        let r = PartialRollout.run(&cfg());
+        assert_eq!(r.iteration_secs.len(), 2);
+        assert!(r.throughput > 0.0);
+        assert!(
+            r.mixed_version_fraction() > 0.0,
+            "interrupted trajectories must mix versions"
+        );
+    }
+
+    #[test]
+    fn partial_rollout_faster_than_one_step() {
+        // Unbounded staleness removes the batch barrier: more throughput.
+        let p = PartialRollout.run(&cfg());
+        let o = OneStepStaleness.run(&cfg());
+        assert!(
+            p.throughput > o.throughput * 0.95,
+            "partial={} one-step={}",
+            p.throughput,
+            o.throughput
+        );
+    }
+
+    #[test]
+    fn staleness_is_unbounded_but_recorded() {
+        let r = PartialRollout.run(&cfg());
+        assert!(!r.consumed.is_empty());
+        // Some trajectories consumed above staleness 0.
+        assert!(r.consumed.iter().any(|c| c.staleness >= 1));
+    }
+}

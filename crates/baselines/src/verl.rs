@@ -1,0 +1,148 @@
+//! Synchronous colocated verl (Figure 3(a)).
+//!
+//! All GPUs time-share: reshard to the serving layout, generate the full
+//! global batch, reshard back, train. Strictly on-policy (staleness 0), but
+//! the generation stage runs to the *slowest* trajectory with the cluster
+//! otherwise idle — the long-tail bubble the paper measures at up to 83.1%
+//! of iteration time.
+
+use crate::common::{generate_batch, RlSystem, RunReport, SystemConfig};
+use laminar_rollout::{EngineConfig, ReplicaEngine};
+use laminar_sim::{Time, TimeSeries};
+
+/// The synchronous colocated baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerlSync;
+
+impl RlSystem for VerlSync {
+    fn name(&self) -> &'static str {
+        "verl"
+    }
+
+    fn run(&self, cfg: &SystemConfig) -> RunReport {
+        assert_eq!(cfg.train_gpus, 0, "verl is colocated: set train_gpus = 0");
+        // Colocated serving shares GPU memory with resident training state.
+        let mut cfg = cfg.clone();
+        cfg.kv_memory_utilization = cfg.kv_memory_utilization.min(0.45);
+        let cfg = &cfg;
+        let replicas = cfg.replicas();
+        let train = cfg.train_model_on(cfg.rollout_gpus);
+        let switch = cfg.reshard().switch_secs(&cfg.model);
+        let mut ds = cfg.dataset();
+        let mut report = RunReport { system: self.name().into(), ..RunReport::default() };
+        let mut gen_series = TimeSeries::new();
+        let mut train_series = TimeSeries::new();
+        let mut clock = 0.0f64;
+        let mut kv_sum = 0.0;
+        let mut gen_time_total = 0.0;
+        let mut iter_time_total = 0.0;
+        for iter in 0..cfg.total_iterations() {
+            let evolution = 1.0 + cfg.evolution_rate * iter as f64;
+            let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
+            let iter_start = clock;
+            // Switch to generation layout, generate, switch back.
+            clock += switch;
+            let gen = generate_batch(cfg, &specs, replicas);
+            let gen_secs = gen.duration.as_secs_f64();
+            gen_series.push(Time::from_secs_f64(clock), gen.total_tokens / gen_secs.max(1e-9));
+            clock += gen_secs;
+            clock += switch;
+            // Train the full batch on-policy.
+            let train_secs = train.iteration_secs(gen.total_tokens, cfg.minibatches);
+            train_series
+                .push(Time::from_secs_f64(clock), gen.total_tokens / train_secs.max(1e-9));
+            clock += train_secs;
+            let measured = iter >= cfg.warmup;
+            if measured {
+                report.iteration_secs.push(clock - iter_start);
+                report.iteration_tokens.push(gen.total_tokens);
+                for off in &gen.completion_offsets {
+                    report
+                        .staleness_by_finish
+                        .push((off.as_secs_f64() / gen_secs.max(1e-9), 0));
+                }
+                // Strictly on-policy: staleness 0, single version.
+                report.consumed.extend(
+                    std::iter::repeat(crate::common::ConsumedTraj {
+                        staleness: 0,
+                        mixed_version: false,
+                    })
+                    .take(specs.len()),
+                );
+                report.latencies.extend(gen.latencies.iter().copied());
+                kv_sum += gen.mean_kv_utilization;
+                gen_time_total += gen_secs + 2.0 * switch;
+                iter_time_total += clock - iter_start;
+            }
+        }
+        report.mean_kv_utilization = kv_sum / cfg.iterations.max(1) as f64;
+        report.generation_fraction =
+            if iter_time_total > 0.0 { gen_time_total / iter_time_total } else { 0.0 };
+        report.gen_series = gen_series;
+        report.train_series = train_series;
+        report.finalize();
+        report
+    }
+}
+
+/// Exposes the generation/training split of a synchronous iteration for the
+/// Figure 1(b) breakdown experiment.
+pub fn sync_breakdown(cfg: &SystemConfig) -> (f64, f64, f64) {
+    let replicas = cfg.replicas();
+    let train = cfg.train_model_on(cfg.rollout_gpus.max(cfg.train_gpus));
+    let switch = cfg.reshard().switch_secs(&cfg.model);
+    let mut ds = cfg.dataset();
+    let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), 1.0);
+    let gen = generate_batch(cfg, &specs, replicas);
+    let gen_secs = gen.duration.as_secs_f64() + 2.0 * switch;
+    let total_train = train.iteration_secs(gen.total_tokens, cfg.minibatches);
+    let prep = total_train * train.experience_prep_frac;
+    (gen_secs, total_train - prep, prep)
+}
+
+/// Verl's generation engines are also used standalone for the Figure 9
+/// lifecycle experiment; re-export a helper building one recording replica.
+pub fn recording_replica(cfg: &SystemConfig) -> ReplicaEngine {
+    let mut ecfg: EngineConfig = cfg.engine_config();
+    ecfg.record_kv_series = true;
+    ReplicaEngine::new(0, cfg.decode_model(), ecfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_workload::{Checkpoint, WorkloadGenerator};
+
+    fn cfg() -> SystemConfig {
+        let mut c =
+            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        c.train_gpus = 0;
+        c
+    }
+
+    #[test]
+    fn verl_runs_and_reports() {
+        let r = VerlSync.run(&cfg());
+        assert_eq!(r.iteration_secs.len(), 2);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.max_staleness(), 0, "verl is strictly on-policy");
+        assert_eq!(r.mixed_version_fraction(), 0.0);
+        assert!(r.generation_fraction > 0.3, "generation dominates: {}", r.generation_fraction);
+    }
+
+    #[test]
+    fn breakdown_sums_sensibly() {
+        let (gen, train, prep) = sync_breakdown(&cfg());
+        assert!(gen > 0.0 && train > 0.0 && prep > 0.0);
+        assert!(prep < train, "prep is a small fraction");
+        assert!(gen > train, "generation stage dominates in reasoning tasks");
+    }
+
+    #[test]
+    #[should_panic(expected = "colocated")]
+    fn verl_rejects_disaggregated_config() {
+        let mut c = cfg();
+        c.train_gpus = 8;
+        let _ = VerlSync.run(&c);
+    }
+}

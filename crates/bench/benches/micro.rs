@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the hot paths: the event engine, the
+//! repack planner, the experience buffer, the broadcast models, the roofline
+//! decode model, and one NN training step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use laminar_cluster::{ChainBroadcast, DecodeModel, GpuSpec, LinkSpec, ModelSpec};
+use laminar_data::{Experience, ExperienceBuffer};
+use laminar_rl::{generate_episode, GrpoConfig, GrpoTrainer, ReasonEnv, RlTrajectory};
+use laminar_rollout::{plan_repack, EngineConfig, ReplicaEngine, ReplicaLoad};
+use laminar_sim::{Scheduler, SimRng, SimWorld, Simulation, Time};
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_event_engine(c: &mut Criterion) {
+    struct Ping(u64);
+    impl SimWorld for Ping {
+        type Event = u64;
+        fn handle(&mut self, _now: Time, ev: u64, sched: &mut Scheduler<u64>) {
+            self.0 += ev;
+            if ev > 0 {
+                sched.after(laminar_sim::Duration::from_nanos(7), ev - 1);
+            }
+        }
+    }
+    c.bench_function("sim/100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Ping(0));
+            sim.scheduler.at(Time::ZERO, 100_000u64);
+            sim.run_to_completion();
+            black_box(sim.world.0)
+        })
+    });
+}
+
+fn bench_repack_planner(c: &mut Criterion) {
+    let loads: Vec<ReplicaLoad> = (0..128)
+        .map(|i| ReplicaLoad {
+            replica: i,
+            kv_used: 50.0 + (i as f64 * 37.0) % 400.0,
+            kv_reserved: 80.0 + (i as f64 * 37.0) % 400.0,
+            kv_prev: 1e9,
+            n_reqs: 1 + i % 12,
+            weight_version: 0,
+        })
+        .collect();
+    c.bench_function("repack/plan_128_replicas", |b| {
+        b.iter(|| black_box(plan_repack(black_box(&loads), 1000.0, 64)))
+    });
+}
+
+fn bench_experience_buffer(c: &mut Criterion) {
+    c.bench_function("buffer/write_sample_8192", |b| {
+        b.iter_batched(
+            ExperienceBuffer::fifo_unbounded,
+            |mut buf| {
+                for i in 0..8192u64 {
+                    buf.write(Experience {
+                        trajectory_id: i,
+                        prompt_id: i / 16,
+                        group_index: (i % 16) as usize,
+                        prompt_tokens: 1000,
+                        response_tokens: 6000,
+                        policy_versions: vec![i / 512],
+                        started_at: Time::ZERO,
+                        finished_at: Time::from_secs(i),
+                    });
+                }
+                let mut rng = SimRng::new(1);
+                black_box(buf.sample(8192, 99, &mut rng).len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_chain_broadcast_model(c: &mut Criterion) {
+    let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
+    c.bench_function("chain/optimal_broadcast", |b| {
+        b.iter(|| black_box(chain.optimal_broadcast_secs(black_box(128), black_box(145e9))))
+    });
+}
+
+fn bench_decode_model(c: &mut Criterion) {
+    let m = DecodeModel::new(ModelSpec::qwen_32b(), GpuSpec::h800(), 4);
+    c.bench_function("roofline/step_secs", |b| {
+        b.iter(|| black_box(m.step_secs(black_box(64), black_box(64.0 * 4096.0))))
+    });
+}
+
+fn bench_replica_engine(c: &mut Criterion) {
+    let workload = WorkloadGenerator::single_turn(5, Checkpoint::Math7B);
+    let specs: Vec<_> = (0..128u64)
+        .map(|i| workload.trajectory(i, i / 16, (i % 16) as usize, 1.0))
+        .collect();
+    c.bench_function("engine/batch_128_trajectories", |b| {
+        b.iter_batched(
+            || specs.clone(),
+            |specs| {
+                let decode = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
+                let mut e = ReplicaEngine::new(0, decode, EngineConfig::default());
+                for s in specs {
+                    e.submit(s, Time::ZERO);
+                }
+                while let Some(t) = e.next_event_time() {
+                    e.advance_to(t);
+                }
+                black_box(e.completed_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_grpo_update(c: &mut Criterion) {
+    let env = ReasonEnv::standard(3);
+    c.bench_function("rl/grpo_update_128_trajectories", |b| {
+        b.iter_batched(
+            || {
+                let trainer = GrpoTrainer::new(&env, GrpoConfig::default());
+                let mut rng = SimRng::new(2);
+                let groups: Vec<Vec<RlTrajectory>> = (0..16)
+                    .map(|p| {
+                        let problem = env.problem_for_prompt(3, p);
+                        (0..8)
+                            .map(|_| {
+                                generate_episode(&env, &trainer.policy, 0, p, problem, &mut rng)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (trainer, groups)
+            },
+            |(mut trainer, groups)| {
+                black_box(trainer.update(&groups, None));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_repack_planner,
+    bench_experience_buffer,
+    bench_chain_broadcast_model,
+    bench_decode_model,
+    bench_replica_engine,
+    bench_grpo_update,
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! laminar-experiments [--full] [--seed N] [--out DIR] <id>... | all | list
+//! ```
+//!
+//! Results are printed and written to `<out>/<id>.txt` (default `results/`).
+
+use laminar_bench::{all_experiment_ids, run_experiment, Opts};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.quick = false,
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
+            }
+            "list" => {
+                for id in all_experiment_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(all_experiment_ids().iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: laminar-experiments [--full] [--seed N] [--out DIR] <id>... | all | list"
+        );
+        eprintln!("experiments: {}", all_experiment_ids().join(" "));
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&out_dir).expect("create results directory");
+    for id in ids {
+        let start = Instant::now();
+        let report = run_experiment(&id, &opts);
+        let elapsed = start.elapsed();
+        println!("==== {id} ({elapsed:.2?}) ====\n{report}");
+        let path = out_dir.join(format!("{id}.txt"));
+        std::fs::write(&path, &report).expect("write result file");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,245 @@
+//! Ablations of the design choices called out in DESIGN.md §5.
+
+use crate::experiments::async_figs::run_with_idleness;
+use crate::experiments::Opts;
+use crate::table::{f2, f3, TextTable};
+use laminar_baselines::RlSystem;
+use laminar_cluster::{ChainBroadcast, MachineSpec, ModelSpec};
+use laminar_core::{system::IdlenessMetric, LaminarSystem, SystemKind};
+use laminar_data::{Eviction, ExperienceBuffer, Sampler};
+use laminar_sim::{SimRng, Time};
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::fmt::Write as _;
+
+/// Repack on/off across scales: the gain grows with replica count.
+pub fn ablate_repack(opts: &Opts) -> String {
+    let mut out = String::from("Ablation — repack on/off across scales\n\n");
+    let mut t = TextTable::new(vec!["GPUs", "repack on (tok/s)", "repack off (tok/s)", "gain"]);
+    let scales = if opts.quick { vec![16usize, 64] } else { vec![16, 64, 256] };
+    for total in scales {
+        let cfg = opts.config(
+            SystemKind::Laminar,
+            ModelSpec::qwen_7b(),
+            total,
+            WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+        );
+        let on = LaminarSystem::default().run(&cfg);
+        let off = LaminarSystem { repack: false, ..LaminarSystem::default() }.run(&cfg);
+        t.row(vec![
+            total.to_string(),
+            format!("{:.0}", on.throughput),
+            format!("{:.0}", off.throughput),
+            format!("{:+.1}%", (on.throughput / off.throughput.max(1e-9) - 1.0) * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper §8.1: repacking becomes increasingly effective with more replicas.\n");
+    out
+}
+
+/// Idleness metric: KVCache lifecycle vs static request thresholds.
+pub fn ablate_idleness(opts: &Opts) -> String {
+    let mut out =
+        String::from("Ablation — idleness metric (KVCache lifecycle vs static threshold)\n\n");
+    let mut t = TextTable::new(vec!["metric", "throughput (tok/s)", "repack rounds", "released"]);
+    for (name, m) in [
+        ("KVCache lifecycle (paper)", IdlenessMetric::KvCacheLifecycle),
+        ("static threshold 8", IdlenessMetric::StaticThreshold(8)),
+        ("static threshold 64", IdlenessMetric::StaticThreshold(64)),
+    ] {
+        let r = run_with_idleness(opts, m);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0}", r.throughput),
+            r.repack_events.to_string(),
+            r.repack_released.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper §5.2: static thresholds need per-job tuning — too low misses\n\
+         consolidation opportunities, too high repacks replicas that are still\n\
+         ramping; the KVCache lifecycle detector needs no tuning.\n",
+    );
+    out
+}
+
+/// Experience sampling strategies: staleness of what the trainer consumes.
+pub fn ablate_sampling(opts: &Opts) -> String {
+    let mut out = String::from("Ablation — experience sampling strategy vs consumed staleness\n\n");
+    // Feed each buffer the same completion stream: trajectory versions lag
+    // a version counter that advances every `batch` writes (a Laminar-like
+    // arrival pattern with a heavy tail of old versions).
+    let strategies: [(&str, Sampler); 4] = [
+        ("FIFO (paper default)", Sampler::Fifo),
+        ("LIFO (freshest first)", Sampler::Lifo),
+        ("staleness-capped (<=2)", Sampler::StalenessCapped { max_staleness: 2 }),
+        ("random", Sampler::Random),
+    ];
+    let mut t =
+        TextTable::new(vec!["sampler", "mean staleness", "p99 staleness", "left in buffer"]);
+    for (name, sampler) in strategies {
+        let mut buf = ExperienceBuffer::new(sampler, Eviction::None);
+        let mut rng = SimRng::derive(opts.seed, "ablate-sampling", 1);
+        let mut version = 0u64;
+        let mut consumed = Vec::new();
+        for i in 0..4000u64 {
+            if i % 200 == 199 {
+                version += 1;
+            }
+            let lag = if rng.chance(0.85) { rng.below(2) } else { rng.below(6) };
+            buf.write(laminar_data::Experience {
+                trajectory_id: i,
+                prompt_id: i / 16,
+                group_index: (i % 16) as usize,
+                prompt_tokens: 100,
+                response_tokens: 1000,
+                policy_versions: vec![version.saturating_sub(lag)],
+                started_at: Time::ZERO,
+                finished_at: Time::from_secs(i),
+            });
+            if i % 400 == 399 {
+                for e in buf.sample(256, version, &mut rng) {
+                    consumed.push(e.staleness(version) as f64);
+                }
+            }
+        }
+        let mut h = laminar_sim::Histogram::new();
+        h.extend(consumed.iter().copied());
+        t.row(vec![
+            name.to_string(),
+            f2(h.mean()),
+            f2(h.percentile(99.0)),
+            buf.len().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper §6/appendix C: sampling strategy is orthogonal and user-pluggable; the\n\
+         writer/sampler API exposes exactly this trade-off (freshness vs coverage).\n",
+    );
+    out
+}
+
+/// Evolving trajectory lengths (§2.3): lengths grow sharply during the run;
+/// Laminar's emergent staleness adapts while the k=1 pipeline's fixed
+/// schedule degrades.
+pub fn ablate_evolution(opts: &Opts) -> String {
+    let mut out = String::from(
+        "Ablation — evolving trajectory lengths (grow ~8%/iteration during the run)\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "system",
+        "tok/s static",
+        "tok/s growing",
+        "mean staleness static -> growing",
+        "max",
+    ]);
+    for kind in [SystemKind::OneStep, SystemKind::PartialRollout, SystemKind::Laminar] {
+        let mut cfg = opts.config(
+            kind,
+            ModelSpec::qwen_7b(),
+            32,
+            WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+        );
+        cfg.evolution_rate = 0.0;
+        let stat = opts.run_system(kind, &cfg);
+        cfg.evolution_rate = 0.08;
+        let grow = opts.run_system(kind, &cfg);
+        let mean = |r: &laminar_baselines::RunReport| {
+            r.consumed.iter().map(|c| c.staleness as f64).sum::<f64>()
+                / r.consumed.len().max(1) as f64
+        };
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.0}", stat.throughput),
+            format!("{:.0}", grow.throughput),
+            format!("{:.2} -> {:.2}", mean(&stat), mean(&grow)),
+            format!("{}/{}", stat.max_staleness(), grow.max_staleness()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n§2.3: trajectory lengths change as the model learns, so a staleness bound\n\
+         tuned early becomes wrong later; Laminar has no such bound — each rollout's\n\
+         update cadence shifts automatically with its generation latency.\n",
+    );
+    out
+}
+
+/// Per-replica batch size: the utilization/staleness trade-off of §6.
+pub fn ablate_batch(opts: &Opts) -> String {
+    let mut out =
+        String::from("Ablation — per-replica batch size vs throughput and staleness\n\n");
+    let cfg = opts.config(
+        SystemKind::Laminar,
+        ModelSpec::qwen_7b(),
+        32,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    let mut t = TextTable::new(vec![
+        "replica batch",
+        "throughput (tok/s)",
+        "mean staleness",
+        "max staleness",
+    ]);
+    for batch in [64usize, 128, 256, 512, 1024] {
+        let sys = LaminarSystem { replica_batch: Some(batch), ..LaminarSystem::default() };
+        let r = sys.run(&cfg);
+        let mean = r.consumed.iter().map(|c| c.staleness as f64).sum::<f64>()
+            / r.consumed.len().max(1) as f64;
+        t.row(vec![
+            batch.to_string(),
+            format!("{:.0}", r.throughput),
+            f2(mean),
+            r.max_staleness().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n§6: no staleness bound is configured anywhere — larger rollout batches\n\
+         delay weight refreshes, so inherent staleness rises with batch size while\n\
+         repack keeps the tail consolidated; the operating point is a resource\n\
+         decision, not an algorithmic hyperparameter.\n",
+    );
+    out
+}
+
+/// Broadcast chunk count: fixed k versus the optimal k*.
+pub fn ablate_chunks(_opts: &Opts) -> String {
+    let mut out = String::from("Ablation — chain broadcast chunk count (72B, 128 nodes)\n\n");
+    let chain = ChainBroadcast::new(MachineSpec::h800_server().rdma);
+    let bytes = ModelSpec::qwen_72b().weight_bytes();
+    let p = 128;
+    let kstar = chain.optimal_chunks(p, bytes);
+    let mut t = TextTable::new(vec!["k", "broadcast time (s)"]);
+    for k in [1usize, 8, 64, 512, 4096, kstar, 10 * kstar] {
+        let label = if k == kstar { format!("{k} (= k*)") } else { k.to_string() };
+        t.row(vec![label, f3(chain.broadcast_secs(p, bytes, k))]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nAppendix D: T(p,k) is minimized at k* = sqrt((p-2)·M·T_byte/T_start); too few\n\
+         chunks serialize the hops, too many pay per-chunk startup."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_ablation_orders_staleness() {
+        let s = ablate_sampling(&Opts::default());
+        assert!(s.contains("FIFO"));
+        assert!(s.contains("staleness-capped"));
+    }
+
+    #[test]
+    fn chunk_ablation_shows_optimum() {
+        let s = ablate_chunks(&Opts::default());
+        assert!(s.contains("k*"));
+    }
+}

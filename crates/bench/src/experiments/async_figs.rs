@@ -1,0 +1,244 @@
+//! Laminar-specific figures: Figure 10 (inherent staleness), Figure 15
+//! (fault tolerance), Figure 16 + Table 1 (repack efficiency).
+
+use crate::experiments::Opts;
+use crate::table::{f1, f2, TextTable};
+use laminar_baselines::RlSystem;
+use laminar_cluster::ModelSpec;
+use laminar_core::{system::IdlenessMetric, FaultSpec, LaminarSystem, SystemKind};
+use laminar_sim::{Duration, Time};
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::fmt::Write as _;
+
+/// Figure 10: inherent staleness distribution over finish-time ranges.
+pub fn fig10(opts: &Opts) -> String {
+    let model = ModelSpec::qwen_7b();
+    let total = if opts.quick { 16 } else { 64 };
+    let cfg = opts.config(
+        SystemKind::Laminar,
+        model,
+        total,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    let report = LaminarSystem::default().run(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 10 — inherent staleness over trajectory finish-time ranges\n(7B math, {total} GPUs, Laminar)\n"
+    );
+    let points = &report.staleness_by_finish;
+    if points.is_empty() {
+        return out + "no measured completions\n";
+    }
+    let t_max = points.iter().map(|&(t, _)| t).fold(0.0f64, f64::max);
+    let t_min = points.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
+    let ranges = 5usize;
+    let width = ((t_max - t_min) / ranges as f64).max(1e-9);
+    let mut counts = vec![[0usize; 5]; ranges]; // staleness 0..3, >=4
+    for &(t, s) in points {
+        let r = (((t - t_min) / width) as usize).min(ranges - 1);
+        counts[r][(s as usize).min(4)] += 1;
+    }
+    let mut t = TextTable::new(vec!["finish range", "s=0", "s=1", "s=2", "s=3", "s>=4"]);
+    for (r, c) in counts.iter().enumerate() {
+        let total: usize = c.iter().sum();
+        let pct = |n: usize| {
+            if total == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", n as f64 / total as f64 * 100.0)
+            }
+        };
+        t.row(vec![
+            format!("{:.0}-{:.0}s", t_min + r as f64 * width, t_min + (r + 1) as f64 * width),
+            pct(c[0]),
+            pct(c[1]),
+            pct(c[2]),
+            pct(c[3]),
+            pct(c[4]),
+        ]);
+    }
+    out.push_str(&t.render());
+    let max_s = report.max_staleness();
+    let _ = writeln!(
+        out,
+        "\nmax observed staleness: {max_s} (paper: consistently low, typically under 3,\n\
+         never above 4 in any experiment); no staleness bound is configured — it\n\
+         emerges from generation latency and trainer speed."
+    );
+    out
+}
+
+/// Figure 15: training through a rollout-machine failure.
+pub fn fig15(opts: &Opts) -> String {
+    let model = if opts.quick { ModelSpec::qwen_7b() } else { ModelSpec::qwen_32b() };
+    let total = if opts.quick { 16 } else { 128 };
+    let mut cfg = opts.config(
+        SystemKind::Laminar,
+        model,
+        total,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    cfg.iterations = if opts.quick { 4 } else { 5 };
+    cfg.warmup = 0;
+    // One machine hosts gpus_per_machine / tp replicas (two in the paper's
+    // 32B TP=4 setting).
+    let per_machine = (8 / cfg.rollout_tp).clamp(1, cfg.replicas().saturating_sub(1).max(1));
+    let sys = LaminarSystem {
+        fault: Some(FaultSpec {
+            kill_at: Time::from_secs(if opts.quick { 60 } else { 180 }),
+            replicas: (0..per_machine).collect(),
+            recover_after: Duration::from_secs(252),
+        }),
+        record_timeline: true,
+        sample_every: Duration::from_secs(if opts.quick { 15 } else { 30 }),
+        ..LaminarSystem::default()
+    };
+    let report = sys.run(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 15 — throughput timeline across a rollout-machine failure\n\
+         ({} on {total} GPUs; kill {per_machine} replicas, recover after 252s)\n",
+        cfg.model.name
+    );
+    let gmax = report
+        .gen_series
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(out, "{:>8}  {:>12}  generation throughput", "time", "tokens/s");
+    for &(t, v) in report.gen_series.points() {
+        let _ = writeln!(
+            out,
+            "{:>7.0}s  {:>12.0}  {}",
+            t.as_secs_f64(),
+            v,
+            crate::table::bar(v, gmax)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ncompleted {} training iterations through the failure (throughput {:.0} tok/s).\n\
+         paper: generation dips at the kill, training continues, and both recover in\n\
+         ~252s once the replacement machine initializes from the relay tier.",
+        report.iteration_secs.len(),
+        report.throughput
+    );
+    out
+}
+
+struct RepackComparison {
+    with: laminar_baselines::RunReport,
+    without: laminar_baselines::RunReport,
+}
+
+fn run_repack_comparison(opts: &Opts) -> RepackComparison {
+    // §8.4 setting: 32B, 64 train + 64 rollout GPUs, TP=4 (16 replicas);
+    // quick mode shrinks to 7B at 8+8.
+    let model = if opts.quick { ModelSpec::qwen_7b() } else { ModelSpec::qwen_32b() };
+    let total = if opts.quick { 16 } else { 128 };
+    let cfg = opts.config(
+        SystemKind::Laminar,
+        model,
+        total,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    let with = LaminarSystem::default().run(&cfg);
+    let without = LaminarSystem { repack: false, ..LaminarSystem::default() }.run(&cfg);
+    RepackComparison { with, without }
+}
+
+/// Figure 16: generation throughput with and without repack.
+pub fn fig16(opts: &Opts) -> String {
+    let cmp = run_repack_comparison(opts);
+    let mut out = String::from("Figure 16 — repack efficiency\n\n");
+    let mut t = TextTable::new(vec!["variant", "throughput (tok/s)", "mean KVCache util"]);
+    t.row(vec![
+        "w/ repack".to_string(),
+        format!("{:.0}", cmp.with.throughput),
+        format!("{:.1}%", cmp.with.mean_kv_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "w/o repack".to_string(),
+        format!("{:.0}", cmp.without.throughput),
+        format!("{:.1}%", cmp.without.mean_kv_utilization * 100.0),
+    ]);
+    out.push_str(&t.render());
+    let gain = (cmp.with.throughput / cmp.without.throughput.max(1e-9) - 1.0) * 100.0;
+    let _ = writeln!(
+        out,
+        "\nrepack gain: {gain:.1}% (paper: +26% generation throughput);\n\
+         repack rounds: {}, replicas released: {}",
+        cmp.with.repack_events, cmp.with.repack_released
+    );
+    out
+}
+
+/// Table 1: rollout statistics with and without repack.
+pub fn table1(opts: &Opts) -> String {
+    let cmp = run_repack_comparison(opts);
+    let lat = |r: &laminar_baselines::RunReport| {
+        let avg = r.latencies.iter().sum::<f64>() / r.latencies.len().max(1) as f64;
+        let max = r.latencies.iter().cloned().fold(0.0f64, f64::max);
+        (avg, max)
+    };
+    let (avg_w, max_w) = lat(&cmp.with);
+    let (avg_wo, max_wo) = lat(&cmp.without);
+    let overhead_per_round =
+        cmp.with.repack_overhead_secs / cmp.with.repack_events.max(1) as f64;
+    let mut out = String::from("Table 1 — rollout statistics with and without repack\n\n");
+    let mut t = TextTable::new(vec![
+        "variant",
+        "avg/max gen latency (s)",
+        "repack overhead (s)",
+        "avg KVCache util",
+    ]);
+    t.row(vec![
+        "w/ repack".to_string(),
+        format!("{}/{}", f1(avg_w), f1(max_w)),
+        f2(overhead_per_round),
+        format!("{:.1}%", cmp.with.mean_kv_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "w/o repack".to_string(),
+        format!("{}/{}", f1(avg_wo), f1(max_wo)),
+        "-".to_string(),
+        format!("{:.1}%", cmp.without.mean_kv_utilization * 100.0),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper: 290/828s vs 296/826s latency (repack does not slow trajectories),\n\
+         0.69s overhead per round, +14.8pp average KVCache utilization.\n",
+    );
+    out
+}
+
+/// Shared helper for ablations: Laminar with a specific idleness metric.
+pub fn run_with_idleness(opts: &Opts, idleness: IdlenessMetric) -> laminar_baselines::RunReport {
+    let cfg = opts.config(
+        SystemKind::Laminar,
+        ModelSpec::qwen_7b(),
+        16,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    LaminarSystem { idleness, ..LaminarSystem::default() }.run(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_reports_low_staleness() {
+        let s = fig10(&Opts::default());
+        assert!(s.contains("max observed staleness"));
+    }
+
+    #[test]
+    fn fig16_repack_helps() {
+        let s = fig16(&Opts::default());
+        assert!(s.contains("repack gain"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment registry: one entry per paper table/figure.
+
+pub mod ablations;
+pub mod async_figs;
+pub mod convergence_fig;
+pub mod perf_figs;
+pub mod tables;
+pub mod throughput;
+pub mod workload_figs;
+
+use laminar_baselines::{
+    OneStepStaleness, PartialRollout, RlSystem, RunReport, StreamGeneration, SystemConfig, VerlSync,
+};
+use laminar_cluster::ModelSpec;
+use laminar_core::{placement_for, LaminarSystem, SystemKind};
+use laminar_workload::WorkloadGenerator;
+
+/// Harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Shrink batches/iterations for minutes-scale runs (default). `false`
+    /// runs the paper-sized configurations.
+    pub quick: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { quick: true, seed: 7 }
+    }
+}
+
+impl Opts {
+    /// Builds the [`SystemConfig`] for a system at a Table 2 scale point,
+    /// applying quick-mode shrinking.
+    pub fn config(
+        &self,
+        kind: SystemKind,
+        model: ModelSpec,
+        total_gpus: usize,
+        workload: WorkloadGenerator,
+    ) -> SystemConfig {
+        let p = placement_for(kind, &model, total_gpus);
+        let mut cfg = SystemConfig::new(model, p.train, p.rollout, p.tp, workload);
+        cfg.seed = self.seed;
+        if self.quick {
+            // Keep the paper's batch geometry (it sets per-replica decode
+            // batch sizes, which throughput depends on) and trim the
+            // iteration count instead.
+            cfg.iterations = 2;
+            cfg.warmup = 2;
+        } else {
+            cfg.iterations = 3;
+            cfg.warmup = 3;
+        }
+        cfg
+    }
+
+    /// Runs a system kind on a configuration.
+    pub fn run_system(&self, kind: SystemKind, cfg: &SystemConfig) -> RunReport {
+        match kind {
+            SystemKind::Verl => VerlSync.run(cfg),
+            SystemKind::OneStep => OneStepStaleness.run(cfg),
+            SystemKind::StreamGen => StreamGeneration.run(cfg),
+            SystemKind::PartialRollout => PartialRollout.run(cfg),
+            SystemKind::Laminar => LaminarSystem::default().run(cfg),
+        }
+    }
+
+    /// The evaluated cluster scales for a model, trimmed in quick mode.
+    pub fn scales(&self, model: &ModelSpec) -> Vec<usize> {
+        let all = laminar_core::placement::paper_scales(model);
+        if self.quick {
+            // First, middle, and last scale keep the trend visible.
+            vec![all[0], all[2], all[4]]
+        } else {
+            all
+        }
+    }
+}
+
+/// Every experiment id, in paper order.
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "fig1b", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "table1", "table2", "table3", "ablate-repack",
+        "ablate-idleness", "ablate-sampling", "ablate-chunks", "ablate-batch",
+        "ablate-evolution",
+    ]
+}
+
+/// Runs one experiment by id, returning the report text.
+///
+/// # Panics
+///
+/// Panics on an unknown id; use [`all_experiment_ids`] to enumerate.
+pub fn run_experiment(id: &str, opts: &Opts) -> String {
+    match id {
+        "fig1b" => throughput::fig1b(opts),
+        "fig2" => workload_figs::fig2(opts),
+        "fig4" => perf_figs::fig4(opts),
+        "fig9" => perf_figs::fig9(opts),
+        "fig10" => async_figs::fig10(opts),
+        "fig11" => throughput::fig11(opts),
+        "fig12" => throughput::fig12(opts),
+        "fig13" => convergence_fig::fig13(opts),
+        "fig14" => perf_figs::fig14(opts),
+        "fig15" => async_figs::fig15(opts),
+        "fig16" => async_figs::fig16(opts),
+        "fig17" => workload_figs::fig17(opts),
+        "fig18" => perf_figs::fig18(opts),
+        "table1" => async_figs::table1(opts),
+        "table2" => tables::table2(opts),
+        "table3" => tables::table3(opts),
+        "ablate-repack" => ablations::ablate_repack(opts),
+        "ablate-idleness" => ablations::ablate_idleness(opts),
+        "ablate-sampling" => ablations::ablate_sampling(opts),
+        "ablate-chunks" => ablations::ablate_chunks(opts),
+        "ablate-batch" => ablations::ablate_batch(opts),
+        "ablate-evolution" => ablations::ablate_evolution(opts),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids = all_experiment_ids();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn quick_scales_keep_endpoints() {
+        let o = Opts::default();
+        let s = o.scales(&ModelSpec::qwen_7b());
+        assert_eq!(s, vec![16, 64, 256]);
+        let full = Opts { quick: false, ..Opts::default() };
+        assert_eq!(full.scales(&ModelSpec::qwen_7b()).len(), 5);
+    }
+}

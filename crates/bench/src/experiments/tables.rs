@@ -1,0 +1,100 @@
+//! Table 2 (GPU placements) and Table 3 (hyperparameters).
+
+use crate::experiments::Opts;
+use crate::table::TextTable;
+use laminar_cluster::ModelSpec;
+use laminar_core::{paper_configs, HyperParams, SystemKind};
+
+/// Table 2: GPU allocations across systems and scales.
+pub fn table2(_opts: &Opts) -> String {
+    let mut out = String::from("Table 2 — GPU allocation per system and scale\n\n");
+    for model in ModelSpec::paper_models() {
+        let mut t = TextTable::new(vec![
+            format!("{}", model.name),
+            "total".into(),
+            "train".into(),
+            "rollout".into(),
+            "rollout TP".into(),
+        ]);
+        for kind in SystemKind::all() {
+            for (total, p) in paper_configs(kind, &model) {
+                t.row(vec![
+                    kind.name().to_string(),
+                    total.to_string(),
+                    if p.train == 0 { "colocated".into() } else { p.train.to_string() },
+                    if p.train == 0 { "colocated".into() } else { p.rollout.to_string() },
+                    p.tp.to_string(),
+                ]);
+            }
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 3: convergence-experiment hyperparameters.
+pub fn table3(_opts: &Opts) -> String {
+    let mut out = String::from("Table 3 — convergence hyperparameters\n\n");
+    let systems = SystemKind::all();
+    let mut t = TextTable::new({
+        let mut h = vec!["parameter".to_string()];
+        h.extend(systems.iter().map(|s| s.name().to_string()));
+        h
+    });
+    let hp: Vec<HyperParams> = systems.iter().map(|&k| HyperParams::for_system(k)).collect();
+    let row = |name: &str, f: &dyn Fn(&HyperParams) -> String, t: &mut TextTable| {
+        let mut r = vec![name.to_string()];
+        r.extend(hp.iter().map(|h| f(h)));
+        t.row(r);
+    };
+    row("algorithm", &|h| h.algorithm.to_string(), &mut t);
+    row("learning rate", &|h| format!("{:.0e}", h.learning_rate), &mut t);
+    row("weight decay", &|h| h.weight_decay.to_string(), &mut t);
+    row("clip eps_high", &|h| h.clip_high.to_string(), &mut t);
+    row("clip eps_low", &|h| h.clip_low.to_string(), &mut t);
+    row("discount", &|h| h.discount.to_string(), &mut t);
+    row("GAE lambda", &|h| h.gae_lambda.to_string(), &mut t);
+    row("group size", &|h| h.group_size.to_string(), &mut t);
+    row("global batch", &|h| h.global_batch.to_string(), &mut t);
+    row("mini-batch", &|h| h.minibatch.to_string(), &mut t);
+    row(
+        "max concurrency",
+        &|h| h.max_concurrency.map(|x| x.to_string()).unwrap_or_else(|| "N/A".into()),
+        &mut t,
+    );
+    row("sampling", &|h| h.sampling.unwrap_or("N/A").to_string(), &mut t);
+    row(
+        "max staleness",
+        &|h| {
+            h.max_staleness
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "unbounded".into())
+        },
+        &mut t,
+    );
+    out.push_str(&t.render());
+    out.push_str("\nLaminar's \"4\" is the maximum *observed* inherent staleness, not a bound.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_systems_and_scales() {
+        let s = table2(&Opts::default());
+        assert!(s.contains("colocated"));
+        assert!(s.contains("1024"));
+        assert!(s.contains("Laminar"));
+    }
+
+    #[test]
+    fn table3_matches_paper_columns() {
+        let s = table3(&Opts::default());
+        assert!(s.contains("Decoupled PPO"));
+        assert!(s.contains("2e-5"));
+        assert!(s.contains("0.28"));
+    }
+}

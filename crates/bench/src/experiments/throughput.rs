@@ -1,0 +1,156 @@
+//! End-to-end throughput: Figure 1(b) breakdown, Figure 11 (single-turn
+//! math), Figure 12 (multi-turn tool calling), with speedups and scaling
+//! efficiency (§8.1).
+
+use crate::experiments::Opts;
+use crate::table::{f2, tokens_per_sec, TextTable};
+use laminar_baselines::verl::sync_breakdown;
+use laminar_cluster::ModelSpec;
+use laminar_core::SystemKind;
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Figure 1(b): generation/training time breakdown under the synchronous
+/// system, single-turn vs multi-turn.
+pub fn fig1b(opts: &Opts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1(b) — RL iteration time breakdown (synchronous system)\n");
+    let mut t =
+        TextTable::new(vec!["task", "generation %", "training %", "experience prep %"]);
+    for (name, workload) in [
+        ("single-turn (math)", WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B)),
+        ("multi-turn (tool-calling)", WorkloadGenerator::multi_turn(opts.seed)),
+    ] {
+        // At production scale training shrinks with GPU count while the
+        // generation makespan stays tail-bound, so the split is measured on
+        // a large colocated allocation, as in the paper's setting.
+        let total = if opts.quick { 64 } else { 256 };
+        let mut cfg = opts.config(SystemKind::Verl, ModelSpec::qwen_7b(), total, workload);
+        cfg.train_gpus = 0;
+        let (gen, train, prep) = sync_breakdown(&cfg);
+        let total = gen + train + prep;
+        t.row(vec![
+            name.to_string(),
+            f2(gen / total * 100.0),
+            f2(train / total * 100.0),
+            f2(prep / total * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper: generation accounts for up to 83.1% of iteration time and experience\n\
+         preparation only ~7.3%; multi-turn is even more generation-bound.\n",
+    );
+    out
+}
+
+fn throughput_grid(opts: &Opts, workload_for: impl Fn(u64) -> WorkloadGenerator, models: &[ModelSpec]) -> String {
+    let mut out = String::new();
+    let systems = SystemKind::all();
+    let mut results: HashMap<(String, usize, &'static str), f64> = HashMap::new();
+    for model in models {
+        let scales = opts.scales(model);
+        let mut t = TextTable::new({
+            let mut h: Vec<String> = vec![format!("{} GPUs", model.name)];
+            h.extend(systems.iter().map(|s| s.name().to_string()));
+            h.push("Laminar speedup".into());
+            h
+        });
+        for &total in &scales {
+            let mut row = vec![total.to_string()];
+            let mut best_baseline = 0.0f64;
+            let mut laminar = 0.0f64;
+            for kind in systems {
+                let cfg = opts.config(kind, model.clone(), total, workload_for(opts.seed));
+                let report = opts.run_system(kind, &cfg);
+                results.insert((model.name.clone(), total, kind.name()), report.throughput);
+                row.push(tokens_per_sec(report.throughput));
+                if kind == SystemKind::Laminar {
+                    laminar = report.throughput;
+                } else {
+                    best_baseline = best_baseline.max(report.throughput);
+                }
+            }
+            row.push(format!("{:.2}x vs best", laminar / best_baseline.max(1e-9)));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        // Scaling efficiency: (Tp_max / Tp_min) / (G_max / G_min).
+        let gmin = scales[0] as f64;
+        let gmax = *scales.last().expect("non-empty") as f64;
+        let mut eff = TextTable::new(vec!["system", "scaling efficiency"]);
+        for kind in systems {
+            let lo = results[&(model.name.clone(), scales[0], kind.name())];
+            let hi = results[&(model.name.clone(), *scales.last().unwrap(), kind.name())];
+            eff.row(vec![
+                kind.name().to_string(),
+                format!("{:.1}%", hi / lo / (gmax / gmin) * 100.0),
+            ]);
+        }
+        out.push_str("\n");
+        out.push_str(&eff.render());
+        out.push('\n');
+    }
+    // Average speedups over each baseline across the grid.
+    let mut avg = TextTable::new(vec!["Laminar vs", "avg speedup", "max speedup"]);
+    for kind in systems.iter().filter(|k| **k != SystemKind::Laminar) {
+        let mut ratios = Vec::new();
+        for ((m, s, sys), &tp) in &results {
+            if *sys == kind.name() {
+                let lam = results[&(m.clone(), *s, SystemKind::Laminar.name())];
+                ratios.push(lam / tp.max(1e-9));
+            }
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        avg.row(vec![kind.name().to_string(), format!("{mean:.2}x"), format!("{max:.2}x")]);
+    }
+    out.push_str(&avg.render());
+    out
+}
+
+/// Figure 11: training throughput on single-turn math, all model scales.
+pub fn fig11(opts: &Opts) -> String {
+    let mut out = String::from("Figure 11 — training throughput, single-turn math\n\n");
+    let models = if opts.quick {
+        vec![ModelSpec::qwen_7b(), ModelSpec::qwen_32b()]
+    } else {
+        ModelSpec::paper_models()
+    };
+    let grid = throughput_grid(opts, |seed| {
+        WorkloadGenerator::single_turn(seed, Checkpoint::Math7B)
+    }, &models);
+    out.push_str(&grid);
+    out.push_str(
+        "\npaper: Laminar averages 2.56x over verl (up to 5.49x), ~1.9x over the k=1\n\
+         pipelines, 1.39x over AReaL, with the gap widening at scale; scaling\n\
+         efficiency 53.7% vs at most 33.6% for the best baseline.\n",
+    );
+    out
+}
+
+/// Figure 12: training throughput on multi-turn tool calling (7B).
+pub fn fig12(opts: &Opts) -> String {
+    let mut out = String::from("Figure 12 — training throughput, multi-turn tool calling (7B)\n\n");
+    let models = vec![ModelSpec::qwen_7b()];
+    let grid = throughput_grid(opts, WorkloadGenerator::multi_turn, &models);
+    out.push_str(&grid);
+    out.push_str(
+        "\npaper: Laminar averages 2.62x across baselines on tool calling; environment\n\
+         latency variance makes the global-sync baselines even more straggler-bound.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1b_generation_dominates() {
+        let s = fig1b(&Opts::default());
+        assert!(s.contains("single-turn"));
+        assert!(s.contains("multi-turn"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while r.len() < self.header.len() {
+            r.push(String::new());
+        }
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.pop();
+            out.pop();
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a throughput value in tokens/s with thousands grouping.
+pub fn tokens_per_sec(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// A unicode sparkline bar of `value` relative to `max` (width 20).
+pub fn bar(value: f64, max: f64) -> String {
+    let width = 20usize;
+    let filled = if max > 0.0 {
+        ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["sys", "throughput"]);
+        t.row(vec!["verl", "1000"]);
+        t.row(vec!["laminar", "5480"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("sys"));
+        assert!(lines[2].ends_with("1000"));
+        assert!(lines[3].starts_with("laminar"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(tokens_per_sec(1_500_000.0), "1.50M");
+        assert_eq!(tokens_per_sec(25_300.0), "25.3k");
+        assert_eq!(tokens_per_sec(420.0), "420");
+        assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(1.0, 1.0), "#".repeat(20));
+        assert_eq!(bar(0.0, 1.0), ".".repeat(20));
+        assert_eq!(bar(0.5, 1.0).matches('#').count(), 10);
+        assert_eq!(bar(5.0, 0.0), ".".repeat(20));
+    }
+}

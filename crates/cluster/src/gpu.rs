@@ -1,0 +1,158 @@
+//! GPU, machine, and cluster hardware specifications.
+
+use crate::links::LinkSpec;
+use serde::{Deserialize, Serialize};
+
+/// A single accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Dense BF16 peak, FLOP/s.
+    pub bf16_flops: f64,
+    /// HBM bandwidth, bytes/s.
+    pub hbm_bandwidth: f64,
+    /// HBM capacity, bytes.
+    pub memory_bytes: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA H800-80GB as used in the paper's testbed: H100-class compute
+    /// and HBM3, export-reduced NVLink (modelled on the machine's links).
+    pub fn h800() -> Self {
+        GpuSpec {
+            name: "H800-80GB".to_string(),
+            bf16_flops: 989e12,
+            hbm_bandwidth: 3.35e12,
+            memory_bytes: 80e9,
+        }
+    }
+
+    /// A deliberately small fictional device for fast unit tests.
+    pub fn tiny_test_gpu() -> Self {
+        GpuSpec {
+            name: "TestGPU-8GB".to_string(),
+            bf16_flops: 10e12,
+            hbm_bandwidth: 0.5e12,
+            memory_bytes: 8e9,
+        }
+    }
+}
+
+/// One server: several GPUs plus its fabric attachments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Accelerator model installed.
+    pub gpu: GpuSpec,
+    /// GPUs per machine.
+    pub gpus: usize,
+    /// Intra-machine GPU-GPU interconnect (NVLink).
+    pub nvlink: LinkSpec,
+    /// Host-device link (PCIe), used by rollouts pulling weights from their
+    /// colocated relay worker.
+    pub pcie: LinkSpec,
+    /// Effective inter-machine RDMA path available to one chain-broadcast
+    /// flow (the NICs are shared with training traffic, so this is below the
+    /// 8×400 Gbps aggregate).
+    pub rdma: LinkSpec,
+    /// Commodity TCP path, for the storage-system comparison in §4.1.
+    pub tcp: LinkSpec,
+    /// Host DRAM available to relay workers, bytes.
+    pub host_memory_bytes: f64,
+}
+
+impl MachineSpec {
+    /// The paper's H800 server: 8 GPUs, 400 GB/s NVLink, PCIe Gen5,
+    /// 8×400 Gbps RDMA NICs (≈90 GB/s effective per broadcast flow, which
+    /// matches the reported 72B broadcast completing in ≈1.6 s).
+    pub fn h800_server() -> Self {
+        MachineSpec {
+            gpu: GpuSpec::h800(),
+            gpus: 8,
+            nvlink: LinkSpec::new("nvlink", 400e9, 3e-6),
+            pcie: LinkSpec::new("pcie5", 55e9, 8e-6),
+            rdma: LinkSpec::new("rdma", 90e9, 5e-6),
+            tcp: LinkSpec::new("tcp", 1.2e9, 150e-6),
+            host_memory_bytes: 2e12,
+        }
+    }
+
+    /// Small fictional server for unit tests.
+    pub fn tiny_test_server() -> Self {
+        MachineSpec {
+            gpu: GpuSpec::tiny_test_gpu(),
+            gpus: 2,
+            nvlink: LinkSpec::new("nvlink", 50e9, 3e-6),
+            pcie: LinkSpec::new("pcie", 10e9, 8e-6),
+            rdma: LinkSpec::new("rdma", 5e9, 5e-6),
+            tcp: LinkSpec::new("tcp", 0.5e9, 150e-6),
+            host_memory_bytes: 64e9,
+        }
+    }
+}
+
+/// A homogeneous cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Machine model.
+    pub machine: MachineSpec,
+    /// Machine count.
+    pub machines: usize,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster of `machines` identical machines.
+    pub fn new(machine: MachineSpec, machines: usize) -> Self {
+        ClusterSpec { machine, machines }
+    }
+
+    /// The paper's testbed at a given machine count (128 in §8).
+    pub fn h800_cluster(machines: usize) -> Self {
+        ClusterSpec::new(MachineSpec::h800_server(), machines)
+    }
+
+    /// Builds the smallest H800 cluster holding at least `gpus` GPUs.
+    pub fn h800_for_gpus(gpus: usize) -> Self {
+        let per = MachineSpec::h800_server().gpus;
+        ClusterSpec::h800_cluster(gpus.div_ceil(per))
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.machines * self.machine.gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h800_spec_is_sane() {
+        let g = GpuSpec::h800();
+        assert!(g.bf16_flops > 9e14);
+        assert!(g.hbm_bandwidth > 3e12);
+        assert_eq!(g.memory_bytes, 80e9);
+    }
+
+    #[test]
+    fn cluster_counts_gpus() {
+        let c = ClusterSpec::h800_cluster(128);
+        assert_eq!(c.total_gpus(), 1024);
+    }
+
+    #[test]
+    fn h800_for_gpus_rounds_up() {
+        assert_eq!(ClusterSpec::h800_for_gpus(16).machines, 2);
+        assert_eq!(ClusterSpec::h800_for_gpus(17).machines, 3);
+        assert_eq!(ClusterSpec::h800_for_gpus(1024).machines, 128);
+    }
+
+    #[test]
+    fn test_gpu_is_smaller_than_h800() {
+        let t = GpuSpec::tiny_test_gpu();
+        let h = GpuSpec::h800();
+        assert!(t.bf16_flops < h.bf16_flops);
+        assert!(t.memory_bytes < h.memory_bytes);
+    }
+}

@@ -1,0 +1,71 @@
+//! Point-to-point link model.
+
+use laminar_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link characterized by bandwidth and startup latency,
+/// i.e. the `t = s·T_byte + T_start` model of Appendix D.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message startup latency, seconds.
+    pub startup: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link. `bandwidth` must be positive.
+    pub fn new(name: &str, bandwidth: f64, startup: f64) -> Self {
+        assert!(bandwidth > 0.0, "link bandwidth must be positive");
+        assert!(startup >= 0.0, "link startup must be non-negative");
+        LinkSpec { name: name.to_string(), bandwidth, startup }
+    }
+
+    /// Seconds per byte (`T_byte`).
+    pub fn seconds_per_byte(&self) -> f64 {
+        1.0 / self.bandwidth
+    }
+
+    /// Transfer time for a single message of `bytes`, in seconds.
+    pub fn transfer_secs(&self, bytes: f64) -> f64 {
+        self.startup + bytes.max(0.0) / self.bandwidth
+    }
+
+    /// Transfer time as a virtual [`Duration`].
+    pub fn transfer_time(&self, bytes: f64) -> Duration {
+        Duration::from_secs_f64(self.transfer_secs(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_model() {
+        let l = LinkSpec::new("x", 100e9, 1e-5);
+        let t = l.transfer_secs(1e9);
+        assert!((t - (1e-5 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_costs_startup_only() {
+        let l = LinkSpec::new("x", 100e9, 2e-5);
+        assert!((l.transfer_secs(0.0) - 2e-5).abs() < 1e-15);
+        assert!((l.transfer_secs(-5.0) - 2e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new("bad", 0.0, 0.0);
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let l = LinkSpec::new("x", 1e9, 0.0);
+        assert_eq!(l.transfer_time(1e9), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,149 @@
+//! LLM architecture specifications.
+//!
+//! The Qwen2.5 family used in the paper is described by the architectural
+//! parameters that drive the performance model: parameter count (weight
+//! bytes), layer/hidden geometry, and grouped-query-attention KV geometry
+//! (KVCache bytes per token).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per parameter / activation element in BF16.
+pub const BF16_BYTES: f64 = 2.0;
+
+/// An LLM architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name for reports.
+    pub name: String,
+    /// Total parameter count.
+    pub params: f64,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention query heads.
+    pub heads: usize,
+    /// Grouped-query-attention KV heads.
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl ModelSpec {
+    /// Qwen2.5-7B-class model.
+    pub fn qwen_7b() -> Self {
+        ModelSpec {
+            name: "Qwen2.5-7B".into(),
+            params: 7.6e9,
+            layers: 28,
+            hidden: 3584,
+            heads: 28,
+            kv_heads: 4,
+            head_dim: 128,
+            vocab: 152_064,
+        }
+    }
+
+    /// Qwen2.5-32B-class model.
+    pub fn qwen_32b() -> Self {
+        ModelSpec {
+            name: "Qwen2.5-32B".into(),
+            params: 32.5e9,
+            layers: 64,
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 152_064,
+        }
+    }
+
+    /// Qwen2.5-72B-class model.
+    pub fn qwen_72b() -> Self {
+        ModelSpec {
+            name: "Qwen2.5-72B".into(),
+            params: 72.7e9,
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 152_064,
+        }
+    }
+
+    /// A tiny model for fast unit tests.
+    pub fn tiny_test_model() -> Self {
+        ModelSpec {
+            name: "Tiny-0.1B".into(),
+            params: 0.1e9,
+            layers: 8,
+            hidden: 512,
+            heads: 8,
+            kv_heads: 2,
+            head_dim: 64,
+            vocab: 32_000,
+        }
+    }
+
+    /// All three paper model scales, in size order.
+    pub fn paper_models() -> Vec<ModelSpec> {
+        vec![Self::qwen_7b(), Self::qwen_32b(), Self::qwen_72b()]
+    }
+
+    /// Total weight bytes in BF16.
+    pub fn weight_bytes(&self) -> f64 {
+        self.params * BF16_BYTES
+    }
+
+    /// KVCache bytes stored per generated/prefilled token (K and V, all
+    /// layers, GQA heads, BF16).
+    pub fn kv_bytes_per_token(&self) -> f64 {
+        2.0 * self.layers as f64 * self.kv_heads as f64 * self.head_dim as f64 * BF16_BYTES
+    }
+
+    /// Forward FLOPs per token (the standard `2·params` dense estimate; the
+    /// attention quadratic term is handled by the caller where it matters).
+    pub fn fwd_flops_per_token(&self) -> f64 {
+        2.0 * self.params
+    }
+
+    /// Training FLOPs per token (forward + backward ≈ `6·params`).
+    pub fn train_flops_per_token(&self) -> f64 {
+        6.0 * self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qwen_7b_kv_bytes() {
+        let m = ModelSpec::qwen_7b();
+        // 2 (K+V) * 28 layers * 4 kv heads * 128 dim * 2 bytes = 57344 B.
+        assert_eq!(m.kv_bytes_per_token(), 57_344.0);
+    }
+
+    #[test]
+    fn weight_bytes_bf16() {
+        let m = ModelSpec::qwen_72b();
+        assert!((m.weight_bytes() - 145.4e9).abs() < 1e9);
+    }
+
+    #[test]
+    fn model_sizes_ordered() {
+        let ms = ModelSpec::paper_models();
+        assert!(ms[0].params < ms[1].params && ms[1].params < ms[2].params);
+        assert!(ms[0].kv_bytes_per_token() < ms[1].kv_bytes_per_token());
+    }
+
+    #[test]
+    fn flops_estimates() {
+        let m = ModelSpec::tiny_test_model();
+        assert_eq!(m.fwd_flops_per_token(), 0.2e9);
+        assert_eq!(m.train_flops_per_token(), 0.6e9);
+    }
+}

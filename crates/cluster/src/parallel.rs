@@ -1,0 +1,96 @@
+//! Parallelism plans for rollout and training engines.
+
+use serde::{Deserialize, Serialize};
+
+/// How an engine shards a model across GPUs.
+///
+/// Rollouts use pure tensor parallelism (TP); trainers combine data
+/// parallelism (DDP/FSDP), tensor parallelism, pipeline parallelism (PP) and
+/// sequence parallelism (SP) following Appendix A.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismPlan {
+    /// Tensor-parallel degree (intra-machine, NVLink).
+    pub tp: usize,
+    /// Pipeline-parallel degree.
+    pub pp: usize,
+    /// Data-parallel replicas (DDP × FSDP shards).
+    pub dp: usize,
+    /// Sequence-parallel degree (Ulysses SP for the FSDP trainers).
+    pub sp: usize,
+}
+
+impl ParallelismPlan {
+    /// Pure tensor parallelism over `tp` GPUs (rollout engines).
+    pub fn tensor(tp: usize) -> Self {
+        assert!(tp >= 1, "tp must be >= 1");
+        ParallelismPlan { tp, pp: 1, dp: 1, sp: 1 }
+    }
+
+    /// Full plan; every degree must be at least 1.
+    pub fn new(tp: usize, pp: usize, dp: usize, sp: usize) -> Self {
+        assert!(tp >= 1 && pp >= 1 && dp >= 1 && sp >= 1, "degrees must be >= 1");
+        ParallelismPlan { tp, pp, dp, sp }
+    }
+
+    /// Total GPUs occupied by this plan.
+    ///
+    /// SP groups share the data-parallel dimension in the paper's Ulysses
+    /// configuration, so the world size is `tp · pp · dp`.
+    pub fn world_size(&self) -> usize {
+        self.tp * self.pp * self.dp
+    }
+
+    /// Fraction of the model's weights held per GPU under this sharding.
+    pub fn weight_shard_fraction(&self) -> f64 {
+        1.0 / (self.tp as f64 * self.pp as f64)
+    }
+}
+
+/// The trainer parallelism used in Appendix A.2 for the FSDP-based systems,
+/// given the model scale and the GPUs allocated to training.
+pub fn fsdp_plan_for(model_params: f64, train_gpus: usize) -> ParallelismPlan {
+    // FSDP size 8/16/32 and SP 4/8/8 for 7B/32B/72B; DDP fills the rest.
+    let (fsdp, sp) = if model_params < 10e9 {
+        (8usize, 4usize)
+    } else if model_params < 50e9 {
+        (16, 8)
+    } else {
+        (32, 8)
+    };
+    let fsdp = fsdp.min(train_gpus.max(1));
+    let dp = (train_gpus / fsdp).max(1) * fsdp; // total data-parallel shards
+    ParallelismPlan { tp: 1, pp: 1, dp, sp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_plan_world_size() {
+        assert_eq!(ParallelismPlan::tensor(4).world_size(), 4);
+        assert_eq!(ParallelismPlan::tensor(1).world_size(), 1);
+    }
+
+    #[test]
+    fn full_plan_world_size() {
+        let p = ParallelismPlan::new(4, 2, 8, 8);
+        assert_eq!(p.world_size(), 64);
+        assert!((p.weight_shard_fraction() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees must be >= 1")]
+    fn zero_degree_rejected() {
+        let _ = ParallelismPlan::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    fn fsdp_plan_scales_with_model() {
+        let small = fsdp_plan_for(7.6e9, 64);
+        let big = fsdp_plan_for(72.7e9, 256);
+        assert_eq!(small.dp, 64);
+        assert_eq!(big.dp, 256);
+        assert!(big.sp >= small.sp);
+    }
+}

@@ -1,0 +1,144 @@
+//! Table 3: hyperparameters of the convergence experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// The five systems under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Synchronous colocated verl.
+    Verl,
+    /// One-step staleness pipeline.
+    OneStep,
+    /// Stream generation pipeline.
+    StreamGen,
+    /// AReaL-style partial rollout.
+    PartialRollout,
+    /// Laminar.
+    Laminar,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's presentation order.
+    pub fn all() -> [SystemKind; 5] {
+        [
+            SystemKind::Verl,
+            SystemKind::OneStep,
+            SystemKind::StreamGen,
+            SystemKind::PartialRollout,
+            SystemKind::Laminar,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Verl => "verl",
+            SystemKind::OneStep => "one-step",
+            SystemKind::StreamGen => "stream-gen",
+            SystemKind::PartialRollout => "AReaL",
+            SystemKind::Laminar => "Laminar",
+        }
+    }
+}
+
+/// One Table 3 column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// Training algorithm name.
+    pub algorithm: &'static str,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Weight decay.
+    pub weight_decay: f64,
+    /// Upper PPO clip `ε_high`.
+    pub clip_high: f64,
+    /// Lower PPO clip `ε_low`.
+    pub clip_low: f64,
+    /// Discount γ.
+    pub discount: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// GRPO group size.
+    pub group_size: usize,
+    /// Global training batch size.
+    pub global_batch: usize,
+    /// Mini-batch size.
+    pub minibatch: usize,
+    /// Per-rollout max concurrency (asynchronous systems only).
+    pub max_concurrency: Option<usize>,
+    /// Experience sampling strategy (asynchronous systems only).
+    pub sampling: Option<&'static str>,
+    /// Staleness bound (`None` = unbounded/emergent).
+    pub max_staleness: Option<u64>,
+}
+
+impl HyperParams {
+    /// The Table 3 column for a system.
+    pub fn for_system(kind: SystemKind) -> HyperParams {
+        let base = HyperParams {
+            algorithm: "GRPO",
+            learning_rate: 1e-6,
+            weight_decay: 0.1,
+            clip_high: 0.28,
+            clip_low: 0.2,
+            discount: 1.0,
+            gae_lambda: 1.0,
+            group_size: 16,
+            global_batch: 8192,
+            minibatch: 2048,
+            max_concurrency: None,
+            sampling: None,
+            max_staleness: None,
+        };
+        match kind {
+            SystemKind::Verl => HyperParams { minibatch: 512, max_staleness: Some(0), ..base },
+            SystemKind::OneStep | SystemKind::StreamGen => {
+                HyperParams { max_staleness: Some(1), ..base }
+            }
+            SystemKind::PartialRollout => HyperParams {
+                algorithm: "Decoupled PPO",
+                learning_rate: 2e-5,
+                weight_decay: 0.05,
+                clip_high: 0.2,
+                max_concurrency: Some(256),
+                sampling: Some("FIFO"),
+                max_staleness: Some(4),
+                ..base
+            },
+            SystemKind::Laminar => HyperParams {
+                max_concurrency: Some(256),
+                sampling: Some("FIFO"),
+                // 4 is the maximum *observed*, not a configured bound.
+                max_staleness: Some(4),
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes() {
+        let verl = HyperParams::for_system(SystemKind::Verl);
+        assert_eq!(verl.minibatch, 512);
+        assert_eq!(verl.max_staleness, Some(0));
+        let areal = HyperParams::for_system(SystemKind::PartialRollout);
+        assert_eq!(areal.algorithm, "Decoupled PPO");
+        assert_eq!(areal.learning_rate, 2e-5);
+        assert_eq!(areal.clip_high, 0.2);
+        let lam = HyperParams::for_system(SystemKind::Laminar);
+        assert_eq!(lam.algorithm, "GRPO");
+        assert_eq!(lam.clip_high, 0.28);
+        assert_eq!(lam.minibatch, 2048, "async systems raise the mini-batch to 2048");
+        assert_eq!(lam.sampling, Some("FIFO"));
+    }
+
+    #[test]
+    fn all_lists_five_systems() {
+        let names: Vec<&str> = SystemKind::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["verl", "one-step", "stream-gen", "AReaL", "Laminar"]);
+    }
+}

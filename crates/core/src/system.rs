@@ -1,0 +1,794 @@
+//! The Laminar system world (Figure 5).
+
+use laminar_baselines::common::{RlSystem, RunReport, SystemConfig};
+use laminar_data::{Experience, ExperienceBuffer, PartialResponsePool};
+use laminar_relay::RelaySyncModel;
+use laminar_rollout::manager::{LoadSample, ManagerConfig, RolloutManager};
+use laminar_rollout::{CompletedTraj, ReplicaEngine};
+use laminar_sim::{Duration, Scheduler, SimRng, SimWorld, Simulation, Time};
+use laminar_workload::TrajectorySpec;
+use std::collections::VecDeque;
+
+/// Fault-injection spec for the Figure 15 experiment.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// When the machine dies.
+    pub kill_at: Time,
+    /// Replicas hosted on the failed machine.
+    pub replicas: Vec<usize>,
+    /// Time to allocate a replacement machine and re-initialize rollouts
+    /// (≈252 s in §8.5).
+    pub recover_after: Duration,
+}
+
+/// Trainer-fault spec (§3.3): the trainer worker fails and recovers from
+/// the latest checkpoint while rollouts keep generating.
+#[derive(Debug, Clone)]
+pub struct TrainerFaultSpec {
+    /// When the trainer fails (any in-flight update is lost).
+    pub fail_at: Time,
+    /// Eviction + restart + checkpoint-load time before replay begins.
+    pub recover_after: Duration,
+}
+
+/// Elastic scale-out spec (§3.3): fresh rollout machines join mid-run,
+/// initialize from the relay tier, and start generating.
+#[derive(Debug, Clone)]
+pub struct ElasticSpec {
+    /// When the new machines come online.
+    pub at: Time,
+    /// Replicas added.
+    pub replicas: usize,
+}
+
+/// How the manager detects underutilized rollouts (the §8.4/§5.2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdlenessMetric {
+    /// The paper's KVCache ramp-down detector.
+    KvCacheLifecycle,
+    /// RLHFuse-style static remaining-request threshold.
+    StaticThreshold(usize),
+}
+
+/// The Laminar system, with experiment toggles.
+#[derive(Debug, Clone)]
+pub struct LaminarSystem {
+    /// Enable the dynamic repack mechanism (disable for the Figure 16
+    /// ablation).
+    pub repack: bool,
+    /// Idleness detection strategy.
+    pub idleness: IdlenessMetric,
+    /// Inject a machine failure (Figure 15).
+    pub fault: Option<FaultSpec>,
+    /// Inject a trainer failure (§3.3 checkpoint recovery).
+    pub trainer_fault: Option<TrainerFaultSpec>,
+    /// Add rollout replicas mid-run (§3.3 elasticity).
+    pub elastic: Option<ElasticSpec>,
+    /// Checkpoint the actor every this many versions.
+    pub checkpoint_every: u64,
+    /// Override the per-replica prompt batch size (default: the global
+    /// batch divided across replicas, capped by max concurrency). Larger
+    /// batches raise utilization between weight refreshes but also raise
+    /// the emergent inherent staleness — the trade-off §6 describes.
+    pub replica_batch: Option<usize>,
+    /// Record generation/training throughput timelines (Figures 15/16).
+    pub record_timeline: bool,
+    /// Timeline sampling period.
+    pub sample_every: Duration,
+}
+
+impl Default for LaminarSystem {
+    fn default() -> Self {
+        LaminarSystem {
+            repack: true,
+            idleness: IdlenessMetric::KvCacheLifecycle,
+            fault: None,
+            trainer_fault: None,
+            elastic: None,
+            checkpoint_every: 5,
+            replica_batch: None,
+            record_timeline: false,
+            sample_every: Duration::from_secs(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    ReplicaWake { r: usize, epoch: u64 },
+    /// Replica finished pulling weights; start its next batch.
+    ReplicaResume { r: usize, version: u64 },
+    TrainerCheck,
+    TrainerDone { tokens: f64, epoch: u64 },
+    WeightsAvailable { version: u64 },
+    RepackTick,
+    SampleTick,
+    KillMachine,
+    RecoverMachine,
+    TrainerFail,
+    TrainerRecover,
+    AddReplicas { count: usize },
+}
+
+struct World {
+    cfg: SystemConfig,
+    opts: LaminarSystem,
+    engines: Vec<ReplicaEngine>,
+    alive: Vec<bool>,
+    /// Replicas currently mid weight-pull (not generating).
+    pulling: Vec<bool>,
+    pool: VecDeque<TrajectorySpec>,
+    partials: PartialResponsePool,
+    buffer: ExperienceBuffer,
+    manager: RolloutManager,
+    relay: RelaySyncModel,
+    dataset: laminar_workload::Dataset,
+    batches_issued: u64,
+    train: laminar_cluster::TrainModel,
+    replica_batch: usize,
+    /// Actor's version (increments per completed iteration).
+    version: u64,
+    /// Newest version fully broadcast to all relays.
+    relay_version: u64,
+    trainer_busy: bool,
+    /// True while the trainer worker is down (§3.3 trainer fault).
+    trainer_failed: bool,
+    /// Incremented on trainer failure; stale in-flight `TrainerDone`
+    /// events (work lost with the worker) are discarded by epoch.
+    trainer_epoch: u64,
+    checkpoints: laminar_data::CheckpointStore,
+    /// Duration of the last completed training iteration (replay estimate).
+    last_iter_duration: Duration,
+    iterations_done: usize,
+    last_train_done: Time,
+    rng: SimRng,
+    report: RunReport,
+    gen_tokens_prev: f64,
+    gen_sample_prev: Time,
+    train_tokens_cum: f64,
+    train_tokens_prev: f64,
+}
+
+impl World {
+    fn refill_pool(&mut self) {
+        while self.pool.len() < 2 * self.cfg.global_batch() {
+            let evolution = 1.0 + self.cfg.evolution_rate * self.batches_issued as f64;
+            let batch = self.dataset.next_batch(self.cfg.prompts_per_batch);
+            self.pool.extend(self.cfg.workload.batch(&batch, evolution));
+            self.batches_issued += 1;
+        }
+    }
+
+    /// Starts a fresh per-replica batch on `r` at its current weight
+    /// version.
+    fn start_batch(&mut self, r: usize, now: Time) {
+        self.refill_pool();
+        let version = self.engines[r].weight_version();
+        for _ in 0..self.replica_batch {
+            let Some(spec) = self.pool.pop_front() else { break };
+            self.partials.begin(spec.clone(), r, version, now);
+            self.engines[r].submit(spec, now);
+        }
+    }
+
+    fn drain(&mut self, r: usize, now: Time, sched: &mut Scheduler<Ev>) {
+        let done = self.engines[r].take_completions();
+        if done.is_empty() {
+            return;
+        }
+        for c in &done {
+            self.partials.complete(c.spec.id);
+            self.report
+                .latencies
+                .push(c.finished_at.since(c.started_at).as_secs_f64());
+            // Inherent staleness (§6): actor version when generation
+            // finished minus the generating version.
+            if self.iterations_done >= self.cfg.warmup {
+                self.report.staleness_by_finish.push((
+                    c.finished_at.as_secs_f64(),
+                    self.version
+                        .saturating_sub(*c.policy_versions.first().expect("non-empty")),
+                ));
+            }
+            self.buffer.write(to_experience(c));
+        }
+        let _ = now;
+        sched.immediately(Ev::TrainerCheck);
+    }
+
+    fn wake(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
+        if !self.alive[r] || self.pulling[r] {
+            return;
+        }
+        if let Some(t) = self.engines[r].next_event_time() {
+            sched.at(t, Ev::ReplicaWake { r, epoch: self.engines[r].epoch() });
+        }
+    }
+
+    /// Replica finished its batch (or was released by a repack): pull the
+    /// newest relayed weights if newer, then start the next batch.
+    fn refresh_and_restart(&mut self, r: usize, now: Time, sched: &mut Scheduler<Ev>) {
+        if !self.alive[r] {
+            return;
+        }
+        if self.relay_version > self.engines[r].weight_version() {
+            let wait = self.relay.pull_cached(self.cfg.rollout_tp);
+            if self.iterations_done >= self.cfg.warmup {
+                self.report.rollout_waits.push(wait.as_secs_f64());
+            }
+            self.pulling[r] = true;
+            sched.at(now + wait, Ev::ReplicaResume { r, version: self.relay_version });
+        } else {
+            self.start_batch(r, now);
+            self.wake(r, sched);
+        }
+    }
+
+    fn load_samples(&mut self, now: Time) -> Vec<LoadSample> {
+        let mut out = Vec::new();
+        for r in 0..self.engines.len() {
+            if !self.alive[r] || self.pulling[r] {
+                continue;
+            }
+            self.engines[r].advance_to(now);
+            out.push(LoadSample {
+                replica: r,
+                kv_used: self.engines[r].kv_used_tokens(),
+                kv_reserved: self.engines[r].kv_reserved_tokens(),
+                n_reqs: self.engines[r].n_reqs(),
+                weight_version: self.engines[r].weight_version(),
+                kv_capacity: self.engines[r].kv_capacity_tokens(),
+                roofline_b: self.engines[r].roofline_batch_limit(),
+            });
+        }
+        out
+    }
+
+    fn run_repack(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        if !self.opts.repack {
+            return;
+        }
+        let samples = self.load_samples(now);
+        let plan = match self.opts.idleness {
+            IdlenessMetric::KvCacheLifecycle => self.manager.plan(&samples),
+            IdlenessMetric::StaticThreshold(thresh) => {
+                // Ablation: any replica below the request threshold is a
+                // candidate; reuse the planner by faking ramp-down history.
+                let loads: Vec<laminar_rollout::ReplicaLoad> = samples
+                    .iter()
+                    .filter(|s| s.n_reqs > 0 && s.n_reqs < thresh)
+                    .map(|s| laminar_rollout::ReplicaLoad {
+                        replica: s.replica,
+                        kv_used: s.kv_used,
+                        kv_reserved: s.kv_reserved,
+                        kv_prev: f64::INFINITY,
+                        n_reqs: s.n_reqs,
+                        weight_version: s.weight_version,
+                    })
+                    .collect();
+                let c_max = samples
+                    .iter()
+                    .map(|s| s.kv_capacity)
+                    .fold(f64::INFINITY, f64::min)
+                    * 0.99;
+                let b = samples.iter().map(|s| s.roofline_b).min().unwrap_or(1);
+                laminar_rollout::plan_repack(&loads, c_max, b)
+            }
+        };
+        if plan.is_empty() {
+            return;
+        }
+        for &(src, dst) in &plan.moves {
+            // Guard: only move within the same weight-version group (the
+            // manager guarantees it, but the static-threshold ablation may
+            // not).
+            if self.engines[src].weight_version() != self.engines[dst].weight_version() {
+                continue;
+            }
+            let states = self.engines[src].drain_in_progress(now);
+            let moved = states.len() as u64;
+            for st in &states {
+                self.partials.reassign(st.spec.id, dst);
+            }
+            // Repack overhead: shipping token ids + scheduling, well under a
+            // second for a handful of trajectories (Table 1 reports 0.69 s
+            // per repack round); re-prefill on the destination is charged by
+            // the engine itself.
+            self.report.repack_overhead_secs += 0.05 + 0.01 * moved as f64;
+            self.engines[dst].inject(states, now);
+            self.report.repack_released += 1;
+            self.wake(dst, sched);
+            // The released source immediately refreshes weights and starts
+            // fresh on-policy work (§5).
+            self.refresh_and_restart(src, now, sched);
+        }
+        self.report.repack_events += 1;
+    }
+
+    fn sample_timeline(&mut self, now: Time) {
+        let total: f64 = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| self.alive[*r])
+            .map(|(_, e)| e.tokens_decoded())
+            .sum();
+        let dt = now.since(self.gen_sample_prev).as_secs_f64();
+        if dt > 1e-9 {
+            self.report.gen_series.push(now, (total - self.gen_tokens_prev) / dt);
+            self.report
+                .train_series
+                .push(now, (self.train_tokens_cum - self.train_tokens_prev) / dt);
+        }
+        self.gen_tokens_prev = total;
+        self.train_tokens_prev = self.train_tokens_cum;
+        self.gen_sample_prev = now;
+    }
+
+    fn done(&self) -> bool {
+        self.iterations_done >= self.cfg.total_iterations()
+    }
+}
+
+fn to_experience(c: &CompletedTraj) -> Experience {
+    Experience {
+        trajectory_id: c.spec.id,
+        prompt_id: c.spec.prompt_id,
+        group_index: c.spec.group_index,
+        prompt_tokens: c.spec.prompt_tokens,
+        response_tokens: c.spec.decode_tokens(),
+        policy_versions: c.policy_versions.clone(),
+        started_at: c.started_at,
+        finished_at: c.finished_at,
+    }
+}
+
+impl SimWorld for World {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.done() {
+            return;
+        }
+        match ev {
+            Ev::ReplicaWake { r, epoch } => {
+                if !self.alive[r] || self.pulling[r] || epoch < self.engines[r].epoch() {
+                    return;
+                }
+                self.engines[r].advance_to(now);
+                self.drain(r, now, sched);
+                if self.engines[r].is_idle() {
+                    self.refresh_and_restart(r, now, sched);
+                } else {
+                    self.wake(r, sched);
+                }
+            }
+            Ev::ReplicaResume { r, version } => {
+                if !self.alive[r] {
+                    return;
+                }
+                self.pulling[r] = false;
+                self.engines[r].set_weight_version(version, now);
+                self.start_batch(r, now);
+                self.wake(r, sched);
+            }
+            Ev::TrainerCheck => {
+                if self.trainer_busy
+                    || self.trainer_failed
+                    || self.buffer.len() < self.cfg.global_batch()
+                {
+                    return;
+                }
+                let sampled =
+                    self.buffer.sample(self.cfg.global_batch(), self.version, &mut self.rng);
+                let tokens: f64 = sampled.iter().map(|e| e.total_tokens() as f64).sum();
+                if self.iterations_done >= self.cfg.warmup {
+                    for e in &sampled {
+                        self.report.consumed.push(
+                            laminar_baselines::common::ConsumedTraj {
+                                staleness: e.staleness(self.version),
+                                mixed_version: e.is_mixed_version(),
+                            },
+                        );
+                    }
+                }
+                self.trainer_busy = true;
+                let dur = self.train.iteration_secs(tokens, self.cfg.minibatches);
+                self.last_iter_duration = Duration::from_secs_f64(dur);
+                let epoch = self.trainer_epoch;
+                sched.after(Duration::from_secs_f64(dur), Ev::TrainerDone { tokens, epoch });
+            }
+            Ev::TrainerDone { tokens, epoch } => {
+                if epoch != self.trainer_epoch {
+                    return; // the worker running this update failed mid-way
+                }
+                self.version += 1;
+                self.checkpoints.on_version(self.version, now);
+                self.trainer_busy = false;
+                self.train_tokens_cum += tokens;
+                if self.iterations_done >= self.cfg.warmup {
+                    self.report
+                        .iteration_secs
+                        .push(now.since(self.last_train_done).as_secs_f64());
+                    self.report.iteration_tokens.push(tokens);
+                }
+                self.last_train_done = now;
+                self.iterations_done += 1;
+                if !self.done() {
+                    // Actor pushes to the master relay (sub-second stall) and
+                    // resumes immediately; the chain broadcast completes in
+                    // the background.
+                    let avail = self.relay.actor_stall()
+                        + self.relay.broadcast_time(self.cfg.rollout_gpus.div_ceil(8).max(1));
+                    let v = self.version;
+                    sched.at(now + avail, Ev::WeightsAvailable { version: v });
+                    sched.immediately(Ev::TrainerCheck);
+                }
+            }
+            Ev::WeightsAvailable { version } => {
+                self.relay_version = self.relay_version.max(version);
+                // §5.1: a repack pass runs right after each weight update to
+                // free replicas for on-policy generation quickly.
+                self.run_repack(now, sched);
+            }
+            Ev::RepackTick => {
+                // Stream in-progress state to the partial response pool
+                // (step ② of Figure 5) so a machine failure loses at most
+                // one monitoring interval of progress.
+                for r in 0..self.engines.len() {
+                    if self.alive[r] && !self.pulling[r] {
+                        self.engines[r].advance_to(now);
+                        for (id, tokens, segment) in self.engines[r].in_progress_summary() {
+                            self.partials.update(id, tokens, segment, now);
+                        }
+                    }
+                }
+                self.run_repack(now, sched);
+                if !self.done() {
+                    sched.after(self.manager.repack_interval(), Ev::RepackTick);
+                }
+            }
+            Ev::SampleTick => {
+                self.sample_timeline(now);
+                if !self.done() {
+                    sched.after(self.opts.sample_every, Ev::SampleTick);
+                }
+            }
+            Ev::KillMachine => {
+                let spec = self.opts.fault.clone().expect("fault configured");
+                for &r in &spec.replicas {
+                    if !self.alive[r] {
+                        continue;
+                    }
+                    self.engines[r].advance_to(now);
+                    self.alive[r] = false;
+                    self.manager.evict(r);
+                    // The engine's in-flight state is lost with the machine;
+                    // the partial response pool still has every trajectory.
+                    let _ = self.engines[r].drain_in_progress(now);
+                    let lost = self.partials.drain_rollout(r);
+                    // Redirect to healthy replicas generating the same
+                    // weight version; otherwise restart from the prompt pool.
+                    for p in lost {
+                        let target = (0..self.engines.len()).find(|&h| {
+                            self.alive[h]
+                                && !self.pulling[h]
+                                && self.engines[h].weight_version()
+                                    == *p.policy_versions.last().expect("non-empty")
+                        });
+                        match target {
+                            Some(h) => {
+                                self.partials.begin(
+                                    p.spec.clone(),
+                                    h,
+                                    *p.policy_versions.last().expect("non-empty"),
+                                    now,
+                                );
+                                let mut st = laminar_rollout::TrajState::new(
+                                    p.spec,
+                                    *p.policy_versions.last().expect("non-empty"),
+                                    p.started_at,
+                                );
+                                st.total_decoded = p.generated_tokens as f64;
+                                st.segment = p.segment_index;
+                                st.policy_versions = p.policy_versions;
+                                self.engines[h].inject(vec![st], now);
+                            }
+                            None => self.pool.push_front(p.spec),
+                        }
+                    }
+                }
+                for r in 0..self.engines.len() {
+                    if self.alive[r] {
+                        self.wake(r, sched);
+                    }
+                }
+                sched.after(spec.recover_after, Ev::RecoverMachine);
+            }
+            Ev::TrainerFail => {
+                // The worker dies: the in-flight update (if any) is lost;
+                // its eventual TrainerDone is discarded by epoch.
+                self.trainer_failed = true;
+                self.trainer_busy = false;
+                self.trainer_epoch += 1;
+                let spec = self.opts.trainer_fault.clone().expect("trainer fault configured");
+                // Eviction + restart + checkpoint load, then replay of the
+                // updates newer than the checkpoint (§3.3): rollouts keep
+                // generating with the latest available weights throughout.
+                let (_resume, replayed) = self.checkpoints.recovery(self.version);
+                let replay = self.last_iter_duration * replayed;
+                sched.after(spec.recover_after + replay, Ev::TrainerRecover);
+            }
+            Ev::TrainerRecover => {
+                self.trainer_failed = false;
+                sched.immediately(Ev::TrainerCheck);
+            }
+            Ev::AddReplicas { count } => {
+                for _ in 0..count {
+                    let r = self.engines.len();
+                    self.engines.push(ReplicaEngine::new(
+                        r,
+                        self.cfg.decode_model(),
+                        self.cfg.engine_config(),
+                    ));
+                    self.alive.push(true);
+                    self.pulling.push(false);
+                    self.manager.register(r, now);
+                    // New machines initialize from the relay tier (§3.3).
+                    self.engines[r].set_weight_version(self.relay_version, now);
+                    self.start_batch(r, now);
+                    self.wake(r, sched);
+                }
+            }
+            Ev::RecoverMachine => {
+                let spec = self.opts.fault.clone().expect("fault configured");
+                for &r in &spec.replicas {
+                    self.alive[r] = true;
+                    self.pulling[r] = false;
+                    self.engines[r] = ReplicaEngine::new(
+                        r,
+                        self.cfg.decode_model(),
+                        self.cfg.engine_config(),
+                    );
+                    self.manager.mark_recovered(r, now);
+                    // Fresh replicas initialize from the master relay at the
+                    // latest version (§3.3).
+                    self.engines[r].set_weight_version(self.relay_version, now);
+                    self.start_batch(r, now);
+                    self.wake(r, sched);
+                }
+            }
+        }
+    }
+}
+
+impl RlSystem for LaminarSystem {
+    fn name(&self) -> &'static str {
+        if self.repack {
+            "laminar"
+        } else {
+            "laminar-no-repack"
+        }
+    }
+
+    fn run(&self, cfg: &SystemConfig) -> RunReport {
+        assert!(cfg.train_gpus > 0, "Laminar is disaggregated: set train_gpus > 0");
+        let replicas = cfg.replicas();
+        let engines: Vec<ReplicaEngine> = (0..replicas)
+            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), cfg.engine_config()))
+            .collect();
+        let replica_batch = self.replica_batch.unwrap_or_else(|| {
+            cfg.max_concurrency
+                .min((cfg.global_batch() / replicas).max(cfg.group_size))
+                .max(1)
+        });
+        let mut manager = RolloutManager::new(ManagerConfig::default());
+        for r in 0..replicas {
+            manager.register(r, Time::ZERO);
+        }
+        let world = World {
+            cfg: cfg.clone(),
+            opts: self.clone(),
+            engines,
+            alive: vec![true; replicas],
+            pulling: vec![false; replicas],
+            pool: VecDeque::new(),
+            partials: PartialResponsePool::new(),
+            buffer: ExperienceBuffer::fifo_unbounded(),
+            manager,
+            relay: RelaySyncModel::new(cfg.machine.clone(), cfg.model.clone()),
+            dataset: cfg.dataset(),
+            batches_issued: 0,
+            train: cfg.train_model(),
+            replica_batch,
+            version: 0,
+            relay_version: 0,
+            trainer_busy: false,
+            trainer_failed: false,
+            trainer_epoch: 0,
+            checkpoints: laminar_data::CheckpointStore::new(self.checkpoint_every.max(1), 4),
+            last_iter_duration: Duration::ZERO,
+            iterations_done: 0,
+            last_train_done: Time::ZERO,
+            rng: SimRng::derive(cfg.seed, "laminar-system", 0),
+            report: RunReport { system: self.name().into(), ..RunReport::default() },
+            gen_tokens_prev: 0.0,
+            gen_sample_prev: Time::ZERO,
+            train_tokens_cum: 0.0,
+            train_tokens_prev: 0.0,
+        };
+        let mut sim = Simulation::new(world);
+        for r in 0..replicas {
+            sim.world.start_batch(r, Time::ZERO);
+            let epoch = sim.world.engines[r].epoch();
+            if let Some(t) = sim.world.engines[r].next_event_time() {
+                sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
+            }
+        }
+        sim.scheduler.after(ManagerConfig::default().repack_interval, Ev::RepackTick);
+        if self.record_timeline {
+            sim.scheduler.after(self.sample_every, Ev::SampleTick);
+        }
+        if let Some(f) = &self.fault {
+            sim.scheduler.at(f.kill_at, Ev::KillMachine);
+        }
+        if let Some(f) = &self.trainer_fault {
+            sim.scheduler.at(f.fail_at, Ev::TrainerFail);
+        }
+        if let Some(e) = &self.elastic {
+            sim.scheduler.at(e.at, Ev::AddReplicas { count: e.replicas });
+        }
+        sim.scheduler.immediately(Ev::TrainerCheck);
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "laminar run did not complete its iterations");
+        let mut report = sim.world.report;
+        let alive = sim.world.alive.iter().filter(|a| **a).count().max(1);
+        report.mean_kv_utilization = sim
+            .world
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| sim.world.alive[*r])
+            .map(|(_, e)| e.mean_kv_utilization())
+            .sum::<f64>()
+            / alive as f64;
+        report.generation_fraction = 0.0; // fully overlapped by design
+        report.finalize();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_baselines::{OneStepStaleness, StreamGeneration, VerlSync};
+    use laminar_workload::{Checkpoint, WorkloadGenerator};
+
+    fn cfg() -> SystemConfig {
+        let mut c =
+            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        c.train_gpus = 4;
+        c.rollout_gpus = 4;
+        c
+    }
+
+    #[test]
+    fn laminar_completes_with_low_staleness() {
+        let r = LaminarSystem::default().run(&cfg());
+        assert_eq!(r.iteration_secs.len(), 2);
+        assert!(r.throughput > 0.0);
+        assert!(r.max_staleness() <= 4, "paper observes ≤4: {}", r.max_staleness());
+        assert_eq!(r.mixed_version_fraction(), 0.0, "single version per trajectory");
+    }
+
+    #[test]
+    fn laminar_outperforms_sync_and_pipeline_baselines() {
+        let lam = LaminarSystem::default().run(&cfg());
+        let mut vcfg = cfg();
+        vcfg.train_gpus = 0;
+        vcfg.rollout_gpus = 8;
+        let verl = VerlSync.run(&vcfg);
+        let one = OneStepStaleness.run(&cfg());
+        let stream = StreamGeneration.run(&cfg());
+        assert!(
+            lam.throughput > verl.throughput,
+            "laminar {} vs verl {}",
+            lam.throughput,
+            verl.throughput
+        );
+        assert!(
+            lam.throughput > one.throughput,
+            "laminar {} vs one-step {}",
+            lam.throughput,
+            one.throughput
+        );
+        assert!(
+            lam.throughput > stream.throughput * 0.95,
+            "laminar {} vs stream {}",
+            lam.throughput,
+            stream.throughput
+        );
+    }
+
+    #[test]
+    fn rollout_waits_are_small() {
+        let r = LaminarSystem::default().run(&cfg());
+        // Pull-from-colocated-relay over PCIe: well under the NCCL global
+        // sync cost of the same model (Figure 14).
+        let nccl = cfg().collective().nccl_broadcast_secs(&cfg().model, cfg().rollout_gpus);
+        for &w in &r.rollout_waits {
+            assert!(w < nccl, "pull {w} must beat global sync {nccl}");
+        }
+    }
+
+    #[test]
+    fn fault_injection_recovers() {
+        let sys = LaminarSystem {
+            fault: Some(FaultSpec {
+                kill_at: Time::from_secs(60),
+                replicas: vec![0, 1],
+                recover_after: Duration::from_secs(252),
+            }),
+            record_timeline: true,
+            sample_every: Duration::from_secs(20),
+            ..LaminarSystem::default()
+        };
+        let mut c = cfg();
+        c.iterations = 3;
+        let r = sys.run(&c);
+        assert_eq!(r.iteration_secs.len(), 3, "training survives the machine failure");
+        assert!(!r.gen_series.is_empty());
+    }
+
+    #[test]
+    fn trainer_fault_recovers_from_checkpoint() {
+        let sys = LaminarSystem {
+            trainer_fault: Some(TrainerFaultSpec {
+                fail_at: Time::from_secs(120),
+                recover_after: Duration::from_secs(90),
+            }),
+            checkpoint_every: 1,
+            ..LaminarSystem::default()
+        };
+        let mut c = cfg();
+        c.iterations = 3;
+        c.warmup = 0;
+        let clean = LaminarSystem::default().run(&c);
+        let hurt = sys.run(&c);
+        // Same number of iterations complete; the faulty run is slower but
+        // bounded (checkpoint every version => at most one replayed update).
+        assert_eq!(hurt.iteration_secs.len(), clean.iteration_secs.len());
+        let slow: f64 = hurt.iteration_secs.iter().sum();
+        let fast: f64 = clean.iteration_secs.iter().sum();
+        assert!(slow >= fast, "fault cannot speed training up");
+        assert!(slow < fast + 600.0, "recovery cost bounded: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn elastic_replicas_raise_throughput() {
+        let mut c = cfg();
+        c.iterations = 3;
+        c.warmup = 1;
+        let base = LaminarSystem::default().run(&c);
+        let grown = LaminarSystem {
+            elastic: Some(ElasticSpec { at: Time::from_secs(30), replicas: 4 }),
+            ..LaminarSystem::default()
+        }
+        .run(&c);
+        assert!(
+            grown.throughput > base.throughput,
+            "extra rollouts must help a generation-bound job: {} vs {}",
+            grown.throughput,
+            base.throughput
+        );
+    }
+
+    #[test]
+    fn no_repack_variant_runs() {
+        let sys = LaminarSystem { repack: false, ..LaminarSystem::default() };
+        let r = sys.run(&cfg());
+        assert_eq!(r.repack_events, 0);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.system, "laminar-no-repack");
+    }
+}

@@ -1,0 +1,400 @@
+//! The experience buffer with pluggable sampling and eviction (§3.1, §6).
+//!
+//! Completed trajectories land here (step ③); the trainer samples batches
+//! (step ④) without ever blocking generation. The paper exposes writer and
+//! sampler APIs so users can customize the sampling strategy and the
+//! eviction strategy; this module provides the strategies its experiments
+//! use (FIFO for the convergence runs, Appendix A.2) plus the
+//! priority-based families discussed in §6 and Appendix C.
+
+use crate::experience::Experience;
+use laminar_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Trainer-side sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sampler {
+    /// Oldest completed trajectories first (the paper's default).
+    Fifo,
+    /// Newest first — prioritizes near-on-policy data.
+    Lifo,
+    /// FIFO restricted to experiences with staleness ≤ the bound; older
+    /// entries are skipped (and left for eviction).
+    StalenessCapped {
+        /// Maximum admissible staleness, in actor versions.
+        max_staleness: u64,
+    },
+    /// Uniformly random without replacement.
+    Random,
+}
+
+/// Buffer eviction strategy applied on insertion overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Eviction {
+    /// Unbounded buffer.
+    None,
+    /// Keep at most `capacity` experiences, dropping the oldest.
+    DropOldest {
+        /// Maximum buffer occupancy.
+        capacity: usize,
+    },
+    /// Drop experiences whose staleness exceeds the bound at sampling time.
+    MaxStaleness {
+        /// Maximum staleness kept in the buffer.
+        max_staleness: u64,
+    },
+}
+
+/// Occupancy and flow statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Experiences currently held.
+    pub occupancy: usize,
+    /// Total writes accepted.
+    pub written: u64,
+    /// Total experiences handed to the trainer.
+    pub sampled: u64,
+    /// Total experiences evicted.
+    pub evicted: u64,
+}
+
+/// The experience buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperienceBuffer {
+    entries: VecDeque<Experience>,
+    sampler: Sampler,
+    eviction: Eviction,
+    stats: BufferStats,
+}
+
+impl ExperienceBuffer {
+    /// Creates a buffer with the given strategies.
+    pub fn new(sampler: Sampler, eviction: Eviction) -> Self {
+        ExperienceBuffer {
+            entries: VecDeque::new(),
+            sampler,
+            eviction,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The paper's convergence-experiment configuration: FIFO, unbounded.
+    pub fn fifo_unbounded() -> Self {
+        ExperienceBuffer::new(Sampler::Fifo, Eviction::None)
+    }
+
+    /// Writer API: appends one completed experience, applying eviction.
+    pub fn write(&mut self, exp: Experience) {
+        self.entries.push_back(exp);
+        self.stats.written += 1;
+        if let Eviction::DropOldest { capacity } = self.eviction {
+            while self.entries.len() > capacity {
+                self.entries.pop_front();
+                self.stats.evicted += 1;
+            }
+        }
+        self.stats.occupancy = self.entries.len();
+    }
+
+    /// Number of experiences ready for sampling at `current_version` (for
+    /// staleness-capped samplers only admissible entries count).
+    pub fn ready(&self, current_version: u64) -> usize {
+        match self.sampler {
+            Sampler::StalenessCapped { max_staleness } => self
+                .entries
+                .iter()
+                .filter(|e| e.staleness(current_version) <= max_staleness)
+                .count(),
+            _ => self.entries.len(),
+        }
+    }
+
+    /// Sampler API: removes and returns up to `n` experiences according to
+    /// the sampling strategy. `current_version` is the actor's version
+    /// (used for staleness filtering/eviction); `rng` drives randomized
+    /// strategies.
+    pub fn sample(&mut self, n: usize, current_version: u64, rng: &mut SimRng) -> Vec<Experience> {
+        if let Eviction::MaxStaleness { max_staleness } = self.eviction {
+            let before = self.entries.len();
+            self.entries.retain(|e| e.staleness(current_version) <= max_staleness);
+            self.stats.evicted += (before - self.entries.len()) as u64;
+        }
+        let mut out = Vec::with_capacity(n);
+        match self.sampler {
+            Sampler::Fifo => {
+                for _ in 0..n {
+                    match self.entries.pop_front() {
+                        Some(e) => out.push(e),
+                        None => break,
+                    }
+                }
+            }
+            Sampler::Lifo => {
+                for _ in 0..n {
+                    match self.entries.pop_back() {
+                        Some(e) => out.push(e),
+                        None => break,
+                    }
+                }
+            }
+            Sampler::StalenessCapped { max_staleness } => {
+                let mut i = 0;
+                while out.len() < n && i < self.entries.len() {
+                    if self.entries[i].staleness(current_version) <= max_staleness {
+                        out.push(self.entries.remove(i).expect("index checked"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Sampler::Random => {
+                while out.len() < n && !self.entries.is_empty() {
+                    let i = rng.index(self.entries.len());
+                    out.push(self.entries.remove(i).expect("index checked"));
+                }
+            }
+        }
+        self.stats.sampled += out.len() as u64;
+        self.stats.occupancy = self.entries.len();
+        out
+    }
+
+    /// Number of *complete* GRPO groups present: prompts with all
+    /// `group_size` responses resident. Critic-free algorithms (GRPO, RLOO,
+    /// DAPO) need whole groups to normalize advantages.
+    pub fn complete_groups(&self, group_size: usize) -> usize {
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for e in &self.entries {
+            *counts.entry(e.prompt_id).or_default() += 1;
+        }
+        counts.values().filter(|&&c| c >= group_size.max(1)).count()
+    }
+
+    /// Sampler API for group-based algorithms: removes and returns up to
+    /// `n_groups` *complete* groups of `group_size` responses, oldest
+    /// prompt first (by its earliest completion). Incomplete groups stay
+    /// in the buffer until their stragglers arrive.
+    pub fn sample_groups(&mut self, n_groups: usize, group_size: usize) -> Vec<Vec<Experience>> {
+        let group_size = group_size.max(1);
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for e in &self.entries {
+            *counts.entry(e.prompt_id).or_default() += 1;
+        }
+        // Prompts whose groups are complete, in oldest-first buffer order.
+        let mut chosen: Vec<u64> = Vec::with_capacity(n_groups);
+        for e in &self.entries {
+            if chosen.len() == n_groups {
+                break;
+            }
+            if counts.get(&e.prompt_id).copied().unwrap_or(0) >= group_size
+                && !chosen.contains(&e.prompt_id)
+            {
+                chosen.push(e.prompt_id);
+            }
+        }
+        let mut out: Vec<Vec<Experience>> = chosen.iter().map(|_| Vec::new()).collect();
+        let mut kept = VecDeque::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            match chosen.iter().position(|&p| p == e.prompt_id) {
+                Some(i) if out[i].len() < group_size => out[i].push(e),
+                _ => kept.push_back(e),
+            }
+        }
+        self.entries = kept;
+        self.stats.sampled += out.iter().map(Vec::len).sum::<usize>() as u64;
+        self.stats.occupancy = self.entries.len();
+        out
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flow statistics.
+    pub fn stats(&self) -> BufferStats {
+        let mut s = self.stats;
+        s.occupancy = self.entries.len();
+        s
+    }
+
+    /// Iterates current entries oldest-first (inspection only).
+    pub fn iter(&self) -> impl Iterator<Item = &Experience> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_sim::Time;
+
+    fn exp(id: u64, version: u64) -> Experience {
+        Experience {
+            trajectory_id: id,
+            prompt_id: id / 16,
+            group_index: (id % 16) as usize,
+            prompt_tokens: 100,
+            response_tokens: 1000,
+            policy_versions: vec![version],
+            started_at: Time::ZERO,
+            finished_at: Time::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn fifo_samples_oldest_first() {
+        let mut b = ExperienceBuffer::fifo_unbounded();
+        for i in 0..5 {
+            b.write(exp(i, 0));
+        }
+        let mut rng = SimRng::new(1);
+        let got = b.sample(3, 0, &mut rng);
+        let ids: Vec<u64> = got.iter().map(|e| e.trajectory_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.stats().sampled, 3);
+    }
+
+    #[test]
+    fn lifo_samples_newest_first() {
+        let mut b = ExperienceBuffer::new(Sampler::Lifo, Eviction::None);
+        for i in 0..4 {
+            b.write(exp(i, 0));
+        }
+        let mut rng = SimRng::new(1);
+        let ids: Vec<u64> = b.sample(2, 0, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn staleness_capped_skips_stale() {
+        let mut b =
+            ExperienceBuffer::new(Sampler::StalenessCapped { max_staleness: 1 }, Eviction::None);
+        b.write(exp(0, 1)); // staleness 4 at version 5
+        b.write(exp(1, 5)); // staleness 0
+        b.write(exp(2, 4)); // staleness 1
+        let mut rng = SimRng::new(1);
+        assert_eq!(b.ready(5), 2);
+        let ids: Vec<u64> = b.sample(5, 5, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(b.len(), 1); // the stale one remains
+    }
+
+    #[test]
+    fn drop_oldest_eviction_caps_occupancy() {
+        let mut b = ExperienceBuffer::new(Sampler::Fifo, Eviction::DropOldest { capacity: 3 });
+        for i in 0..10 {
+            b.write(exp(i, 0));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.stats().evicted, 7);
+        let mut rng = SimRng::new(1);
+        let ids: Vec<u64> = b.sample(3, 0, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        assert_eq!(ids, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn max_staleness_eviction_purges_on_sample() {
+        let mut b =
+            ExperienceBuffer::new(Sampler::Fifo, Eviction::MaxStaleness { max_staleness: 2 });
+        b.write(exp(0, 1));
+        b.write(exp(1, 9));
+        let mut rng = SimRng::new(1);
+        let got = b.sample(5, 10, &mut rng);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].trajectory_id, 1);
+        assert_eq!(b.stats().evicted, 1);
+    }
+
+    #[test]
+    fn random_sampling_returns_all_without_replacement() {
+        let mut b = ExperienceBuffer::new(Sampler::Random, Eviction::None);
+        for i in 0..20 {
+            b.write(exp(i, 0));
+        }
+        let mut rng = SimRng::new(2);
+        let got = b.sample(20, 0, &mut rng);
+        let mut ids: Vec<u64> = got.iter().map(|e| e.trajectory_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        assert!(b.is_empty());
+    }
+
+    fn exp_group(prompt: u64, idx: usize) -> Experience {
+        Experience {
+            trajectory_id: prompt * 16 + idx as u64,
+            prompt_id: prompt,
+            group_index: idx,
+            prompt_tokens: 100,
+            response_tokens: 1000,
+            policy_versions: vec![0],
+            started_at: Time::ZERO,
+            finished_at: Time::from_secs(prompt),
+        }
+    }
+
+    #[test]
+    fn group_sampling_takes_only_complete_groups() {
+        let mut b = ExperienceBuffer::fifo_unbounded();
+        // Prompt 0: complete group of 4; prompt 1: only 2 of 4.
+        for i in 0..4 {
+            b.write(exp_group(0, i));
+        }
+        for i in 0..2 {
+            b.write(exp_group(1, i));
+        }
+        assert_eq!(b.complete_groups(4), 1);
+        let groups = b.sample_groups(5, 4);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+        assert!(groups[0].iter().all(|e| e.prompt_id == 0));
+        // The incomplete group stays behind.
+        assert_eq!(b.len(), 2);
+        // Its stragglers arriving later complete it.
+        for i in 2..4 {
+            b.write(exp_group(1, i));
+        }
+        let groups = b.sample_groups(5, 4);
+        assert_eq!(groups.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn group_sampling_oldest_prompt_first() {
+        let mut b = ExperienceBuffer::fifo_unbounded();
+        for p in [3u64, 1, 2] {
+            for i in 0..2 {
+                b.write(exp_group(p, i));
+            }
+        }
+        let groups = b.sample_groups(2, 2);
+        let prompts: Vec<u64> = groups.iter().map(|g| g[0].prompt_id).collect();
+        assert_eq!(prompts, vec![3, 1], "buffer-arrival order decides");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn group_sampling_excess_members_remain() {
+        let mut b = ExperienceBuffer::fifo_unbounded();
+        for i in 0..6 {
+            b.write(exp_group(7, i));
+        }
+        let groups = b.sample_groups(1, 4);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(b.len(), 2, "extra responses of the prompt stay buffered");
+    }
+
+    #[test]
+    fn sampling_empty_buffer_returns_nothing() {
+        let mut b = ExperienceBuffer::fifo_unbounded();
+        let mut rng = SimRng::new(3);
+        assert!(b.sample(4, 0, &mut rng).is_empty());
+    }
+}

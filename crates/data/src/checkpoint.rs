@@ -1,0 +1,115 @@
+//! Actor checkpoint store (§3.3).
+//!
+//! Trainer faults are handled by standard checkpoint recovery: actor
+//! weights are checkpointed periodically; on a trainer failure the job
+//! resumes from the latest checkpoint while rollouts continue generating
+//! with the latest available weights. The store tracks which versions were
+//! persisted and answers the recovery question: *which version do we resume
+//! from, and how much training is replayed?*
+
+use laminar_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// One persisted checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Actor weight version persisted.
+    pub version: u64,
+    /// When the write completed.
+    pub written_at: Time,
+}
+
+/// Periodic checkpoint policy plus the persisted history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    /// Persist every `every` versions (e.g. every 5 iterations).
+    pub every: u64,
+    /// Checkpoints retained, newest last.
+    history: Vec<Checkpoint>,
+    /// Maximum retained checkpoints (older ones are pruned).
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Creates a store checkpointing every `every` versions, retaining the
+    /// newest `keep`.
+    pub fn new(every: u64, keep: usize) -> Self {
+        assert!(every >= 1 && keep >= 1, "degenerate checkpoint policy");
+        CheckpointStore { every, history: Vec::new(), keep }
+    }
+
+    /// Called after every actor update; persists when the policy says so.
+    /// Returns the checkpoint if one was written.
+    pub fn on_version(&mut self, version: u64, now: Time) -> Option<Checkpoint> {
+        if version % self.every != 0 {
+            return None;
+        }
+        let ckpt = Checkpoint { version, written_at: now };
+        self.history.push(ckpt);
+        while self.history.len() > self.keep {
+            self.history.remove(0);
+        }
+        Some(ckpt)
+    }
+
+    /// The newest persisted checkpoint, if any.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        self.history.last().copied()
+    }
+
+    /// Recovery decision for a trainer failing at `failed_version`: the
+    /// version to resume from (0 = from scratch) and the number of
+    /// training iterations whose work is replayed.
+    pub fn recovery(&self, failed_version: u64) -> (u64, u64) {
+        let resume = self.latest().map(|c| c.version).unwrap_or(0);
+        (resume, failed_version.saturating_sub(resume))
+    }
+
+    /// All retained checkpoints, oldest first.
+    pub fn history(&self) -> &[Checkpoint] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persists_on_policy_boundaries() {
+        let mut s = CheckpointStore::new(5, 3);
+        for v in 1..=12 {
+            let c = s.on_version(v, Time::from_secs(v));
+            assert_eq!(c.is_some(), v % 5 == 0, "v={v}");
+        }
+        assert_eq!(s.latest().unwrap().version, 10);
+        assert_eq!(s.history().len(), 2);
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let mut s = CheckpointStore::new(1, 2);
+        for v in 1..=5 {
+            s.on_version(v, Time::from_secs(v));
+        }
+        let versions: Vec<u64> = s.history().iter().map(|c| c.version).collect();
+        assert_eq!(versions, vec![4, 5]);
+    }
+
+    #[test]
+    fn recovery_replays_since_checkpoint() {
+        let mut s = CheckpointStore::new(5, 4);
+        for v in 1..=13 {
+            s.on_version(v, Time::from_secs(v));
+        }
+        let (resume, replayed) = s.recovery(13);
+        assert_eq!(resume, 10);
+        assert_eq!(replayed, 3);
+    }
+
+    #[test]
+    fn recovery_without_checkpoints_restarts() {
+        let s = CheckpointStore::new(100, 1);
+        assert_eq!(s.recovery(7), (0, 7));
+    }
+}

@@ -1,0 +1,111 @@
+//! Completed-trajectory records.
+
+use laminar_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// A completed trajectory, as stored in the experience buffer.
+///
+/// `policy_versions` records every actor weight version that generated part
+/// of the response. Under Laminar's trajectory-level asynchrony it always
+/// has exactly one element (§6); under partial rollout a long trajectory
+/// accumulates one entry per interrupting weight update (§2.3), the
+/// mixed-version contamination the convergence experiments measure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Experience {
+    /// Globally unique trajectory id.
+    pub trajectory_id: u64,
+    /// Prompt answered.
+    pub prompt_id: u64,
+    /// Index within the prompt's GRPO group.
+    pub group_index: usize,
+    /// Prompt length, tokens.
+    pub prompt_tokens: u64,
+    /// Response length, tokens.
+    pub response_tokens: u64,
+    /// Actor weight versions used across the response, in generation order.
+    /// Never empty.
+    pub policy_versions: Vec<u64>,
+    /// When generation began.
+    pub started_at: Time,
+    /// When generation completed.
+    pub finished_at: Time,
+}
+
+impl Experience {
+    /// The version that started the trajectory (the behaviour policy for
+    /// importance weighting).
+    pub fn behavior_version(&self) -> u64 {
+        *self.policy_versions.first().expect("policy_versions is never empty")
+    }
+
+    /// The newest version that contributed tokens.
+    pub fn latest_version(&self) -> u64 {
+        *self.policy_versions.iter().max().expect("policy_versions is never empty")
+    }
+
+    /// True when more than one distinct policy version generated the
+    /// response (partial-rollout contamination).
+    pub fn is_mixed_version(&self) -> bool {
+        self.policy_versions.windows(2).any(|w| w[0] != w[1])
+    }
+
+    /// Inherent staleness (§6): actor version at consumption minus the
+    /// version that generated the trajectory (its oldest segment), floored
+    /// at zero.
+    pub fn staleness(&self, current_version: u64) -> u64 {
+        current_version.saturating_sub(self.behavior_version())
+    }
+
+    /// Prompt + response tokens, the unit of the throughput metric.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.response_tokens
+    }
+
+    /// Wall-clock generation latency.
+    pub fn generation_latency(&self) -> laminar_sim::Duration {
+        self.finished_at.since(self.started_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(versions: Vec<u64>) -> Experience {
+        Experience {
+            trajectory_id: 1,
+            prompt_id: 0,
+            group_index: 0,
+            prompt_tokens: 100,
+            response_tokens: 900,
+            policy_versions: versions,
+            started_at: Time::from_secs(10),
+            finished_at: Time::from_secs(250),
+        }
+    }
+
+    #[test]
+    fn single_version_is_consistent() {
+        let e = exp(vec![4]);
+        assert!(!e.is_mixed_version());
+        assert_eq!(e.behavior_version(), 4);
+        assert_eq!(e.latest_version(), 4);
+        assert_eq!(e.staleness(7), 3);
+        assert_eq!(e.staleness(2), 0);
+    }
+
+    #[test]
+    fn mixed_version_detected() {
+        let e = exp(vec![4, 4, 5, 6]);
+        assert!(e.is_mixed_version());
+        assert_eq!(e.behavior_version(), 4);
+        assert_eq!(e.latest_version(), 6);
+    }
+
+    #[test]
+    fn token_and_latency_accounting() {
+        let e = exp(vec![1]);
+        assert_eq!(e.total_tokens(), 1000);
+        assert_eq!(e.generation_latency(), laminar_sim::Duration::from_secs(240));
+    }
+}

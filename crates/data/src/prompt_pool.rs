@@ -1,0 +1,119 @@
+//! The prompt pool: queue of trajectory assignments awaiting generation.
+
+use laminar_workload::TrajectorySpec;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// FIFO pool of trajectory specs waiting for a rollout.
+///
+/// Rollouts pull work; trajectories lost to failures are re-queued at the
+/// *front* so interrupted work resumes before fresh prompts are started
+/// (§3.3 redirects interrupted trajectories to healthy rollouts first).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PromptPool {
+    queue: VecDeque<TrajectorySpec>,
+    pulled: u64,
+    requeued: u64,
+}
+
+impl PromptPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a batch of fresh assignments.
+    pub fn push_batch(&mut self, specs: impl IntoIterator<Item = TrajectorySpec>) {
+        self.queue.extend(specs);
+    }
+
+    /// Pulls the next assignment, if any.
+    pub fn pull(&mut self) -> Option<TrajectorySpec> {
+        let s = self.queue.pop_front();
+        if s.is_some() {
+            self.pulled += 1;
+        }
+        s
+    }
+
+    /// Pulls up to `n` assignments.
+    pub fn pull_up_to(&mut self, n: usize) -> Vec<TrajectorySpec> {
+        let mut out = Vec::with_capacity(n.min(self.queue.len()));
+        for _ in 0..n {
+            match self.pull() {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Returns an interrupted assignment to the head of the queue.
+    pub fn requeue(&mut self, spec: TrajectorySpec) {
+        self.requeued += 1;
+        self.queue.push_front(spec);
+    }
+
+    /// Assignments currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total assignments handed out (including re-pulled requeues).
+    pub fn pulled(&self) -> u64 {
+        self.pulled
+    }
+
+    /// Total requeue events (failure recoveries).
+    pub fn requeued(&self) -> u64 {
+        self.requeued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_workload::{Checkpoint, WorkloadGenerator};
+
+    fn specs(n: u64) -> Vec<TrajectorySpec> {
+        let w = WorkloadGenerator::single_turn(1, Checkpoint::Math7B);
+        (0..n).map(|i| w.trajectory(i, i / 16, (i % 16) as usize, 1.0)).collect()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = PromptPool::new();
+        p.push_batch(specs(5));
+        let ids: Vec<u64> = std::iter::from_fn(|| p.pull()).map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(p.is_empty());
+        assert_eq!(p.pulled(), 5);
+    }
+
+    #[test]
+    fn requeue_goes_to_front() {
+        let mut p = PromptPool::new();
+        p.push_batch(specs(3));
+        let first = p.pull().unwrap();
+        let second = p.pull().unwrap();
+        p.requeue(second.clone());
+        p.requeue(first.clone());
+        assert_eq!(p.pull().unwrap().id, first.id);
+        assert_eq!(p.pull().unwrap().id, second.id);
+        assert_eq!(p.requeued(), 2);
+    }
+
+    #[test]
+    fn pull_up_to_respects_bounds() {
+        let mut p = PromptPool::new();
+        p.push_batch(specs(4));
+        assert_eq!(p.pull_up_to(2).len(), 2);
+        assert_eq!(p.pull_up_to(10).len(), 2);
+        assert!(p.pull_up_to(3).is_empty());
+    }
+}

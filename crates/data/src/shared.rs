@@ -1,0 +1,119 @@
+//! Thread-safe wrappers for the multi-threaded runtime.
+//!
+//! The simulated systems use the single-threaded components directly; the
+//! threaded relay/fault-tolerance tests exercise these wrappers, which model
+//! the paper's separate writer/sampler processes talking to one store.
+
+use crate::buffer::{BufferStats, Eviction, ExperienceBuffer, Sampler};
+use crate::experience::Experience;
+use laminar_sim::SimRng;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An [`ExperienceBuffer`] shared between writer and sampler threads.
+#[derive(Debug, Clone)]
+pub struct SharedExperienceBuffer {
+    inner: Arc<Mutex<ExperienceBuffer>>,
+}
+
+impl SharedExperienceBuffer {
+    /// Wraps a buffer for sharing.
+    pub fn new(buffer: ExperienceBuffer) -> Self {
+        SharedExperienceBuffer { inner: Arc::new(Mutex::new(buffer)) }
+    }
+
+    /// FIFO unbounded buffer, the paper's default.
+    pub fn fifo_unbounded() -> Self {
+        Self::new(ExperienceBuffer::fifo_unbounded())
+    }
+
+    /// Writer API (any thread).
+    pub fn write(&self, exp: Experience) {
+        self.inner.lock().write(exp);
+    }
+
+    /// Sampler API (any thread).
+    pub fn sample(&self, n: usize, current_version: u64, rng: &mut SimRng) -> Vec<Experience> {
+        self.inner.lock().sample(n, current_version, rng)
+    }
+
+    /// Entries ready at the given version.
+    pub fn ready(&self, current_version: u64) -> usize {
+        self.inner.lock().ready(current_version)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Flow statistics snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats()
+    }
+}
+
+/// Builds a shared buffer directly from strategies.
+pub fn shared_buffer(sampler: Sampler, eviction: Eviction) -> SharedExperienceBuffer {
+    SharedExperienceBuffer::new(ExperienceBuffer::new(sampler, eviction))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_sim::Time;
+    use std::thread;
+
+    fn exp(id: u64) -> Experience {
+        Experience {
+            trajectory_id: id,
+            prompt_id: 0,
+            group_index: 0,
+            prompt_tokens: 10,
+            response_tokens: 100,
+            policy_versions: vec![0],
+            started_at: Time::ZERO,
+            finished_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_sampler_conserve_items() {
+        let buf = SharedExperienceBuffer::fifo_unbounded();
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let b = buf.clone();
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        b.write(exp(w * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().expect("writer thread panicked");
+        }
+        assert_eq!(buf.len(), 1000);
+        let mut rng = SimRng::new(1);
+        let mut total = 0;
+        while !buf.is_empty() {
+            total += buf.sample(64, 0, &mut rng).len();
+        }
+        assert_eq!(total, 1000);
+        assert_eq!(buf.stats().written, 1000);
+        assert_eq!(buf.stats().sampled, 1000);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let a = SharedExperienceBuffer::fifo_unbounded();
+        let b = a.clone();
+        a.write(exp(1));
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Byte-range helpers for chunked broadcast and tensor-parallel resharding.
+
+use std::ops::Range;
+
+/// Splits `len` bytes into `chunks` contiguous ranges of near-equal size
+/// (the first `len % chunks` ranges are one byte longer). Returns a single
+/// empty range for `len == 0` and clamps `chunks` to at least 1.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1);
+    if len == 0 {
+        return vec![0..0];
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Tensor-parallel reshard ranges: the byte range of the full weight blob
+/// that TP rank `rank` of a `tp`-way replica pulls from its relay.
+///
+/// Real resharding maps tensors, not flat bytes, but for transfer-volume and
+/// latency purposes an equal byte split is exact: each TP rank holds `1/tp`
+/// of the parameters.
+pub fn shard_ranges(len: usize, tp: usize) -> Vec<Range<usize>> {
+    chunk_ranges(len, tp.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 100, 1024, 1025] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let rs = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for r in &rs {
+                    assert_eq!(r.start, expected_start, "contiguous");
+                    covered += r.len();
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, len, "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_balanced() {
+        let rs = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn more_chunks_than_bytes_clamps() {
+        let rs = chunk_ranges(3, 10);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn shard_ranges_split_tp() {
+        let rs = shard_ranges(1000, 4);
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0], 0..250);
+        assert_eq!(rs[3], 750..1000);
+    }
+}

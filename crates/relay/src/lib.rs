@@ -1,0 +1,27 @@
+//! The relay worker tier (§4): a distributed parameter service.
+//!
+//! Relays are CPU processes colocated with rollouts, holding the latest
+//! actor weights in host memory. The actor pushes an update to a single
+//! *master* relay and immediately resumes training; the master reshards and
+//! propagates the weights to every other relay with a chain-based pipelined
+//! RDMA broadcast; rollouts pull their shards from the colocated relay over
+//! PCIe at any time. A failed relay is detected by heartbeat and routed
+//! around by an O(1) chain rebuild (§4.3), without disturbing generation.
+//!
+//! Two implementations live here:
+//!
+//! * [`model`] — the latency model used by the cluster simulations
+//!   (composing [`laminar_cluster::ChainBroadcast`] with the pull/push
+//!   paths), reproducing Figures 14 and 18;
+//! * [`runtime`] — a real multi-threaded relay tier moving real bytes over
+//!   channels, with heartbeat failure detection, chain rebuild, and master
+//!   re-election; the fault-tolerance claims are validated against this
+//!   implementation.
+
+pub mod chunk;
+pub mod model;
+pub mod runtime;
+
+pub use chunk::{chunk_ranges, shard_ranges};
+pub use model::RelaySyncModel;
+pub use runtime::{RelayTier, RelayTierConfig, RepairReport, WeightVersion};

@@ -1,0 +1,636 @@
+//! A real multi-threaded relay tier.
+//!
+//! Each relay worker is a thread holding the latest weight version in its
+//! local store (modelling pinned host memory on a rollout machine). The
+//! manager chunks a published weight blob and injects the chunks at the
+//! master relay; every relay forwards each chunk to its chain successor
+//! *before* finishing assembly, giving the pipelined broadcast of §4.2.
+//! Heartbeat monitoring detects failed relays; [`RelayTier::repair`]
+//! evicts them, relinks the chain in O(alive) pointer updates (O(1) per
+//! failure), re-elects the master if needed, and re-broadcasts the latest
+//! version so every survivor converges (§4.3).
+//!
+//! Hop cost is configurable (`seconds/byte` + startup) so tests can verify
+//! the *pipelining* property — broadcast time ≈ one blob transit plus a
+//! per-hop chunk latency, nearly independent of chain length — on real
+//! threads, not just in the analytic model.
+
+use crate::chunk::{chunk_ranges, shard_ranges};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration as StdDuration, Instant};
+
+/// One complete weight snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightVersion {
+    /// Monotonic actor version number.
+    pub version: u64,
+    /// The weight bytes.
+    pub data: Bytes,
+}
+
+enum Command {
+    Chunk { version: u64, index: u32, total: u32, data: Bytes },
+    SetNext(Option<Sender<Command>>),
+    Ping(Sender<usize>),
+    Fail,
+    Shutdown,
+}
+
+type Store = Arc<RwLock<Option<WeightVersion>>>;
+
+struct Assembly {
+    total: u32,
+    received: Vec<Option<Bytes>>,
+    count: u32,
+}
+
+struct NodeHandle {
+    cmd: Sender<Command>,
+    store: Store,
+    alive: bool,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Relay tier configuration.
+#[derive(Debug, Clone)]
+pub struct RelayTierConfig {
+    /// Relay worker count (one per rollout machine in the paper).
+    pub nodes: usize,
+    /// Broadcast chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// Simulated per-hop transfer cost, seconds per byte (0 = as fast as
+    /// the channels go).
+    pub hop_seconds_per_byte: f64,
+    /// Simulated per-hop per-chunk startup latency, seconds.
+    pub hop_startup: f64,
+    /// Heartbeat reply deadline; a relay silent past this is failed.
+    pub heartbeat_timeout: StdDuration,
+}
+
+impl RelayTierConfig {
+    /// Fast defaults for `nodes` relays: 256 KiB chunks, no simulated hop
+    /// cost, 100 ms heartbeat deadline.
+    pub fn fast(nodes: usize) -> Self {
+        RelayTierConfig {
+            nodes,
+            chunk_bytes: 256 * 1024,
+            hop_seconds_per_byte: 0.0,
+            hop_startup: 0.0,
+            heartbeat_timeout: StdDuration::from_millis(100),
+        }
+    }
+}
+
+/// Outcome of a [`RelayTier::repair`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Relays found dead this pass.
+    pub failed: Vec<usize>,
+    /// Wall time spent relinking the chain (excludes re-broadcast).
+    pub rebuild: StdDuration,
+    /// Master relay after the repair.
+    pub master: usize,
+    /// Whether the latest version was re-broadcast.
+    pub rebroadcast: bool,
+}
+
+/// The relay tier: manager plus worker threads.
+pub struct RelayTier {
+    cfg: RelayTierConfig,
+    nodes: Vec<NodeHandle>,
+    chain: Vec<usize>,
+    latest: Option<WeightVersion>,
+    publishes: u64,
+    rebroadcasts: u64,
+}
+
+impl RelayTier {
+    /// Spawns `cfg.nodes` relay workers linked in a chain, node 0 as master.
+    pub fn new(cfg: RelayTierConfig) -> Self {
+        assert!(cfg.nodes >= 1, "relay tier needs at least one node");
+        assert!(cfg.chunk_bytes >= 1, "chunk size must be positive");
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for id in 0..cfg.nodes {
+            let (tx, rx) = unbounded();
+            let store: Store = Arc::new(RwLock::new(None));
+            let st = store.clone();
+            let hop_spb = cfg.hop_seconds_per_byte;
+            let hop_start = cfg.hop_startup;
+            let thread = thread::Builder::new()
+                .name(format!("relay-{id}"))
+                .spawn(move || node_loop(id, rx, st, hop_spb, hop_start))
+                .expect("spawn relay worker");
+            nodes.push(NodeHandle { cmd: tx, store, alive: true, thread: Some(thread) });
+        }
+        let chain: Vec<usize> = (0..cfg.nodes).collect();
+        let mut tier =
+            RelayTier { cfg, nodes, chain, latest: None, publishes: 0, rebroadcasts: 0 };
+        tier.relink_chain();
+        tier
+    }
+
+    /// Current master relay id.
+    pub fn master(&self) -> usize {
+        self.chain[0]
+    }
+
+    /// Ids of relays currently believed alive.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        self.chain.clone()
+    }
+
+    /// Total publishes (actor pushes) so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes
+    }
+
+    /// Total repair-triggered re-broadcasts.
+    pub fn rebroadcasts(&self) -> u64 {
+        self.rebroadcasts
+    }
+
+    fn relink_chain(&mut self) {
+        for w in self.chain.windows(2) {
+            let next = self.nodes[w[1]].cmd.clone();
+            let _ = self.nodes[w[0]].cmd.send(Command::SetNext(Some(next)));
+        }
+        if let Some(&last) = self.chain.last() {
+            let _ = self.nodes[last].cmd.send(Command::SetNext(None));
+        }
+    }
+
+    fn send_version_to_master(&self, wv: &WeightVersion) {
+        let ranges = chunk_ranges(wv.data.len(), wv.data.len().div_ceil(self.cfg.chunk_bytes));
+        let total = ranges.len() as u32;
+        let master = &self.nodes[self.master()];
+        for (i, r) in ranges.into_iter().enumerate() {
+            let _ = master.cmd.send(Command::Chunk {
+                version: wv.version,
+                index: i as u32,
+                total,
+                data: wv.data.slice(r),
+            });
+        }
+    }
+
+    /// Actor push: publishes a new weight version to the master relay and
+    /// returns immediately; the broadcast proceeds in the background
+    /// (step ⑤/⑥ of Figure 5). Versions must be monotonically increasing.
+    pub fn publish(&mut self, version: u64, data: Bytes) {
+        if let Some(prev) = &self.latest {
+            assert!(version > prev.version, "weight versions must increase");
+        }
+        let wv = WeightVersion { version, data };
+        self.send_version_to_master(&wv);
+        self.latest = Some(wv);
+        self.publishes += 1;
+    }
+
+    /// Rollout pull: the full latest version resident on relay `id`
+    /// (colocated PCIe load in the paper). `None` if nothing arrived yet or
+    /// the id is out of range.
+    pub fn pull(&self, id: usize) -> Option<WeightVersion> {
+        self.nodes.get(id)?.store.read().clone()
+    }
+
+    /// Rollout pull of one TP shard: rank `rank` of a `tp`-way replica gets
+    /// its resharded slice of the latest version on relay `id`.
+    pub fn pull_shard(&self, id: usize, rank: usize, tp: usize) -> Option<(u64, Bytes)> {
+        assert!(rank < tp.max(1), "rank out of range");
+        let wv = self.pull(id)?;
+        let range = shard_ranges(wv.data.len(), tp)[rank].clone();
+        Some((wv.version, wv.data.slice(range)))
+    }
+
+    /// Version resident on relay `id`, if any.
+    pub fn node_version(&self, id: usize) -> Option<u64> {
+        self.nodes.get(id)?.store.read().as_ref().map(|w| w.version)
+    }
+
+    /// Blocks until every alive relay holds `version` (or newer), up to
+    /// `timeout`. Returns whether convergence was reached.
+    pub fn wait_converged(&self, version: u64, timeout: StdDuration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = self
+                .chain
+                .iter()
+                .all(|&id| self.node_version(id).is_some_and(|v| v >= version));
+            if done {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(StdDuration::from_micros(200));
+        }
+    }
+
+    /// Fault injection: relay `id` stops responding (hangs) — it neither
+    /// forwards chunks nor answers heartbeats, like a wedged host process.
+    pub fn kill(&mut self, id: usize) {
+        if let Some(n) = self.nodes.get(id) {
+            let _ = n.cmd.send(Command::Fail);
+        }
+    }
+
+    /// One heartbeat pass over the relays currently believed alive; returns
+    /// the ids that missed the deadline.
+    pub fn heartbeat(&self) -> Vec<usize> {
+        let mut failed = Vec::new();
+        for &id in &self.chain {
+            let (tx, rx) = unbounded();
+            let _ = self.nodes[id].cmd.send(Command::Ping(tx));
+            match rx.recv_timeout(self.cfg.heartbeat_timeout) {
+                Ok(_) => {}
+                Err(_) => failed.push(id),
+            }
+        }
+        failed
+    }
+
+    /// Full repair pass (§4.3): heartbeat-detect failures, evict them,
+    /// relink the broadcast chain among survivors, re-elect the master if it
+    /// died, and re-broadcast the latest version so in-flight deliveries cut
+    /// off by the failure still converge. Panics if every relay has failed.
+    pub fn repair(&mut self) -> RepairReport {
+        let failed = self.heartbeat();
+        let start = Instant::now();
+        if !failed.is_empty() {
+            self.chain.retain(|id| !failed.contains(id));
+            assert!(!self.chain.is_empty(), "all relay workers failed");
+            for &id in &failed {
+                self.nodes[id].alive = false;
+            }
+            self.relink_chain();
+        }
+        let rebuild = start.elapsed();
+        let rebroadcast = !failed.is_empty() && self.latest.is_some();
+        if rebroadcast {
+            let wv = self.latest.clone().expect("latest checked above");
+            self.send_version_to_master(&wv);
+            self.rebroadcasts += 1;
+        }
+        RepairReport { failed, rebuild, master: self.master(), rebroadcast }
+    }
+
+    /// Elastically adds a fresh relay at the end of the chain (replacement
+    /// machine arriving, §3.3). It receives the latest version immediately
+    /// by a targeted catch-up send. Returns the new relay's id.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.nodes.len();
+        let (tx, rx) = unbounded();
+        let store: Store = Arc::new(RwLock::new(None));
+        let st = store.clone();
+        let hop_spb = self.cfg.hop_seconds_per_byte;
+        let hop_start = self.cfg.hop_startup;
+        let thread = thread::Builder::new()
+            .name(format!("relay-{id}"))
+            .spawn(move || node_loop(id, rx, st, hop_spb, hop_start))
+            .expect("spawn relay worker");
+        self.nodes.push(NodeHandle { cmd: tx, store, alive: true, thread: Some(thread) });
+        self.chain.push(id);
+        self.relink_chain();
+        if let Some(wv) = self.latest.clone() {
+            // Catch-up: send directly to the newcomer (it is the chain tail,
+            // so nothing is forwarded twice).
+            let ranges =
+                chunk_ranges(wv.data.len(), wv.data.len().div_ceil(self.cfg.chunk_bytes));
+            let total = ranges.len() as u32;
+            for (i, r) in ranges.into_iter().enumerate() {
+                let _ = self.nodes[id].cmd.send(Command::Chunk {
+                    version: wv.version,
+                    index: i as u32,
+                    total,
+                    data: wv.data.slice(r),
+                });
+            }
+        }
+        id
+    }
+
+    /// Stops all worker threads and joins them.
+    pub fn shutdown(mut self) {
+        for n in &self.nodes {
+            let _ = n.cmd.send(Command::Shutdown);
+        }
+        for n in &mut self.nodes {
+            if let Some(t) = n.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn node_loop(
+    _id: usize,
+    inbox: Receiver<Command>,
+    store: Store,
+    hop_seconds_per_byte: f64,
+    hop_startup: f64,
+) {
+    let mut next: Option<Sender<Command>> = None;
+    let mut failed = false;
+    let mut assemblies: HashMap<u64, Assembly> = HashMap::new();
+    while let Ok(cmd) = inbox.recv() {
+        match cmd {
+            Command::Chunk { version, index, total, data } => {
+                if failed {
+                    continue;
+                }
+                // Simulated hop transfer cost, paid before the chunk is
+                // visible downstream — this is what serializes chunks at
+                // each hop and produces pipelined timing.
+                if hop_seconds_per_byte > 0.0 || hop_startup > 0.0 {
+                    let secs = hop_startup + data.len() as f64 * hop_seconds_per_byte;
+                    thread::sleep(StdDuration::from_secs_f64(secs));
+                }
+                if let Some(n) = &next {
+                    let _ = n.send(Command::Chunk {
+                        version,
+                        index,
+                        total,
+                        data: data.clone(),
+                    });
+                }
+                let have = store.read().as_ref().map(|w| w.version);
+                if have.is_some_and(|v| v >= version) {
+                    continue; // already assembled (duplicate from a repair)
+                }
+                // Keep only the newest assembly to bound memory.
+                assemblies.retain(|&v, _| v >= version);
+                let a = assemblies.entry(version).or_insert_with(|| Assembly {
+                    total,
+                    received: vec![None; total as usize],
+                    count: 0,
+                });
+                let slot = &mut a.received[index as usize];
+                if slot.is_none() {
+                    *slot = Some(data);
+                    a.count += 1;
+                }
+                if a.count == a.total {
+                    let a = assemblies.remove(&version).expect("assembly exists");
+                    let mut blob = Vec::with_capacity(
+                        a.received.iter().map(|c| c.as_ref().map_or(0, |b| b.len())).sum(),
+                    );
+                    for c in a.received {
+                        blob.extend_from_slice(&c.expect("all chunks received"));
+                    }
+                    let mut w = store.write();
+                    if w.as_ref().is_none_or(|cur| cur.version < version) {
+                        *w = Some(WeightVersion { version, data: Bytes::from(blob) });
+                    }
+                }
+            }
+            Command::SetNext(n) => {
+                if !failed {
+                    next = n;
+                }
+            }
+            Command::Ping(reply) => {
+                if !failed {
+                    let _ = reply.send(_id);
+                }
+            }
+            Command::Fail => {
+                failed = true;
+                next = None;
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(len: usize, tag: u8) -> Bytes {
+        Bytes::from((0..len).map(|i| (i as u8) ^ tag).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn broadcast_converges_all_nodes() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(8));
+        let data = blob(1 << 20, 0xA5);
+        tier.publish(1, data.clone());
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        for id in 0..8 {
+            let wv = tier.pull(id).expect("version present");
+            assert_eq!(wv.version, 1);
+            assert_eq!(wv.data, data);
+        }
+        tier.shutdown();
+    }
+
+    #[test]
+    fn newer_version_supersedes_older() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(4));
+        tier.publish(1, blob(4096, 1));
+        tier.publish(2, blob(4096, 2));
+        assert!(tier.wait_converged(2, StdDuration::from_secs(5)));
+        for id in 0..4 {
+            assert_eq!(tier.node_version(id), Some(2));
+        }
+        tier.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "versions must increase")]
+    fn non_monotonic_publish_rejected() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(2));
+        tier.publish(3, blob(16, 0));
+        tier.publish(3, blob(16, 1));
+    }
+
+    #[test]
+    fn shard_pull_reassembles_to_full_blob() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(3));
+        let data = blob(1000, 0x3C);
+        tier.publish(1, data.clone());
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        let mut rebuilt = Vec::new();
+        for rank in 0..4 {
+            let (v, shard) = tier.pull_shard(2, rank, 4).expect("shard present");
+            assert_eq!(v, 1);
+            rebuilt.extend_from_slice(&shard);
+        }
+        assert_eq!(Bytes::from(rebuilt), data);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn mid_chain_failure_repaired_and_converges() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(6));
+        tier.publish(1, blob(1 << 18, 7));
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        // Kill a mid-chain relay, then publish a new version: downstream of
+        // the failure would never receive it without repair.
+        tier.kill(3);
+        let report = tier.repair();
+        assert_eq!(report.failed, vec![3]);
+        assert_eq!(report.master, 0);
+        assert!(report.rebuild < StdDuration::from_secs(1), "rebuild must be fast");
+        tier.publish(2, blob(1 << 18, 9));
+        assert!(tier.wait_converged(2, StdDuration::from_secs(5)));
+        assert_eq!(tier.alive_nodes(), vec![0, 1, 2, 4, 5]);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn failure_during_broadcast_recovers_via_rebroadcast() {
+        let mut tier = RelayTier::new(RelayTierConfig {
+            // Slow hops so the kill lands mid-broadcast.
+            hop_seconds_per_byte: 2e-9,
+            hop_startup: 1e-4,
+            ..RelayTierConfig::fast(6)
+        });
+        tier.publish(1, blob(1 << 22, 0x55)); // 4 MiB, ~8ms+ per hop
+        tier.kill(2);
+        // Give the broadcast time to wedge at the dead node.
+        thread::sleep(StdDuration::from_millis(30));
+        let report = tier.repair();
+        assert_eq!(report.failed, vec![2]);
+        assert!(report.rebroadcast);
+        assert!(
+            tier.wait_converged(1, StdDuration::from_secs(10)),
+            "survivors must converge after repair"
+        );
+        tier.shutdown();
+    }
+
+    #[test]
+    fn master_failure_elects_new_master() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(4));
+        tier.publish(1, blob(8192, 1));
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        tier.kill(0);
+        let report = tier.repair();
+        assert_eq!(report.failed, vec![0]);
+        assert_eq!(report.master, 1);
+        // The actor keeps publishing to the new master.
+        tier.publish(2, blob(8192, 2));
+        assert!(tier.wait_converged(2, StdDuration::from_secs(5)));
+        tier.shutdown();
+    }
+
+    #[test]
+    fn added_node_catches_up_to_latest() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(3));
+        let data = blob(65_536, 0x42);
+        tier.publish(5, data.clone());
+        assert!(tier.wait_converged(5, StdDuration::from_secs(5)));
+        let id = tier.add_node();
+        assert_eq!(id, 3);
+        assert!(tier.wait_converged(5, StdDuration::from_secs(5)));
+        assert_eq!(tier.pull(id).expect("caught up").data, data);
+        // And it participates in future broadcasts.
+        tier.publish(6, blob(65_536, 0x43));
+        assert!(tier.wait_converged(6, StdDuration::from_secs(5)));
+        tier.shutdown();
+    }
+
+    #[test]
+    fn pipelined_broadcast_is_faster_than_store_and_forward() {
+        // 2 MiB over 6 nodes with a simulated 100 MB/s hop: pipelined in 32
+        // chunks should approach one blob transit (~20ms) + per-hop chunk
+        // cost, while single-chunk store-and-forward pays the full blob on
+        // every hop (~100ms).
+        let size = 2 << 20;
+        let spb = 1e-8; // 100 MB/s
+        let mut pipelined = RelayTier::new(RelayTierConfig {
+            chunk_bytes: size / 32,
+            hop_seconds_per_byte: spb,
+            hop_startup: 0.0,
+            ..RelayTierConfig::fast(6)
+        });
+        let start = Instant::now();
+        pipelined.publish(1, blob(size, 1));
+        assert!(pipelined.wait_converged(1, StdDuration::from_secs(20)));
+        let t_pipe = start.elapsed();
+        pipelined.shutdown();
+
+        let mut seq = RelayTier::new(RelayTierConfig {
+            chunk_bytes: size, // one chunk = store-and-forward
+            hop_seconds_per_byte: spb,
+            hop_startup: 0.0,
+            ..RelayTierConfig::fast(6)
+        });
+        let start = Instant::now();
+        seq.publish(1, blob(size, 1));
+        assert!(seq.wait_converged(1, StdDuration::from_secs(20)));
+        let t_seq = start.elapsed();
+        seq.shutdown();
+
+        assert!(
+            t_pipe.as_secs_f64() < t_seq.as_secs_f64() * 0.6,
+            "pipelining must overlap hops: pipe={t_pipe:?} seq={t_seq:?}"
+        );
+    }
+
+    #[test]
+    fn pull_during_in_flight_broadcast_returns_previous_version() {
+        // "Anytime" pull semantics: a rollout asking mid-broadcast gets the
+        // last fully resident version rather than blocking.
+        let mut tier = RelayTier::new(RelayTierConfig::fast(4));
+        tier.publish(1, blob(1 << 16, 1));
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        // Slow the hops so version 2 is in flight for a while.
+        let mut slow = RelayTier::new(RelayTierConfig {
+            hop_seconds_per_byte: 5e-8,
+            ..RelayTierConfig::fast(4)
+        });
+        slow.publish(1, blob(1 << 20, 1));
+        assert!(slow.wait_converged(1, StdDuration::from_secs(20)));
+        slow.publish(2, blob(1 << 20, 2));
+        // Immediately pull from the tail: version 1 must still be served.
+        let v = slow.node_version(3).expect("has a version");
+        assert!(v >= 1);
+        assert!(slow.wait_converged(2, StdDuration::from_secs(20)));
+        slow.shutdown();
+        tier.shutdown();
+    }
+
+    #[test]
+    fn rapid_version_churn_converges_to_newest() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(5));
+        for v in 1..=20u64 {
+            tier.publish(v, blob(32 * 1024, v as u8));
+        }
+        assert!(tier.wait_converged(20, StdDuration::from_secs(10)));
+        for id in 0..5 {
+            assert_eq!(tier.node_version(id), Some(20));
+        }
+        assert_eq!(tier.publishes(), 20);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_reports_only_dead_nodes() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(5));
+        assert!(tier.heartbeat().is_empty());
+        tier.kill(4);
+        tier.kill(1);
+        let mut failed = tier.heartbeat();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![1, 4]);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn repair_with_no_failures_is_noop() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(3));
+        tier.publish(1, blob(1024, 0));
+        let report = tier.repair();
+        assert!(report.failed.is_empty());
+        assert!(!report.rebroadcast);
+        assert_eq!(tier.rebroadcasts(), 0);
+        tier.shutdown();
+    }
+}

@@ -1,0 +1,174 @@
+//! `ReasonTree`: a synthetic hierarchical reasoning environment.
+//!
+//! A problem has a *type* `t` and a *depth* `d`. Solving it requires `d`
+//! sequential reasoning steps; at step `l` the policy must pick the correct
+//! branch out of `A` alternatives, where the correct branch is a fixed
+//! hidden function of `(t, l)` the policy has to learn. Reward is 1 iff
+//! every step is correct (a rule-based verifier, like the paper's math
+//! checker), 0 otherwise.
+//!
+//! Depth is sampled from a heavy-tailed distribution, so trajectory
+//! *lengths* are heterogeneous exactly like the paper's math workloads —
+//! which is what couples this learner to the systems under test: each step
+//! costs `tokens_per_step` decode tokens, so deep problems are the long-tail
+//! trajectories.
+
+use laminar_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The environment definition (shared by all policies and systems).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReasonEnv {
+    /// Number of problem types.
+    pub types: usize,
+    /// Branching factor (action count).
+    pub actions: usize,
+    /// Maximum problem depth.
+    pub max_depth: usize,
+    /// Decode tokens consumed per reasoning step (couples episodes to
+    /// trajectory lengths).
+    pub tokens_per_step: u64,
+    /// Hidden correct-action table, `types × max_depth`.
+    correct: Vec<usize>,
+}
+
+/// One sampled problem (a "prompt").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Problem {
+    /// Problem type.
+    pub ptype: usize,
+    /// Required reasoning depth.
+    pub depth: usize,
+}
+
+impl ReasonEnv {
+    /// Builds an environment with a hidden answer table drawn from `seed`.
+    pub fn new(types: usize, actions: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(types > 0 && actions > 1 && max_depth > 0, "degenerate environment");
+        let mut rng = SimRng::derive(seed, "reason-env", 0);
+        let correct =
+            (0..types * max_depth).map(|_| rng.index(actions)).collect();
+        ReasonEnv { types, actions, max_depth, tokens_per_step: 512, correct }
+    }
+
+    /// A small default environment used across experiments and tests.
+    pub fn standard(seed: u64) -> Self {
+        ReasonEnv::new(12, 4, 10, seed)
+    }
+
+    /// Number of distinct policy states: one per `(type, level)` pair.
+    pub fn num_states(&self) -> usize {
+        self.types * self.max_depth
+    }
+
+    /// State index for `(type, level)`.
+    pub fn state(&self, ptype: usize, level: usize) -> usize {
+        debug_assert!(ptype < self.types && level < self.max_depth);
+        ptype * self.max_depth + level
+    }
+
+    /// The hidden correct action (only the verifier consults this).
+    pub fn correct_action(&self, ptype: usize, level: usize) -> usize {
+        self.correct[self.state(ptype, level)]
+    }
+
+    /// Samples a problem: uniform type, heavy-tailed depth (geometric
+    /// truncated at `max_depth`, so most problems are shallow and a few are
+    /// deep — the long tail).
+    pub fn sample_problem(&self, rng: &mut SimRng) -> Problem {
+        let ptype = rng.index(self.types);
+        let mut depth = 1;
+        while depth < self.max_depth && rng.chance(0.55) {
+            depth += 1;
+        }
+        Problem { ptype, depth }
+    }
+
+    /// Deterministic problem for a prompt id (all systems see the same
+    /// prompt sequence).
+    pub fn problem_for_prompt(&self, seed: u64, prompt_id: u64) -> Problem {
+        let mut rng = SimRng::derive(seed, "reason-problem", prompt_id);
+        self.sample_problem(&mut rng)
+    }
+
+    /// Verifier: 1.0 iff the action sequence solves the problem.
+    pub fn reward(&self, problem: Problem, actions: &[usize]) -> f64 {
+        if actions.len() != problem.depth {
+            return 0.0;
+        }
+        for (level, &a) in actions.iter().enumerate() {
+            if a != self.correct_action(problem.ptype, level) {
+                return 0.0;
+            }
+        }
+        1.0
+    }
+
+    /// Decode tokens an episode of this problem consumes.
+    pub fn episode_tokens(&self, problem: Problem) -> u64 {
+        problem.depth as u64 * self.tokens_per_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_requires_full_correct_path() {
+        let env = ReasonEnv::standard(3);
+        let p = Problem { ptype: 2, depth: 3 };
+        let good: Vec<usize> = (0..3).map(|l| env.correct_action(2, l)).collect();
+        assert_eq!(env.reward(p, &good), 1.0);
+        let mut bad = good.clone();
+        bad[1] = (bad[1] + 1) % env.actions;
+        assert_eq!(env.reward(p, &bad), 0.0);
+        assert_eq!(env.reward(p, &good[..2]), 0.0, "wrong length fails");
+    }
+
+    #[test]
+    fn depth_distribution_is_heavy_tailed() {
+        let env = ReasonEnv::standard(1);
+        let mut rng = SimRng::new(9);
+        let mut counts = vec![0usize; env.max_depth + 1];
+        for _ in 0..20_000 {
+            counts[env.sample_problem(&mut rng).depth] += 1;
+        }
+        assert!(counts[1] > counts[3], "shallow problems dominate");
+        assert!(counts[env.max_depth] > 0, "deep tail exists");
+        let deep: usize = counts[7..].iter().sum();
+        let frac = deep as f64 / 20_000.0;
+        assert!(frac > 0.005 && frac < 0.2, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn problems_deterministic_per_prompt() {
+        let env = ReasonEnv::standard(5);
+        assert_eq!(env.problem_for_prompt(1, 42), env.problem_for_prompt(1, 42));
+        // Different prompts usually differ.
+        let distinct = (0..50)
+            .map(|i| env.problem_for_prompt(1, i))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 10);
+    }
+
+    #[test]
+    fn same_seed_same_hidden_table() {
+        let a = ReasonEnv::standard(7);
+        let b = ReasonEnv::standard(7);
+        for t in 0..a.types {
+            for l in 0..a.max_depth {
+                assert_eq!(a.correct_action(t, l), b.correct_action(t, l));
+            }
+        }
+    }
+
+    #[test]
+    fn episode_tokens_scale_with_depth() {
+        let env = ReasonEnv::standard(1);
+        let shallow = env.episode_tokens(Problem { ptype: 0, depth: 1 });
+        let deep = env.episode_tokens(Problem { ptype: 0, depth: 10 });
+        assert_eq!(deep, shallow * 10);
+    }
+}

@@ -1,0 +1,273 @@
+//! PPO with a learned critic and GAE (§2.1, §8 "Settings").
+//!
+//! The paper's headline experiments use critic-free GRPO, but state that
+//! Laminar "does not rely on any specific RL algorithm and can generalize
+//! to others such as PPO". This module provides that generality: a tabular
+//! value critic, generalized advantage estimation over the trajectory's
+//! per-step rewards (terminal verifier reward here), and the same clipped
+//! surrogate policy update.
+
+use crate::algo::{surrogate_coeff, RlTrajectory, UpdateStats};
+use crate::env::ReasonEnv;
+use crate::nn::{clip_grad_norm, Adam, Params};
+use crate::policy::{Policy, TabularPolicy};
+use serde::{Deserialize, Serialize};
+
+/// A tabular state-value critic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueTable {
+    values: Vec<f64>,
+    grads: Vec<f64>,
+}
+
+impl ValueTable {
+    /// Zero-initialized critic over `states` states.
+    pub fn new(states: usize) -> Self {
+        ValueTable { values: vec![0.0; states], grads: vec![0.0; states] }
+    }
+
+    /// Value estimate of a state.
+    pub fn value(&self, state: usize) -> f64 {
+        self.values[state]
+    }
+
+    /// Accumulates the squared-error gradient for a target.
+    pub fn accumulate_mse_grad(&mut self, state: usize, target: f64, coeff: f64) {
+        // d/dv 0.5 (v - target)^2 = v - target.
+        self.grads[state] += coeff * (self.values[state] - target);
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+impl Params for ValueTable {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.values, &mut self.grads);
+    }
+}
+
+/// PPO configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Policy learning rate.
+    pub lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Symmetric clip ε.
+    pub clip: f64,
+    /// Discount γ (1.0 in Table 3).
+    pub discount: f64,
+    /// GAE λ (1.0 in Table 3).
+    pub gae_lambda: f64,
+    /// Global gradient-norm cap.
+    pub max_grad_norm: f64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            lr: 0.02,
+            critic_lr: 0.1,
+            clip: 0.2,
+            discount: 1.0,
+            gae_lambda: 1.0,
+            max_grad_norm: 5.0,
+        }
+    }
+}
+
+/// Computes GAE advantages for one trajectory whose only reward arrives at
+/// termination (the rule-based verifier). Returns per-step advantages and
+/// value targets (returns-to-go).
+pub fn gae_advantages(
+    values: &[f64],
+    terminal_reward: f64,
+    discount: f64,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = values.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut adv = vec![0.0; n];
+    let mut gae = 0.0;
+    for t in (0..n).rev() {
+        let reward = if t + 1 == n { terminal_reward } else { 0.0 };
+        let next_v = if t + 1 == n { 0.0 } else { values[t + 1] };
+        let delta = reward + discount * next_v - values[t];
+        gae = delta + discount * lambda * gae;
+        adv[t] = gae;
+    }
+    let targets: Vec<f64> = adv.iter().zip(values).map(|(a, v)| a + v).collect();
+    (adv, targets)
+}
+
+/// The PPO trainer: policy plus critic.
+#[derive(Debug, Clone)]
+pub struct PpoTrainer {
+    /// The live policy.
+    pub policy: TabularPolicy,
+    /// The critic.
+    pub critic: ValueTable,
+    cfg: PpoConfig,
+    policy_opt: Adam,
+    critic_opt: Adam,
+    version: u64,
+}
+
+impl PpoTrainer {
+    /// Fresh trainer for an environment.
+    pub fn new(env: &ReasonEnv, cfg: PpoConfig) -> Self {
+        let policy = TabularPolicy::new(env.num_states(), env.actions);
+        let critic = ValueTable::new(env.num_states());
+        let policy_opt = Adam::new(cfg.lr);
+        let critic_opt = Adam::new(cfg.critic_lr);
+        PpoTrainer { policy, critic, cfg, policy_opt, critic_opt, version: 0 }
+    }
+
+    /// Policy version (increments per update).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// One PPO update over a batch of trajectories.
+    pub fn update(&mut self, batch: &[RlTrajectory]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let total_steps: usize = batch.iter().map(|t| t.steps.len()).sum();
+        if total_steps == 0 {
+            return stats;
+        }
+        let norm = 1.0 / total_steps as f64;
+        self.policy.zero_grad();
+        self.critic.zero_grad();
+        let mut clipped = 0usize;
+        let mut ratio_sum = 0.0;
+        let mut reward_sum = 0.0;
+        for traj in batch {
+            reward_sum += traj.reward;
+            stats.trajectories += 1;
+            let values: Vec<f64> =
+                traj.steps.iter().map(|s| self.critic.value(s.state)).collect();
+            let (advs, targets) =
+                gae_advantages(&values, traj.reward, self.cfg.discount, self.cfg.gae_lambda);
+            for ((step, &adv), &target) in traj.steps.iter().zip(&advs).zip(&targets) {
+                let cur_logp = self.policy.log_prob(step.state, step.action);
+                let ratio = (cur_logp - step.behavior_logp).exp();
+                ratio_sum += ratio;
+                let coeff = surrogate_coeff(ratio, adv, self.cfg.clip, self.cfg.clip);
+                if coeff == 0.0 && adv != 0.0 {
+                    clipped += 1;
+                }
+                if coeff != 0.0 {
+                    self.policy.accumulate_logp_grad(step.state, step.action, coeff * norm);
+                }
+                self.critic.accumulate_mse_grad(step.state, target, norm);
+            }
+        }
+        clip_grad_norm(&mut self.policy, self.cfg.max_grad_norm);
+        self.policy_opt.step(&mut self.policy);
+        self.critic_opt.step(&mut self.critic);
+        self.version += 1;
+        stats.mean_reward = reward_sum / stats.trajectories.max(1) as f64;
+        stats.clip_fraction = clipped as f64 / total_steps as f64;
+        stats.mean_ratio = ratio_sum / total_steps as f64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{evaluate, generate_episode};
+    use laminar_sim::SimRng;
+
+    #[test]
+    fn gae_terminal_reward_propagates_backwards() {
+        let values = vec![0.0, 0.0, 0.0];
+        let (adv, targets) = gae_advantages(&values, 1.0, 1.0, 1.0);
+        // With zero values, γ=λ=1: every step's advantage equals the
+        // terminal reward, and targets equal the returns-to-go.
+        assert_eq!(adv, vec![1.0, 1.0, 1.0]);
+        assert_eq!(targets, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gae_with_accurate_critic_has_zero_advantage() {
+        // If the critic already predicts the return, advantages vanish.
+        let values = vec![1.0, 1.0, 1.0];
+        let (adv, _) = gae_advantages(&values, 1.0, 1.0, 1.0);
+        for a in adv {
+            assert!(a.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gae_discounting_shrinks_early_advantages() {
+        let values = vec![0.0; 4];
+        let (adv, _) = gae_advantages(&values, 1.0, 0.9, 1.0);
+        assert!(adv[0] < adv[3]);
+        assert!((adv[3] - 1.0).abs() < 1e-12);
+        assert!((adv[0] - 0.9f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_empty_is_empty() {
+        let (a, t) = gae_advantages(&[], 1.0, 1.0, 1.0);
+        assert!(a.is_empty() && t.is_empty());
+    }
+
+    #[test]
+    fn ppo_learns_reason_tree() {
+        let env = ReasonEnv::new(6, 3, 5, 21);
+        let mut trainer = PpoTrainer::new(&env, PpoConfig::default());
+        let mut rng = SimRng::new(22);
+        for it in 0..250 {
+            let behavior = trainer.policy.clone();
+            let batch: Vec<_> = (0..96)
+                .map(|p| {
+                    let prompt_id = (it * 96 + p) as u64;
+                    let problem = env.problem_for_prompt(21, prompt_id);
+                    generate_episode(&env, &behavior, trainer.version(), prompt_id, problem, &mut rng)
+                })
+                .collect();
+            trainer.update(&batch);
+        }
+        let reward = evaluate(&env, &trainer.policy, 600, &mut rng);
+        assert!(reward > 0.5, "PPO with critic must learn: reward {reward}");
+    }
+
+    #[test]
+    fn critic_converges_to_success_rates() {
+        let env = ReasonEnv::new(4, 3, 3, 5);
+        let mut trainer = PpoTrainer::new(&env, PpoConfig::default());
+        let mut rng = SimRng::new(9);
+        for it in 0..150 {
+            let behavior = trainer.policy.clone();
+            let batch: Vec<_> = (0..64)
+                .map(|p| {
+                    let prompt_id = (it * 64 + p) as u64;
+                    let problem = env.problem_for_prompt(5, prompt_id);
+                    generate_episode(&env, &behavior, 0, prompt_id, problem, &mut rng)
+                })
+                .collect();
+            trainer.update(&batch);
+        }
+        // The critic's values are bounded success probabilities.
+        for s in 0..env.num_states() {
+            let v = trainer.critic.value(s);
+            assert!((-0.2..=1.2).contains(&v), "state {s} value {v}");
+        }
+    }
+
+    #[test]
+    fn empty_update_is_noop() {
+        let env = ReasonEnv::new(4, 3, 3, 5);
+        let mut trainer = PpoTrainer::new(&env, PpoConfig::default());
+        let stats = trainer.update(&[]);
+        assert_eq!(stats.trajectories, 0);
+        assert_eq!(trainer.version(), 0);
+    }
+}

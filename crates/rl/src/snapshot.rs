@@ -1,0 +1,101 @@
+//! Versioned policy snapshots.
+//!
+//! The systems under test dictate *which weight version generates which
+//! trajectory* (and, under partial rollout, which versions generate which
+//! spans of a single trajectory). The snapshot store keeps historical policy
+//! versions so the convergence experiments can generate behaviour data with
+//! exactly the version schedule each system produces.
+
+use crate::policy::TabularPolicy;
+use std::collections::BTreeMap;
+
+/// A bounded store of historical policy versions.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    versions: BTreeMap<u64, TabularPolicy>,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// Creates a store retaining the most recent `keep` versions.
+    pub fn new(keep: usize) -> Self {
+        assert!(keep >= 1, "must retain at least one version");
+        SnapshotStore { versions: BTreeMap::new(), keep }
+    }
+
+    /// Publishes a policy as `version`. Versions must increase.
+    pub fn publish(&mut self, version: u64, policy: TabularPolicy) {
+        if let Some((&last, _)) = self.versions.iter().next_back() {
+            assert!(version > last, "snapshot versions must increase");
+        }
+        self.versions.insert(version, policy);
+        while self.versions.len() > self.keep {
+            let oldest = *self.versions.keys().next().expect("non-empty");
+            self.versions.remove(&oldest);
+        }
+    }
+
+    /// The newest published version number.
+    pub fn latest_version(&self) -> Option<u64> {
+        self.versions.keys().next_back().copied()
+    }
+
+    /// The policy at exactly `version`, if still retained.
+    pub fn get(&self, version: u64) -> Option<&TabularPolicy> {
+        self.versions.get(&version)
+    }
+
+    /// The newest retained policy at or below `version` — what a rollout
+    /// holding slightly stale weights actually runs.
+    pub fn at_or_before(&self, version: u64) -> Option<(u64, &TabularPolicy)> {
+        self.versions.range(..=version).next_back().map(|(&v, p)| (v, p))
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when nothing was published yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    #[test]
+    fn retains_only_recent_versions() {
+        let mut s = SnapshotStore::new(3);
+        for v in 1..=5 {
+            s.publish(v, TabularPolicy::new(2, 2));
+        }
+        assert_eq!(s.len(), 3);
+        assert!(s.get(1).is_none());
+        assert!(s.get(3).is_some());
+        assert_eq!(s.latest_version(), Some(5));
+    }
+
+    #[test]
+    fn at_or_before_finds_floor() {
+        let mut s = SnapshotStore::new(10);
+        s.publish(2, TabularPolicy::new(1, 2));
+        s.publish(5, TabularPolicy::new(1, 3));
+        let (v, p) = s.at_or_before(4).expect("floor exists");
+        assert_eq!(v, 2);
+        assert_eq!(p.num_actions(), 2);
+        assert_eq!(s.at_or_before(1).map(|(v, _)| v), None);
+        assert_eq!(s.at_or_before(99).map(|(v, _)| v), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn non_monotonic_publish_panics() {
+        let mut s = SnapshotStore::new(2);
+        s.publish(3, TabularPolicy::new(1, 2));
+        s.publish(3, TabularPolicy::new(1, 2));
+    }
+}

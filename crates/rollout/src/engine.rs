@@ -1,0 +1,881 @@
+//! The rollout replica engine: continuous-batching generation in virtual
+//! time.
+//!
+//! The engine is a deterministic state machine embedded in a larger
+//! simulation world. All active sequences advance one token per decode step
+//! (lockstep continuous batching), with the step latency given by the
+//! roofline model at the current batch size and context total. Between
+//! internal events the decode rate is held constant and re-evaluated at
+//! every event plus a bounded step horizon, so rate drift from growing
+//! KVCache is tracked closely.
+//!
+//! Admission reserves a trajectory's final context length against KVCache
+//! capacity (the simulator knows final lengths, so reservation-based
+//! admission replaces vLLM's watermark-plus-preemption scheme with
+//! equivalent steady-state behaviour and no preemption churn). The
+//! *utilization* metric reported to the rollout manager is actual resident
+//! context, which reproduces the ramp-up / steady / ramp-down lifecycle of
+//! Figure 9.
+
+use crate::traj::{Phase, TrajState};
+use laminar_cluster::DecodeModel;
+use laminar_sim::{Time, TimeSeries, TimeWeighted};
+use laminar_workload::{Segment, TrajectorySpec};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Completion record handed to the enclosing world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedTraj {
+    /// The finished assignment.
+    pub spec: TrajectorySpec,
+    /// Weight versions used across generation, oldest first.
+    pub policy_versions: Vec<u64>,
+    /// When generation first started.
+    pub started_at: Time,
+    /// When the final token was produced.
+    pub finished_at: Time,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Maximum concurrent trajectories resident (1024 in the paper's
+    /// throughput runs, 256 in convergence runs).
+    pub max_concurrency: usize,
+    /// Decode steps between forced rate re-evaluations.
+    pub horizon_steps: f64,
+    /// Record the KVCache-utilization time series (Figure 9).
+    pub record_kv_series: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_concurrency: 1024, horizon_steps: 128.0, record_kv_series: false }
+    }
+}
+
+/// Tokens-remaining comparison tolerance. Event times are rounded to whole
+/// nanoseconds, so a segment's computed completion instant can under-shoot
+/// the exact token count by up to `1 ns / step_secs` tokens; 1e-3 tokens is
+/// comfortably above that for any realistic step latency.
+const EPS: f64 = 1e-3;
+
+enum Internal {
+    PrefillDone(u64),
+    EnvReturn(u64),
+    SegmentDone,
+    Recalc,
+}
+
+/// One rollout replica.
+#[derive(Debug)]
+pub struct ReplicaEngine {
+    /// Replica id within the system.
+    pub id: usize,
+    decode: DecodeModel,
+    cfg: EngineConfig,
+    kv_capacity: f64,
+    weight_version: u64,
+    active: BTreeMap<u64, TrajState>,
+    waiting: VecDeque<TrajState>,
+    reserved: f64,
+    last_update: Time,
+    step_secs: f64,
+    decoding_count: usize,
+    decoding_ctx_sum: f64,
+    resident_ctx_sum: f64,
+    /// Prefill is compute-bound and serializes on the replica: the next
+    /// prefill cannot start before this instant.
+    prefill_busy_until: Time,
+    completions: Vec<CompletedTraj>,
+    kv_series: TimeSeries,
+    busy: TimeWeighted,
+    kv_tw: TimeWeighted,
+    tokens_decoded: f64,
+    completed_count: u64,
+    epoch: u64,
+}
+
+impl ReplicaEngine {
+    /// Creates an idle replica.
+    pub fn new(id: usize, decode: DecodeModel, cfg: EngineConfig) -> Self {
+        let kv_capacity = decode.kvcache_capacity_tokens() as f64;
+        assert!(kv_capacity > 0.0, "model does not fit on this replica (no KVCache room)");
+        ReplicaEngine {
+            id,
+            decode,
+            cfg,
+            kv_capacity,
+            weight_version: 0,
+            active: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            reserved: 0.0,
+            prefill_busy_until: Time::ZERO,
+            last_update: Time::ZERO,
+            step_secs: 0.0,
+            decoding_count: 0,
+            decoding_ctx_sum: 0.0,
+            resident_ctx_sum: 0.0,
+            completions: Vec::new(),
+            kv_series: TimeSeries::new(),
+            busy: TimeWeighted::new(),
+            kv_tw: TimeWeighted::new(),
+            tokens_decoded: 0.0,
+            completed_count: 0,
+            epoch: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Weight version used for newly started trajectories.
+    pub fn weight_version(&self) -> u64 {
+        self.weight_version
+    }
+
+    /// Trajectories resident on the replica (all phases).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Trajectories admitted but not yet resident.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Total in-flight request count (`N_reqs` of Algorithm 1).
+    pub fn n_reqs(&self) -> usize {
+        self.active.len() + self.waiting.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Actual resident KVCache, tokens (`C_used` of Algorithm 1).
+    pub fn kv_used_tokens(&self) -> f64 {
+        self.resident_ctx_sum
+    }
+
+    /// KVCache reserved by admissions, tokens.
+    pub fn kv_reserved_tokens(&self) -> f64 {
+        self.reserved
+    }
+
+    /// KVCache capacity, tokens.
+    pub fn kv_capacity_tokens(&self) -> f64 {
+        self.kv_capacity
+    }
+
+    /// Actual KVCache utilization in `[0, 1]`.
+    pub fn kv_utilization(&self) -> f64 {
+        self.resident_ctx_sum / self.kv_capacity
+    }
+
+    /// The roofline batch bound `B` for this replica.
+    pub fn roofline_batch_limit(&self) -> usize {
+        self.decode.roofline_batch_limit()
+    }
+
+    /// Monotone state-change counter; wake events older than the epoch they
+    /// were scheduled under can be ignored by the world.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total whole tokens decoded so far.
+    pub fn tokens_decoded(&self) -> f64 {
+        self.tokens_decoded
+    }
+
+    /// Trajectories completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed_count
+    }
+
+    /// Reserves a prefill slot of `tokens` context starting no earlier than
+    /// `now`; returns when that prefill finishes. Prefill compute is
+    /// serialized per replica (it saturates the GPU), so concurrent
+    /// re-prefills — e.g. a partial-rollout interrupt rebuilding every
+    /// KVCache — queue up rather than overlapping for free.
+    fn reserve_prefill(&mut self, tokens: u64, now: Time) -> Time {
+        let start = now.max(self.prefill_busy_until);
+        let end = start + self.decode.prefill_time(tokens);
+        self.prefill_busy_until = end;
+        end
+    }
+
+    /// KVCache-utilization time series, when recording is enabled.
+    pub fn kv_series(&self) -> &TimeSeries {
+        &self.kv_series
+    }
+
+    /// Time-weighted mean of the decoding batch size so far.
+    pub fn mean_decode_batch(&self) -> f64 {
+        self.busy.mean()
+    }
+
+    /// Time-weighted mean KVCache utilization so far.
+    pub fn mean_kv_utilization(&self) -> f64 {
+        self.kv_tw.mean()
+    }
+
+    /// Drains accumulated completion records.
+    pub fn take_completions(&mut self) -> Vec<CompletedTraj> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Progress snapshot of every resident trajectory:
+    /// `(id, whole tokens decoded, current segment)`. Streamed to the
+    /// partial response pool by the rollout manager.
+    pub fn in_progress_summary(&self) -> Vec<(u64, u64, usize)> {
+        self.active
+            .values()
+            .map(|st| (st.spec.id, st.total_decoded.floor() as u64, st.segment))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Submits a fresh trajectory; it starts under the replica's current
+    /// weight version once admitted.
+    pub fn submit(&mut self, spec: TrajectorySpec, now: Time) {
+        self.advance_to(now);
+        let st = TrajState::new(spec, self.weight_version, now);
+        self.waiting.push_back(st);
+        self.try_admit(now);
+        self.after_change(now);
+    }
+
+    /// Sets the weight version for trajectories submitted from now on.
+    /// In Laminar this is called only when the replica is between batches
+    /// (or just released by a repack), so in-flight work keeps a single
+    /// consistent version.
+    pub fn set_weight_version(&mut self, version: u64, now: Time) {
+        self.advance_to(now);
+        self.weight_version = version;
+        // Trajectories that have not generated any token yet can adopt the
+        // new version for free.
+        for st in self.waiting.iter_mut() {
+            if st.total_decoded == 0.0 {
+                st.policy_versions = vec![version];
+            }
+        }
+        self.after_change(now);
+    }
+
+    /// Blocks the replica's prefill pipeline until `until` — models the
+    /// GPU-direct weight-synchronization window during which rollout
+    /// compute is stalled by the collective (§2.4 challenge 1). Combined
+    /// with [`Self::interrupt_with_weights`] this makes an interrupt-all
+    /// update pay sync + serialized KVCache rebuild, as partial-rollout
+    /// systems do.
+    pub fn stall_prefill_queue(&mut self, until: Time) {
+        self.prefill_busy_until = self.prefill_busy_until.max(until);
+    }
+
+    /// Partial-rollout style interruption (§2.3, Figure 3(d)): every
+    /// in-flight trajectory adopts `version` mid-generation, paying a
+    /// KVCache rebuild (re-prefill of its full current context) before its
+    /// next decode step. Mixed-version contamination is recorded in
+    /// `policy_versions`.
+    pub fn interrupt_with_weights(&mut self, version: u64, now: Time) {
+        self.advance_to(now);
+        self.weight_version = version;
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            let (phase, ctx, had_tokens) = {
+                let st = self.active.get_mut(&id).expect("id from keys");
+                if st.total_decoded > 0.0 {
+                    st.push_version(version);
+                } else {
+                    st.policy_versions = vec![version];
+                }
+                (st.phase, st.context_tokens(), st.total_decoded > 0.0)
+            };
+            match phase {
+                Phase::Decoding => {
+                    if had_tokens {
+                        self.exit_decoding(id);
+                        let until = self.reserve_prefill(ctx.round() as u64, now);
+                        self.active.get_mut(&id).expect("resident").phase =
+                            Phase::Prefill { until };
+                    }
+                }
+                Phase::Prefill { .. } => {}
+                Phase::Env { .. } => {
+                    self.active.get_mut(&id).expect("resident").needs_reprefill = true;
+                }
+            }
+        }
+        for st in self.waiting.iter_mut() {
+            if st.total_decoded == 0.0 {
+                st.policy_versions = vec![version];
+            } else {
+                st.push_version(version);
+            }
+        }
+        self.after_change(now);
+    }
+
+    /// Removes every in-flight trajectory (repack source release, or machine
+    /// failure drain). Progress is preserved in the returned states.
+    pub fn drain_in_progress(&mut self, now: Time) -> Vec<TrajState> {
+        self.advance_to(now);
+        let mut out: Vec<TrajState> = Vec::with_capacity(self.n_reqs());
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            self.remove_active(id, &mut out);
+        }
+        out.extend(self.waiting.drain(..));
+        debug_assert!(self.active.is_empty());
+        self.after_change(now);
+        out
+    }
+
+    /// Receives in-progress trajectories from a repack move. They re-enter
+    /// the admission queue; trajectories with generated tokens pay a
+    /// re-prefill of their current context on admission (the repack
+    /// overhead measured in Table 1).
+    pub fn inject(&mut self, states: Vec<TrajState>, now: Time) {
+        self.advance_to(now);
+        for mut st in states {
+            if st.total_decoded > 0.0 {
+                st.needs_reprefill = true;
+            }
+            self.waiting.push_back(st);
+        }
+        self.try_admit(now);
+        self.after_change(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Time advancement
+    // ------------------------------------------------------------------
+
+    /// The next instant at which the replica's state changes on its own,
+    /// if any. The world schedules a wake event here.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.next_internal().map(|(t, _)| t)
+    }
+
+    /// Advances the replica's state to `now`, applying every internal
+    /// transition (prefill completions, env returns, segment completions,
+    /// rate re-evaluations) in order.
+    pub fn advance_to(&mut self, now: Time) {
+        let mut guard = 0u64;
+        while let Some((t, kind)) = self.next_internal() {
+            if t > now {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 50_000_000, "replica engine event storm — model bug");
+            self.apply_progress(t);
+            match kind {
+                Internal::PrefillDone(id) => {
+                    if let Some(st) = self.active.get_mut(&id) {
+                        st.phase = Phase::Decoding;
+                        let ctx = st.context_tokens();
+                        self.decoding_count += 1;
+                        self.decoding_ctx_sum += ctx;
+                    }
+                }
+                Internal::EnvReturn(id) => self.env_return(id, t),
+                Internal::SegmentDone => self.finish_ready_segments(t),
+                Internal::Recalc => {}
+            }
+            self.try_admit(t);
+            self.recalc_rate();
+            self.record(t);
+        }
+        self.apply_progress(now);
+    }
+
+    fn next_internal(&self) -> Option<(Time, Internal)> {
+        let mut best: Option<(Time, Internal)> = None;
+        let mut consider = |t: Time, k: Internal| {
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, k));
+            }
+        };
+        for (&id, st) in &self.active {
+            match st.phase {
+                Phase::Prefill { until } => consider(until, Internal::PrefillDone(id)),
+                Phase::Env { until } => consider(until, Internal::EnvReturn(id)),
+                Phase::Decoding => {}
+            }
+        }
+        if self.decoding_count > 0 && self.step_secs > 0.0 {
+            let min_rem = self
+                .active
+                .values()
+                .filter(|s| s.phase == Phase::Decoding)
+                .map(|s| s.remaining_in_segment())
+                .fold(f64::INFINITY, f64::min);
+            if min_rem.is_finite() {
+                let t_done = self.offset(min_rem.max(0.0));
+                consider(t_done, Internal::SegmentDone);
+                let t_recalc = self.offset(self.cfg.horizon_steps);
+                consider(t_recalc, Internal::Recalc);
+            }
+        }
+        best
+    }
+
+    /// Decoding is paused while the prefill pipeline is busy
+    /// (prefill-prioritized scheduling, the vLLM default): decode steps
+    /// resume only once queued prefills drain.
+    fn decode_resume_at(&self) -> Time {
+        self.last_update.max(self.prefill_busy_until)
+    }
+
+    fn offset(&self, steps: f64) -> Time {
+        Time::from_secs_f64(self.decode_resume_at().as_secs_f64() + steps * self.step_secs)
+    }
+
+    /// Advances decode progress of every decoding trajectory to `t` at the
+    /// current rate.
+    fn apply_progress(&mut self, t: Time) {
+        if t <= self.last_update {
+            return;
+        }
+        if self.decoding_count > 0 && self.step_secs > 0.0 {
+            // Progress only accrues once the prefill pipeline is clear.
+            let start = self.decode_resume_at().min(t);
+            let steps = t.since(start).as_secs_f64() / self.step_secs;
+            for st in self.active.values_mut() {
+                if st.phase == Phase::Decoding {
+                    st.decoded_in_segment += steps;
+                    st.total_decoded += steps;
+                }
+            }
+            let grown = self.decoding_count as f64 * steps;
+            self.decoding_ctx_sum += grown;
+            self.resident_ctx_sum += grown;
+            self.tokens_decoded += grown;
+        }
+        self.last_update = t;
+    }
+
+    /// Completes every decoding trajectory whose current segment has no
+    /// tokens left.
+    fn finish_ready_segments(&mut self, t: Time) {
+        let ready: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Decoding && s.remaining_in_segment() <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ready {
+            self.exit_decoding(id);
+            let st = self.active.get_mut(&id).expect("resident");
+            // Leave the Decoding phase immediately so the counter adjustment
+            // above is not repeated by a later `remove_active`/`exit_decoding`
+            // on the same trajectory; the placeholder is overwritten below.
+            st.phase = Phase::Env { until: t };
+            // Snap fractional progress to the exact segment length. A
+            // trajectory whose segment list is already exhausted (possible
+            // after a mid-env move of an env-terminated spec) has nothing
+            // left to snap.
+            let seg_tokens =
+                st.current_decode_tokens().map(|t| t as f64).unwrap_or(st.decoded_in_segment);
+            let slack = seg_tokens - st.decoded_in_segment;
+            st.total_decoded += slack;
+            self.resident_ctx_sum += slack;
+            st.decoded_in_segment = 0.0;
+            st.segment += 1;
+            if st.segment >= st.spec.segments.len() {
+                let mut sink = Vec::with_capacity(1);
+                self.remove_active(id, &mut sink);
+                let st = sink.pop().expect("just removed");
+                self.completions.push(CompletedTraj {
+                    spec: st.spec,
+                    policy_versions: st.policy_versions,
+                    started_at: st.started_at,
+                    finished_at: t,
+                });
+                self.completed_count += 1;
+            } else {
+                match st.spec.segments[st.segment] {
+                    Segment::Env { latency } => st.phase = Phase::Env { until: t + latency },
+                    Segment::Decode { .. } => {
+                        // Specs alternate decode/env, but tolerate
+                        // consecutive decodes by continuing directly.
+                        st.phase = Phase::Decoding;
+                        let ctx = st.context_tokens();
+                        self.decoding_count += 1;
+                        self.decoding_ctx_sum += ctx;
+                    }
+                }
+            }
+        }
+    }
+
+    fn env_return(&mut self, id: u64, t: Time) {
+        let Some(st) = self.active.get_mut(&id) else { return };
+        st.segment += 1;
+        st.decoded_in_segment = 0.0;
+        if st.segment >= st.spec.segments.len() {
+            // Env call was the last segment (not produced by our generators,
+            // but handle it): complete.
+            let mut sink = Vec::with_capacity(1);
+            self.remove_active(id, &mut sink);
+            let st = sink.pop().expect("just removed");
+            self.completions.push(CompletedTraj {
+                spec: st.spec,
+                policy_versions: st.policy_versions,
+                started_at: st.started_at,
+                finished_at: t,
+            });
+            self.completed_count += 1;
+            return;
+        }
+        if st.needs_reprefill {
+            st.needs_reprefill = false;
+            let tokens = st.context_tokens().round() as u64;
+            let until = self.reserve_prefill(tokens, t);
+            let st = self.active.get_mut(&id).expect("resident");
+            st.phase = Phase::Prefill { until };
+        } else {
+            st.phase = Phase::Decoding;
+            let ctx = st.context_tokens();
+            self.decoding_count += 1;
+            self.decoding_ctx_sum += ctx;
+        }
+    }
+
+    /// Removes `id` from the active set, returning its state through `out`
+    /// and releasing its reservation.
+    fn remove_active(&mut self, id: u64, out: &mut Vec<TrajState>) {
+        if let Some(st) = self.active.get(&id) {
+            if st.phase == Phase::Decoding {
+                self.exit_decoding(id);
+            }
+        }
+        if let Some(st) = self.active.remove(&id) {
+            self.reserved -= st.spec.final_context() as f64;
+            self.resident_ctx_sum -= st.context_tokens();
+            if self.active.is_empty() {
+                // Kill accumulated float error at quiesce points.
+                self.reserved = 0.0;
+                self.resident_ctx_sum = 0.0;
+                self.decoding_ctx_sum = 0.0;
+            }
+            out.push(st);
+        }
+    }
+
+    fn exit_decoding(&mut self, id: u64) {
+        if let Some(st) = self.active.get(&id) {
+            if st.phase == Phase::Decoding {
+                self.decoding_count -= 1;
+                self.decoding_ctx_sum -= st.context_tokens();
+            }
+        }
+    }
+
+    fn try_admit(&mut self, now: Time) {
+        while let Some(front) = self.waiting.front() {
+            let need = front.spec.final_context() as f64;
+            let fits = self.active.len() < self.cfg.max_concurrency
+                && self.reserved + need <= self.kv_capacity;
+            if !fits {
+                break;
+            }
+            let mut st = self.waiting.pop_front().expect("front exists");
+            self.reserved += need;
+            self.resident_ctx_sum += st.context_tokens();
+            let keep_env = matches!(st.phase, Phase::Env { until } if until > now);
+            if !keep_env {
+                // If the trajectory was moved while in an environment call
+                // that has since returned, resume at the next segment.
+                if matches!(st.spec.segments.get(st.segment), Some(Segment::Env { .. })) {
+                    st.segment += 1;
+                    st.decoded_in_segment = 0.0;
+                }
+                let until = self.reserve_prefill(st.context_tokens().round() as u64, now);
+                st.phase = Phase::Prefill { until };
+            }
+            let id = st.spec.id;
+            let prev = self.active.insert(id, st);
+            assert!(prev.is_none(), "duplicate trajectory id {id} on replica");
+        }
+    }
+
+    fn recalc_rate(&mut self) {
+        self.step_secs = if self.decoding_count > 0 {
+            self.decode.step_secs(self.decoding_count, self.decoding_ctx_sum)
+        } else {
+            0.0
+        };
+    }
+
+    fn record(&mut self, t: Time) {
+        self.busy.record(t, self.decoding_count as f64);
+        self.kv_tw.record(t, self.kv_utilization());
+        if self.cfg.record_kv_series {
+            self.kv_series.push(t, self.kv_utilization());
+        }
+    }
+
+    fn after_change(&mut self, now: Time) {
+        self.epoch += 1;
+        self.recalc_rate();
+        self.record(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_cluster::{GpuSpec, ModelSpec};
+    use laminar_sim::Duration;
+
+    fn decode_model() -> DecodeModel {
+        DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1)
+    }
+
+    fn spec(id: u64, prompt: u64, tokens: u64) -> TrajectorySpec {
+        TrajectorySpec {
+            id,
+            prompt_id: id,
+            group_index: 0,
+            prompt_tokens: prompt,
+            segments: vec![Segment::Decode { tokens }],
+        }
+    }
+
+    fn spec_env(id: u64, prompt: u64, t1: u64, env_secs: u64, t2: u64) -> TrajectorySpec {
+        TrajectorySpec {
+            id,
+            prompt_id: id,
+            group_index: 0,
+            prompt_tokens: prompt,
+            segments: vec![
+                Segment::Decode { tokens: t1 },
+                Segment::Env { latency: Duration::from_secs(env_secs) },
+                Segment::Decode { tokens: t2 },
+            ],
+        }
+    }
+
+    fn run_to_idle(e: &mut ReplicaEngine) -> Time {
+        let mut now = Time::ZERO;
+        let mut guard = 0;
+        while let Some(t) = e.next_event_time() {
+            e.advance_to(t);
+            now = t;
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+        assert!(e.is_idle());
+        now
+    }
+
+    #[test]
+    fn single_trajectory_completion_time_brackets() {
+        let dm = decode_model();
+        let mut e = ReplicaEngine::new(0, dm.clone(), EngineConfig::default());
+        e.submit(spec(1, 1000, 2000), Time::ZERO);
+        run_to_idle(&mut e);
+        let done = e.take_completions();
+        assert_eq!(done.len(), 1);
+        let t = done[0].finished_at.as_secs_f64();
+        let lo = dm.prefill_secs(1000) + 2000.0 * dm.step_secs(1, 1000.0);
+        let hi = dm.prefill_secs(1000) + 2000.0 * dm.step_secs(1, 3000.0);
+        assert!(t >= lo * 0.99 && t <= hi * 1.01, "t={t} lo={lo} hi={hi}");
+        assert_eq!(done[0].policy_versions, vec![0]);
+    }
+
+    #[test]
+    fn completions_in_length_order_and_batched() {
+        let mut e = ReplicaEngine::new(0, decode_model(), EngineConfig::default());
+        e.submit(spec(1, 500, 4000), Time::ZERO);
+        e.submit(spec(2, 500, 1000), Time::ZERO);
+        e.submit(spec(3, 500, 2500), Time::ZERO);
+        run_to_idle(&mut e);
+        let done = e.take_completions();
+        let order: Vec<u64> = done.iter().map(|c| c.spec.id).collect();
+        assert_eq!(order, vec![2, 3, 1], "shorter trajectories finish first");
+        // Memory-bound batching: 3 concurrent trajectories take barely
+        // longer than the longest alone.
+        let t3 = done.last().expect("three done").finished_at.as_secs_f64();
+        let mut solo = ReplicaEngine::new(1, decode_model(), EngineConfig::default());
+        solo.submit(spec(9, 500, 4000), Time::ZERO);
+        run_to_idle(&mut solo);
+        let t1 = solo.take_completions()[0].finished_at.as_secs_f64();
+        assert!(t3 < t1 * 1.25, "t3={t3} t1={t1}");
+    }
+
+    #[test]
+    fn kv_capacity_blocks_admission() {
+        let dm = decode_model();
+        let cap = dm.kvcache_capacity_tokens();
+        let big = cap * 2 / 3;
+        let mut e = ReplicaEngine::new(0, dm, EngineConfig::default());
+        e.submit(spec(1, 100, big - 100), Time::ZERO);
+        e.submit(spec(2, 100, big - 100), Time::ZERO);
+        assert_eq!(e.active_count(), 1);
+        assert_eq!(e.waiting_count(), 1);
+        run_to_idle(&mut e);
+        assert_eq!(e.take_completions().len(), 2);
+    }
+
+    #[test]
+    fn max_concurrency_respected() {
+        let mut cfg = EngineConfig::default();
+        cfg.max_concurrency = 2;
+        let mut e = ReplicaEngine::new(0, decode_model(), cfg);
+        for i in 0..5 {
+            e.submit(spec(i, 100, 500), Time::ZERO);
+        }
+        assert_eq!(e.active_count(), 2);
+        assert_eq!(e.n_reqs(), 5);
+        run_to_idle(&mut e);
+        assert_eq!(e.take_completions().len(), 5);
+    }
+
+    #[test]
+    fn env_call_adds_latency_and_preserves_cache() {
+        let dm = decode_model();
+        let mut e = ReplicaEngine::new(0, dm.clone(), EngineConfig::default());
+        e.submit(spec_env(1, 500, 1000, 30, 1000), Time::ZERO);
+        run_to_idle(&mut e);
+        let done = e.take_completions();
+        let t = done[0].finished_at.as_secs_f64();
+        assert!(t > 30.0, "env latency must be on the critical path: {t}");
+        // Roughly: prefill + 2000 decode steps + 30s env.
+        let decode_upper = 2000.0 * dm.step_secs(1, 2500.0);
+        assert!(t < 30.0 + dm.prefill_secs(500) + decode_upper * 1.1 + 1.0, "t={t}");
+    }
+
+    #[test]
+    fn interrupt_records_mixed_versions_and_reprefills() {
+        let mut e = ReplicaEngine::new(0, decode_model(), EngineConfig::default());
+        e.submit(spec(1, 1000, 8000), Time::ZERO);
+        // Let it decode for a while.
+        e.advance_to(Time::from_secs(30));
+        assert!(e.tokens_decoded() > 100.0);
+        e.interrupt_with_weights(5, Time::from_secs(30));
+        run_to_idle(&mut e);
+        let done = e.take_completions();
+        assert_eq!(done[0].policy_versions, vec![0, 5]);
+    }
+
+    #[test]
+    fn drain_and_inject_preserve_progress() {
+        let dm = decode_model();
+        let mut src = ReplicaEngine::new(0, dm.clone(), EngineConfig::default());
+        src.submit(spec(1, 1000, 6000), Time::ZERO);
+        src.advance_to(Time::from_secs(20));
+        let before = src.tokens_decoded();
+        assert!(before > 0.0);
+        let moved = src.drain_in_progress(Time::from_secs(20));
+        assert_eq!(moved.len(), 1);
+        assert!(src.is_idle());
+        assert!((moved[0].total_decoded - before).abs() < 1.0);
+
+        let mut dst = ReplicaEngine::new(1, dm, EngineConfig::default());
+        dst.inject(moved, Time::from_secs(20));
+        run_to_idle(&mut dst);
+        let done = dst.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].spec.decode_tokens(), 6000);
+        assert_eq!(done[0].started_at, Time::ZERO, "start time survives the move");
+    }
+
+    #[test]
+    fn kv_utilization_lifecycle_ramps_up_then_down() {
+        // Figure 9: utilization ramps to a peak, holds while waiting
+        // trajectories backfill, then falls in the long-tail phase.
+        let dm = decode_model();
+        let cap = dm.kvcache_capacity_tokens();
+        let mut cfg = EngineConfig::default();
+        cfg.record_kv_series = true;
+        let mut e = ReplicaEngine::new(0, dm, cfg);
+        // 40 trajectories of ~1/16 capacity each: ~2.5 waves.
+        for i in 0..40 {
+            let tokens = cap / 16 + (i * 97) % 400;
+            e.submit(spec(i, 200, tokens.max(1000)), Time::ZERO);
+        }
+        run_to_idle(&mut e);
+        let peak = e
+            .kv_series()
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.8, "peak utilization {peak}");
+        let last = e.kv_series().points().last().expect("series recorded").1;
+        assert!(last < 0.2, "must ramp down at the tail, got {last}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut e = ReplicaEngine::new(0, decode_model(), EngineConfig::default());
+            for i in 0..20 {
+                e.submit(spec(i, 300 + i * 13, 1000 + (i * 331) % 4000), Time::ZERO);
+            }
+            run_to_idle(&mut e);
+            e.take_completions()
+                .iter()
+                .map(|c| (c.spec.id, c.finished_at.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn set_weight_version_applies_to_new_work() {
+        let mut e = ReplicaEngine::new(0, decode_model(), EngineConfig::default());
+        e.set_weight_version(7, Time::ZERO);
+        e.submit(spec(1, 100, 500), Time::ZERO);
+        run_to_idle(&mut e);
+        assert_eq!(e.take_completions()[0].policy_versions, vec![7]);
+        assert_eq!(e.weight_version(), 7);
+    }
+
+    #[test]
+    fn mid_env_move_with_expired_call_resumes_next_segment() {
+        // A multi-turn trajectory is drained during its env call; the call
+        // returns while the state is in transit; the destination must resume
+        // at the segment *after* the env call.
+        let dm = decode_model();
+        let mut src = ReplicaEngine::new(0, dm.clone(), EngineConfig::default());
+        // 500 decode tokens take ~3s; the env call then lasts 10s.
+        src.submit(spec_env(1, 400, 500, 10, 700), Time::ZERO);
+        src.advance_to(Time::from_secs(5));
+        let moved = src.drain_in_progress(Time::from_secs(5));
+        assert_eq!(moved.len(), 1);
+        assert!(
+            matches!(moved[0].phase, Phase::Env { .. }),
+            "expected to drain mid-env, got {:?}",
+            moved[0].phase
+        );
+        // Inject long after the env call returned.
+        let mut dst = ReplicaEngine::new(1, dm, EngineConfig::default());
+        dst.inject(moved, Time::from_secs(60));
+        run_to_idle(&mut dst);
+        let done = dst.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].spec.decode_tokens(), 1200);
+    }
+
+    #[test]
+    fn mean_decode_batch_tracks_occupancy() {
+        let mut e = ReplicaEngine::new(0, decode_model(), EngineConfig::default());
+        for i in 0..8 {
+            e.submit(spec(i, 200, 3000), Time::ZERO);
+        }
+        run_to_idle(&mut e);
+        let mean = e.mean_decode_batch();
+        assert!(mean > 4.0 && mean <= 8.0, "mean batch {mean}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded random-number utilities.
+//!
+//! All stochastic model inputs flow through [`SimRng`] so that experiments
+//! are reproducible from a single `u64` seed, and so that independent
+//! components can derive decorrelated streams from a shared root seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random stream.
+///
+/// Thin wrapper over `rand`'s [`StdRng`] exposing exactly the operations the
+/// simulator needs; keeping the surface small isolates the codebase from
+/// upstream API churn.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a root seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives a decorrelated child stream for a named component.
+    ///
+    /// The mixing uses SplitMix64 over `seed ^ hash(label, index)` so that
+    /// streams for distinct `(label, index)` pairs are independent even when
+    /// root seeds are small consecutive integers.
+    pub fn derive(seed: u64, label: &str, index: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::new(splitmix64(seed ^ h))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform usize index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples an index proportionally to non-negative `weights`. Returns
+    /// `None` when all weights are zero or the slice is empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                x -= w;
+                if x <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = SimRng::derive(1, "rollout", 0);
+        let mut b = SimRng::derive(1, "rollout", 1);
+        let mut c = SimRng::derive(1, "trainer", 0);
+        let (x, y, z) = (a.f64(), b.f64(), c.f64());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        assert_ne!(y, z);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::new(5);
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[r.weighted_index(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_empty_and_zero() {
+        let mut r = SimRng::new(5);
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,291 @@
+//! Virtual time and duration types.
+//!
+//! Both types wrap integer nanoseconds. Floating-point seconds appear only at
+//! the edges (converting model latencies in and reporting results out); all
+//! scheduling arithmetic is integral so event order never depends on
+//! floating-point rounding.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The origin of virtual time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; useful as an "unscheduled" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds an instant from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Builds an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Builds an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Builds an instant from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Time {
+        Time(secs_to_nanos(s))
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Builds a span from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// Builds a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        Duration(secs_to_nanos(s))
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True when the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the span by a non-negative factor, rounding to the nearest
+    /// nanosecond.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+fn secs_to_nanos(s: f64) -> u64 {
+    if s.is_nan() || s <= 0.0 {
+        return 0;
+    }
+    let ns = s * 1e9;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.round() as u64
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}us", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(Time::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Time::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Duration::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn float_conversion_clamps() {
+        assert_eq!(Time::from_secs_f64(-1.0), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::MAX);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = Time::from_secs(10);
+        let d = Duration::from_secs(4);
+        assert_eq!(t + d, Time::from_secs(14));
+        assert_eq!(t - d, Time::from_secs(6));
+        assert_eq!(t - Time::from_secs(3), Duration::from_secs(7));
+        // Saturation instead of underflow.
+        assert_eq!(Time::from_secs(1) - Duration::from_secs(5), Time::ZERO);
+        assert_eq!(Time::from_secs(1).since(Time::from_secs(9)), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_secs(2);
+        assert_eq!(d * 3, Duration::from_secs(6));
+        assert_eq!(d / 2, Duration::from_secs(1));
+        assert_eq!(d.mul_f64(0.5), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(format!("{}", Duration::from_millis(250)), "250.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(3)), "3.000s");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.000us");
+    }
+}

@@ -1,0 +1,80 @@
+//! Environment (code sandbox) latency model (Figure 2 right).
+//!
+//! Multi-turn agentic tasks interleave decoding with external environment
+//! calls — code sandboxes, tool services — whose latency is highly variable
+//! due to request queuing and task complexity (§2.2). The model is a
+//! log-normal body (typical executions of a second or two) mixed with a
+//! Pareto tail (queueing spikes and long-running programs).
+
+use crate::dist::Dist;
+use laminar_sim::{Duration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Sandbox latency model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SandboxModel {
+    /// Latency distribution, seconds.
+    pub latency: Dist,
+}
+
+impl SandboxModel {
+    /// The paper-shaped sandbox: median ≈ 1.5 s with a heavy queueing tail
+    /// reaching tens of seconds at the 99th percentile, capped at 5 min
+    /// (sandbox execution timeout).
+    pub fn paper_sandbox() -> Self {
+        SandboxModel {
+            latency: Dist::Mixture {
+                components: vec![
+                    (0.85, Dist::lognormal_median_p99(1.5, 8.0)),
+                    (0.15, Dist::Pareto { scale: 4.0, shape: 1.3 }),
+                ],
+            }
+            .clamped(0.05, 300.0),
+        }
+    }
+
+    /// A fast, low-variance environment for unit tests.
+    pub fn fast_test_sandbox() -> Self {
+        SandboxModel { latency: Dist::Constant { value: 0.1 } }
+    }
+
+    /// Samples one call latency in seconds.
+    pub fn sample_secs(&self, rng: &mut SimRng) -> f64 {
+        self.latency.sample(rng)
+    }
+
+    /// Samples one call latency as a virtual duration.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        Duration::from_secs_f64(self.sample_secs(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_sim::Histogram;
+
+    #[test]
+    fn sandbox_latency_is_skewed() {
+        let s = SandboxModel::paper_sandbox();
+        let mut rng = SimRng::new(17);
+        let mut h = Histogram::new();
+        for _ in 0..40_000 {
+            h.add(s.sample_secs(&mut rng));
+        }
+        let med = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(med > 0.5 && med < 4.0, "median {med}");
+        assert!(p99 / med > 5.0, "tail too light: p99/med = {}", p99 / med);
+        assert!(h.max() <= 300.0);
+        assert!(h.min() >= 0.05);
+    }
+
+    #[test]
+    fn fast_sandbox_is_deterministic() {
+        let s = SandboxModel::fast_test_sandbox();
+        let mut rng = SimRng::new(1);
+        assert_eq!(s.sample_secs(&mut rng), 0.1);
+        assert_eq!(s.sample(&mut rng), Duration::from_millis(100));
+    }
+}

@@ -1,0 +1,198 @@
+//! Response-length models per model checkpoint (Figure 2 left, Figure 17).
+//!
+//! The paper trains from intermediate RL checkpoints of Qwen2.5-Math-7B,
+//! Qwen2.5-32B and Qwen2.5-Math-72B on DAPO-Math-17k with a 2K-token input
+//! cap and 16K-token output cap, and reports that trajectory lengths are
+//! highly heterogeneous — the 99th percentile reaching ~10× the median —
+//! and that lengths *evolve* over training (§2.3). The models here encode
+//! those shapes.
+
+use crate::dist::Dist;
+use serde::{Deserialize, Serialize};
+
+/// Which model checkpoint's output distribution to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Checkpoint {
+    /// Qwen2.5-Math-7B mid-RL checkpoint (math reasoning).
+    Math7B,
+    /// Qwen2.5-32B mid-RL checkpoint (math reasoning).
+    Math32B,
+    /// Qwen2.5-Math-72B mid-RL checkpoint (math reasoning).
+    Math72B,
+    /// 7B ReTool-style checkpoint (multi-turn tool calling).
+    Tool7B,
+}
+
+/// Trajectory length model: prompt and response token distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LengthModel {
+    /// Prompt (input) length distribution, tokens.
+    pub prompt: Dist,
+    /// Response (output) length distribution, tokens.
+    pub response: Dist,
+    /// Hard cap on output tokens (16K in the paper's setting).
+    pub max_response: u64,
+    /// Hard cap on input tokens (2K in the paper's setting).
+    pub max_prompt: u64,
+}
+
+impl LengthModel {
+    /// Length model for a checkpoint.
+    ///
+    /// Larger models at these checkpoints produce longer reasoning chains;
+    /// all share the p99 ≈ 10× median skew the paper reports. Responses are
+    /// clamped to the 16K cap, which produces the truncation spike visible
+    /// in Figure 17.
+    pub fn for_checkpoint(ckpt: Checkpoint) -> Self {
+        let (median, skew) = match ckpt {
+            Checkpoint::Math7B => (2800.0, 10.0),
+            Checkpoint::Math32B => (3600.0, 9.0),
+            Checkpoint::Math72B => (4200.0, 8.0),
+            // Per-turn responses are shorter in tool-calling; the multi-turn
+            // structure supplies the rest of the length.
+            Checkpoint::Tool7B => (900.0, 8.0),
+        };
+        LengthModel {
+            prompt: Dist::Uniform { lo: 256.0, hi: 2048.0 },
+            response: Dist::lognormal_median_p99(median, skew).clamped(16.0, 16_384.0),
+            max_response: 16_384,
+            max_prompt: 2_048,
+        }
+    }
+
+    /// Samples a prompt length in tokens.
+    pub fn sample_prompt(&self, rng: &mut laminar_sim::SimRng) -> u64 {
+        (self.prompt.sample(rng).round() as u64).clamp(1, self.max_prompt)
+    }
+
+    /// Samples a response length in tokens.
+    pub fn sample_response(&self, rng: &mut laminar_sim::SimRng) -> u64 {
+        (self.response.sample(rng).round() as u64).clamp(1, self.max_response)
+    }
+
+    /// Rescales the response distribution by `factor`, modelling length
+    /// evolution across training (§2.3: lengths can increase, decrease, or
+    /// fluctuate as the model learns).
+    pub fn evolved(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        out.response = self
+            .response
+            .clone()
+            .scaled(factor.max(0.01))
+            .clamped(16.0, self.max_response as f64);
+        out
+    }
+}
+
+/// Length-evolution schedule: multiplicative factor on the median response
+/// length as a function of training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthEvolution {
+    /// Lengths stay put.
+    Static,
+    /// Lengths grow as the model learns to reason longer (DeepSeek-R1-style),
+    /// saturating at `ceiling`.
+    Growing {
+        /// Growth per iteration (e.g. 0.01 = +1%/iteration).
+        rate: f64,
+        /// Maximum multiplicative factor.
+        ceiling: f64,
+    },
+    /// Lengths shrink as the model becomes more token-efficient.
+    Shrinking {
+        /// Decay per iteration.
+        rate: f64,
+        /// Minimum multiplicative factor.
+        floor: f64,
+    },
+}
+
+impl LengthEvolution {
+    /// Multiplicative factor at `iteration`.
+    pub fn factor(&self, iteration: u64) -> f64 {
+        match *self {
+            LengthEvolution::Static => 1.0,
+            LengthEvolution::Growing { rate, ceiling } => {
+                ((1.0 + rate).powi(iteration as i32)).min(ceiling)
+            }
+            LengthEvolution::Shrinking { rate, floor } => {
+                ((1.0 - rate).powi(iteration as i32)).max(floor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_sim::{Histogram, SimRng};
+
+    #[test]
+    fn math7b_has_tenfold_skew() {
+        let m = LengthModel::for_checkpoint(Checkpoint::Math7B);
+        let mut rng = SimRng::new(1);
+        let mut h = Histogram::new();
+        for _ in 0..40_000 {
+            h.add(m.sample_response(&mut rng) as f64);
+        }
+        let med = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        // p99/median ≈ 10, moderated slightly by the 16K cap.
+        assert!(p99 / med > 5.0, "skew too small: {}", p99 / med);
+        assert!(h.max() <= 16_384.0);
+    }
+
+    #[test]
+    fn prompts_respect_cap() {
+        let m = LengthModel::for_checkpoint(Checkpoint::Math32B);
+        let mut rng = SimRng::new(2);
+        for _ in 0..2000 {
+            let p = m.sample_prompt(&mut rng);
+            assert!(p >= 1 && p <= 2048);
+        }
+    }
+
+    #[test]
+    fn checkpoints_order_by_median() {
+        let mut rng = SimRng::new(3);
+        let mut med = |c: Checkpoint| {
+            let m = LengthModel::for_checkpoint(c);
+            let mut h = Histogram::new();
+            for _ in 0..20_000 {
+                h.add(m.sample_response(&mut rng) as f64);
+            }
+            h.percentile(50.0)
+        };
+        let m7 = med(Checkpoint::Math7B);
+        let m32 = med(Checkpoint::Math32B);
+        let m72 = med(Checkpoint::Math72B);
+        assert!(m7 < m32 && m32 < m72, "{m7} {m32} {m72}");
+    }
+
+    #[test]
+    fn evolution_schedules() {
+        let g = LengthEvolution::Growing { rate: 0.05, ceiling: 2.0 };
+        assert_eq!(g.factor(0), 1.0);
+        assert!(g.factor(10) > 1.5);
+        assert_eq!(g.factor(1000), 2.0);
+        let s = LengthEvolution::Shrinking { rate: 0.05, floor: 0.5 };
+        assert!(s.factor(5) < 1.0);
+        assert_eq!(s.factor(1000), 0.5);
+        assert_eq!(LengthEvolution::Static.factor(99), 1.0);
+    }
+
+    #[test]
+    fn evolved_model_scales_median() {
+        let m = LengthModel::for_checkpoint(Checkpoint::Math7B);
+        let double = m.evolved(2.0);
+        let mut rng = SimRng::new(4);
+        let mut base = Histogram::new();
+        let mut grown = Histogram::new();
+        for _ in 0..20_000 {
+            base.add(m.sample_response(&mut rng) as f64);
+            grown.add(double.sample_response(&mut rng) as f64);
+        }
+        let ratio = grown.percentile(50.0) / base.percentile(50.0);
+        assert!((ratio - 2.0).abs() < 0.25, "ratio {ratio}");
+    }
+}

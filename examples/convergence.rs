@@ -1,0 +1,51 @@
+//! Convergence under different staleness regimes (the Figure 13 scenario):
+//! real GRPO training on the ReasonTree environment, with trajectory data
+//! generated exactly the way each system's schedule would generate it, and
+//! wall-clock spacing taken from each system's relative throughput.
+//!
+//! ```text
+//! cargo run --release --example convergence
+//! ```
+
+use laminar::prelude::*;
+
+fn main() {
+    // Relative iteration times, shaped like the 7B/64-GPU simulation: verl
+    // is ~2x slower per iteration than Laminar, the pipelines in between,
+    // partial rollout close to Laminar.
+    let regimes: [(&str, f64, StalenessRegime); 4] = [
+        ("on-policy (verl)", 24.0, StalenessRegime::OnPolicy),
+        ("one-step pipeline", 18.0, StalenessRegime::Fixed { k: 1 }),
+        (
+            "Laminar inherent",
+            12.0,
+            StalenessRegime::Inherent { weights: vec![0.45, 0.3, 0.15, 0.07, 0.03] },
+        ),
+        ("partial rollout (mixed)", 13.0, StalenessRegime::Mixed { window: 4 }),
+    ];
+
+    // Reward reached inside a fixed wall-clock budget: system throughput
+    // buys iterations, staleness taxes each iteration's value.
+    let budget_secs = 1500.0;
+    println!("GRPO on ReasonTree: reward within a {budget_secs:.0}s wall-clock budget\n");
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "regime", "secs/iter", "iterations", "final reward"
+    );
+    println!("{}", "-".repeat(64));
+    for (name, secs_per_iter, regime) in regimes {
+        let mut cfg = ConvergenceConfig::standard(secs_per_iter, 17);
+        cfg.env = ReasonEnv::new(12, 4, 8, 17);
+        cfg.iterations = (budget_secs / secs_per_iter) as usize;
+        cfg.eval_every = cfg.iterations;
+        cfg.eval_episodes = 600;
+        let curve = convergence_curve(&regime, &cfg);
+        let last = curve.last().map(|&(_, r)| r).unwrap_or(0.0);
+        println!("{name:<26} {secs_per_iter:>10.0} {:>12} {last:>12.3}", cfg.iterations);
+    }
+    println!(
+        "\npaper Figure 13: Laminar converges fastest in wall-clock time — its\n\
+         throughput advantage compounds with near-on-policy data quality, while\n\
+         partial rollout's speed is taxed by mixed-version trajectories."
+    );
+}

@@ -1,0 +1,53 @@
+//! Single-turn math reasoning at several cluster scales: the Figure 11
+//! scenario in miniature. All five systems replay the same workload at each
+//! scale point, using the paper's Table 2 placements.
+//!
+//! ```text
+//! cargo run --release --example math_reasoning
+//! ```
+
+use laminar::core::placement_for;
+use laminar::prelude::*;
+
+fn main() {
+    let model = ModelSpec::qwen_7b();
+    let scales = [16usize, 64, 256];
+    let systems = SystemKind::all();
+
+    println!("single-turn math reasoning, {} (Table 2 placements)\n", model.name);
+    print!("{:>6}", "GPUs");
+    for k in systems {
+        print!(" {:>14}", k.name());
+    }
+    println!();
+    println!("{}", "-".repeat(6 + 15 * systems.len()));
+
+    for total in scales {
+        print!("{total:>6}");
+        for kind in systems {
+            let p = placement_for(kind, &model, total);
+            let workload = WorkloadGenerator::single_turn(11, Checkpoint::Math7B);
+            let mut cfg = SystemConfig::new(model.clone(), p.train, p.rollout, p.tp, workload);
+            cfg.iterations = 2;
+            cfg.warmup = 2;
+            let report = run(kind, &cfg);
+            print!(" {:>13.0}k", report.throughput / 1e3);
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shape (paper Figure 11): Laminar on top with the gap widening at\n\
+         scale; the global-sync pipelines flatten out as long-tail generation caps\n\
+         their scaling."
+    );
+}
+
+fn run(kind: SystemKind, cfg: &SystemConfig) -> RunReport {
+    match kind {
+        SystemKind::Verl => VerlSync.run(cfg),
+        SystemKind::OneStep => OneStepStaleness.run(cfg),
+        SystemKind::StreamGen => StreamGeneration.run(cfg),
+        SystemKind::PartialRollout => PartialRollout.run(cfg),
+        SystemKind::Laminar => LaminarSystem::default().run(cfg),
+    }
+}

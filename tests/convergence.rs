@@ -1,0 +1,60 @@
+//! Integration tests of the convergence harness (Figure 13 machinery).
+
+use laminar::prelude::*;
+use laminar::rl::ReasonEnv;
+
+fn cfg(secs: f64, seed: u64) -> ConvergenceConfig {
+    let mut c = ConvergenceConfig::standard(secs, seed);
+    c.env = ReasonEnv::new(6, 3, 6, seed);
+    c.iterations = 100;
+    c.eval_every = 25;
+    c.eval_episodes = 300;
+    c
+}
+
+#[test]
+fn curves_are_deterministic_per_seed() {
+    let a = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 3));
+    let b = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 3));
+    assert_eq!(a, b);
+    let c = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 4));
+    assert_ne!(a, c);
+}
+
+#[test]
+fn wall_clock_axis_scales_with_iteration_time() {
+    let fast = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 5));
+    let slow = convergence_curve(&StalenessRegime::OnPolicy, &cfg(30.0, 5));
+    assert_eq!(fast.len(), slow.len());
+    for (f, s) in fast.iter().zip(&slow) {
+        assert!((s.0 - 3.0 * f.0).abs() < 1e-9, "time axis must scale 3x");
+        assert_eq!(f.1, s.1, "same learner, same rewards per iteration");
+    }
+}
+
+#[test]
+fn every_regime_learns_something() {
+    let regimes = [
+        StalenessRegime::OnPolicy,
+        StalenessRegime::Fixed { k: 1 },
+        StalenessRegime::Inherent { weights: vec![0.5, 0.3, 0.2] },
+        StalenessRegime::Mixed { window: 3 },
+    ];
+    for regime in regimes {
+        let curve = convergence_curve(&regime, &cfg(10.0, 7));
+        let first = curve.first().expect("points").1;
+        let last = curve.last().expect("points").1;
+        assert!(
+            last > first.max(0.1),
+            "{regime:?} failed to improve: {first} -> {last}"
+        );
+    }
+}
+
+#[test]
+fn rewards_are_monotone_ish_not_degenerate() {
+    let curve = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 9));
+    let max = curve.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    assert!(max <= 1.0 + 1e-9, "rewards are success rates");
+    assert!(max > 0.3, "on-policy GRPO must make real progress, got {max}");
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: all five systems on identical workloads,
+//! conservation invariants, determinism, and the paper's qualitative
+//! ordering claims.
+
+use laminar::prelude::*;
+
+fn base_config(seed: u64) -> SystemConfig {
+    let workload = WorkloadGenerator::single_turn(seed, Checkpoint::Math7B);
+    let mut cfg = SystemConfig::new(ModelSpec::qwen_7b(), 4, 4, 1, workload);
+    cfg.prompts_per_batch = 24;
+    cfg.group_size = 4;
+    cfg.minibatches = 4;
+    cfg.iterations = 2;
+    cfg.warmup = 1;
+    cfg.seed = seed;
+    cfg
+}
+
+fn colocated(mut cfg: SystemConfig) -> SystemConfig {
+    cfg.rollout_gpus += cfg.train_gpus;
+    cfg.train_gpus = 0;
+    cfg
+}
+
+#[test]
+fn all_five_systems_complete_on_identical_workloads() {
+    let cfg = base_config(3);
+    let reports = vec![
+        VerlSync.run(&colocated(cfg.clone())),
+        OneStepStaleness.run(&cfg),
+        StreamGeneration.run(&cfg),
+        PartialRollout.run(&cfg),
+        LaminarSystem::default().run(&cfg),
+    ];
+    for r in &reports {
+        assert_eq!(r.iteration_secs.len(), cfg.iterations, "{}", r.system);
+        assert!(r.throughput > 0.0, "{}", r.system);
+        assert!(
+            r.iteration_tokens.iter().all(|&t| t > 0.0),
+            "{} consumed empty batches",
+            r.system
+        );
+    }
+}
+
+#[test]
+fn trainer_consumes_exactly_the_global_batch_each_iteration() {
+    let cfg = base_config(5);
+    let r = LaminarSystem::default().run(&cfg);
+    // Measured iterations each consumed exactly one global batch.
+    assert_eq!(r.consumed.len(), cfg.iterations * cfg.global_batch());
+}
+
+#[test]
+fn laminar_runs_are_deterministic() {
+    let a = LaminarSystem::default().run(&base_config(9));
+    let b = LaminarSystem::default().run(&base_config(9));
+    assert_eq!(a.iteration_secs, b.iteration_secs);
+    assert_eq!(a.iteration_tokens, b.iteration_tokens);
+    assert_eq!(a.repack_events, b.repack_events);
+    let sa: Vec<u64> = a.consumed.iter().map(|c| c.staleness).collect();
+    let sb: Vec<u64> = b.consumed.iter().map(|c| c.staleness).collect();
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let a = LaminarSystem::default().run(&base_config(1));
+    let b = LaminarSystem::default().run(&base_config(2));
+    assert_ne!(a.iteration_tokens, b.iteration_tokens);
+}
+
+#[test]
+fn staleness_semantics_per_system() {
+    let cfg = base_config(7);
+    let verl = VerlSync.run(&colocated(cfg.clone()));
+    assert_eq!(verl.max_staleness(), 0, "verl is strictly on-policy");
+    assert_eq!(verl.mixed_version_fraction(), 0.0);
+
+    let one = OneStepStaleness.run(&cfg);
+    assert!(one.max_staleness() <= 1, "k=1 pipeline");
+
+    let partial = PartialRollout.run(&cfg);
+    assert!(partial.mixed_version_fraction() > 0.0, "partial rollout mixes versions");
+
+    let lam = LaminarSystem::default().run(&cfg);
+    assert_eq!(lam.mixed_version_fraction(), 0.0, "Laminar never mixes versions");
+    assert!(lam.max_staleness() <= 4, "paper: inherent staleness stays at most 4");
+}
+
+#[test]
+fn laminar_beats_the_global_sync_baselines_at_scale() {
+    // A mid-scale point where the long tail dominates the barrier systems.
+    let make = |seed| {
+        let workload = WorkloadGenerator::single_turn(seed, Checkpoint::Math7B);
+        let mut cfg = SystemConfig::new(ModelSpec::qwen_7b(), 16, 16, 1, workload);
+        cfg.prompts_per_batch = 128;
+        cfg.group_size = 8;
+        cfg.iterations = 2;
+        cfg.warmup = 1;
+        cfg
+    };
+    let cfg = make(11);
+    let lam = LaminarSystem::default().run(&cfg);
+    let one = OneStepStaleness.run(&cfg);
+    let stream = StreamGeneration.run(&cfg);
+    assert!(lam.throughput > one.throughput, "lam {} one {}", lam.throughput, one.throughput);
+    assert!(
+        lam.throughput > stream.throughput,
+        "lam {} stream {}",
+        lam.throughput,
+        stream.throughput
+    );
+}
+
+#[test]
+fn multi_turn_workload_runs_on_all_systems() {
+    let workload = WorkloadGenerator::multi_turn(13);
+    let mut cfg = SystemConfig::new(ModelSpec::qwen_7b(), 4, 4, 1, workload);
+    cfg.prompts_per_batch = 16;
+    cfg.group_size = 4;
+    cfg.iterations = 1;
+    cfg.warmup = 1;
+    let lam = LaminarSystem::default().run(&cfg);
+    let verl = VerlSync.run(&colocated(cfg.clone()));
+    assert!(lam.throughput > 0.0 && verl.throughput > 0.0);
+}
+
+#[test]
+fn rollout_waits_beat_global_sync_in_laminar() {
+    let cfg = base_config(17);
+    let lam = LaminarSystem::default().run(&cfg);
+    let nccl = cfg.collective().nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
+    for &w in &lam.rollout_waits {
+        assert!(w < nccl, "relay pull {w}s vs global sync {nccl}s");
+    }
+}
