@@ -1,378 +1,13 @@
-//! Shared system configuration, batch-generation helper, and report format.
+//! Re-exports of the shared substrate from `laminar-runtime`.
+//!
+//! The configuration, batch-generation helper, report format, and the
+//! [`RlSystem`] trait used to live here; they now sit in `laminar-runtime`
+//! so `laminar-core` no longer has to depend on the baselines it is
+//! compared against. This module keeps the old paths working for the
+//! experiment harness and downstream users.
 
-use laminar_cluster::{
-    CollectiveModel, DecodeModel, GpuSpec, MachineSpec, ModelSpec, ReshardModel, TrainModel,
+pub use laminar_runtime::{
+    consumed_at, generate_batch, generate_batch_at, generate_batch_traced, BatchGenStats,
+    ConsumedTraj, NullTrace, RecordingTrace, RlSystem, RunReport, SpanKind, SystemConfig,
+    TraceSink, TraceSpan,
 };
-use laminar_rollout::{CompletedTraj, EngineConfig, ReplicaEngine};
-use laminar_sim::{Duration, Histogram, Time, TimeSeries};
-use laminar_workload::{Dataset, TrajectorySpec, WorkloadGenerator};
-use serde::{Deserialize, Serialize};
-
-/// Everything a system needs to run one experiment configuration.
-#[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// Model being trained/served.
-    pub model: ModelSpec,
-    /// Machine hardware.
-    pub machine: MachineSpec,
-    /// GPUs allocated to the trainer (ignored by colocated verl).
-    pub train_gpus: usize,
-    /// GPUs allocated to rollouts (for verl: all GPUs, time-shared).
-    pub rollout_gpus: usize,
-    /// Tensor-parallel degree per rollout replica.
-    pub rollout_tp: usize,
-    /// Maximum concurrent trajectories per replica.
-    pub max_concurrency: usize,
-    /// Prompts per global batch (512).
-    pub prompts_per_batch: usize,
-    /// Responses per prompt (16) — global batch = prompts × group.
-    pub group_size: usize,
-    /// Mini-batch updates per RL iteration (16).
-    pub minibatches: usize,
-    /// Response lengths evolve as the model learns (§2.3): the median
-    /// length is scaled by `1 + evolution_rate × batch index`. The default
-    /// 0.002 is a mild drift; the evolution ablation raises it.
-    pub evolution_rate: f64,
-    /// Fraction of GPU memory the serving engine may use for weights +
-    /// KVCache. Disaggregated systems get the full 0.9; colocated verl
-    /// keeps training state resident and serves with ~0.45 (the HybridEngine
-    /// memory pressure of §2.4).
-    pub kv_memory_utilization: f64,
-    /// Workload generator (identical across systems for a given seed).
-    pub workload: WorkloadGenerator,
-    /// Measured RL iterations (after warmup).
-    pub iterations: usize,
-    /// Warmup RL iterations excluded from the throughput metric.
-    pub warmup: usize,
-    /// Root seed.
-    pub seed: u64,
-}
-
-impl SystemConfig {
-    /// A paper-shaped configuration on H800 hardware. `train_gpus = 0` is
-    /// allowed only for colocated verl.
-    pub fn new(
-        model: ModelSpec,
-        train_gpus: usize,
-        rollout_gpus: usize,
-        rollout_tp: usize,
-        workload: WorkloadGenerator,
-    ) -> Self {
-        assert!(rollout_gpus >= rollout_tp && rollout_gpus % rollout_tp == 0);
-        SystemConfig {
-            model,
-            machine: MachineSpec::h800_server(),
-            train_gpus,
-            rollout_gpus,
-            rollout_tp,
-            max_concurrency: 1024,
-            prompts_per_batch: 512,
-            group_size: 16,
-            minibatches: 16,
-            evolution_rate: 0.002,
-            kv_memory_utilization: 0.9,
-            workload,
-            iterations: 4,
-            warmup: 2,
-            seed: 0,
-        }
-    }
-
-    /// A heavily shrunk configuration for fast tests: small batch, short
-    /// runs.
-    pub fn small_test(workload: WorkloadGenerator) -> Self {
-        let mut cfg = SystemConfig::new(ModelSpec::qwen_7b(), 8, 8, 1, workload);
-        cfg.prompts_per_batch = 16;
-        cfg.group_size = 4;
-        cfg.minibatches = 4;
-        cfg.iterations = 2;
-        cfg.warmup = 1;
-        cfg
-    }
-
-    /// Total GPUs of the configuration (`train_gpus == 0` means colocated:
-    /// training time-shares the rollout GPUs).
-    pub fn total_gpus(&self) -> usize {
-        if self.train_gpus == 0 {
-            self.rollout_gpus
-        } else {
-            self.train_gpus + self.rollout_gpus
-        }
-    }
-
-    /// Rollout replica count.
-    pub fn replicas(&self) -> usize {
-        self.rollout_gpus / self.rollout_tp
-    }
-
-    /// Trajectories per global batch.
-    pub fn global_batch(&self) -> usize {
-        self.prompts_per_batch * self.group_size
-    }
-
-    /// GPU type in use.
-    pub fn gpu(&self) -> GpuSpec {
-        self.machine.gpu.clone()
-    }
-
-    /// Decode model for one replica.
-    pub fn decode_model(&self) -> DecodeModel {
-        let mut m = DecodeModel::new(self.model.clone(), self.gpu(), self.rollout_tp);
-        m.memory_utilization = self.kv_memory_utilization;
-        m
-    }
-
-    /// Training model. For colocated verl pass the full GPU count
-    /// explicitly via `train_model_on`.
-    pub fn train_model(&self) -> TrainModel {
-        TrainModel::new(self.model.clone(), self.gpu(), self.train_gpus.max(1))
-    }
-
-    /// Training model over an explicit GPU count (colocated mode).
-    pub fn train_model_on(&self, gpus: usize) -> TrainModel {
-        TrainModel::new(self.model.clone(), self.gpu(), gpus.max(1))
-    }
-
-    /// NCCL / relay transfer models.
-    pub fn collective(&self) -> CollectiveModel {
-        CollectiveModel::new(self.machine.clone())
-    }
-
-    /// HybridEngine reshard model.
-    pub fn reshard(&self) -> ReshardModel {
-        ReshardModel::new(self.machine.clone())
-    }
-
-    /// Engine configuration per replica.
-    pub fn engine_config(&self) -> EngineConfig {
-        EngineConfig { max_concurrency: self.max_concurrency, ..EngineConfig::default() }
-    }
-
-    /// A fresh dataset for this configuration.
-    pub fn dataset(&self) -> Dataset {
-        Dataset::new(17_000, self.group_size)
-    }
-
-    /// Total iterations simulated (warmup + measured).
-    pub fn total_iterations(&self) -> usize {
-        self.warmup + self.iterations
-    }
-}
-
-/// Result of generating one global batch on a set of standalone replicas.
-#[derive(Debug, Clone)]
-pub struct BatchGenStats {
-    /// Time from batch start until the last trajectory completes.
-    pub duration: Duration,
-    /// Per-trajectory completion offsets from batch start, sorted ascending.
-    pub completion_offsets: Vec<Duration>,
-    /// `(completion offset, prompt+response tokens)` per trajectory, sorted
-    /// by offset — what a streaming trainer consumes in order.
-    pub completion_tokens: Vec<(Duration, f64)>,
-    /// Total prompt+response tokens in the batch.
-    pub total_tokens: f64,
-    /// Mean of per-replica time-weighted KVCache utilization.
-    pub mean_kv_utilization: f64,
-    /// Per-trajectory generation latencies (start→finish), seconds.
-    pub latencies: Vec<f64>,
-}
-
-/// Runs one global batch to completion on `replicas` standalone replica
-/// engines (round-robin assignment) — the generation stage of every
-/// barrier-synchronized system, where replicas do not interact.
-pub fn generate_batch(cfg: &SystemConfig, specs: &[TrajectorySpec], replicas: usize) -> BatchGenStats {
-    assert!(replicas >= 1, "need at least one replica");
-    let mut engines: Vec<ReplicaEngine> = (0..replicas)
-        .map(|i| ReplicaEngine::new(i, cfg.decode_model(), cfg.engine_config()))
-        .collect();
-    for (i, spec) in specs.iter().enumerate() {
-        engines[i % replicas].submit(spec.clone(), Time::ZERO);
-    }
-    let mut completion_tokens: Vec<(Duration, f64)> = Vec::with_capacity(specs.len());
-    let mut latencies = Vec::with_capacity(specs.len());
-    let mut total_tokens = 0.0;
-    let mut kv_sum = 0.0;
-    let mut end = Time::ZERO;
-    for e in &mut engines {
-        let mut guard = 0u32;
-        while let Some(t) = e.next_event_time() {
-            e.advance_to(t);
-            guard += 1;
-            assert!(guard < 10_000_000, "standalone replica did not quiesce");
-        }
-        assert!(e.is_idle(), "replica left work unfinished");
-        for c in e.take_completions() {
-            let tokens = c.spec.total_tokens() as f64;
-            completion_tokens.push((c.finished_at.since(Time::ZERO), tokens));
-            latencies.push(c.finished_at.since(c.started_at).as_secs_f64());
-            total_tokens += tokens;
-            end = end.max(c.finished_at);
-        }
-        kv_sum += e.mean_kv_utilization();
-    }
-    completion_tokens.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-    BatchGenStats {
-        duration: end.since(Time::ZERO),
-        completion_offsets: completion_tokens.iter().map(|&(t, _)| t).collect(),
-        completion_tokens,
-        total_tokens,
-        mean_kv_utilization: kv_sum / replicas as f64,
-        latencies,
-    }
-}
-
-/// Per-trajectory record of what the trainer consumed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ConsumedTraj {
-    /// Staleness at consumption (actor version − behaviour version).
-    pub staleness: u64,
-    /// Whether several policy versions generated it.
-    pub mixed_version: bool,
-}
-
-/// The uniform result format every system produces.
-#[derive(Debug, Clone, Default)]
-pub struct RunReport {
-    /// System name.
-    pub system: String,
-    /// Per measured iteration: wall-clock duration, seconds.
-    pub iteration_secs: Vec<f64>,
-    /// Per measured iteration: prompt+response tokens trained on.
-    pub iteration_tokens: Vec<f64>,
-    /// Throughput over the measured window, tokens/second (the paper's
-    /// headline metric).
-    pub throughput: f64,
-    /// Fraction of iteration time the system was generation-bound.
-    pub generation_fraction: f64,
-    /// Staleness / version mixing of every consumed trajectory.
-    pub consumed: Vec<ConsumedTraj>,
-    /// Mean KVCache utilization across replicas.
-    pub mean_kv_utilization: f64,
-    /// Rollout weight-update waiting times, seconds (Figure 14).
-    pub rollout_waits: Vec<f64>,
-    /// Per-trajectory generation latencies, seconds.
-    pub latencies: Vec<f64>,
-    /// Generation throughput timeline (tokens/s per window).
-    pub gen_series: TimeSeries,
-    /// Training throughput timeline (tokens/s per window).
-    pub train_series: TimeSeries,
-    /// Repack events executed (Laminar only).
-    pub repack_events: u64,
-    /// Replicas released by repacks (Laminar only).
-    pub repack_released: u64,
-    /// Total repack overhead, seconds (Laminar only).
-    pub repack_overhead_secs: f64,
-    /// Per-trajectory inherent staleness paired with finish offset within
-    /// its generation window, for Figure 10.
-    pub staleness_by_finish: Vec<(f64, u64)>,
-}
-
-impl RunReport {
-    /// Computes the throughput metric from the recorded iterations.
-    pub fn finalize(&mut self) {
-        let time: f64 = self.iteration_secs.iter().sum();
-        let tokens: f64 = self.iteration_tokens.iter().sum();
-        self.throughput = if time > 0.0 { tokens / time } else { 0.0 };
-    }
-
-    /// Staleness histogram of consumed trajectories.
-    pub fn staleness_histogram(&self) -> Histogram {
-        let mut h = Histogram::new();
-        h.extend(self.consumed.iter().map(|c| c.staleness as f64));
-        h
-    }
-
-    /// Maximum observed staleness.
-    pub fn max_staleness(&self) -> u64 {
-        self.consumed.iter().map(|c| c.staleness).max().unwrap_or(0)
-    }
-
-    /// Fraction of consumed trajectories that were mixed-version.
-    pub fn mixed_version_fraction(&self) -> f64 {
-        if self.consumed.is_empty() {
-            return 0.0;
-        }
-        self.consumed.iter().filter(|c| c.mixed_version).count() as f64
-            / self.consumed.len() as f64
-    }
-}
-
-/// A runnable RL post-training system.
-pub trait RlSystem {
-    /// System name for reports.
-    fn name(&self) -> &'static str;
-    /// Runs the configuration to completion and reports.
-    fn run(&self, cfg: &SystemConfig) -> RunReport;
-}
-
-/// Converts a [`CompletedTraj`] into a consumption record at an actor
-/// version.
-pub fn consumed_at(c: &CompletedTraj, actor_version: u64) -> ConsumedTraj {
-    let behavior = *c.policy_versions.first().expect("versions never empty");
-    ConsumedTraj {
-        staleness: actor_version.saturating_sub(behavior),
-        mixed_version: c.policy_versions.windows(2).any(|w| w[0] != w[1]),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use laminar_workload::Checkpoint;
-
-    fn small() -> SystemConfig {
-        SystemConfig::small_test(WorkloadGenerator::single_turn(1, Checkpoint::Math7B))
-    }
-
-    #[test]
-    fn config_shape() {
-        let cfg = small();
-        assert_eq!(cfg.global_batch(), 64);
-        assert_eq!(cfg.replicas(), 8);
-        assert_eq!(cfg.total_iterations(), 3);
-    }
-
-    #[test]
-    fn generate_batch_accounts_every_trajectory() {
-        let cfg = small();
-        let mut ds = cfg.dataset();
-        let batch = ds.next_batch(cfg.prompts_per_batch);
-        let specs = cfg.workload.batch(&batch, 1.0);
-        let stats = generate_batch(&cfg, &specs, cfg.replicas());
-        assert_eq!(stats.completion_offsets.len(), 64);
-        assert_eq!(stats.latencies.len(), 64);
-        let expect: f64 = specs.iter().map(|s| s.total_tokens() as f64).sum();
-        assert_eq!(stats.total_tokens, expect);
-        assert!(stats.duration > Duration::ZERO);
-        // Sorted offsets; last equals batch duration.
-        assert_eq!(*stats.completion_offsets.last().unwrap(), stats.duration);
-        assert!(stats.mean_kv_utilization > 0.0 && stats.mean_kv_utilization <= 1.0);
-    }
-
-    #[test]
-    fn more_replicas_generate_faster() {
-        let cfg = small();
-        let mut ds = cfg.dataset();
-        let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), 1.0);
-        let slow = generate_batch(&cfg, &specs, 2);
-        let fast = generate_batch(&cfg, &specs, 8);
-        assert!(fast.duration < slow.duration);
-    }
-
-    #[test]
-    fn report_finalize_and_staleness() {
-        let mut r = RunReport {
-            iteration_secs: vec![10.0, 10.0],
-            iteration_tokens: vec![1000.0, 3000.0],
-            consumed: vec![
-                ConsumedTraj { staleness: 0, mixed_version: false },
-                ConsumedTraj { staleness: 3, mixed_version: true },
-            ],
-            ..RunReport::default()
-        };
-        r.finalize();
-        assert_eq!(r.throughput, 200.0);
-        assert_eq!(r.max_staleness(), 3);
-        assert_eq!(r.mixed_version_fraction(), 0.5);
-    }
-}

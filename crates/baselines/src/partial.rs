@@ -12,7 +12,9 @@
 //! (interrupts land mid-generation), so it runs on the discrete-event
 //! engine.
 
-use crate::common::{consumed_at, RlSystem, RunReport, SystemConfig};
+use crate::common::{
+    consumed_at, RlSystem, RunReport, SpanKind, SystemConfig, TraceSink, TraceSpan,
+};
 use laminar_cluster::TrainModel;
 use laminar_rollout::{CompletedTraj, ReplicaEngine};
 use laminar_sim::{Duration, Scheduler, SimWorld, Simulation, Time};
@@ -47,6 +49,9 @@ struct World {
     report: RunReport,
     gen_tokens_prev: f64,
     gen_sample_prev: Time,
+    record_trace: bool,
+    trace_spans: Vec<TraceSpan>,
+    trainer_started: Time,
 }
 
 impl World {
@@ -54,7 +59,8 @@ impl World {
         while self.specs.len() < 2 * self.cfg.global_batch() {
             let evolution = 1.0 + self.cfg.evolution_rate * self.batches_issued as f64;
             let batch = self.dataset.next_batch(self.cfg.prompts_per_batch);
-            self.specs.extend(self.cfg.workload.batch(&batch, evolution));
+            self.specs
+                .extend(self.cfg.workload.batch(&batch, evolution));
             self.batches_issued += 1;
         }
     }
@@ -84,7 +90,13 @@ impl World {
 
     fn wake(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
         if let Some(t) = self.engines[r].next_event_time() {
-            sched.at(t, Ev::ReplicaWake { r, epoch: self.engines[r].epoch() });
+            sched.at(
+                t,
+                Ev::ReplicaWake {
+                    r,
+                    epoch: self.engines[r].epoch(),
+                },
+            );
         }
     }
 
@@ -135,10 +147,23 @@ impl SimWorld for World {
                     }
                 }
                 self.trainer_busy = true;
+                self.trainer_started = now;
                 let dur = self.train.iteration_secs(tokens, self.cfg.minibatches);
                 sched.after(Duration::from_secs_f64(dur), Ev::TrainerDone { tokens });
             }
             Ev::TrainerDone { tokens } => {
+                if self.record_trace {
+                    self.trace_spans.push(
+                        TraceSpan::new(
+                            SpanKind::TrainStep,
+                            self.trainer_started,
+                            now,
+                            None,
+                            self.version,
+                        )
+                        .with_tokens(tokens as u64),
+                    );
+                }
                 self.version += 1;
                 self.trainer_busy = false;
                 if self.iterations_done >= self.cfg.warmup {
@@ -146,9 +171,10 @@ impl SimWorld for World {
                         .iteration_secs
                         .push(now.since(self.last_train_done).as_secs_f64());
                     self.report.iteration_tokens.push(tokens);
-                    self.report
-                        .train_series
-                        .push(now, tokens / now.since(self.last_train_done).as_secs_f64().max(1e-9));
+                    self.report.train_series.push(
+                        now,
+                        tokens / now.since(self.last_train_done).as_secs_f64().max(1e-9),
+                    );
                     // Every replica blocks on the global broadcast when the
                     // interrupt lands.
                     for _ in 0..self.engines.len() {
@@ -159,7 +185,9 @@ impl SimWorld for World {
                 self.iterations_done += 1;
                 self.sample_gen_throughput(now);
                 if !self.done() {
-                    sched.immediately(Ev::Interrupt { version: self.version });
+                    sched.immediately(Ev::Interrupt {
+                        version: self.version,
+                    });
                     sched.immediately(Ev::TrainerCheck);
                 }
             }
@@ -172,6 +200,15 @@ impl SimWorld for World {
                     self.engines[r].advance_to(now);
                     self.engines[r].stall_prefill_queue(sync_end);
                     self.engines[r].interrupt_with_weights(version, now);
+                    if self.record_trace {
+                        self.trace_spans.push(TraceSpan::new(
+                            SpanKind::WeightSync,
+                            now,
+                            sync_end,
+                            Some(r),
+                            version,
+                        ));
+                    }
                 }
                 for r in 0..self.engines.len() {
                     self.drain(r, sched);
@@ -187,11 +224,16 @@ impl RlSystem for PartialRollout {
         "partial-rollout"
     }
 
-    fn run(&self, cfg: &SystemConfig) -> RunReport {
-        assert!(cfg.train_gpus > 0, "partial rollout is disaggregated: set train_gpus > 0");
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+        assert!(
+            cfg.train_gpus > 0,
+            "partial rollout is disaggregated: set train_gpus > 0"
+        );
         let replicas = cfg.replicas();
+        let mut engine_cfg = cfg.engine_config();
+        engine_cfg.record_trace = trace.enabled();
         let engines: Vec<ReplicaEngine> = (0..replicas)
-            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), cfg.engine_config()))
+            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), engine_cfg.clone()))
             .collect();
         let world = World {
             cfg: cfg.clone(),
@@ -215,14 +257,22 @@ impl RlSystem for PartialRollout {
                 };
                 t
             },
-            nccl_secs: cfg.collective().nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus),
+            nccl_secs: cfg
+                .collective()
+                .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus),
             version: 0,
             trainer_busy: false,
             iterations_done: 0,
             last_train_done: Time::ZERO,
-            report: RunReport { system: self.name().into(), ..RunReport::default() },
+            report: RunReport {
+                system: self.name().into(),
+                ..RunReport::default()
+            },
             gen_tokens_prev: 0.0,
             gen_sample_prev: Time::ZERO,
+            record_trace: trace.enabled(),
+            trace_spans: Vec::new(),
+            trainer_started: Time::ZERO,
         };
         let mut sim = Simulation::new(world);
         for r in 0..replicas {
@@ -234,7 +284,14 @@ impl RlSystem for PartialRollout {
         }
         sim.scheduler.immediately(Ev::TrainerCheck);
         let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
-        assert!(finished, "partial-rollout run did not complete its iterations");
+        assert!(
+            finished,
+            "partial-rollout run did not complete its iterations"
+        );
+        trace.record_all(std::mem::take(&mut sim.world.trace_spans));
+        for e in &mut sim.world.engines {
+            trace.record_all(e.take_trace_spans());
+        }
         let mut report = sim.world.report;
         report.mean_kv_utilization = sim
             .world
@@ -255,8 +312,7 @@ mod tests {
     use laminar_workload::{Checkpoint, WorkloadGenerator};
 
     fn cfg() -> SystemConfig {
-        let mut c =
-            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        let mut c = SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
         c.train_gpus = 4;
         c.rollout_gpus = 4;
         c

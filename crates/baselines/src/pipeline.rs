@@ -14,8 +14,11 @@
 //! recurrence over per-batch generation profiles obtained from standalone
 //! replica runs — no event interleaving exists to simulate.
 
-use crate::common::{generate_batch, ConsumedTraj, RlSystem, RunReport, SystemConfig};
-use laminar_sim::{Time, TimeSeries};
+use crate::common::{
+    generate_batch, generate_batch_traced, ConsumedTraj, RecordingTrace, RlSystem, RunReport,
+    SpanKind, SystemConfig, TraceSink, TraceSpan,
+};
+use laminar_sim::{Duration, Time, TimeSeries};
 
 /// The one-step staleness pipeline baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,8 +32,8 @@ impl RlSystem for OneStepStaleness {
     fn name(&self) -> &'static str {
         "one-step"
     }
-    fn run(&self, cfg: &SystemConfig) -> RunReport {
-        run_pipeline(cfg, false, self.name())
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+        run_pipeline(cfg, false, self.name(), trace)
     }
 }
 
@@ -38,30 +41,59 @@ impl RlSystem for StreamGeneration {
     fn name(&self) -> &'static str {
         "stream-gen"
     }
-    fn run(&self, cfg: &SystemConfig) -> RunReport {
-        run_pipeline(cfg, true, self.name())
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+        run_pipeline(cfg, true, self.name(), trace)
     }
 }
 
-fn run_pipeline(cfg: &SystemConfig, streaming: bool, name: &'static str) -> RunReport {
-    assert!(cfg.train_gpus > 0, "pipelines are disaggregated: set train_gpus > 0");
+fn run_pipeline(
+    cfg: &SystemConfig,
+    streaming: bool,
+    name: &'static str,
+    trace: &mut dyn TraceSink,
+) -> RunReport {
+    assert!(
+        cfg.train_gpus > 0,
+        "pipelines are disaggregated: set train_gpus > 0"
+    );
     let replicas = cfg.replicas();
     let train = cfg.train_model();
-    let nccl = cfg.collective().nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
+    let nccl = cfg
+        .collective()
+        .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
     let mut ds = cfg.dataset();
     let total_iters = cfg.total_iterations();
 
     // Generation profiles per batch (identical workload across systems).
+    // Batch n runs under version max(n-1, 0); its engine spans are recorded
+    // on a batch-local clock and shifted onto the global timeline once the
+    // recurrence below fixes the batch's start instant.
     let mut profiles = Vec::with_capacity(total_iters);
+    let mut batch_spans: Vec<Vec<TraceSpan>> = Vec::with_capacity(total_iters);
     for iter in 0..total_iters {
         let evolution = 1.0 + cfg.evolution_rate * iter as f64;
-        let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
-        profiles.push(generate_batch(cfg, &specs, replicas));
+        let specs = cfg
+            .workload
+            .batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
+        if trace.enabled() {
+            let version = iter.saturating_sub(1) as u64;
+            let mut local = RecordingTrace::new();
+            profiles.push(generate_batch_traced(
+                cfg, &specs, replicas, version, &mut local,
+            ));
+            batch_spans.push(local.take());
+        } else {
+            profiles.push(generate_batch(cfg, &specs, replicas));
+            batch_spans.push(Vec::new());
+        }
     }
 
     let mb_count = cfg.minibatches.max(1);
     let mb_size = cfg.global_batch().div_ceil(mb_count);
-    let mut report = RunReport { system: name.into(), ..RunReport::default() };
+    let mut report = RunReport {
+        system: name.into(),
+        ..RunReport::default()
+    };
     let mut gen_series = TimeSeries::new();
     let mut train_series = TimeSeries::new();
 
@@ -81,6 +113,24 @@ fn run_pipeline(cfg: &SystemConfig, streaming: bool, name: &'static str) -> RunR
             gen_end[n - 1].max(version_ready) + nccl
         };
         gen_end[n] = gen_start[n] + gsecs;
+        let offset = Duration::from_secs_f64(gen_start[n]);
+        trace.record_all(
+            std::mem::take(&mut batch_spans[n])
+                .into_iter()
+                .map(|s| s.shifted_by(offset))
+                .collect(),
+        );
+        if n > 0 {
+            // Every rollout blocks on the global NCCL broadcast before
+            // starting batch n.
+            trace.record(TraceSpan::new(
+                SpanKind::WeightSync,
+                Time::from_secs_f64(gen_start[n] - nccl),
+                Time::from_secs_f64(gen_start[n]),
+                None,
+                (n - 1) as u64,
+            ));
+        }
         gen_series.push(
             Time::from_secs_f64(gen_start[n]),
             g.total_tokens / gsecs.max(1e-9),
@@ -97,13 +147,53 @@ fn run_pipeline(cfg: &SystemConfig, streaming: bool, name: &'static str) -> RunR
                 let tokens: f64 = g.completion_tokens[idx..hi].iter().map(|&(_, t)| t).sum();
                 let dur = train.minibatch_secs(tokens)
                     * (1.0 + train.experience_prep_frac / (1.0 - train.experience_prep_frac));
-                mb_end = mb_end.max(ready) + dur;
+                if ready > mb_end {
+                    // Trainer idle, waiting for the mini-batch to exist.
+                    trace.record(TraceSpan::new(
+                        SpanKind::Stall,
+                        Time::from_secs_f64(mb_end),
+                        Time::from_secs_f64(ready),
+                        None,
+                        n as u64,
+                    ));
+                }
+                let begin = mb_end.max(ready);
+                trace.record(
+                    TraceSpan::new(
+                        SpanKind::TrainStep,
+                        Time::from_secs_f64(begin),
+                        Time::from_secs_f64(begin + dur),
+                        None,
+                        n as u64,
+                    )
+                    .with_tokens(tokens as u64),
+                );
+                mb_end = begin + dur;
                 idx = hi;
             }
             train_end[n] = mb_end;
         } else {
             let start = gen_end[n].max(prev_train_end);
+            if start > prev_train_end {
+                trace.record(TraceSpan::new(
+                    SpanKind::Stall,
+                    Time::from_secs_f64(prev_train_end),
+                    Time::from_secs_f64(start),
+                    None,
+                    n as u64,
+                ));
+            }
             train_end[n] = start + train.iteration_secs(g.total_tokens, mb_count);
+            trace.record(
+                TraceSpan::new(
+                    SpanKind::TrainStep,
+                    Time::from_secs_f64(start),
+                    Time::from_secs_f64(train_end[n]),
+                    None,
+                    n as u64,
+                )
+                .with_tokens(g.total_tokens as u64),
+            );
         }
         train_series.push(
             Time::from_secs_f64(train_end[n]),
@@ -118,14 +208,18 @@ fn run_pipeline(cfg: &SystemConfig, streaming: bool, name: &'static str) -> RunR
             // while the actor sat at version n: one-step staleness (batch 0
             // is on-policy).
             let staleness = u64::from(n > 0);
-            report.consumed.extend(
-                std::iter::repeat(ConsumedTraj { staleness, mixed_version: false })
-                    .take(g.completion_tokens.len()),
-            );
+            report.consumed.extend(std::iter::repeat_n(
+                ConsumedTraj {
+                    staleness,
+                    mixed_version: false,
+                },
+                g.completion_tokens.len(),
+            ));
             for off in &g.completion_offsets {
-                report
-                    .staleness_by_finish
-                    .push((off.as_secs_f64() / g.duration.as_secs_f64().max(1e-9), staleness));
+                report.staleness_by_finish.push((
+                    off.as_secs_f64() / g.duration.as_secs_f64().max(1e-9),
+                    staleness,
+                ));
             }
             report.latencies.extend(g.latencies.iter().copied());
             report.mean_kv_utilization += g.mean_kv_utilization / cfg.iterations.max(1) as f64;
@@ -160,8 +254,7 @@ mod tests {
     use laminar_workload::{Checkpoint, WorkloadGenerator};
 
     fn cfg(train: usize, rollout: usize) -> SystemConfig {
-        let mut c =
-            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        let mut c = SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
         c.train_gpus = train;
         c.rollout_gpus = rollout;
         c

@@ -6,9 +6,12 @@
 //! otherwise idle — the long-tail bubble the paper measures at up to 83.1%
 //! of iteration time.
 
-use crate::common::{generate_batch, RlSystem, RunReport, SystemConfig};
+use crate::common::{
+    generate_batch, generate_batch_at, RlSystem, RunReport, SpanKind, SystemConfig, TraceSink,
+    TraceSpan,
+};
 use laminar_rollout::{EngineConfig, ReplicaEngine};
-use laminar_sim::{Time, TimeSeries};
+use laminar_sim::{Duration, Time, TimeSeries};
 
 /// The synchronous colocated baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,7 +22,7 @@ impl RlSystem for VerlSync {
         "verl"
     }
 
-    fn run(&self, cfg: &SystemConfig) -> RunReport {
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
         assert_eq!(cfg.train_gpus, 0, "verl is colocated: set train_gpus = 0");
         // Colocated serving shares GPU memory with resident training state.
         let mut cfg = cfg.clone();
@@ -29,7 +32,10 @@ impl RlSystem for VerlSync {
         let train = cfg.train_model_on(cfg.rollout_gpus);
         let switch = cfg.reshard().switch_secs(&cfg.model);
         let mut ds = cfg.dataset();
-        let mut report = RunReport { system: self.name().into(), ..RunReport::default() };
+        let mut report = RunReport {
+            system: self.name().into(),
+            ..RunReport::default()
+        };
         let mut gen_series = TimeSeries::new();
         let mut train_series = TimeSeries::new();
         let mut clock = 0.0f64;
@@ -38,19 +44,60 @@ impl RlSystem for VerlSync {
         let mut iter_time_total = 0.0;
         for iter in 0..cfg.total_iterations() {
             let evolution = 1.0 + cfg.evolution_rate * iter as f64;
-            let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
+            let specs = cfg
+                .workload
+                .batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
             let iter_start = clock;
-            // Switch to generation layout, generate, switch back.
+            let version = iter as u64;
+            // Switch to generation layout, generate, switch back. The
+            // reshard into the serving layout is when the freshly trained
+            // weights reach the engines, so it traces as a weight sync.
+            trace.record(TraceSpan::new(
+                SpanKind::WeightSync,
+                Time::from_secs_f64(clock),
+                Time::from_secs_f64(clock + switch),
+                None,
+                version,
+            ));
             clock += switch;
-            let gen = generate_batch(cfg, &specs, replicas);
+            let gen = generate_batch_at(
+                cfg,
+                &specs,
+                replicas,
+                Duration::from_secs_f64(clock),
+                version,
+                trace,
+            );
             let gen_secs = gen.duration.as_secs_f64();
-            gen_series.push(Time::from_secs_f64(clock), gen.total_tokens / gen_secs.max(1e-9));
+            gen_series.push(
+                Time::from_secs_f64(clock),
+                gen.total_tokens / gen_secs.max(1e-9),
+            );
             clock += gen_secs;
+            trace.record(TraceSpan::new(
+                SpanKind::WeightSync,
+                Time::from_secs_f64(clock),
+                Time::from_secs_f64(clock + switch),
+                None,
+                version,
+            ));
             clock += switch;
             // Train the full batch on-policy.
             let train_secs = train.iteration_secs(gen.total_tokens, cfg.minibatches);
-            train_series
-                .push(Time::from_secs_f64(clock), gen.total_tokens / train_secs.max(1e-9));
+            trace.record(
+                TraceSpan::new(
+                    SpanKind::TrainStep,
+                    Time::from_secs_f64(clock),
+                    Time::from_secs_f64(clock + train_secs),
+                    None,
+                    version,
+                )
+                .with_tokens(gen.total_tokens as u64),
+            );
+            train_series.push(
+                Time::from_secs_f64(clock),
+                gen.total_tokens / train_secs.max(1e-9),
+            );
             clock += train_secs;
             let measured = iter >= cfg.warmup;
             if measured {
@@ -62,13 +109,13 @@ impl RlSystem for VerlSync {
                         .push((off.as_secs_f64() / gen_secs.max(1e-9), 0));
                 }
                 // Strictly on-policy: staleness 0, single version.
-                report.consumed.extend(
-                    std::iter::repeat(crate::common::ConsumedTraj {
+                report.consumed.extend(std::iter::repeat_n(
+                    crate::common::ConsumedTraj {
                         staleness: 0,
                         mixed_version: false,
-                    })
-                    .take(specs.len()),
-                );
+                    },
+                    specs.len(),
+                ));
                 report.latencies.extend(gen.latencies.iter().copied());
                 kv_sum += gen.mean_kv_utilization;
                 gen_time_total += gen_secs + 2.0 * switch;
@@ -76,8 +123,11 @@ impl RlSystem for VerlSync {
             }
         }
         report.mean_kv_utilization = kv_sum / cfg.iterations.max(1) as f64;
-        report.generation_fraction =
-            if iter_time_total > 0.0 { gen_time_total / iter_time_total } else { 0.0 };
+        report.generation_fraction = if iter_time_total > 0.0 {
+            gen_time_total / iter_time_total
+        } else {
+            0.0
+        };
         report.gen_series = gen_series;
         report.train_series = train_series;
         report.finalize();
@@ -92,7 +142,9 @@ pub fn sync_breakdown(cfg: &SystemConfig) -> (f64, f64, f64) {
     let train = cfg.train_model_on(cfg.rollout_gpus.max(cfg.train_gpus));
     let switch = cfg.reshard().switch_secs(&cfg.model);
     let mut ds = cfg.dataset();
-    let specs = cfg.workload.batch(&ds.next_batch(cfg.prompts_per_batch), 1.0);
+    let specs = cfg
+        .workload
+        .batch(&ds.next_batch(cfg.prompts_per_batch), 1.0);
     let gen = generate_batch(cfg, &specs, replicas);
     let gen_secs = gen.duration.as_secs_f64() + 2.0 * switch;
     let total_train = train.iteration_secs(gen.total_tokens, cfg.minibatches);
@@ -114,8 +166,7 @@ mod tests {
     use laminar_workload::{Checkpoint, WorkloadGenerator};
 
     fn cfg() -> SystemConfig {
-        let mut c =
-            SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+        let mut c = SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
         c.train_gpus = 0;
         c
     }
@@ -127,7 +178,11 @@ mod tests {
         assert!(r.throughput > 0.0);
         assert_eq!(r.max_staleness(), 0, "verl is strictly on-policy");
         assert_eq!(r.mixed_version_fraction(), 0.0);
-        assert!(r.generation_fraction > 0.3, "generation dominates: {}", r.generation_fraction);
+        assert!(
+            r.generation_fraction > 0.3,
+            "generation dominates: {}",
+            r.generation_fraction
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the hot paths: the event engine, the
-//! repack planner, the experience buffer, the broadcast models, the roofline
-//! decode model, and one NN training step.
+//! Micro-benchmarks of the hot paths: the event engine, the repack planner,
+//! the experience buffer, the broadcast models, the roofline decode model,
+//! and one NN training step.
+//!
+//! Self-contained harness (no external benchmark crate): each case is
+//! warmed up, then timed over enough iterations to fill a ~200 ms window,
+//! reporting the mean wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use laminar_cluster::{ChainBroadcast, DecodeModel, GpuSpec, LinkSpec, ModelSpec};
 use laminar_data::{Experience, ExperienceBuffer};
 use laminar_rl::{generate_episode, GrpoConfig, GrpoTrainer, ReasonEnv, RlTrajectory};
@@ -10,8 +13,40 @@ use laminar_rollout::{plan_repack, EngineConfig, ReplicaEngine, ReplicaLoad};
 use laminar_sim::{Scheduler, SimRng, SimWorld, Simulation, Time};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_event_engine(c: &mut Criterion) {
+/// Times `f` (invoked with the iteration index) and prints mean ns/iter.
+fn bench(name: &str, mut f: impl FnMut(u64)) {
+    const WARMUP: Duration = Duration::from_millis(50);
+    const WINDOW: Duration = Duration::from_millis(200);
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < WARMUP {
+        f(iters);
+        iters += 1;
+    }
+    let per_iter = start
+        .elapsed()
+        .checked_div(iters.max(1) as u32)
+        .unwrap_or(WARMUP);
+    let runs = (WINDOW.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for i in 0..runs {
+        f(i);
+    }
+    let total = start.elapsed();
+    let mean = total.as_secs_f64() / runs as f64;
+    let (value, unit) = if mean >= 1e-3 {
+        (mean * 1e3, "ms")
+    } else if mean >= 1e-6 {
+        (mean * 1e6, "us")
+    } else {
+        (mean * 1e9, "ns")
+    };
+    println!("{name:<36} {value:>10.2} {unit}/iter   ({runs} iters)");
+}
+
+fn bench_event_engine() {
     struct Ping(u64);
     impl SimWorld for Ping {
         type Event = u64;
@@ -22,17 +57,15 @@ fn bench_event_engine(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("sim/100k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(Ping(0));
-            sim.scheduler.at(Time::ZERO, 100_000u64);
-            sim.run_to_completion();
-            black_box(sim.world.0)
-        })
+    bench("sim/100k_events", |_| {
+        let mut sim = Simulation::new(Ping(0));
+        sim.scheduler.at(Time::ZERO, 100_000u64);
+        sim.run_to_completion();
+        black_box(sim.world.0);
     });
 }
 
-fn bench_repack_planner(c: &mut Criterion) {
+fn bench_repack_planner() {
     let loads: Vec<ReplicaLoad> = (0..128)
         .map(|i| ReplicaLoad {
             replica: i,
@@ -43,109 +76,87 @@ fn bench_repack_planner(c: &mut Criterion) {
             weight_version: 0,
         })
         .collect();
-    c.bench_function("repack/plan_128_replicas", |b| {
-        b.iter(|| black_box(plan_repack(black_box(&loads), 1000.0, 64)))
+    bench("repack/plan_128_replicas", |_| {
+        black_box(plan_repack(black_box(&loads), 1000.0, 64));
     });
 }
 
-fn bench_experience_buffer(c: &mut Criterion) {
-    c.bench_function("buffer/write_sample_8192", |b| {
-        b.iter_batched(
-            ExperienceBuffer::fifo_unbounded,
-            |mut buf| {
-                for i in 0..8192u64 {
-                    buf.write(Experience {
-                        trajectory_id: i,
-                        prompt_id: i / 16,
-                        group_index: (i % 16) as usize,
-                        prompt_tokens: 1000,
-                        response_tokens: 6000,
-                        policy_versions: vec![i / 512],
-                        started_at: Time::ZERO,
-                        finished_at: Time::from_secs(i),
-                    });
-                }
-                let mut rng = SimRng::new(1);
-                black_box(buf.sample(8192, 99, &mut rng).len())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_experience_buffer() {
+    bench("buffer/write_sample_8192", |_| {
+        let mut buf = ExperienceBuffer::fifo_unbounded();
+        for i in 0..8192u64 {
+            buf.write(Experience {
+                trajectory_id: i,
+                prompt_id: i / 16,
+                group_index: (i % 16) as usize,
+                prompt_tokens: 1000,
+                response_tokens: 6000,
+                policy_versions: vec![i / 512],
+                started_at: Time::ZERO,
+                finished_at: Time::from_secs(i),
+            });
+        }
+        let mut rng = SimRng::new(1);
+        black_box(buf.sample(8192, 99, &mut rng).len());
     });
 }
 
-fn bench_chain_broadcast_model(c: &mut Criterion) {
+fn bench_chain_broadcast_model() {
     let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
-    c.bench_function("chain/optimal_broadcast", |b| {
-        b.iter(|| black_box(chain.optimal_broadcast_secs(black_box(128), black_box(145e9))))
+    bench("chain/optimal_broadcast", |_| {
+        black_box(chain.optimal_broadcast_secs(black_box(128), black_box(145e9)));
     });
 }
 
-fn bench_decode_model(c: &mut Criterion) {
+fn bench_decode_model() {
     let m = DecodeModel::new(ModelSpec::qwen_32b(), GpuSpec::h800(), 4);
-    c.bench_function("roofline/step_secs", |b| {
-        b.iter(|| black_box(m.step_secs(black_box(64), black_box(64.0 * 4096.0))))
+    bench("roofline/step_secs", |_| {
+        black_box(m.step_secs(black_box(64), black_box(64.0 * 4096.0)));
     });
 }
 
-fn bench_replica_engine(c: &mut Criterion) {
+fn bench_replica_engine() {
     let workload = WorkloadGenerator::single_turn(5, Checkpoint::Math7B);
     let specs: Vec<_> = (0..128u64)
         .map(|i| workload.trajectory(i, i / 16, (i % 16) as usize, 1.0))
         .collect();
-    c.bench_function("engine/batch_128_trajectories", |b| {
-        b.iter_batched(
-            || specs.clone(),
-            |specs| {
-                let decode = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
-                let mut e = ReplicaEngine::new(0, decode, EngineConfig::default());
-                for s in specs {
-                    e.submit(s, Time::ZERO);
-                }
-                while let Some(t) = e.next_event_time() {
-                    e.advance_to(t);
-                }
-                black_box(e.completed_count())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("engine/batch_128_trajectories", |_| {
+        let decode = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
+        let mut e = ReplicaEngine::new(0, decode, EngineConfig::default());
+        for s in specs.clone() {
+            e.submit(s, Time::ZERO);
+        }
+        while let Some(t) = e.next_event_time() {
+            e.advance_to(t);
+        }
+        black_box(e.completed_count());
     });
 }
 
-fn bench_grpo_update(c: &mut Criterion) {
+fn bench_grpo_update() {
     let env = ReasonEnv::standard(3);
-    c.bench_function("rl/grpo_update_128_trajectories", |b| {
-        b.iter_batched(
-            || {
-                let trainer = GrpoTrainer::new(&env, GrpoConfig::default());
-                let mut rng = SimRng::new(2);
-                let groups: Vec<Vec<RlTrajectory>> = (0..16)
-                    .map(|p| {
-                        let problem = env.problem_for_prompt(3, p);
-                        (0..8)
-                            .map(|_| {
-                                generate_episode(&env, &trainer.policy, 0, p, problem, &mut rng)
-                            })
-                            .collect()
-                    })
-                    .collect();
-                (trainer, groups)
-            },
-            |(mut trainer, groups)| {
-                black_box(trainer.update(&groups, None));
-            },
-            BatchSize::SmallInput,
-        )
+    bench("rl/grpo_update_128_trajectories", |case| {
+        let trainer = GrpoTrainer::new(&env, GrpoConfig::default());
+        let mut rng = SimRng::new(2 + case);
+        let groups: Vec<Vec<RlTrajectory>> = (0..16)
+            .map(|p| {
+                let problem = env.problem_for_prompt(3, p);
+                (0..8)
+                    .map(|_| generate_episode(&env, &trainer.policy, 0, p, problem, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let mut trainer = trainer;
+        black_box(trainer.update(&groups, None));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_engine,
-    bench_repack_planner,
-    bench_experience_buffer,
-    bench_chain_broadcast_model,
-    bench_decode_model,
-    bench_replica_engine,
-    bench_grpo_update,
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_engine();
+    bench_repack_planner();
+    bench_experience_buffer();
+    bench_chain_broadcast_model();
+    bench_decode_model();
+    bench_replica_engine();
+    bench_grpo_update();
+}

@@ -1,10 +1,14 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! laminar-experiments [--full] [--seed N] [--out DIR] <id>... | all | list
+//! laminar-experiments [--full] [--seed N] [--out DIR] [--trace FILE] <id>... | all | list
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.txt` (default `results/`).
+//! With `--trace FILE`, every system run appends its event spans (prefill,
+//! decode steps, weight syncs, train steps, stalls, repacks, failures) to
+//! `FILE` as JSONL — one span object per line with virtual-time
+//! nanosecond bounds, replica id, and weight version.
 
 use laminar_bench::{all_experiment_ids, run_experiment, Opts};
 use std::path::PathBuf;
@@ -28,6 +32,9 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
             }
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(args.next().expect("--trace requires a file")));
+            }
             "list" => {
                 for id in all_experiment_ids() {
                     println!("{id}");
@@ -44,7 +51,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--out DIR] <id>... | all | list"
+            "usage: laminar-experiments [--full] [--seed N] [--out DIR] [--trace FILE] <id>... | all | list"
         );
         eprintln!("experiments: {}", all_experiment_ids().join(" "));
         std::process::exit(2);

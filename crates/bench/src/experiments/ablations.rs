@@ -14,8 +14,17 @@ use std::fmt::Write as _;
 /// Repack on/off across scales: the gain grows with replica count.
 pub fn ablate_repack(opts: &Opts) -> String {
     let mut out = String::from("Ablation — repack on/off across scales\n\n");
-    let mut t = TextTable::new(vec!["GPUs", "repack on (tok/s)", "repack off (tok/s)", "gain"]);
-    let scales = if opts.quick { vec![16usize, 64] } else { vec![16, 64, 256] };
+    let mut t = TextTable::new(vec![
+        "GPUs",
+        "repack on (tok/s)",
+        "repack off (tok/s)",
+        "gain",
+    ]);
+    let scales = if opts.quick {
+        vec![16usize, 64]
+    } else {
+        vec![16, 64, 256]
+    };
     for total in scales {
         let cfg = opts.config(
             SystemKind::Laminar,
@@ -24,12 +33,19 @@ pub fn ablate_repack(opts: &Opts) -> String {
             WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
         );
         let on = LaminarSystem::default().run(&cfg);
-        let off = LaminarSystem { repack: false, ..LaminarSystem::default() }.run(&cfg);
+        let off = LaminarSystem {
+            repack: false,
+            ..LaminarSystem::default()
+        }
+        .run(&cfg);
         t.row(vec![
             total.to_string(),
             format!("{:.0}", on.throughput),
             format!("{:.0}", off.throughput),
-            format!("{:+.1}%", (on.throughput / off.throughput.max(1e-9) - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (on.throughput / off.throughput.max(1e-9) - 1.0) * 100.0
+            ),
         ]);
     }
     out.push_str(&t.render());
@@ -41,9 +57,17 @@ pub fn ablate_repack(opts: &Opts) -> String {
 pub fn ablate_idleness(opts: &Opts) -> String {
     let mut out =
         String::from("Ablation — idleness metric (KVCache lifecycle vs static threshold)\n\n");
-    let mut t = TextTable::new(vec!["metric", "throughput (tok/s)", "repack rounds", "released"]);
+    let mut t = TextTable::new(vec![
+        "metric",
+        "throughput (tok/s)",
+        "repack rounds",
+        "released",
+    ]);
     for (name, m) in [
-        ("KVCache lifecycle (paper)", IdlenessMetric::KvCacheLifecycle),
+        (
+            "KVCache lifecycle (paper)",
+            IdlenessMetric::KvCacheLifecycle,
+        ),
         ("static threshold 8", IdlenessMetric::StaticThreshold(8)),
         ("static threshold 64", IdlenessMetric::StaticThreshold(64)),
     ] {
@@ -73,11 +97,18 @@ pub fn ablate_sampling(opts: &Opts) -> String {
     let strategies: [(&str, Sampler); 4] = [
         ("FIFO (paper default)", Sampler::Fifo),
         ("LIFO (freshest first)", Sampler::Lifo),
-        ("staleness-capped (<=2)", Sampler::StalenessCapped { max_staleness: 2 }),
+        (
+            "staleness-capped (<=2)",
+            Sampler::StalenessCapped { max_staleness: 2 },
+        ),
         ("random", Sampler::Random),
     ];
-    let mut t =
-        TextTable::new(vec!["sampler", "mean staleness", "p99 staleness", "left in buffer"]);
+    let mut t = TextTable::new(vec![
+        "sampler",
+        "mean staleness",
+        "p99 staleness",
+        "left in buffer",
+    ]);
     for (name, sampler) in strategies {
         let mut buf = ExperienceBuffer::new(sampler, Eviction::None);
         let mut rng = SimRng::derive(opts.seed, "ablate-sampling", 1);
@@ -87,7 +118,11 @@ pub fn ablate_sampling(opts: &Opts) -> String {
             if i % 200 == 199 {
                 version += 1;
             }
-            let lag = if rng.chance(0.85) { rng.below(2) } else { rng.below(6) };
+            let lag = if rng.chance(0.85) {
+                rng.below(2)
+            } else {
+                rng.below(6)
+            };
             buf.write(laminar_data::Experience {
                 trajectory_id: i,
                 prompt_id: i / 16,
@@ -135,7 +170,11 @@ pub fn ablate_evolution(opts: &Opts) -> String {
         "mean staleness static -> growing",
         "max",
     ]);
-    for kind in [SystemKind::OneStep, SystemKind::PartialRollout, SystemKind::Laminar] {
+    for kind in [
+        SystemKind::OneStep,
+        SystemKind::PartialRollout,
+        SystemKind::Laminar,
+    ] {
         let mut cfg = opts.config(
             kind,
             ModelSpec::qwen_7b(),
@@ -169,8 +208,7 @@ pub fn ablate_evolution(opts: &Opts) -> String {
 
 /// Per-replica batch size: the utilization/staleness trade-off of §6.
 pub fn ablate_batch(opts: &Opts) -> String {
-    let mut out =
-        String::from("Ablation — per-replica batch size vs throughput and staleness\n\n");
+    let mut out = String::from("Ablation — per-replica batch size vs throughput and staleness\n\n");
     let cfg = opts.config(
         SystemKind::Laminar,
         ModelSpec::qwen_7b(),
@@ -184,7 +222,10 @@ pub fn ablate_batch(opts: &Opts) -> String {
         "max staleness",
     ]);
     for batch in [64usize, 128, 256, 512, 1024] {
-        let sys = LaminarSystem { replica_batch: Some(batch), ..LaminarSystem::default() };
+        let sys = LaminarSystem {
+            replica_batch: Some(batch),
+            ..LaminarSystem::default()
+        };
         let r = sys.run(&cfg);
         let mean = r.consumed.iter().map(|c| c.staleness as f64).sum::<f64>()
             / r.consumed.len().max(1) as f64;
@@ -214,7 +255,11 @@ pub fn ablate_chunks(_opts: &Opts) -> String {
     let kstar = chain.optimal_chunks(p, bytes);
     let mut t = TextTable::new(vec!["k", "broadcast time (s)"]);
     for k in [1usize, 8, 64, 512, 4096, kstar, 10 * kstar] {
-        let label = if k == kstar { format!("{k} (= k*)") } else { k.to_string() };
+        let label = if k == kstar {
+            format!("{k} (= k*)")
+        } else {
+            k.to_string()
+        };
         t.row(vec![label, f3(chain.broadcast_secs(p, bytes, k))]);
     }
     out.push_str(&t.render());

@@ -50,7 +50,11 @@ pub fn fig10(opts: &Opts) -> String {
             }
         };
         t.row(vec![
-            format!("{:.0}-{:.0}s", t_min + r as f64 * width, t_min + (r + 1) as f64 * width),
+            format!(
+                "{:.0}-{:.0}s",
+                t_min + r as f64 * width,
+                t_min + (r + 1) as f64 * width
+            ),
             pct(c[0]),
             pct(c[1]),
             pct(c[2]),
@@ -71,7 +75,11 @@ pub fn fig10(opts: &Opts) -> String {
 
 /// Figure 15: training through a rollout-machine failure.
 pub fn fig15(opts: &Opts) -> String {
-    let model = if opts.quick { ModelSpec::qwen_7b() } else { ModelSpec::qwen_32b() };
+    let model = if opts.quick {
+        ModelSpec::qwen_7b()
+    } else {
+        ModelSpec::qwen_32b()
+    };
     let total = if opts.quick { 16 } else { 128 };
     let mut cfg = opts.config(
         SystemKind::Laminar,
@@ -108,7 +116,11 @@ pub fn fig15(opts: &Opts) -> String {
         .iter()
         .map(|&(_, v)| v)
         .fold(0.0f64, f64::max);
-    let _ = writeln!(out, "{:>8}  {:>12}  generation throughput", "time", "tokens/s");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  generation throughput",
+        "time", "tokens/s"
+    );
     for &(t, v) in report.gen_series.points() {
         let _ = writeln!(
             out,
@@ -137,7 +149,11 @@ struct RepackComparison {
 fn run_repack_comparison(opts: &Opts) -> RepackComparison {
     // §8.4 setting: 32B, 64 train + 64 rollout GPUs, TP=4 (16 replicas);
     // quick mode shrinks to 7B at 8+8.
-    let model = if opts.quick { ModelSpec::qwen_7b() } else { ModelSpec::qwen_32b() };
+    let model = if opts.quick {
+        ModelSpec::qwen_7b()
+    } else {
+        ModelSpec::qwen_32b()
+    };
     let total = if opts.quick { 16 } else { 128 };
     let cfg = opts.config(
         SystemKind::Laminar,
@@ -146,7 +162,11 @@ fn run_repack_comparison(opts: &Opts) -> RepackComparison {
         WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
     );
     let with = LaminarSystem::default().run(&cfg);
-    let without = LaminarSystem { repack: false, ..LaminarSystem::default() }.run(&cfg);
+    let without = LaminarSystem {
+        repack: false,
+        ..LaminarSystem::default()
+    }
+    .run(&cfg);
     RepackComparison { with, without }
 }
 
@@ -186,8 +206,7 @@ pub fn table1(opts: &Opts) -> String {
     };
     let (avg_w, max_w) = lat(&cmp.with);
     let (avg_wo, max_wo) = lat(&cmp.without);
-    let overhead_per_round =
-        cmp.with.repack_overhead_secs / cmp.with.repack_events.max(1) as f64;
+    let overhead_per_round = cmp.with.repack_overhead_secs / cmp.with.repack_events.max(1) as f64;
     let mut out = String::from("Table 1 — rollout statistics with and without repack\n\n");
     let mut t = TextTable::new(vec![
         "variant",
@@ -223,7 +242,11 @@ pub fn run_with_idleness(opts: &Opts, idleness: IdlenessMetric) -> laminar_basel
         16,
         WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
     );
-    LaminarSystem { idleness, ..LaminarSystem::default() }.run(&cfg)
+    LaminarSystem {
+        idleness,
+        ..LaminarSystem::default()
+    }
+    .run(&cfg)
 }
 
 #[cfg(test)]

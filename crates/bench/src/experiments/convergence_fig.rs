@@ -8,9 +8,7 @@
 use crate::experiments::Opts;
 use crate::table::TextTable;
 use laminar_cluster::ModelSpec;
-use laminar_core::{
-    convergence_curve, ConvergenceConfig, StalenessRegime, SystemKind,
-};
+use laminar_core::{convergence_curve, ConvergenceConfig, StalenessRegime, SystemKind};
 use laminar_rl::ReasonEnv;
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write as _;
@@ -35,9 +33,9 @@ fn regime_for(kind: SystemKind, laminar_staleness: &[f64]) -> StalenessRegime {
         SystemKind::Verl => StalenessRegime::OnPolicy,
         SystemKind::OneStep | SystemKind::StreamGen => StalenessRegime::Fixed { k: 1 },
         SystemKind::PartialRollout => StalenessRegime::Mixed { window: 4 },
-        SystemKind::Laminar => {
-            StalenessRegime::Inherent { weights: laminar_staleness.to_vec() }
-        }
+        SystemKind::Laminar => StalenessRegime::Inherent {
+            weights: laminar_staleness.to_vec(),
+        },
     }
 }
 
@@ -116,7 +114,9 @@ pub fn fig13(opts: &Opts) -> String {
         }
         tt.row(vec![
             name.to_string(),
-            t_hit.map(|x| format!("{x:.0}s")).unwrap_or_else(|| "not reached".into()),
+            t_hit
+                .map(|x| format!("{x:.0}s"))
+                .unwrap_or_else(|| "not reached".into()),
         ]);
     }
     out.push('\n');
@@ -145,8 +145,14 @@ mod tests {
 
     #[test]
     fn regimes_match_systems() {
-        assert_eq!(regime_for(SystemKind::Verl, &[1.0]), StalenessRegime::OnPolicy);
-        assert_eq!(regime_for(SystemKind::OneStep, &[1.0]), StalenessRegime::Fixed { k: 1 });
+        assert_eq!(
+            regime_for(SystemKind::Verl, &[1.0]),
+            StalenessRegime::OnPolicy
+        );
+        assert_eq!(
+            regime_for(SystemKind::OneStep, &[1.0]),
+            StalenessRegime::Fixed { k: 1 }
+        );
         assert!(matches!(
             regime_for(SystemKind::PartialRollout, &[1.0]),
             StalenessRegime::Mixed { window: 4 }

@@ -8,26 +8,33 @@ pub mod tables;
 pub mod throughput;
 pub mod workload_figs;
 
-use laminar_baselines::{
-    OneStepStaleness, PartialRollout, RlSystem, RunReport, StreamGeneration, SystemConfig, VerlSync,
-};
+use laminar_baselines::{OneStepStaleness, PartialRollout, StreamGeneration, VerlSync};
 use laminar_cluster::ModelSpec;
 use laminar_core::{placement_for, LaminarSystem, SystemKind};
+use laminar_runtime::{RecordingTrace, RlSystem, RunReport, SystemConfig, TraceSink};
 use laminar_workload::WorkloadGenerator;
+use std::path::PathBuf;
 
 /// Harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Shrink batches/iterations for minutes-scale runs (default). `false`
     /// runs the paper-sized configurations.
     pub quick: bool,
     /// Root seed.
     pub seed: u64,
+    /// When set, every system run appends its event-trace spans to this
+    /// JSONL file (one span object per line).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { quick: true, seed: 7 }
+        Opts {
+            quick: true,
+            seed: 7,
+            trace: None,
+        }
     }
 }
 
@@ -57,14 +64,17 @@ impl Opts {
         cfg
     }
 
-    /// Runs a system kind on a configuration.
+    /// Runs a system kind on a configuration. With [`Opts::trace`] set, the
+    /// run's event spans are appended to the JSONL trace file.
     pub fn run_system(&self, kind: SystemKind, cfg: &SystemConfig) -> RunReport {
-        match kind {
-            SystemKind::Verl => VerlSync.run(cfg),
-            SystemKind::OneStep => OneStepStaleness.run(cfg),
-            SystemKind::StreamGen => StreamGeneration.run(cfg),
-            SystemKind::PartialRollout => PartialRollout.run(cfg),
-            SystemKind::Laminar => LaminarSystem::default().run(cfg),
+        match &self.trace {
+            None => dispatch(kind, cfg, &mut laminar_runtime::NullTrace),
+            Some(path) => {
+                let mut rec = RecordingTrace::new();
+                let report = dispatch(kind, cfg, &mut rec);
+                rec.append_jsonl(path).expect("append trace JSONL");
+                report
+            }
         }
     }
 
@@ -80,12 +90,41 @@ impl Opts {
     }
 }
 
+/// Runs `kind` on `cfg`, forwarding spans to `trace`.
+fn dispatch(kind: SystemKind, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+    match kind {
+        SystemKind::Verl => VerlSync.run_traced(cfg, trace),
+        SystemKind::OneStep => OneStepStaleness.run_traced(cfg, trace),
+        SystemKind::StreamGen => StreamGeneration.run_traced(cfg, trace),
+        SystemKind::PartialRollout => PartialRollout.run_traced(cfg, trace),
+        SystemKind::Laminar => LaminarSystem::default().run_traced(cfg, trace),
+    }
+}
+
 /// Every experiment id, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "fig1b", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "fig18", "table1", "table2", "table3", "ablate-repack",
-        "ablate-idleness", "ablate-sampling", "ablate-chunks", "ablate-batch",
+        "fig1b",
+        "fig2",
+        "fig4",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table1",
+        "table2",
+        "table3",
+        "ablate-repack",
+        "ablate-idleness",
+        "ablate-sampling",
+        "ablate-chunks",
+        "ablate-batch",
         "ablate-evolution",
     ]
 }
@@ -141,7 +180,10 @@ mod tests {
         let o = Opts::default();
         let s = o.scales(&ModelSpec::qwen_7b());
         assert_eq!(s, vec![16, 64, 256]);
-        let full = Opts { quick: false, ..Opts::default() };
+        let full = Opts {
+            quick: false,
+            ..Opts::default()
+        };
         assert_eq!(full.scales(&ModelSpec::qwen_7b()).len(), 5);
     }
 }

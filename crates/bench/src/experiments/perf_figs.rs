@@ -14,7 +14,10 @@ use std::fmt::Write as _;
 /// Figure 4: one-step decode latency vs batch size under various TP.
 pub fn fig4(_opts: &Opts) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — one-step decode latency (ms) vs decode batch size\n");
+    let _ = writeln!(
+        out,
+        "Figure 4 — one-step decode latency (ms) vs decode batch size\n"
+    );
     let configs = [
         ("7B", ModelSpec::qwen_7b(), vec![1usize, 2, 4]),
         ("32B", ModelSpec::qwen_32b(), vec![4usize, 8]),
@@ -58,8 +61,11 @@ pub fn fig9(opts: &Opts) -> String {
         (ModelSpec::qwen_32b(), 4usize, 512usize)
     };
     let decode = DecodeModel::new(model.clone(), GpuSpec::h800(), tp);
-    let mut ecfg = EngineConfig::default();
-    ecfg.record_kv_series = true;
+    let ecfg = EngineConfig {
+        record_kv_series: true,
+        record_trace: opts.trace.is_some(),
+        ..EngineConfig::default()
+    };
     let mut engine = ReplicaEngine::new(0, decode, ecfg);
     let workload = WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math32B);
     for i in 0..n as u64 {
@@ -70,7 +76,14 @@ pub fn fig9(opts: &Opts) -> String {
         engine.advance_to(t);
     }
     let series = engine.kv_series().clone();
-    let end = series.points().last().map(|&(t, _)| t).unwrap_or(Time::ZERO);
+    if let Some(path) = &opts.trace {
+        write_fig9_trace(path, &model, tp, &mut engine, &series);
+    }
+    let end = series
+        .points()
+        .last()
+        .map(|&(t, _)| t)
+        .unwrap_or(Time::ZERO);
     let window = Duration::from_secs_f64((end.as_secs_f64() / 40.0).max(1.0));
     let mut out = String::new();
     let _ = writeln!(
@@ -81,7 +94,13 @@ pub fn fig9(opts: &Opts) -> String {
     let windows = series.window_means(window);
     let mut peak: f64 = 0.0;
     for &(t, v) in &windows {
-        let _ = writeln!(out, "{:>8.0}s  {:>5.1}%  {}", t.as_secs_f64(), v * 100.0, crate::table::bar(v, 1.0));
+        let _ = writeln!(
+            out,
+            "{:>8.0}s  {:>5.1}%  {}",
+            t.as_secs_f64(),
+            v * 100.0,
+            crate::table::bar(v, 1.0)
+        );
         peak = peak.max(v);
     }
     let tail = windows.last().map(|&(_, v)| v).unwrap_or(0.0);
@@ -95,11 +114,65 @@ pub fn fig9(opts: &Opts) -> String {
     out
 }
 
+/// Appends the Figure 9 run as an event trace: the initial weight pull,
+/// every engine phase span, and a `Stall` span covering the ramp-down tail
+/// where KVCache utilization has fallen below half its peak (the idleness a
+/// repack pass would reclaim).
+fn write_fig9_trace(
+    path: &std::path::Path,
+    model: &ModelSpec,
+    tp: usize,
+    engine: &mut ReplicaEngine,
+    series: &laminar_sim::TimeSeries,
+) {
+    use laminar_runtime::{RecordingTrace, SpanKind, TraceSink, TraceSpan};
+    let mut rec = RecordingTrace::new();
+    // The replica pulls weights from its colocated relay before generating.
+    let relay = RelaySyncModel::new(MachineSpec::h800_server(), model.clone());
+    let pull = relay.pull_cached(tp);
+    rec.record(TraceSpan::new(
+        SpanKind::WeightSync,
+        Time::ZERO,
+        Time::ZERO + pull,
+        Some(0),
+        1,
+    ));
+    rec.record_all(
+        engine
+            .take_trace_spans()
+            .into_iter()
+            .map(|s| s.shifted_by(pull))
+            .collect(),
+    );
+    let pts = series.points();
+    let peak = pts.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let end = pts.last().map(|&(t, _)| t).unwrap_or(Time::ZERO);
+    let tail_start = pts
+        .iter()
+        .rev()
+        .find(|&&(_, v)| v >= 0.5 * peak)
+        .map(|&(t, _)| t)
+        .unwrap_or(end);
+    if tail_start < end {
+        rec.record(TraceSpan::new(
+            SpanKind::Stall,
+            tail_start + pull,
+            end + pull,
+            Some(0),
+            1,
+        ));
+    }
+    rec.append_jsonl(path).expect("append fig9 trace JSONL");
+}
+
 /// Figure 14: rollout waiting time during weight synchronization, plus the
 /// §8.3 actor stall numbers.
 pub fn fig14(_opts: &Opts) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 14 — rollout waiting time during weight sync (32B)\n");
+    let _ = writeln!(
+        out,
+        "Figure 14 — rollout waiting time during weight sync (32B)\n"
+    );
     let machine = MachineSpec::h800_server();
     let model = ModelSpec::qwen_32b();
     let relay = RelaySyncModel::new(machine.clone(), model.clone());
@@ -119,7 +192,13 @@ pub fn fig14(_opts: &Opts) -> String {
         let bcast = relay.broadcast_time(machines).as_secs_f64();
         let avg = 0.9 * best + 0.1 * (best + 0.5 * bcast);
         let red = (1.0 - avg / nccl) * 100.0;
-        t.row(vec![gpus.to_string(), f2(nccl), f2(avg), f2(best), format!("{red:.0}%")]);
+        t.row(vec![
+            gpus.to_string(),
+            f2(nccl),
+            f2(avg),
+            f2(best),
+            format!("{red:.0}%"),
+        ]);
     }
     out.push_str(&t.render());
     let s32 = relay.actor_stall().as_secs_f64();
@@ -148,7 +227,9 @@ pub fn fig18(opts: &Opts) -> String {
             f3(chain.optimal_broadcast_secs(p, ModelSpec::qwen_7b().weight_bytes())),
             f3(chain.optimal_broadcast_secs(p, ModelSpec::qwen_32b().weight_bytes())),
             f3(chain.optimal_broadcast_secs(p, ModelSpec::qwen_72b().weight_bytes())),
-            chain.optimal_chunks(p, ModelSpec::qwen_72b().weight_bytes()).to_string(),
+            chain
+                .optimal_chunks(p, ModelSpec::qwen_72b().weight_bytes())
+                .to_string(),
         ];
         t.row(row);
     }
@@ -162,7 +243,11 @@ pub fn fig18(opts: &Opts) -> String {
     // Real threaded tier: scaled-down bytes over a simulated 100 MB/s hop —
     // wall-clock must stay nearly constant as the chain grows.
     let size = if opts.quick { 1usize << 21 } else { 1 << 23 };
-    let _ = writeln!(out, "threaded relay tier ({} MiB, simulated 100 MB/s hops):", size >> 20);
+    let _ = writeln!(
+        out,
+        "threaded relay tier ({} MiB, simulated 100 MB/s hops):",
+        size >> 20
+    );
     let mut base = 0.0f64;
     for nodes in [2usize, 4, 8] {
         let mut tier = RelayTier::new(RelayTierConfig {
@@ -171,7 +256,7 @@ pub fn fig18(opts: &Opts) -> String {
             hop_startup: 0.0,
             ..RelayTierConfig::fast(nodes)
         });
-        let data = bytes::Bytes::from(vec![0xABu8; size]);
+        let data = laminar_relay::Bytes::from(vec![0xABu8; size]);
         let start = std::time::Instant::now();
         tier.publish(1, data);
         assert!(tier.wait_converged(1, std::time::Duration::from_secs(60)));
@@ -180,7 +265,11 @@ pub fn fig18(opts: &Opts) -> String {
         if nodes == 2 {
             base = secs;
         }
-        let _ = writeln!(out, "  {nodes:>3} nodes: {secs:.3}s  ({:.2}x of 2-node)", secs / base);
+        let _ = writeln!(
+            out,
+            "  {nodes:>3} nodes: {secs:.3}s  ({:.2}x of 2-node)",
+            secs / base
+        );
     }
     out
 }
@@ -207,7 +296,10 @@ mod tests {
     fn fig14_laminar_beats_nccl_everywhere() {
         let s = fig14(&Opts::default());
         assert!(s.contains("actor stall"));
-        for line in s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)) {
+        for line in s
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        {
             let _ = line;
         }
     }

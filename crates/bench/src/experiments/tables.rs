@@ -21,8 +21,16 @@ pub fn table2(_opts: &Opts) -> String {
                 t.row(vec![
                     kind.name().to_string(),
                     total.to_string(),
-                    if p.train == 0 { "colocated".into() } else { p.train.to_string() },
-                    if p.train == 0 { "colocated".into() } else { p.rollout.to_string() },
+                    if p.train == 0 {
+                        "colocated".into()
+                    } else {
+                        p.train.to_string()
+                    },
+                    if p.train == 0 {
+                        "colocated".into()
+                    } else {
+                        p.rollout.to_string()
+                    },
                     p.tp.to_string(),
                 ]);
             }
@@ -42,14 +50,21 @@ pub fn table3(_opts: &Opts) -> String {
         h.extend(systems.iter().map(|s| s.name().to_string()));
         h
     });
-    let hp: Vec<HyperParams> = systems.iter().map(|&k| HyperParams::for_system(k)).collect();
+    let hp: Vec<HyperParams> = systems
+        .iter()
+        .map(|&k| HyperParams::for_system(k))
+        .collect();
     let row = |name: &str, f: &dyn Fn(&HyperParams) -> String, t: &mut TextTable| {
         let mut r = vec![name.to_string()];
-        r.extend(hp.iter().map(|h| f(h)));
+        r.extend(hp.iter().map(f));
         t.row(r);
     };
     row("algorithm", &|h| h.algorithm.to_string(), &mut t);
-    row("learning rate", &|h| format!("{:.0e}", h.learning_rate), &mut t);
+    row(
+        "learning rate",
+        &|h| format!("{:.0e}", h.learning_rate),
+        &mut t,
+    );
     row("weight decay", &|h| h.weight_decay.to_string(), &mut t);
     row("clip eps_high", &|h| h.clip_high.to_string(), &mut t);
     row("clip eps_low", &|h| h.clip_low.to_string(), &mut t);
@@ -60,10 +75,18 @@ pub fn table3(_opts: &Opts) -> String {
     row("mini-batch", &|h| h.minibatch.to_string(), &mut t);
     row(
         "max concurrency",
-        &|h| h.max_concurrency.map(|x| x.to_string()).unwrap_or_else(|| "N/A".into()),
+        &|h| {
+            h.max_concurrency
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "N/A".into())
+        },
         &mut t,
     );
-    row("sampling", &|h| h.sampling.unwrap_or("N/A").to_string(), &mut t);
+    row(
+        "sampling",
+        &|h| h.sampling.unwrap_or("N/A").to_string(),
+        &mut t,
+    );
     row(
         "max staleness",
         &|h| {

@@ -15,12 +15,25 @@ use std::fmt::Write as _;
 /// system, single-turn vs multi-turn.
 pub fn fig1b(opts: &Opts) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1(b) — RL iteration time breakdown (synchronous system)\n");
-    let mut t =
-        TextTable::new(vec!["task", "generation %", "training %", "experience prep %"]);
+    let _ = writeln!(
+        out,
+        "Figure 1(b) — RL iteration time breakdown (synchronous system)\n"
+    );
+    let mut t = TextTable::new(vec![
+        "task",
+        "generation %",
+        "training %",
+        "experience prep %",
+    ]);
     for (name, workload) in [
-        ("single-turn (math)", WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B)),
-        ("multi-turn (tool-calling)", WorkloadGenerator::multi_turn(opts.seed)),
+        (
+            "single-turn (math)",
+            WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+        ),
+        (
+            "multi-turn (tool-calling)",
+            WorkloadGenerator::multi_turn(opts.seed),
+        ),
     ] {
         // At production scale training shrinks with GPU count while the
         // generation makespan stays tail-bound, so the split is measured on
@@ -45,7 +58,11 @@ pub fn fig1b(opts: &Opts) -> String {
     out
 }
 
-fn throughput_grid(opts: &Opts, workload_for: impl Fn(u64) -> WorkloadGenerator, models: &[ModelSpec]) -> String {
+fn throughput_grid(
+    opts: &Opts,
+    workload_for: impl Fn(u64) -> WorkloadGenerator,
+    models: &[ModelSpec],
+) -> String {
     let mut out = String::new();
     let systems = SystemKind::all();
     let mut results: HashMap<(String, usize, &'static str), f64> = HashMap::new();
@@ -88,7 +105,7 @@ fn throughput_grid(opts: &Opts, workload_for: impl Fn(u64) -> WorkloadGenerator,
                 format!("{:.1}%", hi / lo / (gmax / gmin) * 100.0),
             ]);
         }
-        out.push_str("\n");
+        out.push('\n');
         out.push_str(&eff.render());
         out.push('\n');
     }
@@ -104,7 +121,11 @@ fn throughput_grid(opts: &Opts, workload_for: impl Fn(u64) -> WorkloadGenerator,
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
         let max = ratios.iter().cloned().fold(0.0f64, f64::max);
-        avg.row(vec![kind.name().to_string(), format!("{mean:.2}x"), format!("{max:.2}x")]);
+        avg.row(vec![
+            kind.name().to_string(),
+            format!("{mean:.2}x"),
+            format!("{max:.2}x"),
+        ]);
     }
     out.push_str(&avg.render());
     out
@@ -118,9 +139,11 @@ pub fn fig11(opts: &Opts) -> String {
     } else {
         ModelSpec::paper_models()
     };
-    let grid = throughput_grid(opts, |seed| {
-        WorkloadGenerator::single_turn(seed, Checkpoint::Math7B)
-    }, &models);
+    let grid = throughput_grid(
+        opts,
+        |seed| WorkloadGenerator::single_turn(seed, Checkpoint::Math7B),
+        &models,
+    );
     out.push_str(&grid);
     out.push_str(
         "\npaper: Laminar averages 2.56x over verl (up to 5.49x), ~1.9x over the k=1\n\

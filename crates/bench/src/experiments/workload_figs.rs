@@ -61,7 +61,10 @@ pub fn fig2(opts: &Opts) -> String {
 pub fn fig17(opts: &Opts) -> String {
     let n = if opts.quick { 20_000 } else { 200_000 };
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 17 — response-length distributions per checkpoint\n");
+    let _ = writeln!(
+        out,
+        "Figure 17 — response-length distributions per checkpoint\n"
+    );
     let ckpts = [
         ("Qwen2.5-Math-7B", Checkpoint::Math7B),
         ("Qwen2.5-32B", Checkpoint::Math32B),

@@ -1,0 +1,132 @@
+//! Well-formedness of the JSONL event traces emitted by
+//! `laminar-experiments --trace <path>`: every line is one span object with
+//! a known kind, ordered virtual-time bounds, a replica id (or null), and a
+//! weight version.
+
+use laminar_bench::{run_experiment, Opts};
+use laminar_cluster::ModelSpec;
+use laminar_core::SystemKind;
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::path::PathBuf;
+
+const KINDS: &[&str] = &[
+    "prefill",
+    "decode_step",
+    "env_call",
+    "weight_sync",
+    "train_step",
+    "stall",
+    "repack",
+    "failure",
+];
+
+fn temp_trace(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("laminar-trace-{}-{tag}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Extracts the value of `"key":` from one flat JSON object line.
+fn raw_field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("missing {key} in {line}"))
+        + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).expect("terminated value");
+    &rest[..end]
+}
+
+fn u64_field(line: &str, key: &str) -> u64 {
+    raw_field(line, key)
+        .parse()
+        .unwrap_or_else(|_| panic!("non-integer {key} in {line}"))
+}
+
+/// Asserts every line of `path` is a well-formed span, returning the kinds
+/// seen (with multiplicity).
+fn check_trace(path: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    assert!(!text.is_empty(), "trace must not be empty");
+    assert!(text.ends_with('\n'), "JSONL ends with a newline");
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "one object per line: {line}"
+        );
+        let kind = raw_field(line, "kind").trim_matches('"').to_string();
+        assert!(KINDS.contains(&kind.as_str()), "unknown span kind {kind}");
+        let start = u64_field(line, "start_ns");
+        let end = u64_field(line, "end_ns");
+        assert!(end >= start, "span bounds ordered: {line}");
+        let replica = raw_field(line, "replica");
+        assert!(
+            replica == "null" || replica.parse::<u64>().is_ok(),
+            "replica is an id or null: {line}"
+        );
+        let _ = u64_field(line, "version");
+        let _ = u64_field(line, "tokens");
+        kinds.push(kind);
+    }
+    kinds
+}
+
+#[test]
+fn fig9_trace_covers_the_kv_lifecycle() {
+    let path = temp_trace("fig9");
+    let opts = Opts {
+        trace: Some(path.clone()),
+        ..Opts::default()
+    };
+    let report = run_experiment("fig9", &opts);
+    assert!(report.contains("ramp-down"));
+    let kinds = check_trace(&path);
+    for expect in ["prefill", "decode_step", "weight_sync", "stall"] {
+        assert!(
+            kinds.iter().any(|k| k == expect),
+            "fig9 trace missing {expect}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn baseline_run_trace_is_well_formed_and_appends() {
+    let path = temp_trace("verl");
+    let opts = Opts {
+        trace: Some(path.clone()),
+        ..Opts::default()
+    };
+    let cfg = opts.config(
+        SystemKind::Verl,
+        ModelSpec::qwen_7b(),
+        16,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    let r = opts.run_system(SystemKind::Verl, &cfg);
+    assert!(r.throughput > 0.0);
+    let first = check_trace(&path).len();
+    for expect in ["prefill", "decode_step", "weight_sync", "train_step"] {
+        assert!(
+            check_trace(&path).iter().any(|k| k == expect),
+            "verl trace missing {expect}"
+        );
+    }
+    // A second run appends rather than truncating, so one invocation can
+    // accumulate several systems into a single trace file.
+    let lam_cfg = opts.config(
+        SystemKind::Laminar,
+        ModelSpec::qwen_7b(),
+        16,
+        WorkloadGenerator::single_turn(opts.seed, Checkpoint::Math7B),
+    );
+    let _ = opts.run_system(SystemKind::Laminar, &lam_cfg);
+    let kinds = check_trace(&path);
+    assert!(kinds.len() > first, "second run appended spans");
+    assert!(kinds
+        .iter()
+        .any(|k| k == "repack" || k == "stall" || k == "weight_sync"));
+    std::fs::remove_file(&path).ok();
+}

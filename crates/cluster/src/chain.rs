@@ -14,10 +14,9 @@
 
 use crate::links::LinkSpec;
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// The pipelined chain broadcast over a given link type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChainBroadcast {
     /// Per-hop link (inter-machine RDMA in the paper).
     pub link: LinkSpec,
@@ -134,7 +133,10 @@ mod tests {
         let (bw, lat, pipe) = c.components(p, m);
         let t = c.optimal_broadcast_secs(p, m);
         let analytic = bw + lat + pipe;
-        assert!((t - analytic).abs() / analytic < 0.05, "t={t} analytic={analytic}");
+        assert!(
+            (t - analytic).abs() / analytic < 0.05,
+            "t={t} analytic={analytic}"
+        );
         // Bandwidth term dominates for LLM-scale messages.
         assert!(bw > 10.0 * (lat + pipe));
     }

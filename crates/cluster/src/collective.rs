@@ -9,10 +9,9 @@
 use crate::gpu::MachineSpec;
 use crate::model::ModelSpec;
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// NCCL-style global broadcast model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CollectiveModel {
     /// Machine fabric parameters.
     pub machine: MachineSpec,
@@ -27,7 +26,11 @@ pub struct CollectiveModel {
 impl CollectiveModel {
     /// Standard calibration for the H800 fabric.
     pub fn new(machine: MachineSpec) -> Self {
-        CollectiveModel { machine, coord_per_doubling: 0.35, coord_base: 0.4 }
+        CollectiveModel {
+            machine,
+            coord_per_doubling: 0.35,
+            coord_base: 0.4,
+        }
     }
 
     /// Seconds for a global NCCL weight broadcast of `model` from the actor
@@ -93,7 +96,7 @@ impl CollectiveModel {
 }
 
 /// HybridEngine context-switch model for colocated synchronous verl.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReshardModel {
     /// Machine fabric parameters.
     pub machine: MachineSpec,
@@ -105,7 +108,10 @@ pub struct ReshardModel {
 impl ReshardModel {
     /// Standard calibration.
     pub fn new(machine: MachineSpec) -> Self {
-        ReshardModel { machine, fixed: 2.0 }
+        ReshardModel {
+            machine,
+            fixed: 2.0,
+        }
     }
 
     /// Seconds to flip colocated GPUs between training and generation

@@ -1,10 +1,9 @@
 //! GPU, machine, and cluster hardware specifications.
 
 use crate::links::LinkSpec;
-use serde::{Deserialize, Serialize};
 
 /// A single accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, for reports.
     pub name: String,
@@ -40,7 +39,7 @@ impl GpuSpec {
 }
 
 /// One server: several GPUs plus its fabric attachments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Accelerator model installed.
     pub gpu: GpuSpec,
@@ -92,7 +91,7 @@ impl MachineSpec {
 }
 
 /// A homogeneous cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Machine model.
     pub machine: MachineSpec,

@@ -1,11 +1,10 @@
 //! Point-to-point link model.
 
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point link characterized by bandwidth and startup latency,
 /// i.e. the `t = s·T_byte + T_start` model of Appendix D.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Human-readable name for reports.
     pub name: String,
@@ -20,7 +19,11 @@ impl LinkSpec {
     pub fn new(name: &str, bandwidth: f64, startup: f64) -> Self {
         assert!(bandwidth > 0.0, "link bandwidth must be positive");
         assert!(startup >= 0.0, "link startup must be non-negative");
-        LinkSpec { name: name.to_string(), bandwidth, startup }
+        LinkSpec {
+            name: name.to_string(),
+            bandwidth,
+            startup,
+        }
     }
 
     /// Seconds per byte (`T_byte`).

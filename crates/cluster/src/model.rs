@@ -5,13 +5,11 @@
 //! bytes), layer/hidden geometry, and grouped-query-attention KV geometry
 //! (KVCache bytes per token).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per parameter / activation element in BF16.
 pub const BF16_BYTES: f64 = 2.0;
 
 /// An LLM architecture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// Model name for reports.
     pub name: String,

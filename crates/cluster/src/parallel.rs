@@ -1,13 +1,11 @@
 //! Parallelism plans for rollout and training engines.
 
-use serde::{Deserialize, Serialize};
-
 /// How an engine shards a model across GPUs.
 ///
 /// Rollouts use pure tensor parallelism (TP); trainers combine data
 /// parallelism (DDP/FSDP), tensor parallelism, pipeline parallelism (PP) and
 /// sequence parallelism (SP) following Appendix A.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParallelismPlan {
     /// Tensor-parallel degree (intra-machine, NVLink).
     pub tp: usize,
@@ -23,12 +21,20 @@ impl ParallelismPlan {
     /// Pure tensor parallelism over `tp` GPUs (rollout engines).
     pub fn tensor(tp: usize) -> Self {
         assert!(tp >= 1, "tp must be >= 1");
-        ParallelismPlan { tp, pp: 1, dp: 1, sp: 1 }
+        ParallelismPlan {
+            tp,
+            pp: 1,
+            dp: 1,
+            sp: 1,
+        }
     }
 
     /// Full plan; every degree must be at least 1.
     pub fn new(tp: usize, pp: usize, dp: usize, sp: usize) -> Self {
-        assert!(tp >= 1 && pp >= 1 && dp >= 1 && sp >= 1, "degrees must be >= 1");
+        assert!(
+            tp >= 1 && pp >= 1 && dp >= 1 && sp >= 1,
+            "degrees must be >= 1"
+        );
         ParallelismPlan { tp, pp, dp, sp }
     }
 
@@ -59,7 +65,12 @@ pub fn fsdp_plan_for(model_params: f64, train_gpus: usize) -> ParallelismPlan {
     };
     let fsdp = fsdp.min(train_gpus.max(1));
     let dp = (train_gpus / fsdp).max(1) * fsdp; // total data-parallel shards
-    ParallelismPlan { tp: 1, pp: 1, dp, sp }
+    ParallelismPlan {
+        tp: 1,
+        pp: 1,
+        dp,
+        sp,
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,9 @@
 use crate::gpu::GpuSpec;
 use crate::model::ModelSpec;
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Decode/prefill latency model for one rollout replica (a TP group).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecodeModel {
     /// Model being served.
     pub model: ModelSpec,
@@ -81,8 +80,8 @@ impl DecodeModel {
             return 0.0;
         }
         let tp = self.tp as f64;
-        let mem_bytes =
-            self.model.weight_bytes() / tp + ctx_tokens.max(0.0) * self.model.kv_bytes_per_token() / tp;
+        let mem_bytes = self.model.weight_bytes() / tp
+            + ctx_tokens.max(0.0) * self.model.kv_bytes_per_token() / tp;
         let mem_time = mem_bytes / self.effective_hbm();
         let compute_time = batch as f64 * self.model.fwd_flops_per_token()
             / (tp * self.gpu.bf16_flops * self.mfu_decode);
@@ -181,17 +180,26 @@ mod tests {
         let b = m.roofline_batch_limit();
         let t_at = m.step_secs(b, 0.0);
         let t_past = m.step_secs(b * 4, 0.0);
-        assert!(t_past > t_at * 2.0, "compute-bound region must scale with batch");
+        assert!(
+            t_past > t_at * 2.0,
+            "compute-bound region must scale with batch"
+        );
     }
 
     #[test]
     fn tp_gives_marginal_latency_reduction() {
         // Figure 4: allocating additional GPUs per rollout provides only
         // marginal latency reductions.
-        let t1 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1).step_secs(64, 64.0 * 4096.0);
-        let t4 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 4).step_secs(64, 64.0 * 4096.0);
+        let t1 =
+            DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1).step_secs(64, 64.0 * 4096.0);
+        let t4 =
+            DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 4).step_secs(64, 64.0 * 4096.0);
         assert!(t4 < t1, "TP must not slow decode down");
-        assert!(t1 / t4 < 3.0, "4x GPUs must give sub-linear speedup, got {}", t1 / t4);
+        assert!(
+            t1 / t4 < 3.0,
+            "4x GPUs must give sub-linear speedup, got {}",
+            t1 / t4
+        );
     }
 
     #[test]
@@ -229,6 +237,9 @@ mod tests {
         let m = m7b_tp1();
         let th8 = m.decode_throughput(8, 8.0 * 2048.0);
         let th64 = m.decode_throughput(64, 64.0 * 2048.0);
-        assert!(th64 > th8 * 3.0, "batching must raise throughput: {th8} vs {th64}");
+        assert!(
+            th64 > th8 * 3.0,
+            "batching must raise throughput: {th8} vs {th64}"
+        );
     }
 }

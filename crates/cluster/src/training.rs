@@ -9,10 +9,9 @@
 use crate::gpu::GpuSpec;
 use crate::model::ModelSpec;
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Trainer throughput model for a fixed GPU allocation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainModel {
     /// Model being trained.
     pub model: ModelSpec,

@@ -1,78 +1,120 @@
-//! Property-based tests of the performance models.
+//! Property-style tests of the performance models.
+//!
+//! Randomised inputs come from [`SimRng::derive`] with a fixed root seed
+//! and a per-test label; failing assertions name the `case` index.
 
 use laminar_cluster::{ChainBroadcast, DecodeModel, GpuSpec, LinkSpec, ModelSpec, TrainModel};
-use proptest::prelude::*;
+use laminar_sim::SimRng;
 
-fn any_model() -> impl Strategy<Value = ModelSpec> {
-    prop_oneof![
-        Just(ModelSpec::qwen_7b()),
-        Just(ModelSpec::qwen_32b()),
-        Just(ModelSpec::qwen_72b()),
-        Just(ModelSpec::tiny_test_model()),
-    ]
+const SEED: u64 = 0xC1A57E6;
+const CASES: u64 = 128;
+
+fn any_model(rng: &mut SimRng) -> ModelSpec {
+    match rng.below(4) {
+        0 => ModelSpec::qwen_7b(),
+        1 => ModelSpec::qwen_32b(),
+        2 => ModelSpec::qwen_72b(),
+        _ => ModelSpec::tiny_test_model(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Decode step latency is monotone in batch size and context total.
-    #[test]
-    fn decode_latency_monotone(model in any_model(), tp in 1usize..8, b in 1usize..512, ctx in 0f64..5e6) {
+/// Decode step latency is monotone in batch size and context total.
+#[test]
+fn decode_latency_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "decode_monotone", case);
+        let model = any_model(&mut rng);
+        let tp = 1 + rng.below(7) as usize;
+        let b = 1 + rng.below(511) as usize;
+        let ctx = rng.range_f64(0.0, 5e6);
         let m = DecodeModel::new(model, GpuSpec::h800(), tp);
         let t = m.step_secs(b, ctx);
-        prop_assert!(t > 0.0 && t.is_finite());
-        prop_assert!(m.step_secs(b + 1, ctx) >= t - 1e-12);
-        prop_assert!(m.step_secs(b, ctx + 1e5) >= t - 1e-12);
+        assert!(t > 0.0 && t.is_finite(), "case {case}");
+        assert!(
+            m.step_secs(b + 1, ctx) >= t - 1e-12,
+            "case {case}: batch monotonicity"
+        );
+        assert!(
+            m.step_secs(b, ctx + 1e5) >= t - 1e-12,
+            "case {case}: context monotonicity"
+        );
     }
+}
 
-    /// More tensor parallelism never slows a fixed operating point down.
-    #[test]
-    fn tp_never_hurts_latency(b in 1usize..256, ctx in 0f64..2e6) {
-        let m1 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
-        let m2 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 2);
+/// More tensor parallelism never slows a fixed operating point down.
+#[test]
+fn tp_never_hurts_latency() {
+    let m1 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
+    let m2 = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 2);
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "tp_latency", case);
+        let b = 1 + rng.below(255) as usize;
+        let ctx = rng.range_f64(0.0, 2e6);
         // Overheads grow with TP but the memory/compute split shrinks; at
         // any realistic point TP2 is at least no worse than 1.25x TP1.
-        prop_assert!(m2.step_secs(b, ctx) <= m1.step_secs(b, ctx) * 1.25);
+        assert!(
+            m2.step_secs(b, ctx) <= m1.step_secs(b, ctx) * 1.25,
+            "case {case}"
+        );
     }
+}
 
-    /// KVCache capacity grows with TP and shrinks with model size.
-    #[test]
-    fn kvcache_capacity_scaling(tp in 1usize..8) {
+/// KVCache capacity grows with TP and shrinks with model size.
+#[test]
+fn kvcache_capacity_scaling() {
+    for tp in 1usize..8 {
         let small = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), tp);
-        let big = DecodeModel::new(ModelSpec::qwen_32b(), GpuSpec::h800(), tp.max(4));
-        prop_assert!(small.kvcache_capacity_tokens() > 0);
+        assert!(small.kvcache_capacity_tokens() > 0);
         let larger_tp = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), tp + 1);
-        prop_assert!(larger_tp.kvcache_capacity_tokens() > small.kvcache_capacity_tokens());
-        let _ = big;
+        assert!(larger_tp.kvcache_capacity_tokens() > small.kvcache_capacity_tokens());
     }
+}
 
-    /// Training time is inversely proportional to GPU count.
-    #[test]
-    fn training_scales_inverse_with_gpus(gpus in 1usize..512, tokens in 1e5f64..1e9) {
+/// Training time is inversely proportional to GPU count.
+#[test]
+fn training_scales_inverse_with_gpus() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "train_scaling", case);
+        let gpus = 1 + rng.below(511) as usize;
+        let tokens = rng.range_f64(1e5, 1e9);
         let a = TrainModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), gpus);
         let b = TrainModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), gpus * 2);
         let ta = a.minibatch_secs(tokens);
         let tb = b.minibatch_secs(tokens);
-        prop_assert!((ta / tb - 2.0).abs() < 1e-6);
+        assert!((ta / tb - 2.0).abs() < 1e-6, "case {case}: {ta} vs {tb}");
     }
+}
 
-    /// Chain broadcast time is monotone in message size and weakly monotone
-    /// in node count.
-    #[test]
-    fn chain_broadcast_monotone(p in 2usize..256, gb in 0.1f64..200.0) {
-        let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
+/// Chain broadcast time is monotone in message size and weakly monotone
+/// in node count.
+#[test]
+fn chain_broadcast_monotone() {
+    let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "chain_monotone", case);
+        let p = 2 + rng.below(254) as usize;
+        let gb = rng.range_f64(0.1, 200.0);
         let t = chain.optimal_broadcast_secs(p, gb * 1e9);
-        prop_assert!(t > 0.0);
-        prop_assert!(chain.optimal_broadcast_secs(p, gb * 2e9) > t);
-        prop_assert!(chain.optimal_broadcast_secs(p + 1, gb * 1e9) >= t - 1e-9);
+        assert!(t > 0.0, "case {case}");
+        assert!(
+            chain.optimal_broadcast_secs(p, gb * 2e9) > t,
+            "case {case}: size monotonicity"
+        );
+        assert!(
+            chain.optimal_broadcast_secs(p + 1, gb * 1e9) >= t - 1e-9,
+            "case {case}: node monotonicity"
+        );
     }
+}
 
-    /// Roofline batch bound is stable across model sizes (it is a device
-    /// ops:byte property).
-    #[test]
-    fn roofline_bound_is_device_property(model in any_model()) {
-        let m = DecodeModel::new(model, GpuSpec::h800(), 1);
+/// Roofline batch bound is stable across model sizes (it is a device
+/// ops:byte property).
+#[test]
+fn roofline_bound_is_device_property() {
+    for case in 0..4 {
+        let mut rng = SimRng::derive(SEED, "roofline", case);
+        let m = DecodeModel::new(any_model(&mut rng), GpuSpec::h800(), 1);
         let b = m.roofline_batch_limit();
-        prop_assert!((100..300).contains(&b), "B = {b}");
+        assert!((100..300).contains(&b), "case {case}: B = {b}");
     }
 }

@@ -1,9 +1,7 @@
 //! Table 3: hyperparameters of the convergence experiments.
 
-use serde::{Deserialize, Serialize};
-
 /// The five systems under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Synchronous colocated verl.
     Verl,
@@ -42,7 +40,7 @@ impl SystemKind {
 }
 
 /// One Table 3 column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HyperParams {
     /// Training algorithm name.
     pub algorithm: &'static str,
@@ -91,10 +89,15 @@ impl HyperParams {
             max_staleness: None,
         };
         match kind {
-            SystemKind::Verl => HyperParams { minibatch: 512, max_staleness: Some(0), ..base },
-            SystemKind::OneStep | SystemKind::StreamGen => {
-                HyperParams { max_staleness: Some(1), ..base }
-            }
+            SystemKind::Verl => HyperParams {
+                minibatch: 512,
+                max_staleness: Some(0),
+                ..base
+            },
+            SystemKind::OneStep | SystemKind::StreamGen => HyperParams {
+                max_staleness: Some(1),
+                ..base
+            },
             SystemKind::PartialRollout => HyperParams {
                 algorithm: "Decoupled PPO",
                 learning_rate: 2e-5,
@@ -132,13 +135,19 @@ mod tests {
         let lam = HyperParams::for_system(SystemKind::Laminar);
         assert_eq!(lam.algorithm, "GRPO");
         assert_eq!(lam.clip_high, 0.28);
-        assert_eq!(lam.minibatch, 2048, "async systems raise the mini-batch to 2048");
+        assert_eq!(
+            lam.minibatch, 2048,
+            "async systems raise the mini-batch to 2048"
+        );
         assert_eq!(lam.sampling, Some("FIFO"));
     }
 
     #[test]
     fn all_lists_five_systems() {
         let names: Vec<&str> = SystemKind::all().iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["verl", "one-step", "stream-gen", "AReaL", "Laminar"]);
+        assert_eq!(
+            names,
+            vec!["verl", "one-step", "stream-gen", "AReaL", "Laminar"]
+        );
     }
 }

@@ -27,6 +27,6 @@ pub mod system;
 
 pub use convergence::{convergence_curve, ConvergenceConfig, StalenessRegime};
 pub use hyper::{HyperParams, SystemKind};
-pub use laminar_baselines::{RlSystem, RunReport, SystemConfig};
+pub use laminar_runtime::{RlSystem, RunReport, SystemConfig};
 pub use placement::{paper_configs, placement_for, Placement, ScalePoint};
 pub use system::{ElasticSpec, FaultSpec, LaminarSystem, TrainerFaultSpec};

@@ -5,13 +5,12 @@
 //! shift GPUs toward the trainer at large scale.
 
 use crate::hyper::SystemKind;
-use laminar_baselines::SystemConfig;
 use laminar_cluster::ModelSpec;
+use laminar_runtime::SystemConfig;
 use laminar_workload::WorkloadGenerator;
-use serde::{Deserialize, Serialize};
 
 /// One evaluated cluster size for one model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalePoint {
     /// Model evaluated.
     pub model: ModelSpec,
@@ -20,7 +19,7 @@ pub struct ScalePoint {
 }
 
 /// A train/rollout GPU split plus the rollout TP degree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// Trainer GPUs (0 = colocated).
     pub train: usize,
@@ -149,7 +148,11 @@ mod tests {
         ] {
             for model in ModelSpec::paper_models() {
                 for (total, p) in paper_configs(kind, &model) {
-                    let used = if p.train == 0 { p.rollout } else { p.train + p.rollout };
+                    let used = if p.train == 0 {
+                        p.rollout
+                    } else {
+                        p.train + p.rollout
+                    };
                     assert_eq!(used, total, "{kind:?} {} {total}", model.name);
                     assert_eq!(p.rollout % p.tp, 0, "rollout GPUs divisible by TP");
                 }
@@ -165,8 +168,7 @@ mod tests {
         let small = placement_for(SystemKind::Laminar, &m, 64);
         let large = placement_for(SystemKind::Laminar, &m, 1024);
         assert!(
-            large.train as f64 / large.rollout as f64
-                > small.train as f64 / small.rollout as f64
+            large.train as f64 / large.rollout as f64 > small.train as f64 / small.rollout as f64
         );
         assert_eq!(large.train, 640);
         assert_eq!(large.rollout, 384);
@@ -195,7 +197,10 @@ mod tests {
             SystemKind::Laminar,
             ModelSpec::qwen_7b(),
             16,
-            laminar_workload::WorkloadGenerator::single_turn(1, laminar_workload::Checkpoint::Math7B),
+            laminar_workload::WorkloadGenerator::single_turn(
+                1,
+                laminar_workload::Checkpoint::Math7B,
+            ),
         );
         assert_eq!(cfg.total_gpus(), 16);
         assert_eq!(cfg.replicas(), 8);

@@ -1,0 +1,122 @@
+//! Fault handling: machine loss + recovery (Figure 15) and trainer failure
+//! with checkpoint replay (§3.3).
+
+use super::{Ev, World};
+use laminar_rollout::ReplicaEngine;
+use laminar_runtime::SpanKind;
+use laminar_sim::{Scheduler, Time};
+
+impl World {
+    /// A rollout machine dies: its replicas stop, their in-flight state is
+    /// lost, and the partial response pool redirects every affected
+    /// trajectory to a healthy replica on the same weight version (or back
+    /// to the prompt pool).
+    pub(super) fn kill_machine(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        let spec = self.opts.fault.clone().expect("fault configured");
+        for &r in &spec.replicas {
+            if !self.alive[r] {
+                continue;
+            }
+            self.engines[r].advance_to(now);
+            self.alive[r] = false;
+            self.manager.evict(r);
+            self.span(
+                SpanKind::Failure,
+                now,
+                now + spec.recover_after,
+                Some(r),
+                self.relay_version,
+                0,
+            );
+            // The engine's in-flight state is lost with the machine;
+            // the partial response pool still has every trajectory.
+            let _ = self.engines[r].drain_in_progress(now);
+            let lost = self.partials.drain_rollout(r);
+            // Redirect to healthy replicas generating the same
+            // weight version; otherwise restart from the prompt pool.
+            for p in lost {
+                let target = (0..self.engines.len()).find(|&h| {
+                    self.alive[h]
+                        && !self.pulling[h]
+                        && self.engines[h].weight_version()
+                            == *p.policy_versions.last().expect("non-empty")
+                });
+                match target {
+                    Some(h) => {
+                        self.partials.begin(
+                            p.spec.clone(),
+                            h,
+                            *p.policy_versions.last().expect("non-empty"),
+                            now,
+                        );
+                        let mut st = laminar_rollout::TrajState::new(
+                            p.spec,
+                            *p.policy_versions.last().expect("non-empty"),
+                            p.started_at,
+                        );
+                        st.total_decoded = p.generated_tokens as f64;
+                        st.segment = p.segment_index;
+                        st.policy_versions = p.policy_versions;
+                        self.engines[h].inject(vec![st], now);
+                    }
+                    None => self.pool.push_front(p.spec),
+                }
+            }
+        }
+        for r in 0..self.engines.len() {
+            if self.alive[r] {
+                self.wake(r, sched);
+            }
+        }
+        sched.after(spec.recover_after, Ev::RecoverMachine);
+    }
+
+    /// The replacement machine is up: fresh engines initialize from the
+    /// master relay at the latest version and rejoin the run.
+    pub(super) fn recover_machine(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        let spec = self.opts.fault.clone().expect("fault configured");
+        for &r in &spec.replicas {
+            self.alive[r] = true;
+            self.pulling[r] = false;
+            let fresh = ReplicaEngine::new(r, self.cfg.decode_model(), self.engine_cfg());
+            let mut dead = std::mem::replace(&mut self.engines[r], fresh);
+            // Keep the spans the dead engine recorded before the failure.
+            self.trace_spans.extend(dead.take_trace_spans());
+            self.manager.mark_recovered(r, now);
+            self.engines[r].set_weight_version(self.relay_version, now);
+            self.start_batch(r, now);
+            self.wake(r, sched);
+        }
+    }
+
+    /// The trainer worker dies: the in-flight update (if any) is lost; its
+    /// eventual `TrainerDone` is discarded by epoch. Recovery evicts,
+    /// restarts, loads the latest checkpoint, and replays the newer updates
+    /// while rollouts keep generating (§3.3).
+    pub(super) fn trainer_fail(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        self.trainer_failed = true;
+        self.trainer_busy = false;
+        self.trainer_epoch += 1;
+        let spec = self
+            .opts
+            .trainer_fault
+            .clone()
+            .expect("trainer fault configured");
+        let (_resume, replayed) = self.checkpoints.recovery(self.version);
+        let replay = self.last_iter_duration * replayed;
+        self.span(
+            SpanKind::Failure,
+            now,
+            now + spec.recover_after + replay,
+            None,
+            self.version,
+            0,
+        );
+        sched.after(spec.recover_after + replay, Ev::TrainerRecover);
+    }
+
+    pub(super) fn trainer_recover(&mut self, sched: &mut Scheduler<Ev>) {
+        self.trainer_failed = false;
+        sched.immediately(Ev::TrainerCheck);
+    }
+}

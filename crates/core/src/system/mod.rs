@@ -1,0 +1,313 @@
+//! The Laminar system world (Figure 5).
+//!
+//! Split along its natural seams:
+//!
+//! * [`mod@self`] — experiment toggles, fault/elasticity specs, the world
+//!   state, and system assembly ([`RlSystem::run_traced`]);
+//! * [`driver`] — the steady-state event loop: replica batches, weight
+//!   refresh via the relay tier, trainer scheduling, dynamic repack;
+//! * [`faults`] — machine-kill / recovery and trainer-failure handling
+//!   (Figure 15, §3.3);
+//! * [`elastic`] — mid-run rollout scale-out (§3.3);
+//! * [`timeline`] — throughput-timeline sampling and event-trace emission.
+
+mod driver;
+mod elastic;
+mod faults;
+#[cfg(test)]
+mod tests;
+mod timeline;
+
+use laminar_data::{ExperienceBuffer, PartialResponsePool};
+use laminar_relay::RelaySyncModel;
+use laminar_rollout::manager::{ManagerConfig, RolloutManager};
+use laminar_rollout::{EngineConfig, ReplicaEngine};
+use laminar_runtime::{RlSystem, RunReport, SystemConfig, TraceSink, TraceSpan};
+use laminar_sim::{Duration, SimRng, Simulation, Time};
+use laminar_workload::TrajectorySpec;
+use std::collections::VecDeque;
+
+/// Fault-injection spec for the Figure 15 experiment.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// When the machine dies.
+    pub kill_at: Time,
+    /// Replicas hosted on the failed machine.
+    pub replicas: Vec<usize>,
+    /// Time to allocate a replacement machine and re-initialize rollouts
+    /// (≈252 s in §8.5).
+    pub recover_after: Duration,
+}
+
+/// Trainer-fault spec (§3.3): the trainer worker fails and recovers from
+/// the latest checkpoint while rollouts keep generating.
+#[derive(Debug, Clone)]
+pub struct TrainerFaultSpec {
+    /// When the trainer fails (any in-flight update is lost).
+    pub fail_at: Time,
+    /// Eviction + restart + checkpoint-load time before replay begins.
+    pub recover_after: Duration,
+}
+
+/// Elastic scale-out spec (§3.3): fresh rollout machines join mid-run,
+/// initialize from the relay tier, and start generating.
+#[derive(Debug, Clone)]
+pub struct ElasticSpec {
+    /// When the new machines come online.
+    pub at: Time,
+    /// Replicas added.
+    pub replicas: usize,
+}
+
+/// How the manager detects underutilized rollouts (the §8.4/§5.2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdlenessMetric {
+    /// The paper's KVCache ramp-down detector.
+    KvCacheLifecycle,
+    /// RLHFuse-style static remaining-request threshold.
+    StaticThreshold(usize),
+}
+
+/// The Laminar system, with experiment toggles.
+#[derive(Debug, Clone)]
+pub struct LaminarSystem {
+    /// Enable the dynamic repack mechanism (disable for the Figure 16
+    /// ablation).
+    pub repack: bool,
+    /// Idleness detection strategy.
+    pub idleness: IdlenessMetric,
+    /// Inject a machine failure (Figure 15).
+    pub fault: Option<FaultSpec>,
+    /// Inject a trainer failure (§3.3 checkpoint recovery).
+    pub trainer_fault: Option<TrainerFaultSpec>,
+    /// Add rollout replicas mid-run (§3.3 elasticity).
+    pub elastic: Option<ElasticSpec>,
+    /// Checkpoint the actor every this many versions.
+    pub checkpoint_every: u64,
+    /// Override the per-replica prompt batch size (default: the global
+    /// batch divided across replicas, capped by max concurrency). Larger
+    /// batches raise utilization between weight refreshes but also raise
+    /// the emergent inherent staleness — the trade-off §6 describes.
+    pub replica_batch: Option<usize>,
+    /// Record generation/training throughput timelines (Figures 15/16).
+    pub record_timeline: bool,
+    /// Timeline sampling period.
+    pub sample_every: Duration,
+}
+
+impl Default for LaminarSystem {
+    fn default() -> Self {
+        LaminarSystem {
+            repack: true,
+            idleness: IdlenessMetric::KvCacheLifecycle,
+            fault: None,
+            trainer_fault: None,
+            elastic: None,
+            checkpoint_every: 5,
+            replica_batch: None,
+            record_timeline: false,
+            sample_every: Duration::from_secs(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    ReplicaWake {
+        r: usize,
+        epoch: u64,
+    },
+    /// Replica finished pulling weights; start its next batch.
+    ReplicaResume {
+        r: usize,
+        version: u64,
+    },
+    TrainerCheck,
+    TrainerDone {
+        tokens: f64,
+        epoch: u64,
+    },
+    WeightsAvailable {
+        version: u64,
+    },
+    RepackTick,
+    SampleTick,
+    KillMachine,
+    RecoverMachine,
+    TrainerFail,
+    TrainerRecover,
+    AddReplicas {
+        count: usize,
+    },
+}
+
+struct World {
+    cfg: SystemConfig,
+    opts: LaminarSystem,
+    engines: Vec<ReplicaEngine>,
+    alive: Vec<bool>,
+    /// Replicas currently mid weight-pull (not generating).
+    pulling: Vec<bool>,
+    pool: VecDeque<TrajectorySpec>,
+    partials: PartialResponsePool,
+    buffer: ExperienceBuffer,
+    manager: RolloutManager,
+    relay: RelaySyncModel,
+    dataset: laminar_workload::Dataset,
+    batches_issued: u64,
+    train: laminar_cluster::TrainModel,
+    replica_batch: usize,
+    /// Actor's version (increments per completed iteration).
+    version: u64,
+    /// Newest version fully broadcast to all relays.
+    relay_version: u64,
+    trainer_busy: bool,
+    /// True while the trainer worker is down (§3.3 trainer fault).
+    trainer_failed: bool,
+    /// Incremented on trainer failure; stale in-flight `TrainerDone`
+    /// events (work lost with the worker) are discarded by epoch.
+    trainer_epoch: u64,
+    checkpoints: laminar_data::CheckpointStore,
+    /// Duration of the last completed training iteration (replay estimate).
+    last_iter_duration: Duration,
+    iterations_done: usize,
+    last_train_done: Time,
+    rng: SimRng,
+    report: RunReport,
+    gen_tokens_prev: f64,
+    gen_sample_prev: Time,
+    train_tokens_cum: f64,
+    train_tokens_prev: f64,
+    /// Event-trace capture (see [`timeline`]).
+    record_trace: bool,
+    trace_spans: Vec<TraceSpan>,
+    /// When the in-flight training iteration started (feeds `TrainStep`).
+    trainer_started: Time,
+    /// When the trainer last became free (feeds trainer `Stall` spans).
+    trainer_free_at: Time,
+}
+
+impl World {
+    /// Engine configuration for a fresh replica under this run's options.
+    fn engine_cfg(&self) -> EngineConfig {
+        let mut c = self.cfg.engine_config();
+        c.record_trace = self.record_trace;
+        c
+    }
+
+    fn done(&self) -> bool {
+        self.iterations_done >= self.cfg.total_iterations()
+    }
+}
+
+impl RlSystem for LaminarSystem {
+    fn name(&self) -> &'static str {
+        if self.repack {
+            "laminar"
+        } else {
+            "laminar-no-repack"
+        }
+    }
+
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+        assert!(
+            cfg.train_gpus > 0,
+            "Laminar is disaggregated: set train_gpus > 0"
+        );
+        let replicas = cfg.replicas();
+        let replica_batch = self.replica_batch.unwrap_or_else(|| {
+            cfg.max_concurrency
+                .min((cfg.global_batch() / replicas).max(cfg.group_size))
+                .max(1)
+        });
+        let mut manager = RolloutManager::new(ManagerConfig::default());
+        for r in 0..replicas {
+            manager.register(r, Time::ZERO);
+        }
+        let mut world = World {
+            cfg: cfg.clone(),
+            opts: self.clone(),
+            engines: Vec::new(),
+            alive: vec![true; replicas],
+            pulling: vec![false; replicas],
+            pool: VecDeque::new(),
+            partials: PartialResponsePool::new(),
+            buffer: ExperienceBuffer::fifo_unbounded(),
+            manager,
+            relay: RelaySyncModel::new(cfg.machine.clone(), cfg.model.clone()),
+            dataset: cfg.dataset(),
+            batches_issued: 0,
+            train: cfg.train_model(),
+            replica_batch,
+            version: 0,
+            relay_version: 0,
+            trainer_busy: false,
+            trainer_failed: false,
+            trainer_epoch: 0,
+            checkpoints: laminar_data::CheckpointStore::new(self.checkpoint_every.max(1), 4),
+            last_iter_duration: Duration::ZERO,
+            iterations_done: 0,
+            last_train_done: Time::ZERO,
+            rng: SimRng::derive(cfg.seed, "laminar-system", 0),
+            report: RunReport {
+                system: self.name().into(),
+                ..RunReport::default()
+            },
+            gen_tokens_prev: 0.0,
+            gen_sample_prev: Time::ZERO,
+            train_tokens_cum: 0.0,
+            train_tokens_prev: 0.0,
+            record_trace: trace.enabled(),
+            trace_spans: Vec::new(),
+            trainer_started: Time::ZERO,
+            trainer_free_at: Time::ZERO,
+        };
+        world.engines = (0..replicas)
+            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), world.engine_cfg()))
+            .collect();
+        let mut sim = Simulation::new(world);
+        for r in 0..replicas {
+            sim.world.start_batch(r, Time::ZERO);
+            let epoch = sim.world.engines[r].epoch();
+            if let Some(t) = sim.world.engines[r].next_event_time() {
+                sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
+            }
+        }
+        sim.scheduler
+            .after(ManagerConfig::default().repack_interval, Ev::RepackTick);
+        if self.record_timeline {
+            sim.scheduler.after(self.sample_every, Ev::SampleTick);
+        }
+        if let Some(f) = &self.fault {
+            sim.scheduler.at(f.kill_at, Ev::KillMachine);
+        }
+        if let Some(f) = &self.trainer_fault {
+            sim.scheduler.at(f.fail_at, Ev::TrainerFail);
+        }
+        if let Some(e) = &self.elastic {
+            sim.scheduler
+                .at(e.at, Ev::AddReplicas { count: e.replicas });
+        }
+        sim.scheduler.immediately(Ev::TrainerCheck);
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "laminar run did not complete its iterations");
+        trace.record_all(std::mem::take(&mut sim.world.trace_spans));
+        for e in &mut sim.world.engines {
+            trace.record_all(e.take_trace_spans());
+        }
+        let mut report = sim.world.report;
+        let alive = sim.world.alive.iter().filter(|a| **a).count().max(1);
+        report.mean_kv_utilization = sim
+            .world
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| sim.world.alive[*r])
+            .map(|(_, e)| e.mean_kv_utilization())
+            .sum::<f64>()
+            / alive as f64;
+        report.generation_fraction = 0.0; // fully overlapped by design
+        report.finalize();
+        report
+    }
+}

@@ -1,0 +1,157 @@
+//! Laminar system behaviour tests. Cross-system throughput comparisons
+//! against the baselines live in the workspace-level `tests/` suite, which
+//! can see both crates.
+
+use super::*;
+use laminar_runtime::{RecordingTrace, SpanKind};
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+
+fn cfg() -> SystemConfig {
+    let mut c = SystemConfig::small_test(WorkloadGenerator::single_turn(3, Checkpoint::Math7B));
+    c.train_gpus = 4;
+    c.rollout_gpus = 4;
+    c
+}
+
+#[test]
+fn laminar_completes_with_low_staleness() {
+    let r = LaminarSystem::default().run(&cfg());
+    assert_eq!(r.iteration_secs.len(), 2);
+    assert!(r.throughput > 0.0);
+    assert!(
+        r.max_staleness() <= 4,
+        "paper observes ≤4: {}",
+        r.max_staleness()
+    );
+    assert_eq!(
+        r.mixed_version_fraction(),
+        0.0,
+        "single version per trajectory"
+    );
+}
+
+#[test]
+fn rollout_waits_are_small() {
+    let r = LaminarSystem::default().run(&cfg());
+    // Pull-from-colocated-relay over PCIe: well under the NCCL global
+    // sync cost of the same model (Figure 14).
+    let nccl = cfg()
+        .collective()
+        .nccl_broadcast_secs(&cfg().model, cfg().rollout_gpus);
+    for &w in &r.rollout_waits {
+        assert!(w < nccl, "pull {w} must beat global sync {nccl}");
+    }
+}
+
+#[test]
+fn fault_injection_recovers() {
+    let sys = LaminarSystem {
+        fault: Some(FaultSpec {
+            kill_at: Time::from_secs(60),
+            replicas: vec![0, 1],
+            recover_after: Duration::from_secs(252),
+        }),
+        record_timeline: true,
+        sample_every: Duration::from_secs(20),
+        ..LaminarSystem::default()
+    };
+    let mut c = cfg();
+    c.iterations = 3;
+    let r = sys.run(&c);
+    assert_eq!(
+        r.iteration_secs.len(),
+        3,
+        "training survives the machine failure"
+    );
+    assert!(!r.gen_series.is_empty());
+}
+
+#[test]
+fn trainer_fault_recovers_from_checkpoint() {
+    let sys = LaminarSystem {
+        trainer_fault: Some(TrainerFaultSpec {
+            fail_at: Time::from_secs(120),
+            recover_after: Duration::from_secs(90),
+        }),
+        checkpoint_every: 1,
+        ..LaminarSystem::default()
+    };
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let clean = LaminarSystem::default().run(&c);
+    let hurt = sys.run(&c);
+    // Same number of iterations complete; the faulty run is slower but
+    // bounded (checkpoint every version => at most one replayed update).
+    assert_eq!(hurt.iteration_secs.len(), clean.iteration_secs.len());
+    let slow: f64 = hurt.iteration_secs.iter().sum();
+    let fast: f64 = clean.iteration_secs.iter().sum();
+    assert!(slow >= fast, "fault cannot speed training up");
+    assert!(
+        slow < fast + 600.0,
+        "recovery cost bounded: {slow} vs {fast}"
+    );
+}
+
+#[test]
+fn elastic_replicas_raise_throughput() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 1;
+    let base = LaminarSystem::default().run(&c);
+    let grown = LaminarSystem {
+        elastic: Some(ElasticSpec {
+            at: Time::from_secs(30),
+            replicas: 4,
+        }),
+        ..LaminarSystem::default()
+    }
+    .run(&c);
+    assert!(
+        grown.throughput > base.throughput,
+        "extra rollouts must help a generation-bound job: {} vs {}",
+        grown.throughput,
+        base.throughput
+    );
+}
+
+#[test]
+fn no_repack_variant_runs() {
+    let sys = LaminarSystem {
+        repack: false,
+        ..LaminarSystem::default()
+    };
+    let r = sys.run(&cfg());
+    assert_eq!(r.repack_events, 0);
+    assert!(r.throughput > 0.0);
+    assert_eq!(r.system, "laminar-no-repack");
+}
+
+#[test]
+fn traced_run_covers_every_laminar_phase() {
+    let mut trace = RecordingTrace::new();
+    let traced = LaminarSystem::default().run_traced(&cfg(), &mut trace);
+    let count = |k: SpanKind| trace.of_kind(k).len();
+    // Engine phases plus driver phases all present.
+    assert!(count(SpanKind::Prefill) > 0);
+    assert!(count(SpanKind::DecodeStep) > 0);
+    assert!(count(SpanKind::TrainStep) >= cfg().total_iterations());
+    assert!(
+        count(SpanKind::WeightSync) > 0,
+        "relay publishes + replica pulls traced"
+    );
+    for s in trace.spans() {
+        assert!(s.end >= s.start);
+    }
+    // Replica-side weight pulls carry the replica id; actor publishes are
+    // global.
+    let syncs = trace.of_kind(SpanKind::WeightSync);
+    assert!(
+        syncs.iter().any(|s| s.replica.is_none()),
+        "actor publish spans"
+    );
+    // Tracing must not perturb the simulation.
+    let plain = LaminarSystem::default().run(&cfg());
+    assert_eq!(plain.throughput, traced.throughput);
+    assert_eq!(plain.iteration_secs, traced.iteration_secs);
+}

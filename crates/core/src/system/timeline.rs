@@ -1,0 +1,49 @@
+//! Observation: throughput-timeline sampling (Figures 15/16) and
+//! event-trace span capture.
+
+use super::World;
+use laminar_runtime::{SpanKind, TraceSpan};
+use laminar_sim::Time;
+
+impl World {
+    /// Records one span when tracing is enabled (see
+    /// [`laminar_runtime::TraceSink`]); spans are forwarded to the caller's
+    /// sink when the run completes.
+    pub(super) fn span(
+        &mut self,
+        kind: SpanKind,
+        start: Time,
+        end: Time,
+        replica: Option<usize>,
+        version: u64,
+        tokens: u64,
+    ) {
+        if self.record_trace {
+            self.trace_spans
+                .push(TraceSpan::new(kind, start, end, replica, version).with_tokens(tokens));
+        }
+    }
+
+    /// Samples generation / training throughput since the previous tick.
+    pub(super) fn sample_timeline(&mut self, now: Time) {
+        let total: f64 = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| self.alive[*r])
+            .map(|(_, e)| e.tokens_decoded())
+            .sum();
+        let dt = now.since(self.gen_sample_prev).as_secs_f64();
+        if dt > 1e-9 {
+            self.report
+                .gen_series
+                .push(now, (total - self.gen_tokens_prev) / dt);
+            self.report
+                .train_series
+                .push(now, (self.train_tokens_cum - self.train_tokens_prev) / dt);
+        }
+        self.gen_tokens_prev = total;
+        self.train_tokens_prev = self.train_tokens_cum;
+        self.gen_sample_prev = now;
+    }
+}

@@ -9,11 +9,10 @@
 
 use crate::experience::Experience;
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Trainer-side sampling strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sampler {
     /// Oldest completed trajectories first (the paper's default).
     Fifo,
@@ -30,7 +29,7 @@ pub enum Sampler {
 }
 
 /// Buffer eviction strategy applied on insertion overflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Eviction {
     /// Unbounded buffer.
     None,
@@ -47,7 +46,7 @@ pub enum Eviction {
 }
 
 /// Occupancy and flow statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BufferStats {
     /// Experiences currently held.
     pub occupancy: usize,
@@ -60,7 +59,7 @@ pub struct BufferStats {
 }
 
 /// The experience buffer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperienceBuffer {
     entries: VecDeque<Experience>,
     sampler: Sampler,
@@ -117,7 +116,8 @@ impl ExperienceBuffer {
     pub fn sample(&mut self, n: usize, current_version: u64, rng: &mut SimRng) -> Vec<Experience> {
         if let Eviction::MaxStaleness { max_staleness } = self.eviction {
             let before = self.entries.len();
-            self.entries.retain(|e| e.staleness(current_version) <= max_staleness);
+            self.entries
+                .retain(|e| e.staleness(current_version) <= max_staleness);
             self.stats.evicted += (before - self.entries.len()) as u64;
         }
         let mut out = Vec::with_capacity(n);
@@ -269,20 +269,30 @@ mod tests {
             b.write(exp(i, 0));
         }
         let mut rng = SimRng::new(1);
-        let ids: Vec<u64> = b.sample(2, 0, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        let ids: Vec<u64> = b
+            .sample(2, 0, &mut rng)
+            .iter()
+            .map(|e| e.trajectory_id)
+            .collect();
         assert_eq!(ids, vec![3, 2]);
     }
 
     #[test]
     fn staleness_capped_skips_stale() {
-        let mut b =
-            ExperienceBuffer::new(Sampler::StalenessCapped { max_staleness: 1 }, Eviction::None);
+        let mut b = ExperienceBuffer::new(
+            Sampler::StalenessCapped { max_staleness: 1 },
+            Eviction::None,
+        );
         b.write(exp(0, 1)); // staleness 4 at version 5
         b.write(exp(1, 5)); // staleness 0
         b.write(exp(2, 4)); // staleness 1
         let mut rng = SimRng::new(1);
         assert_eq!(b.ready(5), 2);
-        let ids: Vec<u64> = b.sample(5, 5, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        let ids: Vec<u64> = b
+            .sample(5, 5, &mut rng)
+            .iter()
+            .map(|e| e.trajectory_id)
+            .collect();
         assert_eq!(ids, vec![1, 2]);
         assert_eq!(b.len(), 1); // the stale one remains
     }
@@ -296,7 +306,11 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(b.stats().evicted, 7);
         let mut rng = SimRng::new(1);
-        let ids: Vec<u64> = b.sample(3, 0, &mut rng).iter().map(|e| e.trajectory_id).collect();
+        let ids: Vec<u64> = b
+            .sample(3, 0, &mut rng)
+            .iter()
+            .map(|e| e.trajectory_id)
+            .collect();
         assert_eq!(ids, vec![7, 8, 9]);
     }
 

@@ -8,10 +8,9 @@
 //! from, and how much training is replayed?*
 
 use laminar_sim::Time;
-use serde::{Deserialize, Serialize};
 
 /// One persisted checkpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Actor weight version persisted.
     pub version: u64,
@@ -20,7 +19,7 @@ pub struct Checkpoint {
 }
 
 /// Periodic checkpoint policy plus the persisted history.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointStore {
     /// Persist every `every` versions (e.g. every 5 iterations).
     pub every: u64,
@@ -35,16 +34,23 @@ impl CheckpointStore {
     /// newest `keep`.
     pub fn new(every: u64, keep: usize) -> Self {
         assert!(every >= 1 && keep >= 1, "degenerate checkpoint policy");
-        CheckpointStore { every, history: Vec::new(), keep }
+        CheckpointStore {
+            every,
+            history: Vec::new(),
+            keep,
+        }
     }
 
     /// Called after every actor update; persists when the policy says so.
     /// Returns the checkpoint if one was written.
     pub fn on_version(&mut self, version: u64, now: Time) -> Option<Checkpoint> {
-        if version % self.every != 0 {
+        if !version.is_multiple_of(self.every) {
             return None;
         }
-        let ckpt = Checkpoint { version, written_at: now };
+        let ckpt = Checkpoint {
+            version,
+            written_at: now,
+        };
         self.history.push(ckpt);
         while self.history.len() > self.keep {
             self.history.remove(0);

@@ -1,7 +1,6 @@
 //! Completed-trajectory records.
 
 use laminar_sim::Time;
-use serde::{Deserialize, Serialize};
 
 /// A completed trajectory, as stored in the experience buffer.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// has exactly one element (§6); under partial rollout a long trajectory
 /// accumulates one entry per interrupting weight update (§2.3), the
 /// mixed-version contamination the convergence experiments measure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Experience {
     /// Globally unique trajectory id.
     pub trajectory_id: u64,
@@ -35,12 +34,19 @@ impl Experience {
     /// The version that started the trajectory (the behaviour policy for
     /// importance weighting).
     pub fn behavior_version(&self) -> u64 {
-        *self.policy_versions.first().expect("policy_versions is never empty")
+        *self
+            .policy_versions
+            .first()
+            .expect("policy_versions is never empty")
     }
 
     /// The newest version that contributed tokens.
     pub fn latest_version(&self) -> u64 {
-        *self.policy_versions.iter().max().expect("policy_versions is never empty")
+        *self
+            .policy_versions
+            .iter()
+            .max()
+            .expect("policy_versions is never empty")
     }
 
     /// True when more than one distinct policy version generated the
@@ -106,6 +112,9 @@ mod tests {
     fn token_and_latency_accounting() {
         let e = exp(vec![1]);
         assert_eq!(e.total_tokens(), 1000);
-        assert_eq!(e.generation_latency(), laminar_sim::Duration::from_secs(240));
+        assert_eq!(
+            e.generation_latency(),
+            laminar_sim::Duration::from_secs(240)
+        );
     }
 }

@@ -9,11 +9,10 @@
 
 use laminar_sim::Time;
 use laminar_workload::TrajectorySpec;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Streamed state of one in-progress trajectory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartialResponse {
     /// The underlying assignment.
     pub spec: TrajectorySpec,
@@ -40,7 +39,7 @@ impl PartialResponse {
 }
 
 /// Central store of in-progress trajectories, keyed by trajectory id.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PartialResponsePool {
     entries: HashMap<u64, PartialResponse>,
     total_updates: u64,

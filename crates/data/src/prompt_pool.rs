@@ -1,7 +1,6 @@
 //! The prompt pool: queue of trajectory assignments awaiting generation.
 
 use laminar_workload::TrajectorySpec;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// FIFO pool of trajectory specs waiting for a rollout.
@@ -9,7 +8,7 @@ use std::collections::VecDeque;
 /// Rollouts pull work; trajectories lost to failures are re-queued at the
 /// *front* so interrupted work resumes before fresh prompts are started
 /// (§3.3 redirects interrupted trajectories to healthy rollouts first).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PromptPool {
     queue: VecDeque<TrajectorySpec>,
     pulled: u64,
@@ -82,7 +81,9 @@ mod tests {
 
     fn specs(n: u64) -> Vec<TrajectorySpec> {
         let w = WorkloadGenerator::single_turn(1, Checkpoint::Math7B);
-        (0..n).map(|i| w.trajectory(i, i / 16, (i % 16) as usize, 1.0)).collect()
+        (0..n)
+            .map(|i| w.trajectory(i, i / 16, (i % 16) as usize, 1.0))
+            .collect()
     }
 
     #[test]

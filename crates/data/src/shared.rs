@@ -7,8 +7,7 @@
 use crate::buffer::{BufferStats, Eviction, ExperienceBuffer, Sampler};
 use crate::experience::Experience;
 use laminar_sim::SimRng;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An [`ExperienceBuffer`] shared between writer and sampler threads.
 #[derive(Debug, Clone)]
@@ -19,7 +18,9 @@ pub struct SharedExperienceBuffer {
 impl SharedExperienceBuffer {
     /// Wraps a buffer for sharing.
     pub fn new(buffer: ExperienceBuffer) -> Self {
-        SharedExperienceBuffer { inner: Arc::new(Mutex::new(buffer)) }
+        SharedExperienceBuffer {
+            inner: Arc::new(Mutex::new(buffer)),
+        }
     }
 
     /// FIFO unbounded buffer, the paper's default.
@@ -29,32 +30,38 @@ impl SharedExperienceBuffer {
 
     /// Writer API (any thread).
     pub fn write(&self, exp: Experience) {
-        self.inner.lock().write(exp);
+        self.inner.lock().expect("buffer lock poisoned").write(exp);
     }
 
     /// Sampler API (any thread).
     pub fn sample(&self, n: usize, current_version: u64, rng: &mut SimRng) -> Vec<Experience> {
-        self.inner.lock().sample(n, current_version, rng)
+        self.inner
+            .lock()
+            .expect("buffer lock poisoned")
+            .sample(n, current_version, rng)
     }
 
     /// Entries ready at the given version.
     pub fn ready(&self, current_version: u64) -> usize {
-        self.inner.lock().ready(current_version)
+        self.inner
+            .lock()
+            .expect("buffer lock poisoned")
+            .ready(current_version)
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("buffer lock poisoned").len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().expect("buffer lock poisoned").is_empty()
     }
 
     /// Flow statistics snapshot.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats()
+        self.inner.lock().expect("buffer lock poisoned").stats()
     }
 }
 

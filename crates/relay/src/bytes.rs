@@ -1,0 +1,119 @@
+//! A minimal cheaply-cloneable byte buffer.
+//!
+//! The relay tier moves weight blobs between threads and slices them into
+//! broadcast chunks. Copying a multi-gigabyte blob per chunk would swamp the
+//! runtime, so [`Bytes`] shares one allocation behind an `Arc` and a slice is
+//! just a `(start, end)` window over it — the same shape as the `bytes`
+//! crate's type, reimplemented here so the workspace builds with no external
+//! dependencies.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer supporting zero-copy slicing.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether this view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-slice of this view. Panics if the range is out of
+    /// bounds, matching slice-indexing semantics.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(self.start + range.end <= self.end, "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Wraps an owned vector without copying.
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage_and_windows_correctly() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let mid = b.slice(10..20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(&*mid, &(10u8..20).collect::<Vec<u8>>()[..]);
+        let inner = mid.slice(2..5);
+        assert_eq!(&*inner, &[12u8, 13, 14]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3]).slice(1..4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..6);
+    }
+}

@@ -8,6 +8,7 @@ use std::ops::Range;
 pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     let chunks = chunks.max(1);
     if len == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one empty chunk, not a collected range
         return vec![0..0];
     }
     let chunks = chunks.min(len);

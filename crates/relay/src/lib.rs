@@ -18,10 +18,12 @@
 //!   re-election; the fault-tolerance claims are validated against this
 //!   implementation.
 
+pub mod bytes;
 pub mod chunk;
 pub mod model;
 pub mod runtime;
 
+pub use bytes::Bytes;
 pub use chunk::{chunk_ranges, shard_ranges};
 pub use model::RelaySyncModel;
 pub use runtime::{RelayTier, RelayTierConfig, RepairReport, WeightVersion};

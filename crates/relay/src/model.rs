@@ -7,10 +7,9 @@
 
 use laminar_cluster::{ChainBroadcast, CollectiveModel, MachineSpec, ModelSpec};
 use laminar_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Relay-tier weight synchronization latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RelaySyncModel {
     /// Machine fabric.
     pub machine: MachineSpec,
@@ -25,7 +24,11 @@ pub struct RelaySyncModel {
 impl RelaySyncModel {
     /// Standard calibration.
     pub fn new(machine: MachineSpec, model: ModelSpec) -> Self {
-        RelaySyncModel { machine, model, reshard_secs: 0.25 }
+        RelaySyncModel {
+            machine,
+            model,
+            reshard_secs: 0.25,
+        }
     }
 
     /// Time the *actor* stalls per weight publication: one push to the

@@ -15,12 +15,11 @@
 //! per-hop chunk latency, nearly independent of chain length — on real
 //! threads, not just in the analytic model.
 
+use crate::bytes::Bytes;
 use crate::chunk::{chunk_ranges, shard_ranges};
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration as StdDuration, Instant};
 
@@ -34,7 +33,12 @@ pub struct WeightVersion {
 }
 
 enum Command {
-    Chunk { version: u64, index: u32, total: u32, data: Bytes },
+    Chunk {
+        version: u64,
+        index: u32,
+        total: u32,
+        data: Bytes,
+    },
     SetNext(Option<Sender<Command>>),
     Ping(Sender<usize>),
     Fail,
@@ -116,7 +120,7 @@ impl RelayTier {
         assert!(cfg.chunk_bytes >= 1, "chunk size must be positive");
         let mut nodes = Vec::with_capacity(cfg.nodes);
         for id in 0..cfg.nodes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             let store: Store = Arc::new(RwLock::new(None));
             let st = store.clone();
             let hop_spb = cfg.hop_seconds_per_byte;
@@ -125,11 +129,22 @@ impl RelayTier {
                 .name(format!("relay-{id}"))
                 .spawn(move || node_loop(id, rx, st, hop_spb, hop_start))
                 .expect("spawn relay worker");
-            nodes.push(NodeHandle { cmd: tx, store, alive: true, thread: Some(thread) });
+            nodes.push(NodeHandle {
+                cmd: tx,
+                store,
+                alive: true,
+                thread: Some(thread),
+            });
         }
         let chain: Vec<usize> = (0..cfg.nodes).collect();
-        let mut tier =
-            RelayTier { cfg, nodes, chain, latest: None, publishes: 0, rebroadcasts: 0 };
+        let mut tier = RelayTier {
+            cfg,
+            nodes,
+            chain,
+            latest: None,
+            publishes: 0,
+            rebroadcasts: 0,
+        };
         tier.relink_chain();
         tier
     }
@@ -195,7 +210,12 @@ impl RelayTier {
     /// (colocated PCIe load in the paper). `None` if nothing arrived yet or
     /// the id is out of range.
     pub fn pull(&self, id: usize) -> Option<WeightVersion> {
-        self.nodes.get(id)?.store.read().clone()
+        self.nodes
+            .get(id)?
+            .store
+            .read()
+            .expect("relay store poisoned")
+            .clone()
     }
 
     /// Rollout pull of one TP shard: rank `rank` of a `tp`-way replica gets
@@ -209,7 +229,13 @@ impl RelayTier {
 
     /// Version resident on relay `id`, if any.
     pub fn node_version(&self, id: usize) -> Option<u64> {
-        self.nodes.get(id)?.store.read().as_ref().map(|w| w.version)
+        self.nodes
+            .get(id)?
+            .store
+            .read()
+            .expect("relay store poisoned")
+            .as_ref()
+            .map(|w| w.version)
     }
 
     /// Blocks until every alive relay holds `version` (or newer), up to
@@ -244,7 +270,7 @@ impl RelayTier {
     pub fn heartbeat(&self) -> Vec<usize> {
         let mut failed = Vec::new();
         for &id in &self.chain {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             let _ = self.nodes[id].cmd.send(Command::Ping(tx));
             match rx.recv_timeout(self.cfg.heartbeat_timeout) {
                 Ok(_) => {}
@@ -276,7 +302,12 @@ impl RelayTier {
             self.send_version_to_master(&wv);
             self.rebroadcasts += 1;
         }
-        RepairReport { failed, rebuild, master: self.master(), rebroadcast }
+        RepairReport {
+            failed,
+            rebuild,
+            master: self.master(),
+            rebroadcast,
+        }
     }
 
     /// Elastically adds a fresh relay at the end of the chain (replacement
@@ -284,7 +315,7 @@ impl RelayTier {
     /// by a targeted catch-up send. Returns the new relay's id.
     pub fn add_node(&mut self) -> usize {
         let id = self.nodes.len();
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let store: Store = Arc::new(RwLock::new(None));
         let st = store.clone();
         let hop_spb = self.cfg.hop_seconds_per_byte;
@@ -293,14 +324,18 @@ impl RelayTier {
             .name(format!("relay-{id}"))
             .spawn(move || node_loop(id, rx, st, hop_spb, hop_start))
             .expect("spawn relay worker");
-        self.nodes.push(NodeHandle { cmd: tx, store, alive: true, thread: Some(thread) });
+        self.nodes.push(NodeHandle {
+            cmd: tx,
+            store,
+            alive: true,
+            thread: Some(thread),
+        });
         self.chain.push(id);
         self.relink_chain();
         if let Some(wv) = self.latest.clone() {
             // Catch-up: send directly to the newcomer (it is the chain tail,
             // so nothing is forwarded twice).
-            let ranges =
-                chunk_ranges(wv.data.len(), wv.data.len().div_ceil(self.cfg.chunk_bytes));
+            let ranges = chunk_ranges(wv.data.len(), wv.data.len().div_ceil(self.cfg.chunk_bytes));
             let total = ranges.len() as u32;
             for (i, r) in ranges.into_iter().enumerate() {
                 let _ = self.nodes[id].cmd.send(Command::Chunk {
@@ -339,7 +374,12 @@ fn node_loop(
     let mut assemblies: HashMap<u64, Assembly> = HashMap::new();
     while let Ok(cmd) = inbox.recv() {
         match cmd {
-            Command::Chunk { version, index, total, data } => {
+            Command::Chunk {
+                version,
+                index,
+                total,
+                data,
+            } => {
                 if failed {
                     continue;
                 }
@@ -358,7 +398,11 @@ fn node_loop(
                         data: data.clone(),
                     });
                 }
-                let have = store.read().as_ref().map(|w| w.version);
+                let have = store
+                    .read()
+                    .expect("relay store poisoned")
+                    .as_ref()
+                    .map(|w| w.version);
                 if have.is_some_and(|v| v >= version) {
                     continue; // already assembled (duplicate from a repair)
                 }
@@ -377,14 +421,20 @@ fn node_loop(
                 if a.count == a.total {
                     let a = assemblies.remove(&version).expect("assembly exists");
                     let mut blob = Vec::with_capacity(
-                        a.received.iter().map(|c| c.as_ref().map_or(0, |b| b.len())).sum(),
+                        a.received
+                            .iter()
+                            .map(|c| c.as_ref().map_or(0, |b| b.len()))
+                            .sum(),
                     );
                     for c in a.received {
                         blob.extend_from_slice(&c.expect("all chunks received"));
                     }
-                    let mut w = store.write();
+                    let mut w = store.write().expect("relay store poisoned");
                     if w.as_ref().is_none_or(|cur| cur.version < version) {
-                        *w = Some(WeightVersion { version, data: Bytes::from(blob) });
+                        *w = Some(WeightVersion {
+                            version,
+                            data: Bytes::from(blob),
+                        });
                     }
                 }
             }
@@ -476,7 +526,10 @@ mod tests {
         let report = tier.repair();
         assert_eq!(report.failed, vec![3]);
         assert_eq!(report.master, 0);
-        assert!(report.rebuild < StdDuration::from_secs(1), "rebuild must be fast");
+        assert!(
+            report.rebuild < StdDuration::from_secs(1),
+            "rebuild must be fast"
+        );
         tier.publish(2, blob(1 << 18, 9));
         assert!(tier.wait_converged(2, StdDuration::from_secs(5)));
         assert_eq!(tier.alive_nodes(), vec![0, 1, 2, 4, 5]);

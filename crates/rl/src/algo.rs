@@ -14,10 +14,9 @@ use crate::env::{Problem, ReasonEnv};
 use crate::nn::{clip_grad_norm, Adam};
 use crate::policy::{Policy, TabularPolicy};
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// One policy decision inside a trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajStep {
     /// State index.
     pub state: usize,
@@ -30,7 +29,7 @@ pub struct TrajStep {
 }
 
 /// A completed RL trajectory with its verifier reward.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RlTrajectory {
     /// Prompt identity (trajectories of the same prompt form a GRPO group).
     pub prompt_id: u64,
@@ -93,7 +92,12 @@ pub fn generate_mixed_episode(
         actions.push(action);
     }
     let reward = env.reward(problem, &actions);
-    RlTrajectory { prompt_id, problem, steps, reward }
+    RlTrajectory {
+        prompt_id,
+        problem,
+        steps,
+        reward,
+    }
 }
 
 /// GRPO group advantages: `(r − mean) / (std + ε)` within the group.
@@ -118,7 +122,11 @@ pub fn grpo_advantages(rewards: &[f64]) -> Vec<f64> {
 /// `ρ = exp(logπ_cur − ref_logp)`; `∂L/∂logπ_cur = −ρ·A` when the unclipped
 /// branch is active, else 0.
 pub fn surrogate_coeff(ratio: f64, adv: f64, clip_low: f64, clip_high: f64) -> f64 {
-    let active = if adv >= 0.0 { ratio < 1.0 + clip_high } else { ratio > 1.0 - clip_low };
+    let active = if adv >= 0.0 {
+        ratio < 1.0 + clip_high
+    } else {
+        ratio > 1.0 - clip_low
+    };
     if active {
         -ratio * adv
     } else {
@@ -127,7 +135,7 @@ pub fn surrogate_coeff(ratio: f64, adv: f64, clip_low: f64, clip_high: f64) -> f
 }
 
 /// Trainer configuration (Table 3's Laminar column by default).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GrpoConfig {
     /// Learning rate.
     pub lr: f64,
@@ -158,7 +166,7 @@ impl Default for GrpoConfig {
 }
 
 /// Per-update statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct UpdateStats {
     /// Mean reward across the batch.
     pub mean_reward: f64,
@@ -185,7 +193,12 @@ impl GrpoTrainer {
     pub fn new(env: &ReasonEnv, cfg: GrpoConfig) -> Self {
         let policy = TabularPolicy::new(env.num_states(), env.actions);
         let opt = Adam::new(cfg.lr);
-        GrpoTrainer { policy, cfg, opt, version: 0 }
+        GrpoTrainer {
+            policy,
+            cfg,
+            opt,
+            version: 0,
+        }
     }
 
     /// Current policy version (increments per update).
@@ -229,15 +242,16 @@ impl GrpoTrainer {
                     let (ref_logp, is_weight) = if self.cfg.decoupled {
                         let prox = proximal.expect("decoupled mode needs a proximal policy");
                         let prox_logp = prox.log_prob(step.state, step.action);
-                        let w = (prox_logp - step.behavior_logp).exp().min(self.cfg.is_truncation);
+                        let w = (prox_logp - step.behavior_logp)
+                            .exp()
+                            .min(self.cfg.is_truncation);
                         (prox_logp, w)
                     } else {
                         (step.behavior_logp, 1.0)
                     };
                     let ratio = (cur_logp - ref_logp).exp();
                     ratio_sum += ratio;
-                    let coeff =
-                        surrogate_coeff(ratio, adv, self.cfg.clip_low, self.cfg.clip_high);
+                    let coeff = surrogate_coeff(ratio, adv, self.cfg.clip_low, self.cfg.clip_high);
                     if coeff == 0.0 && adv != 0.0 {
                         clipped += 1;
                     }
@@ -323,9 +337,7 @@ mod tests {
                 let prompt_id = (it * prompts + p) as u64;
                 let problem = env.problem_for_prompt(seed, prompt_id);
                 let group: Vec<RlTrajectory> = (0..group_size)
-                    .map(|_| {
-                        generate_episode(env, &behavior, bver, prompt_id, problem, &mut rng)
-                    })
+                    .map(|_| generate_episode(env, &behavior, bver, prompt_id, problem, &mut rng))
                     .collect();
                 groups.push(group);
             }
@@ -380,8 +392,10 @@ mod tests {
     #[test]
     fn decoupled_update_requires_proximal() {
         let env = ReasonEnv::new(4, 3, 4, 3);
-        let mut cfg = GrpoConfig::default();
-        cfg.decoupled = true;
+        let cfg = GrpoConfig {
+            decoupled: true,
+            ..GrpoConfig::default()
+        };
         let mut trainer = GrpoTrainer::new(&env, cfg);
         let behavior = trainer.policy.clone();
         let proximal = trainer.policy.clone();

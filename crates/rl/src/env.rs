@@ -14,10 +14,9 @@
 //! trajectories.
 
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// The environment definition (shared by all policies and systems).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReasonEnv {
     /// Number of problem types.
     pub types: usize,
@@ -33,7 +32,7 @@ pub struct ReasonEnv {
 }
 
 /// One sampled problem (a "prompt").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Problem {
     /// Problem type.
     pub ptype: usize,
@@ -44,11 +43,19 @@ pub struct Problem {
 impl ReasonEnv {
     /// Builds an environment with a hidden answer table drawn from `seed`.
     pub fn new(types: usize, actions: usize, max_depth: usize, seed: u64) -> Self {
-        assert!(types > 0 && actions > 1 && max_depth > 0, "degenerate environment");
+        assert!(
+            types > 0 && actions > 1 && max_depth > 0,
+            "degenerate environment"
+        );
         let mut rng = SimRng::derive(seed, "reason-env", 0);
-        let correct =
-            (0..types * max_depth).map(|_| rng.index(actions)).collect();
-        ReasonEnv { types, actions, max_depth, tokens_per_step: 512, correct }
+        let correct = (0..types * max_depth).map(|_| rng.index(actions)).collect();
+        ReasonEnv {
+            types,
+            actions,
+            max_depth,
+            tokens_per_step: 512,
+            correct,
+        }
     }
 
     /// A small default environment used across experiments and tests.
@@ -168,7 +175,10 @@ mod tests {
     fn episode_tokens_scale_with_depth() {
         let env = ReasonEnv::standard(1);
         let shallow = env.episode_tokens(Problem { ptype: 0, depth: 1 });
-        let deep = env.episode_tokens(Problem { ptype: 0, depth: 10 });
+        let deep = env.episode_tokens(Problem {
+            ptype: 0,
+            depth: 10,
+        });
         assert_eq!(deep, shallow * 10);
     }
 }

@@ -4,10 +4,9 @@
 //! finite differences in the tests).
 
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A dense layer `y = W·x + b` with accumulated gradients.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     /// Input width.
     pub in_dim: usize,
@@ -27,7 +26,9 @@ impl Linear {
     /// He-initialized layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut SimRng) -> Self {
         let scale = (2.0 / in_dim as f64).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.standard_normal() * scale).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.standard_normal() * scale)
+            .collect();
         Linear {
             in_dim,
             out_dim,
@@ -79,7 +80,7 @@ impl Linear {
 }
 
 /// A ReLU MLP with a linear output head.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     /// Layers, applied in order; ReLU between layers, none after the last.
     pub layers: Vec<Linear>,
@@ -97,8 +98,14 @@ pub struct MlpCache {
 impl Mlp {
     /// Builds an MLP with the given layer widths, e.g. `[in, 64, out]`.
     pub fn new(dims: &[usize], rng: &mut SimRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
-        let layers = dims.windows(2).map(|d| Linear::new(d[0], d[1], rng)).collect();
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|d| Linear::new(d[0], d[1], rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -186,7 +193,7 @@ impl Params for Mlp {
 
 /// The Adam optimizer, with first/second-moment state matching a model's
 /// visit order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f64,
@@ -206,7 +213,16 @@ pub struct Adam {
 impl Adam {
     /// Creates an optimizer.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step: 0, m: vec![], v: vec![] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            m: vec![],
+            v: vec![],
+        }
     }
 
     /// Applies one update to the model. The model's visit order must be
@@ -339,7 +355,10 @@ mod tests {
     #[test]
     fn adam_minimizes_quadratic() {
         // Minimize (x - 3)^2 through the Params interface.
-        let mut m = RawParams { p: vec![0.0], g: vec![0.0] };
+        let mut m = RawParams {
+            p: vec![0.0],
+            g: vec![0.0],
+        };
         let mut opt = Adam::new(0.1);
         for _ in 0..500 {
             m.g[0] = 2.0 * (m.p[0] - 3.0);
@@ -350,10 +369,16 @@ mod tests {
 
     #[test]
     fn adam_detects_changed_visit_order() {
-        let mut a = RawParams { p: vec![0.0; 2], g: vec![1.0; 2] };
+        let mut a = RawParams {
+            p: vec![0.0; 2],
+            g: vec![1.0; 2],
+        };
         let mut opt = Adam::new(0.1);
         opt.step(&mut a);
-        let mut b = RawParams { p: vec![0.0; 3], g: vec![1.0; 3] };
+        let mut b = RawParams {
+            p: vec![0.0; 3],
+            g: vec![1.0; 3],
+        };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             opt.step(&mut b);
         }));
@@ -362,12 +387,18 @@ mod tests {
 
     #[test]
     fn grad_clip_scales_to_norm() {
-        let mut m = RawParams { p: vec![0.0; 2], g: vec![3.0, 4.0] }; // norm 5
+        let mut m = RawParams {
+            p: vec![0.0; 2],
+            g: vec![3.0, 4.0],
+        }; // norm 5
         clip_grad_norm(&mut m, 1.0);
         let norm = (m.g[0] * m.g[0] + m.g[1] * m.g[1]).sqrt();
         assert!((norm - 1.0).abs() < 1e-9);
         // Below the cap: untouched.
-        let mut m2 = RawParams { p: vec![0.0; 2], g: vec![0.3, 0.4] };
+        let mut m2 = RawParams {
+            p: vec![0.0; 2],
+            g: vec![0.3, 0.4],
+        };
         clip_grad_norm(&mut m2, 1.0);
         assert_eq!(m2.g, vec![0.3, 0.4]);
     }

@@ -2,7 +2,6 @@
 
 use crate::nn::{log_softmax_at, softmax, Mlp, Params};
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A stochastic policy over a discrete state space.
 pub trait Policy {
@@ -26,7 +25,8 @@ pub trait Policy {
     /// Samples an action.
     fn sample_action(&self, state: usize, rng: &mut SimRng) -> usize {
         let probs = self.action_probs(state);
-        rng.weighted_index(&probs).expect("probabilities sum to one")
+        rng.weighted_index(&probs)
+            .expect("probabilities sum to one")
     }
 
     /// Accumulates the policy-gradient contribution
@@ -38,7 +38,7 @@ pub trait Policy {
 }
 
 /// A tabular softmax policy: independent logits per state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TabularPolicy {
     states: usize,
     actions: usize,
@@ -97,7 +97,7 @@ impl Params for TabularPolicy {
 }
 
 /// An MLP softmax policy over one-hot state encodings.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MlpPolicy {
     states: usize,
     actions: usize,
@@ -107,7 +107,11 @@ pub struct MlpPolicy {
 impl MlpPolicy {
     /// Builds an MLP policy with one hidden layer of `hidden` units.
     pub fn new(states: usize, actions: usize, hidden: usize, rng: &mut SimRng) -> Self {
-        MlpPolicy { states, actions, mlp: Mlp::new(&[states, hidden, actions], rng) }
+        MlpPolicy {
+            states,
+            actions,
+            mlp: Mlp::new(&[states, hidden, actions], rng),
+        }
     }
 
     fn onehot(&self, state: usize) -> Vec<f64> {
@@ -214,7 +218,9 @@ mod tests {
             opt.step(&mut p);
         }
         let mut rng = SimRng::new(5);
-        let zeros = (0..1000).filter(|_| p.sample_action(0, &mut rng) == 0).count();
+        let zeros = (0..1000)
+            .filter(|_| p.sample_action(0, &mut rng) == 0)
+            .count();
         assert!(zeros > 900, "zeros={zeros}");
     }
 }

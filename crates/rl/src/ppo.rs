@@ -11,10 +11,9 @@ use crate::algo::{surrogate_coeff, RlTrajectory, UpdateStats};
 use crate::env::ReasonEnv;
 use crate::nn::{clip_grad_norm, Adam, Params};
 use crate::policy::{Policy, TabularPolicy};
-use serde::{Deserialize, Serialize};
 
 /// A tabular state-value critic.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ValueTable {
     values: Vec<f64>,
     grads: Vec<f64>,
@@ -23,7 +22,10 @@ pub struct ValueTable {
 impl ValueTable {
     /// Zero-initialized critic over `states` states.
     pub fn new(states: usize) -> Self {
-        ValueTable { values: vec![0.0; states], grads: vec![0.0; states] }
+        ValueTable {
+            values: vec![0.0; states],
+            grads: vec![0.0; states],
+        }
     }
 
     /// Value estimate of a state.
@@ -50,7 +52,7 @@ impl Params for ValueTable {
 }
 
 /// PPO configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PpoConfig {
     /// Policy learning rate.
     pub lr: f64,
@@ -125,7 +127,14 @@ impl PpoTrainer {
         let critic = ValueTable::new(env.num_states());
         let policy_opt = Adam::new(cfg.lr);
         let critic_opt = Adam::new(cfg.critic_lr);
-        PpoTrainer { policy, critic, cfg, policy_opt, critic_opt, version: 0 }
+        PpoTrainer {
+            policy,
+            critic,
+            cfg,
+            policy_opt,
+            critic_opt,
+            version: 0,
+        }
     }
 
     /// Policy version (increments per update).
@@ -149,8 +158,11 @@ impl PpoTrainer {
         for traj in batch {
             reward_sum += traj.reward;
             stats.trajectories += 1;
-            let values: Vec<f64> =
-                traj.steps.iter().map(|s| self.critic.value(s.state)).collect();
+            let values: Vec<f64> = traj
+                .steps
+                .iter()
+                .map(|s| self.critic.value(s.state))
+                .collect();
             let (advs, targets) =
                 gae_advantages(&values, traj.reward, self.cfg.discount, self.cfg.gae_lambda);
             for ((step, &adv), &target) in traj.steps.iter().zip(&advs).zip(&targets) {
@@ -162,7 +174,8 @@ impl PpoTrainer {
                     clipped += 1;
                 }
                 if coeff != 0.0 {
-                    self.policy.accumulate_logp_grad(step.state, step.action, coeff * norm);
+                    self.policy
+                        .accumulate_logp_grad(step.state, step.action, coeff * norm);
                 }
                 self.critic.accumulate_mse_grad(step.state, target, norm);
             }
@@ -230,7 +243,14 @@ mod tests {
                 .map(|p| {
                     let prompt_id = (it * 96 + p) as u64;
                     let problem = env.problem_for_prompt(21, prompt_id);
-                    generate_episode(&env, &behavior, trainer.version(), prompt_id, problem, &mut rng)
+                    generate_episode(
+                        &env,
+                        &behavior,
+                        trainer.version(),
+                        prompt_id,
+                        problem,
+                        &mut rng,
+                    )
                 })
                 .collect();
             trainer.update(&batch);

@@ -20,7 +20,10 @@ impl SnapshotStore {
     /// Creates a store retaining the most recent `keep` versions.
     pub fn new(keep: usize) -> Self {
         assert!(keep >= 1, "must retain at least one version");
-        SnapshotStore { versions: BTreeMap::new(), keep }
+        SnapshotStore {
+            versions: BTreeMap::new(),
+            keep,
+        }
     }
 
     /// Publishes a policy as `version`. Versions must increase.
@@ -48,7 +51,10 @@ impl SnapshotStore {
     /// The newest retained policy at or below `version` — what a rollout
     /// holding slightly stale weights actually runs.
     pub fn at_or_before(&self, version: u64) -> Option<(u64, &TabularPolicy)> {
-        self.versions.range(..=version).next_back().map(|(&v, p)| (v, p))
+        self.versions
+            .range(..=version)
+            .next_back()
+            .map(|(&v, p)| (v, p))
     }
 
     /// Number of retained versions.

@@ -1,0 +1,306 @@
+//! The trajectory state machine: admission, submission, interrupts, moves,
+//! and the segment / environment-call transitions.
+
+use super::{traj_version, CompletedTraj, ReplicaEngine, EPS};
+use crate::traj::{Phase, TrajState};
+use laminar_sim::trace::SpanKind;
+use laminar_sim::Time;
+use laminar_workload::Segment;
+
+impl ReplicaEngine {
+    /// Submits a fresh trajectory; it starts under the replica's current
+    /// weight version once admitted.
+    pub fn submit(&mut self, spec: laminar_workload::TrajectorySpec, now: Time) {
+        self.advance_to(now);
+        let st = TrajState::new(spec, self.weight_version, now);
+        self.waiting.push_back(st);
+        self.try_admit(now);
+        self.after_change(now);
+    }
+
+    /// Sets the weight version for trajectories submitted from now on.
+    /// In Laminar this is called only when the replica is between batches
+    /// (or just released by a repack), so in-flight work keeps a single
+    /// consistent version.
+    pub fn set_weight_version(&mut self, version: u64, now: Time) {
+        self.advance_to(now);
+        self.weight_version = version;
+        // Trajectories that have not generated any token yet can adopt the
+        // new version for free.
+        for st in self.waiting.iter_mut() {
+            if st.total_decoded == 0.0 {
+                st.policy_versions = vec![version];
+            }
+        }
+        self.after_change(now);
+    }
+
+    /// Blocks the replica's prefill pipeline until `until` — models the
+    /// GPU-direct weight-synchronization window during which rollout
+    /// compute is stalled by the collective (§2.4 challenge 1). Combined
+    /// with [`Self::interrupt_with_weights`] this makes an interrupt-all
+    /// update pay sync + serialized KVCache rebuild, as partial-rollout
+    /// systems do.
+    pub fn stall_prefill_queue(&mut self, until: Time) {
+        self.prefill_busy_until = self.prefill_busy_until.max(until);
+    }
+
+    /// Partial-rollout style interruption (§2.3, Figure 3(d)): every
+    /// in-flight trajectory adopts `version` mid-generation, paying a
+    /// KVCache rebuild (re-prefill of its full current context) before its
+    /// next decode step. Mixed-version contamination is recorded in
+    /// `policy_versions`.
+    pub fn interrupt_with_weights(&mut self, version: u64, now: Time) {
+        self.advance_to(now);
+        self.weight_version = version;
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            let (phase, ctx, had_tokens) = {
+                let st = self.active.get_mut(&id).expect("id from keys");
+                if st.total_decoded > 0.0 {
+                    st.push_version(version);
+                } else {
+                    st.policy_versions = vec![version];
+                }
+                (st.phase, st.context_tokens(), st.total_decoded > 0.0)
+            };
+            match phase {
+                Phase::Decoding => {
+                    if had_tokens {
+                        self.exit_decoding(id);
+                        let until = self.reserve_prefill(ctx.round() as u64, now, version);
+                        self.active.get_mut(&id).expect("resident").phase =
+                            Phase::Prefill { until };
+                    }
+                }
+                Phase::Prefill { .. } => {}
+                Phase::Env { .. } => {
+                    self.active.get_mut(&id).expect("resident").needs_reprefill = true;
+                }
+            }
+        }
+        for st in self.waiting.iter_mut() {
+            if st.total_decoded == 0.0 {
+                st.policy_versions = vec![version];
+            } else {
+                st.push_version(version);
+            }
+        }
+        self.after_change(now);
+    }
+
+    /// Removes every in-flight trajectory (repack source release, or machine
+    /// failure drain). Progress is preserved in the returned states.
+    pub fn drain_in_progress(&mut self, now: Time) -> Vec<TrajState> {
+        self.advance_to(now);
+        let mut out: Vec<TrajState> = Vec::with_capacity(self.n_reqs());
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            self.remove_active(id, &mut out);
+        }
+        out.extend(self.waiting.drain(..));
+        debug_assert!(self.active.is_empty());
+        self.after_change(now);
+        out
+    }
+
+    /// Receives in-progress trajectories from a repack move. They re-enter
+    /// the admission queue; trajectories with generated tokens pay a
+    /// re-prefill of their current context on admission (the repack
+    /// overhead measured in Table 1).
+    pub fn inject(&mut self, states: Vec<TrajState>, now: Time) {
+        self.advance_to(now);
+        for mut st in states {
+            if st.total_decoded > 0.0 {
+                st.needs_reprefill = true;
+            }
+            self.waiting.push_back(st);
+        }
+        self.try_admit(now);
+        self.after_change(now);
+    }
+
+    /// Reserves a prefill slot of `tokens` context starting no earlier than
+    /// `now`; returns when that prefill finishes. Prefill compute is
+    /// serialized per replica (it saturates the GPU), so concurrent
+    /// re-prefills — e.g. a partial-rollout interrupt rebuilding every
+    /// KVCache — queue up rather than overlapping for free.
+    pub(super) fn reserve_prefill(&mut self, tokens: u64, now: Time, version: u64) -> Time {
+        let start = now.max(self.prefill_busy_until);
+        let end = start + self.decode.prefill_time(tokens);
+        self.prefill_busy_until = end;
+        self.trace(SpanKind::Prefill, start, end, version, tokens);
+        end
+    }
+
+    /// Completes every decoding trajectory whose current segment has no
+    /// tokens left.
+    pub(super) fn finish_ready_segments(&mut self, t: Time) {
+        let ready: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Decoding && s.remaining_in_segment() <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ready {
+            self.exit_decoding(id);
+            let st = self.active.get_mut(&id).expect("resident");
+            // Leave the Decoding phase immediately so the counter adjustment
+            // above is not repeated by a later `remove_active`/`exit_decoding`
+            // on the same trajectory; the placeholder is overwritten below.
+            st.phase = Phase::Env { until: t };
+            // Snap fractional progress to the exact segment length. A
+            // trajectory whose segment list is already exhausted (possible
+            // after a mid-env move of an env-terminated spec) has nothing
+            // left to snap.
+            let seg_tokens = st
+                .current_decode_tokens()
+                .map(|t| t as f64)
+                .unwrap_or(st.decoded_in_segment);
+            let slack = seg_tokens - st.decoded_in_segment;
+            st.total_decoded += slack;
+            self.resident_ctx_sum += slack;
+            st.decoded_in_segment = 0.0;
+            st.segment += 1;
+            let decode_started = st.decode_started_at;
+            let version = traj_version(st);
+            self.trace(
+                SpanKind::DecodeStep,
+                decode_started,
+                t,
+                version,
+                seg_tokens.round() as u64,
+            );
+            let st = self.active.get_mut(&id).expect("resident");
+            if st.segment >= st.spec.segments.len() {
+                let mut sink = Vec::with_capacity(1);
+                self.remove_active(id, &mut sink);
+                let st = sink.pop().expect("just removed");
+                self.completions.push(CompletedTraj {
+                    spec: st.spec,
+                    policy_versions: st.policy_versions,
+                    started_at: st.started_at,
+                    finished_at: t,
+                });
+                self.completed_count += 1;
+            } else {
+                let mut env_span = None;
+                match st.spec.segments[st.segment] {
+                    Segment::Env { latency } => {
+                        st.phase = Phase::Env { until: t + latency };
+                        env_span = Some((latency, traj_version(st)));
+                    }
+                    Segment::Decode { .. } => {
+                        // Specs alternate decode/env, but tolerate
+                        // consecutive decodes by continuing directly.
+                        st.phase = Phase::Decoding;
+                        st.decode_started_at = t;
+                        let ctx = st.context_tokens();
+                        self.decoding_count += 1;
+                        self.decoding_ctx_sum += ctx;
+                    }
+                }
+                if let Some((latency, version)) = env_span {
+                    self.trace(SpanKind::EnvCall, t, t + latency, version, 0);
+                }
+            }
+        }
+    }
+
+    pub(super) fn env_return(&mut self, id: u64, t: Time) {
+        let Some(st) = self.active.get_mut(&id) else {
+            return;
+        };
+        st.segment += 1;
+        st.decoded_in_segment = 0.0;
+        if st.segment >= st.spec.segments.len() {
+            // Env call was the last segment (not produced by our generators,
+            // but handle it): complete.
+            let mut sink = Vec::with_capacity(1);
+            self.remove_active(id, &mut sink);
+            let st = sink.pop().expect("just removed");
+            self.completions.push(CompletedTraj {
+                spec: st.spec,
+                policy_versions: st.policy_versions,
+                started_at: st.started_at,
+                finished_at: t,
+            });
+            self.completed_count += 1;
+            return;
+        }
+        if st.needs_reprefill {
+            st.needs_reprefill = false;
+            let tokens = st.context_tokens().round() as u64;
+            let version = traj_version(st);
+            let until = self.reserve_prefill(tokens, t, version);
+            let st = self.active.get_mut(&id).expect("resident");
+            st.phase = Phase::Prefill { until };
+        } else {
+            st.phase = Phase::Decoding;
+            st.decode_started_at = t;
+            let ctx = st.context_tokens();
+            self.decoding_count += 1;
+            self.decoding_ctx_sum += ctx;
+        }
+    }
+
+    /// Removes `id` from the active set, returning its state through `out`
+    /// and releasing its reservation.
+    pub(super) fn remove_active(&mut self, id: u64, out: &mut Vec<TrajState>) {
+        if let Some(st) = self.active.get(&id) {
+            if st.phase == Phase::Decoding {
+                self.exit_decoding(id);
+            }
+        }
+        if let Some(st) = self.active.remove(&id) {
+            self.reserved -= st.spec.final_context() as f64;
+            self.resident_ctx_sum -= st.context_tokens();
+            if self.active.is_empty() {
+                // Kill accumulated float error at quiesce points.
+                self.reserved = 0.0;
+                self.resident_ctx_sum = 0.0;
+                self.decoding_ctx_sum = 0.0;
+            }
+            out.push(st);
+        }
+    }
+
+    pub(super) fn exit_decoding(&mut self, id: u64) {
+        if let Some(st) = self.active.get(&id) {
+            if st.phase == Phase::Decoding {
+                self.decoding_count -= 1;
+                self.decoding_ctx_sum -= st.context_tokens();
+            }
+        }
+    }
+
+    pub(super) fn try_admit(&mut self, now: Time) {
+        while let Some(front) = self.waiting.front() {
+            let need = front.spec.final_context() as f64;
+            let fits = self.active.len() < self.cfg.max_concurrency
+                && self.reserved + need <= self.kv_capacity;
+            if !fits {
+                break;
+            }
+            let mut st = self.waiting.pop_front().expect("front exists");
+            self.reserved += need;
+            self.resident_ctx_sum += st.context_tokens();
+            let keep_env = matches!(st.phase, Phase::Env { until } if until > now);
+            if !keep_env {
+                // If the trajectory was moved while in an environment call
+                // that has since returned, resume at the next segment.
+                if matches!(st.spec.segments.get(st.segment), Some(Segment::Env { .. })) {
+                    st.segment += 1;
+                    st.decoded_in_segment = 0.0;
+                }
+                let tokens = st.context_tokens().round() as u64;
+                let version = traj_version(&st);
+                let until = self.reserve_prefill(tokens, now, version);
+                st.phase = Phase::Prefill { until };
+            }
+            let id = st.spec.id;
+            let prev = self.active.insert(id, st);
+            assert!(prev.is_none(), "duplicate trajectory id {id} on replica");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The batch step loop: internal event discovery, virtual-time advancement,
+//! decode-rate re-evaluation, and KVCache accounting.
+
+use super::{Internal, ReplicaEngine};
+use crate::traj::Phase;
+use laminar_sim::Time;
+
+impl ReplicaEngine {
+    /// The next instant at which the replica's state changes on its own,
+    /// if any. The world schedules a wake event here.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.next_internal().map(|(t, _)| t)
+    }
+
+    /// Advances the replica's state to `now`, applying every internal
+    /// transition (prefill completions, env returns, segment completions,
+    /// rate re-evaluations) in order.
+    pub fn advance_to(&mut self, now: Time) {
+        let mut guard = 0u64;
+        while let Some((t, kind)) = self.next_internal() {
+            if t > now {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 50_000_000, "replica engine event storm — model bug");
+            self.apply_progress(t);
+            match kind {
+                Internal::PrefillDone(id) => {
+                    if let Some(st) = self.active.get_mut(&id) {
+                        st.phase = Phase::Decoding;
+                        st.decode_started_at = t;
+                        let ctx = st.context_tokens();
+                        self.decoding_count += 1;
+                        self.decoding_ctx_sum += ctx;
+                    }
+                }
+                Internal::EnvReturn(id) => self.env_return(id, t),
+                Internal::SegmentDone => self.finish_ready_segments(t),
+                Internal::Recalc => {}
+            }
+            self.try_admit(t);
+            self.recalc_rate();
+            self.record(t);
+        }
+        self.apply_progress(now);
+    }
+
+    pub(super) fn next_internal(&self) -> Option<(Time, Internal)> {
+        let mut best: Option<(Time, Internal)> = None;
+        let mut consider = |t: Time, k: Internal| {
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, k));
+            }
+        };
+        for (&id, st) in &self.active {
+            match st.phase {
+                Phase::Prefill { until } => consider(until, Internal::PrefillDone(id)),
+                Phase::Env { until } => consider(until, Internal::EnvReturn(id)),
+                Phase::Decoding => {}
+            }
+        }
+        if self.decoding_count > 0 && self.step_secs > 0.0 {
+            let min_rem = self
+                .active
+                .values()
+                .filter(|s| s.phase == Phase::Decoding)
+                .map(|s| s.remaining_in_segment())
+                .fold(f64::INFINITY, f64::min);
+            if min_rem.is_finite() {
+                let t_done = self.offset(min_rem.max(0.0));
+                consider(t_done, Internal::SegmentDone);
+                let t_recalc = self.offset(self.cfg.horizon_steps);
+                consider(t_recalc, Internal::Recalc);
+            }
+        }
+        best
+    }
+
+    /// Decoding is paused while the prefill pipeline is busy
+    /// (prefill-prioritized scheduling, the vLLM default): decode steps
+    /// resume only once queued prefills drain.
+    fn decode_resume_at(&self) -> Time {
+        self.last_update.max(self.prefill_busy_until)
+    }
+
+    fn offset(&self, steps: f64) -> Time {
+        Time::from_secs_f64(self.decode_resume_at().as_secs_f64() + steps * self.step_secs)
+    }
+
+    /// Advances decode progress of every decoding trajectory to `t` at the
+    /// current rate.
+    pub(super) fn apply_progress(&mut self, t: Time) {
+        if t <= self.last_update {
+            return;
+        }
+        if self.decoding_count > 0 && self.step_secs > 0.0 {
+            // Progress only accrues once the prefill pipeline is clear.
+            let start = self.decode_resume_at().min(t);
+            let steps = t.since(start).as_secs_f64() / self.step_secs;
+            for st in self.active.values_mut() {
+                if st.phase == Phase::Decoding {
+                    st.decoded_in_segment += steps;
+                    st.total_decoded += steps;
+                }
+            }
+            let grown = self.decoding_count as f64 * steps;
+            self.decoding_ctx_sum += grown;
+            self.resident_ctx_sum += grown;
+            self.tokens_decoded += grown;
+        }
+        self.last_update = t;
+    }
+
+    pub(super) fn recalc_rate(&mut self) {
+        self.step_secs = if self.decoding_count > 0 {
+            self.decode
+                .step_secs(self.decoding_count, self.decoding_ctx_sum)
+        } else {
+            0.0
+        };
+    }
+
+    pub(super) fn record(&mut self, t: Time) {
+        self.busy.record(t, self.decoding_count as f64);
+        self.kv_tw.record(t, self.kv_utilization());
+        if self.cfg.record_kv_series {
+            self.kv_series.push(t, self.kv_utilization());
+        }
+    }
+
+    pub(super) fn after_change(&mut self, now: Time) {
+        self.epoch += 1;
+        self.recalc_rate();
+        self.record(now);
+    }
+}

@@ -9,11 +9,10 @@
 
 use crate::repack::{plan_repack, RepackPlan, ReplicaLoad};
 use laminar_sim::{Duration, Time};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Health state of one replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicaHealth {
     /// Heartbeats arriving.
     Healthy,
@@ -24,7 +23,7 @@ pub enum ReplicaHealth {
 }
 
 /// Manager configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// Periodic repack check interval (5 s in §5.1).
     pub repack_interval: Duration,
@@ -58,7 +57,7 @@ pub struct RolloutManager {
 
 /// A replica's load sample as handed to the manager (before `C_prev`
 /// bookkeeping, which the manager owns).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSample {
     /// Replica id.
     pub replica: usize,
@@ -110,7 +109,10 @@ impl RolloutManager {
 
     /// Health of a replica (`Evicted` if unknown).
     pub fn health(&self, replica: usize) -> ReplicaHealth {
-        self.health.get(&replica).copied().unwrap_or(ReplicaHealth::Evicted)
+        self.health
+            .get(&replica)
+            .copied()
+            .unwrap_or(ReplicaHealth::Evicted)
     }
 
     /// Scans for replicas whose heartbeat deadline passed, marking and
@@ -158,14 +160,17 @@ impl RolloutManager {
             // treat its previous usage as equal to the current one, which
             // fails the strict `C_used < C_prev` test.
             let prev = self.prev_kv.get(&s.replica).copied().unwrap_or(s.kv_used);
-            groups.entry(s.weight_version).or_default().push(ReplicaLoad {
-                replica: s.replica,
-                kv_used: s.kv_used,
-                kv_reserved: s.kv_reserved,
-                kv_prev: prev,
-                n_reqs: s.n_reqs,
-                weight_version: s.weight_version,
-            });
+            groups
+                .entry(s.weight_version)
+                .or_default()
+                .push(ReplicaLoad {
+                    replica: s.replica,
+                    kv_used: s.kv_used,
+                    kv_reserved: s.kv_reserved,
+                    kv_prev: prev,
+                    n_reqs: s.n_reqs,
+                    weight_version: s.weight_version,
+                });
         }
         // Update C_prev history for the next sample.
         for s in samples {
@@ -186,7 +191,12 @@ impl RolloutManager {
                 .map(|s| s.kv_capacity)
                 .fold(f64::INFINITY, f64::min)
                 * self.cfg.c_max_frac;
-            let b = samples.iter().filter(in_group).map(|s| s.roofline_b).min().unwrap_or(1);
+            let b = samples
+                .iter()
+                .filter(in_group)
+                .map(|s| s.roofline_b)
+                .min()
+                .unwrap_or(1);
             let group_plan = plan_repack(group, c_max, b);
             self.replicas_released += group_plan.moves.len() as u64;
             plan.moves.extend(group_plan.moves);
@@ -253,7 +263,13 @@ mod tests {
         let plan = m.plan(&second);
         assert_eq!(plan.moves.len(), 2);
         // Moves stay within version groups.
-        let find = |r: usize| second.iter().find(|s| s.replica == r).unwrap().weight_version;
+        let find = |r: usize| {
+            second
+                .iter()
+                .find(|s| s.replica == r)
+                .unwrap()
+                .weight_version
+        };
         for &(s, d) in &plan.moves {
             assert_eq!(find(s), find(d));
         }
@@ -296,7 +312,11 @@ mod tests {
         assert_eq!(m.health(0), ReplicaHealth::Healthy);
         m.evict(0);
         assert_eq!(m.health(0), ReplicaHealth::Evicted);
-        assert_eq!(m.health(99), ReplicaHealth::Evicted, "unknown replicas read as evicted");
+        assert_eq!(
+            m.health(99),
+            ReplicaHealth::Evicted,
+            "unknown replicas read as evicted"
+        );
     }
 
     #[test]
@@ -305,10 +325,21 @@ mod tests {
         for r in 0..3 {
             m.register(r, Time::ZERO);
         }
-        m.plan(&[sample(0, 300.0, 2, 1), sample(1, 300.0, 2, 1), sample(2, 300.0, 2, 1)]);
-        let plan =
-            m.plan(&[sample(0, 100.0, 1, 1), sample(1, 100.0, 1, 1), sample(2, 100.0, 1, 1)]);
-        assert_eq!(plan.moves.len(), 2, "two of three tails consolidate onto one");
+        m.plan(&[
+            sample(0, 300.0, 2, 1),
+            sample(1, 300.0, 2, 1),
+            sample(2, 300.0, 2, 1),
+        ]);
+        let plan = m.plan(&[
+            sample(0, 100.0, 1, 1),
+            sample(1, 100.0, 1, 1),
+            sample(2, 100.0, 1, 1),
+        ]);
+        assert_eq!(
+            plan.moves.len(),
+            2,
+            "two of three tails consolidate onto one"
+        );
         assert_eq!(m.replicas_released(), 2);
         assert_eq!(m.repacks_planned(), 1);
     }

@@ -7,10 +7,8 @@
 //! destination within the KVCache threshold `C_max` and the roofline batch
 //! bound `B`.
 
-use serde::{Deserialize, Serialize};
-
 /// One replica's load snapshot, as collected by the rollout manager.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaLoad {
     /// Replica id.
     pub replica: usize,
@@ -33,7 +31,7 @@ pub struct ReplicaLoad {
 /// A consolidation plan: each `(source, destination)` pair moves *all* of
 /// the source's in-flight trajectories to the destination, releasing the
 /// source.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RepackPlan {
     /// Planned moves, in planning order.
     pub moves: Vec<(usize, usize)>,
@@ -86,7 +84,10 @@ pub fn plan_repack(replicas: &[ReplicaLoad], c_max: f64, b: usize) -> RepackPlan
     let mut assigned_kv = vec![0.0f64; replicas.len().max(1)];
     let mut assigned_reqs = vec![0usize; replicas.len().max(1)];
     let index_of = |replica: usize| -> usize {
-        replicas.iter().position(|r| r.replica == replica).expect("replica in group")
+        replicas
+            .iter()
+            .position(|r| r.replica == replica)
+            .expect("replica in group")
     };
 
     for (si, src) in s.iter().enumerate() {
@@ -182,7 +183,14 @@ mod tests {
     fn ramp_up_replicas_excluded() {
         // kv_prev <= kv_used means usage is non-decreasing: not ramp-down.
         let rs = vec![
-            ReplicaLoad { replica: 0, kv_used: 100.0, kv_reserved: 100.0, kv_prev: 100.0, n_reqs: 2, weight_version: 0 },
+            ReplicaLoad {
+                replica: 0,
+                kv_used: 100.0,
+                kv_reserved: 100.0,
+                kv_prev: 100.0,
+                n_reqs: 2,
+                weight_version: 0,
+            },
             load(1, 100.0, 2),
         ];
         let plan = plan_repack(&rs, 1000.0, 64);
@@ -192,7 +200,14 @@ mod tests {
     #[test]
     fn full_replicas_excluded() {
         let rs = vec![
-            ReplicaLoad { replica: 0, kv_used: 990.0, kv_reserved: 990.0, kv_prev: 995.0, n_reqs: 2, weight_version: 0 },
+            ReplicaLoad {
+                replica: 0,
+                kv_used: 990.0,
+                kv_reserved: 990.0,
+                kv_prev: 995.0,
+                n_reqs: 2,
+                weight_version: 0,
+            },
             load(1, 50.0, 2),
             load(2, 60.0, 2),
         ];
@@ -217,11 +232,19 @@ mod tests {
     fn chained_assignments_accumulate_on_destination() {
         // Three small sources should stack onto the same destination while
         // it fits, releasing the maximum number of replicas.
-        let rs = vec![load(0, 50.0, 1), load(1, 60.0, 1), load(2, 70.0, 1), load(3, 200.0, 3)];
+        let rs = vec![
+            load(0, 50.0, 1),
+            load(1, 60.0, 1),
+            load(2, 70.0, 1),
+            load(3, 200.0, 3),
+        ];
         let plan = plan_repack(&rs, 400.0, 64);
         assert_eq!(plan.moves.len(), 3);
         let dests: Vec<usize> = plan.moves.iter().map(|&(_, d)| d).collect();
-        assert!(dests.iter().all(|&d| d == 3), "densest destination wins: {dests:?}");
+        assert!(
+            dests.iter().all(|&d| d == 3),
+            "densest destination wins: {dests:?}"
+        );
     }
 
     #[test]

@@ -2,10 +2,9 @@
 
 use laminar_sim::Time;
 use laminar_workload::{Segment, TrajectorySpec};
-use serde::{Deserialize, Serialize};
 
 /// Execution phase of an in-flight trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Prompt (or re-prefill after a move/interrupt) is being processed;
     /// decoding starts at `until`.
@@ -23,7 +22,7 @@ pub enum Phase {
 }
 
 /// State of one in-flight trajectory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrajState {
     /// The underlying assignment.
     pub spec: TrajectorySpec,
@@ -43,6 +42,9 @@ pub struct TrajState {
     /// Set when the trajectory was moved between replicas while in an
     /// environment call: its KVCache must be rebuilt before the next decode.
     pub needs_reprefill: bool,
+    /// When the current decode segment entered [`Phase::Decoding`]; feeds the
+    /// `DecodeStep` trace span emitted at segment completion.
+    pub decode_started_at: Time,
 }
 
 impl TrajState {
@@ -57,6 +59,7 @@ impl TrajState {
             started_at: now,
             phase: Phase::Prefill { until: now },
             needs_reprefill: false,
+            decode_started_at: now,
         }
     }
 
@@ -115,7 +118,8 @@ mod tests {
         assert_eq!(s.context_tokens(), s.spec.prompt_tokens as f64);
         assert_eq!(
             s.remaining_in_segment(),
-            s.current_decode_tokens().expect("single-turn starts with decode") as f64
+            s.current_decode_tokens()
+                .expect("single-turn starts with decode") as f64
         );
     }
 

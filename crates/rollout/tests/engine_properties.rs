@@ -1,42 +1,41 @@
-//! Property-based tests of replica-engine invariants under randomized
+//! Property-style tests of replica-engine invariants under randomized
 //! workloads, including multi-turn segments, interrupts, and moves.
+//!
+//! Cases are generated from [`SimRng`] with fixed seeds so failures are
+//! reproducible: rerun with the printed `case` seed to replay one instance.
 
 use laminar_cluster::{DecodeModel, GpuSpec, ModelSpec};
 use laminar_rollout::{EngineConfig, ReplicaEngine};
-use laminar_sim::{Duration, Time};
+use laminar_sim::{Duration, SimRng, Time};
 use laminar_workload::{Segment, TrajectorySpec};
-use proptest::prelude::*;
+
+const CASES: u64 = 32;
 
 fn decode() -> DecodeModel {
     DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1)
 }
 
-fn spec_strategy(id: u64) -> impl Strategy<Value = TrajectorySpec> {
-    // 1-3 decode segments separated by env calls.
-    (
-        1usize..=3,
-        proptest::collection::vec(64u64..2000, 3),
-        proptest::collection::vec(0u64..20, 2),
-        64u64..1024,
-    )
-        .prop_map(move |(decodes, lens, envs, prompt)| {
-            let mut segments = Vec::new();
-            for i in 0..decodes {
-                if i > 0 {
-                    segments.push(Segment::Env {
-                        latency: Duration::from_secs(envs[i - 1]),
-                    });
-                }
-                segments.push(Segment::Decode { tokens: lens[i] });
-            }
-            TrajectorySpec {
-                id,
-                prompt_id: id,
-                group_index: 0,
-                prompt_tokens: prompt,
-                segments,
-            }
-        })
+/// 1-3 decode segments separated by env calls, random lengths.
+fn random_spec(rng: &mut SimRng, id: u64) -> TrajectorySpec {
+    let decodes = rng.range_u64(1, 4) as usize;
+    let mut segments = Vec::new();
+    for i in 0..decodes {
+        if i > 0 {
+            segments.push(Segment::Env {
+                latency: Duration::from_secs(rng.below(20)),
+            });
+        }
+        segments.push(Segment::Decode {
+            tokens: rng.range_u64(64, 2000),
+        });
+    }
+    TrajectorySpec {
+        id,
+        prompt_id: id,
+        group_index: 0,
+        prompt_tokens: rng.range_u64(64, 1024),
+        segments,
+    }
 }
 
 fn run_to_idle(e: &mut ReplicaEngine) {
@@ -49,38 +48,40 @@ fn run_to_idle(e: &mut ReplicaEngine) {
     assert!(e.is_idle());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Multi-segment trajectories all complete with exact token counts,
-    /// and KVCache accounting returns to zero at quiesce.
-    #[test]
-    fn multi_turn_conservation(
-        specs in proptest::collection::vec((0u64..1).prop_flat_map(|_| spec_strategy(0)), 1..12)
-    ) {
+/// Multi-segment trajectories all complete with exact token counts, and
+/// KVCache accounting returns to zero at quiesce.
+#[test]
+fn multi_turn_conservation() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0xC0_45E5, "multi_turn_conservation", case);
+        let n = rng.range_u64(1, 12);
         let mut e = ReplicaEngine::new(0, decode(), EngineConfig::default());
         let mut expected = 0u64;
-        for (i, mut s) in specs.into_iter().enumerate() {
-            s.id = i as u64;
-            s.prompt_id = i as u64;
+        for i in 0..n {
+            let s = random_spec(&mut rng, i);
             expected += s.total_tokens();
             e.submit(s, Time::ZERO);
         }
         run_to_idle(&mut e);
         let done = e.take_completions();
         let total: u64 = done.iter().map(|c| c.spec.total_tokens()).sum();
-        prop_assert_eq!(total, expected);
-        prop_assert!(e.kv_used_tokens().abs() < 1e-6, "kv must drain to zero");
-        prop_assert!(e.kv_reserved_tokens().abs() < 1e-6);
+        assert_eq!(total, expected, "case {case}");
+        assert!(
+            e.kv_used_tokens().abs() < 1e-6,
+            "case {case}: kv must drain to zero"
+        );
+        assert!(e.kv_reserved_tokens().abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Interrupting at arbitrary times never loses or duplicates work, and
-    /// records the version history faithfully.
-    #[test]
-    fn interrupts_preserve_work(
-        n in 1usize..10,
-        cut_secs in 1u64..200,
-    ) {
+/// Interrupting at arbitrary times never loses or duplicates work, and
+/// records the version history faithfully.
+#[test]
+fn interrupts_preserve_work() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0xC0_45E5, "interrupts_preserve_work", case);
+        let n = rng.range_u64(1, 10) as usize;
+        let cut_secs = rng.range_u64(1, 200);
         let mut e = ReplicaEngine::new(0, decode(), EngineConfig::default());
         for i in 0..n as u64 {
             let spec = TrajectorySpec {
@@ -88,7 +89,9 @@ proptest! {
                 prompt_id: i,
                 group_index: 0,
                 prompt_tokens: 256,
-                segments: vec![Segment::Decode { tokens: 1500 + i * 137 }],
+                segments: vec![Segment::Decode {
+                    tokens: 1500 + i * 137,
+                }],
             };
             e.submit(spec, Time::ZERO);
         }
@@ -96,19 +99,27 @@ proptest! {
         e.interrupt_with_weights(2, Time::from_secs(cut_secs + 5));
         run_to_idle(&mut e);
         let done = e.take_completions();
-        prop_assert_eq!(done.len(), n);
+        assert_eq!(done.len(), n, "case {case}");
         for c in &done {
             // Versions are non-decreasing along the trajectory and end at
             // the newest interrupting version that touched it.
-            prop_assert!(c.policy_versions.windows(2).all(|w| w[0] <= w[1]));
-            prop_assert!(*c.policy_versions.last().unwrap() <= 2);
+            assert!(
+                c.policy_versions.windows(2).all(|w| w[0] <= w[1]),
+                "case {case}: {:?}",
+                c.policy_versions
+            );
+            assert!(*c.policy_versions.last().unwrap() <= 2, "case {case}");
         }
     }
+}
 
-    /// Draining at an arbitrary instant and injecting into a fresh replica
-    /// completes everything with exact totals.
-    #[test]
-    fn move_at_any_time_conserves(cut_ms in 1u64..120_000) {
+/// Draining at an arbitrary instant and injecting into a fresh replica
+/// completes everything with exact totals.
+#[test]
+fn move_at_any_time_conserves() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0xC0_45E5, "move_at_any_time_conserves", case);
+        let cut_ms = rng.range_u64(1, 120_000);
         let mut src = ReplicaEngine::new(0, decode(), EngineConfig::default());
         let mut expected = 0u64;
         for i in 0..6u64 {
@@ -118,8 +129,12 @@ proptest! {
                 group_index: 0,
                 prompt_tokens: 300,
                 segments: vec![
-                    Segment::Decode { tokens: 900 + i * 211 },
-                    Segment::Env { latency: Duration::from_secs(3 + i) },
+                    Segment::Decode {
+                        tokens: 900 + i * 211,
+                    },
+                    Segment::Env {
+                        latency: Duration::from_secs(3 + i),
+                    },
                     Segment::Decode { tokens: 700 },
                 ],
             };
@@ -134,8 +149,8 @@ proptest! {
         dst.inject(moved, cut);
         run_to_idle(&mut dst);
         done.extend(dst.take_completions());
-        prop_assert_eq!(done.len(), 6);
+        assert_eq!(done.len(), 6, "case {case} (cut at {cut_ms}ms)");
         let total: u64 = done.iter().map(|c| c.spec.total_tokens()).sum();
-        prop_assert_eq!(total, expected);
+        assert_eq!(total, expected, "case {case} (cut at {cut_ms}ms)");
     }
 }

@@ -1,0 +1,184 @@
+//! Property-style tests of the Best-Fit repack planner (Algorithm 1)
+//! against randomized replica-load snapshots.
+//!
+//! Invariants checked on every generated snapshot:
+//!
+//! 1. no destination is ever packed past the KVCache threshold `C_max` or
+//!    the roofline batch bound `B`;
+//! 2. every move targets the *densest* destination that was valid when the
+//!    move was planned (the Best-Fit rule), never a fuller-than-allowed or
+//!    invalid replica;
+//! 3. when no replica is in its ramp-down phase the plan is a no-op.
+
+use laminar_rollout::{plan_repack, ReplicaLoad};
+use laminar_sim::SimRng;
+
+const CASES: u64 = 64;
+
+fn random_loads(rng: &mut SimRng, c_max: f64) -> Vec<ReplicaLoad> {
+    let n = rng.range_u64(1, 12) as usize;
+    (0..n)
+        .map(|replica| {
+            let kv_used = rng.range_f64(0.0, c_max * 1.2);
+            // Mix ramp-down (kv_prev > kv_used) and ramp-up replicas.
+            let kv_prev = if rng.chance(0.7) {
+                kv_used + rng.range_f64(0.1, 50.0)
+            } else {
+                kv_used * rng.range_f64(0.0, 1.0)
+            };
+            ReplicaLoad {
+                replica,
+                kv_used,
+                kv_reserved: kv_used,
+                kv_prev,
+                n_reqs: rng.below(20) as usize,
+                weight_version: 0,
+            }
+        })
+        .collect()
+}
+
+/// Replays the plan move-by-move, accumulating assigned load per
+/// destination, and asserts the Algorithm 1 invariants at each step.
+fn check_plan(replicas: &[ReplicaLoad], c_max: f64, b: usize, case: u64) {
+    let plan = plan_repack(replicas, c_max, b);
+    let by_id = |id: usize| {
+        replicas
+            .iter()
+            .find(|r| r.replica == id)
+            .expect("known replica")
+    };
+    let mut assigned_kv = vec![0.0f64; replicas.len()];
+    let mut assigned_reqs = vec![0usize; replicas.len()];
+    let released = plan.released();
+    for (step, &(s, d)) in plan.moves.iter().enumerate() {
+        assert_ne!(s, d, "case {case} step {step}: self-move");
+        let src = by_id(s);
+        let dst = by_id(d);
+        // Released sources never reappear, as source or destination.
+        assert!(
+            !plan.moves[..step]
+                .iter()
+                .any(|&(ps, pd)| ps == s || pd == s),
+            "case {case} step {step}: source {s} was already used"
+        );
+        assert!(
+            !released.contains(&d),
+            "case {case} step {step}: destination {d} is released"
+        );
+        // Both ends must be ramp-down candidates.
+        for r in [src, dst] {
+            assert!(
+                r.n_reqs > 0 && r.n_reqs < b,
+                "case {case} step {step}: {} not a candidate",
+                r.replica
+            );
+            assert!(
+                r.kv_used < c_max.min(r.kv_prev),
+                "case {case} step {step}: {} not ramping down",
+                r.replica
+            );
+        }
+        // Invariant 1: the destination never overflows C_max or B, even
+        // with everything previously stacked on it.
+        let kv_after = dst.kv_used + assigned_kv[d] + src.kv_used;
+        let reqs_after = dst.n_reqs + assigned_reqs[d] + src.n_reqs;
+        assert!(
+            kv_after <= c_max + 1e-9,
+            "case {case} step {step}: destination {d} overflows C_max ({kv_after} > {c_max})"
+        );
+        assert!(
+            reqs_after <= b,
+            "case {case} step {step}: destination {d} overflows B ({reqs_after} > {b})"
+        );
+        // Invariant 2 (Best-Fit): no other valid destination was denser at
+        // this point in the plan.
+        let chosen_density = dst.kv_used + assigned_kv[d];
+        for other in replicas {
+            let o = other.replica;
+            if o == s || o == d || released[..step].contains(&o) {
+                continue;
+            }
+            let candidate = other.n_reqs > 0
+                && other.n_reqs < b
+                && other.kv_used < c_max.min(other.kv_prev)
+                && !plan.moves[..step].iter().any(|&(ps, _)| ps == o);
+            if !candidate {
+                continue;
+            }
+            let o_kv = other.kv_used + assigned_kv[o];
+            let o_reqs = other.n_reqs + assigned_reqs[o];
+            let fits = o_kv + src.kv_used <= c_max && o_reqs + src.n_reqs <= b;
+            if fits {
+                assert!(o_kv <= chosen_density + 1e-9,
+                    "case {case} step {step}: {o} ({o_kv}) denser than chosen {d} ({chosen_density})");
+            }
+        }
+        assigned_kv[d] += src.kv_used;
+        assigned_reqs[d] += src.n_reqs;
+    }
+}
+
+#[test]
+fn random_snapshots_satisfy_invariants() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0x9E9ACC, "repack_invariants", case);
+        let c_max = rng.range_f64(100.0, 2000.0);
+        let b = rng.range_u64(2, 64) as usize;
+        let replicas = random_loads(&mut rng, c_max);
+        check_plan(&replicas, c_max, b, case);
+    }
+}
+
+#[test]
+fn no_ramp_down_replica_means_no_op() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0x9E9ACC, "repack_noop", case);
+        let c_max = 1000.0;
+        // Every replica is ramping up (kv_prev <= kv_used) or empty: the
+        // planner must not touch any of them.
+        let n = rng.range_u64(1, 10) as usize;
+        let replicas: Vec<ReplicaLoad> = (0..n)
+            .map(|replica| {
+                let kv_used = rng.range_f64(0.0, c_max);
+                ReplicaLoad {
+                    replica,
+                    kv_used,
+                    kv_reserved: kv_used,
+                    kv_prev: kv_used * rng.range_f64(0.0, 1.0),
+                    n_reqs: if rng.chance(0.2) {
+                        0
+                    } else {
+                        rng.below(20) as usize
+                    },
+                    weight_version: 0,
+                }
+            })
+            .collect();
+        let plan = plan_repack(&replicas, c_max, 64);
+        assert!(
+            plan.is_empty(),
+            "case {case}: planned {:?} with no ramp-down replica",
+            plan.moves
+        );
+    }
+}
+
+#[test]
+fn single_candidate_is_never_moved() {
+    // With one ramp-down replica there is no valid (source, destination)
+    // pair, so the plan must be empty no matter the thresholds.
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(0x9E9ACC, "repack_single", case);
+        let kv = rng.range_f64(1.0, 500.0);
+        let lone = ReplicaLoad {
+            replica: 0,
+            kv_used: kv,
+            kv_reserved: kv,
+            kv_prev: kv + 10.0,
+            n_reqs: 1 + rng.below(10) as usize,
+            weight_version: 0,
+        };
+        assert!(plan_repack(&[lone], 1000.0, 64).is_empty(), "case {case}");
+    }
+}

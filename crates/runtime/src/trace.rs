@@ -1,0 +1,170 @@
+//! The event-trace layer: sinks consuming [`TraceSpan`] records.
+//!
+//! Every scheduler (the four baselines and the Laminar driver) and the
+//! rollout engine can emit phase spans — `Prefill`, `DecodeStep`, `EnvCall`,
+//! `WeightSync`, `TrainStep`, `Stall`, `Repack`, `Failure` — each carrying a
+//! virtual-time window, the replica it ran on, and the weight version in
+//! effect. A [`TraceSink`] decides what happens to them: [`NullTrace`] drops
+//! everything at zero cost (the default for every `RlSystem::run`), while
+//! [`RecordingTrace`] keeps them for inspection or JSONL export
+//! (`laminar-experiments --trace <path>`).
+
+pub use laminar_sim::trace::{SpanKind, TraceSpan};
+
+/// Consumes trace spans emitted by a running system.
+pub trait TraceSink {
+    /// Records one span.
+    fn record(&mut self, span: TraceSpan);
+
+    /// Whether span production is worth the bookkeeping. Emitters may skip
+    /// building spans entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records a batch of spans (drained from an engine buffer).
+    fn record_all(&mut self, spans: Vec<TraceSpan>) {
+        for s in spans {
+            self.record(s);
+        }
+    }
+}
+
+/// The no-op sink: spans are dropped and emitters are told not to bother.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn record(&mut self, _span: TraceSpan) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that keeps every span in order of arrival.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingTrace {
+    spans: Vec<TraceSpan>,
+}
+
+impl RecordingTrace {
+    /// An empty recording sink.
+    pub fn new() -> Self {
+        RecordingTrace::default()
+    }
+
+    /// All spans recorded so far.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Takes the recorded spans, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<TraceSpan> {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Spans of one kind.
+    pub fn of_kind(&self, kind: SpanKind) -> Vec<TraceSpan> {
+        self.spans
+            .iter()
+            .copied()
+            .filter(|s| s.kind == kind)
+            .collect()
+    }
+
+    /// The whole trace as JSONL (one span object per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.spans.len() * 96);
+        for s in &self.spans {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the trace as JSONL, appending to `path` so one invocation can
+    /// accumulate spans across several system runs.
+    pub fn append_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl TraceSink for RecordingTrace {
+    fn record(&mut self, span: TraceSpan) {
+        self.spans.push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_sim::Time;
+
+    #[test]
+    fn null_trace_reports_disabled() {
+        let mut t = NullTrace;
+        assert!(!t.enabled());
+        t.record(TraceSpan::new(
+            SpanKind::Stall,
+            Time::ZERO,
+            Time::ZERO,
+            None,
+            0,
+        ));
+    }
+
+    #[test]
+    fn recording_trace_keeps_order_and_filters() {
+        let mut t = RecordingTrace::new();
+        t.record(TraceSpan::new(
+            SpanKind::Prefill,
+            Time::ZERO,
+            Time::from_secs(1),
+            Some(0),
+            1,
+        ));
+        t.record(TraceSpan::new(
+            SpanKind::TrainStep,
+            Time::from_secs(1),
+            Time::from_secs(2),
+            None,
+            1,
+        ));
+        assert!(t.enabled());
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.of_kind(SpanKind::Prefill).len(), 1);
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn record_all_drains_batch() {
+        let mut t = RecordingTrace::new();
+        let spans = vec![
+            TraceSpan::new(
+                SpanKind::DecodeStep,
+                Time::ZERO,
+                Time::from_secs(1),
+                Some(2),
+                4,
+            ),
+            TraceSpan::new(
+                SpanKind::EnvCall,
+                Time::from_secs(1),
+                Time::from_secs(3),
+                Some(2),
+                4,
+            ),
+        ];
+        t.record_all(spans);
+        assert_eq!(t.take().len(), 2);
+        assert!(t.spans().is_empty());
+    }
+}

@@ -60,7 +60,12 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
-        Scheduler { now: Time::ZERO, seq: 0, delivered: 0, queue: BinaryHeap::new() }
+        Scheduler {
+            now: Time::ZERO,
+            seq: 0,
+            delivered: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// The current virtual instant.
@@ -125,7 +130,10 @@ pub struct Simulation<W: SimWorld> {
 impl<W: SimWorld> Simulation<W> {
     /// Wraps a world with a fresh scheduler at time zero.
     pub fn new(world: W) -> Self {
-        Simulation { world, scheduler: Scheduler::new() }
+        Simulation {
+            world,
+            scheduler: Scheduler::new(),
+        }
     }
 
     /// Delivers the next event, if any. Returns `false` when the queue is
@@ -225,7 +233,9 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulation::new(Clamper { delivered_at: vec![] });
+        let mut sim = Simulation::new(Clamper {
+            delivered_at: vec![],
+        });
         sim.scheduler.at(Time::from_nanos(100), true);
         sim.run_to_completion();
         assert_eq!(sim.world.delivered_at, vec![100, 100]);

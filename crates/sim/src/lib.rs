@@ -43,8 +43,10 @@ pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use engine::{Scheduler, SimWorld, Simulation};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, TimeSeries, TimeWeighted};
 pub use time::{Duration, Time};
+pub use trace::{SpanKind, TraceSpan};

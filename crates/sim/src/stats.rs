@@ -2,12 +2,10 @@
 //! histograms with percentile queries, time-weighted averages of step
 //! functions, and time series for timeline plots.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{Duration, Time};
 
 /// Running mean/variance/min/max via Welford's algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -19,7 +17,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation. Non-finite values are ignored.
@@ -97,7 +101,7 @@ impl OnlineStats {
 ///
 /// Stores every observation; experiments at this scale produce at most a few
 /// million samples, so exactness is cheaper than the complexity of a sketch.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
@@ -106,7 +110,10 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { samples: Vec::new(), sorted: true }
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation. Non-finite values are ignored.
@@ -145,7 +152,8 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
     }
@@ -208,7 +216,7 @@ impl Histogram {
 
 /// Time-weighted average of a piecewise-constant signal (e.g. KVCache
 /// utilization, active-GPU count).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_t: Time,
     last_v: f64,
@@ -269,7 +277,7 @@ impl TimeWeighted {
 }
 
 /// A `(time, value)` series for timeline figures.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(Time, f64)>,
 }
@@ -392,6 +400,53 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.mean(), 0.0);
         assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.bins(0.0, 1.0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.add(42.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q={q}");
+        }
+        assert_eq!(h.percentile(99.0), 42.0);
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!(h.min(), 42.0);
+        assert_eq!(h.max(), 42.0);
+    }
+
+    #[test]
+    fn histogram_p99_interpolates_between_two_samples() {
+        let mut h = Histogram::new();
+        h.extend([10.0, 20.0]);
+        // Linear interpolation between the two order statistics: the 0.99
+        // quantile sits 99% of the way from the lower to the upper sample.
+        assert!((h.percentile(99.0) - 19.9).abs() < 1e-9);
+        assert!((h.percentile(50.0) - 15.0).abs() < 1e-9);
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 20.0);
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_out_of_range_q() {
+        let mut h = Histogram::new();
+        h.extend([1.0, 2.0, 3.0]);
+        assert_eq!(h.quantile(-0.5), 1.0);
+        assert_eq!(h.quantile(1.5), 3.0);
+        assert_eq!(h.percentile(120.0), 3.0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_samples() {
+        let mut h = Histogram::new();
+        h.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 7.0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(99.0), 7.0);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Structured event-trace span records.
+//!
+//! Every scheduler in the workspace can emit *spans* — phase-labelled
+//! `[start, end]` windows in virtual time, tagged with the replica they ran
+//! on and the weight version they served — mirroring the per-phase
+//! instrumentation behind the paper's KVCache-lifecycle (Fig 9) and stall
+//! (Fig 14) analyses.
+//!
+//! Only the plain data types live here, at the bottom of the crate stack, so
+//! the rollout engine can record spans without depending on the runtime
+//! layer. The `TraceSink` trait that consumes them (with its no-op and
+//! recording implementations) lives in `laminar-runtime`.
+
+use crate::time::Time;
+use std::fmt;
+
+/// The phase a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Prompt prefill on a rollout replica.
+    Prefill,
+    /// One continuous decode segment of a trajectory.
+    DecodeStep,
+    /// An environment / tool call between decode segments.
+    EnvCall,
+    /// A weight transfer: actor publish, relay broadcast, or replica pull.
+    WeightSync,
+    /// One trainer optimization step over a consumed batch.
+    TrainStep,
+    /// A window where a component sat idle waiting on another.
+    Stall,
+    /// A trajectory-repack migration window.
+    Repack,
+    /// A failure or recovery window (machine loss, trainer crash).
+    Failure,
+}
+
+impl SpanKind {
+    /// Stable lowercase identifier used in JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Prefill => "prefill",
+            SpanKind::DecodeStep => "decode_step",
+            SpanKind::EnvCall => "env_call",
+            SpanKind::WeightSync => "weight_sync",
+            SpanKind::TrainStep => "train_step",
+            SpanKind::Stall => "stall",
+            SpanKind::Repack => "repack",
+            SpanKind::Failure => "failure",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One traced phase: a virtual-time window on a replica at a weight version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Phase covered by the window.
+    pub kind: SpanKind,
+    /// Virtual start of the window.
+    pub start: Time,
+    /// Virtual end of the window (`end >= start`).
+    pub end: Time,
+    /// Replica / component id the phase ran on; `None` for global phases
+    /// (e.g. a trainer step in a system with one trainer).
+    pub replica: Option<usize>,
+    /// Weight version in effect during the window.
+    pub version: u64,
+    /// Tokens involved (prefilled, decoded, trained on); 0 when not
+    /// meaningful for the phase.
+    pub tokens: u64,
+}
+
+impl TraceSpan {
+    /// Builds a span, clamping `end` to be no earlier than `start`.
+    pub fn new(
+        kind: SpanKind,
+        start: Time,
+        end: Time,
+        replica: Option<usize>,
+        version: u64,
+    ) -> Self {
+        TraceSpan {
+            kind,
+            start,
+            end: end.max(start),
+            replica,
+            version,
+            tokens: 0,
+        }
+    }
+
+    /// Attaches a token count.
+    pub fn with_tokens(mut self, tokens: u64) -> Self {
+        self.tokens = tokens;
+        self
+    }
+
+    /// Window length in virtual seconds.
+    pub fn secs(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+
+    /// The same span translated later by `offset` — used to place spans
+    /// recorded on a batch-local clock onto a system-global timeline.
+    pub fn shifted_by(mut self, offset: crate::time::Duration) -> Self {
+        self.start += offset;
+        self.end += offset;
+        self
+    }
+
+    /// One JSONL line for this span (no trailing newline). All fields are
+    /// numeric or fixed identifiers, so hand-rolled formatting is exact.
+    pub fn to_json(&self) -> String {
+        let replica = match self.replica {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"replica\":{},\"version\":{},\"tokens\":{}}}",
+            self.kind.as_str(),
+            self.start.as_nanos(),
+            self.end.as_nanos(),
+            replica,
+            self.version,
+            self.tokens,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let s = TraceSpan::new(
+            SpanKind::Prefill,
+            Time::from_secs(1),
+            Time::from_secs(2),
+            Some(3),
+            7,
+        )
+        .with_tokens(128);
+        assert_eq!(
+            s.to_json(),
+            "{\"kind\":\"prefill\",\"start_ns\":1000000000,\"end_ns\":2000000000,\
+             \"replica\":3,\"version\":7,\"tokens\":128}"
+        );
+    }
+
+    #[test]
+    fn global_span_serializes_null_replica() {
+        let s = TraceSpan::new(SpanKind::TrainStep, Time::ZERO, Time::from_secs(1), None, 2);
+        assert!(s.to_json().contains("\"replica\":null"));
+    }
+
+    #[test]
+    fn shift_translates_both_ends() {
+        let s = TraceSpan::new(
+            SpanKind::Prefill,
+            Time::from_secs(1),
+            Time::from_secs(2),
+            Some(0),
+            0,
+        )
+        .shifted_by(crate::time::Duration::from_secs(10));
+        assert_eq!(s.start, Time::from_secs(11));
+        assert_eq!(s.end, Time::from_secs(12));
+    }
+
+    #[test]
+    fn end_clamped_to_start() {
+        let s = TraceSpan::new(
+            SpanKind::Stall,
+            Time::from_secs(5),
+            Time::from_secs(1),
+            None,
+            0,
+        );
+        assert_eq!(s.start, s.end);
+        assert_eq!(s.secs(), 0.0);
+    }
+}

@@ -6,10 +6,8 @@
 //! [`GroupedBatch`] the expansion of sampled prompts into trajectory
 //! assignments.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-size prompt dataset cycled epoch-by-epoch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Number of distinct prompts (17k in DAPO-Math-17k).
     pub num_prompts: u64,
@@ -23,8 +21,16 @@ impl Dataset {
     /// Creates a dataset of `num_prompts` prompts with GRPO groups of
     /// `group_size`.
     pub fn new(num_prompts: u64, group_size: usize) -> Self {
-        assert!(num_prompts > 0 && group_size > 0, "dataset must be non-empty");
-        Dataset { num_prompts, group_size, next_prompt: 0, next_trajectory_id: 0 }
+        assert!(
+            num_prompts > 0 && group_size > 0,
+            "dataset must be non-empty"
+        );
+        Dataset {
+            num_prompts,
+            group_size,
+            next_prompt: 0,
+            next_trajectory_id: 0,
+        }
     }
 
     /// The paper's DAPO-Math-17k shape: 17,000 prompts, groups of 16.
@@ -43,7 +49,11 @@ impl Dataset {
         }
         let first_id = self.next_trajectory_id;
         self.next_trajectory_id += (prompts * self.group_size) as u64;
-        GroupedBatch { prompt_ids, group_size: self.group_size, first_trajectory_id: first_id }
+        GroupedBatch {
+            prompt_ids,
+            group_size: self.group_size,
+            first_trajectory_id: first_id,
+        }
     }
 
     /// Total trajectory ids issued so far.
@@ -53,7 +63,7 @@ impl Dataset {
 }
 
 /// A batch of prompts expanded into GRPO groups.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupedBatch {
     /// Sampled prompt ids, in order.
     pub prompt_ids: Vec<u64>,
@@ -79,9 +89,12 @@ impl GroupedBatch {
     pub fn assignments(&self) -> impl Iterator<Item = (u64, u64, usize)> + '_ {
         let first = self.first_trajectory_id;
         let gs = self.group_size;
-        self.prompt_ids.iter().enumerate().flat_map(move |(pi, &prompt)| {
-            (0..gs).map(move |g| (first + (pi * gs + g) as u64, prompt, g))
-        })
+        self.prompt_ids
+            .iter()
+            .enumerate()
+            .flat_map(move |(pi, &prompt)| {
+                (0..gs).map(move |g| (first + (pi * gs + g) as u64, prompt, g))
+            })
     }
 }
 

@@ -1,14 +1,13 @@
 //! Composable probability distributions for workload modelling.
 
 use laminar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A sampleable distribution over non-negative reals.
 ///
 /// The variants cover the shapes the paper's workloads exhibit: log-normal
 /// bodies with Pareto tails for trajectory lengths, and mixtures for bimodal
 /// environment latencies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Dist {
     /// Always `value`.
     Constant {
@@ -70,20 +69,33 @@ impl Dist {
     /// — the natural parameterization for "the 99th percentile is N× the
     /// median" statements in §2.2.
     pub fn lognormal_median_p99(median: f64, p99_over_median: f64) -> Dist {
-        assert!(median > 0.0 && p99_over_median > 1.0, "invalid log-normal shape");
+        assert!(
+            median > 0.0 && p99_over_median > 1.0,
+            "invalid log-normal shape"
+        );
         // For log-normal, p99/median = exp(z99 * sigma) with z99 = 2.3263.
         let sigma = p99_over_median.ln() / 2.326_347_874_040_841;
-        Dist::LogNormal { mu: median.ln(), sigma }
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 
     /// Clamps this distribution into `[lo, hi]`.
     pub fn clamped(self, lo: f64, hi: f64) -> Dist {
-        Dist::Clamped { inner: Box::new(self), lo, hi }
+        Dist::Clamped {
+            inner: Box::new(self),
+            lo,
+            hi,
+        }
     }
 
     /// Scales this distribution by `factor`.
     pub fn scaled(self, factor: f64) -> Dist {
-        Dist::Scaled { inner: Box::new(self), factor }
+        Dist::Scaled {
+            inner: Box::new(self),
+            factor,
+        }
     }
 
     /// Draws one sample.
@@ -166,7 +178,7 @@ pub fn normal_quantile(q: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -243,7 +255,10 @@ mod tests {
 
     #[test]
     fn pareto_tail_is_heavy() {
-        let d = Dist::Pareto { scale: 1.0, shape: 1.5 };
+        let d = Dist::Pareto {
+            scale: 1.0,
+            shape: 1.5,
+        };
         let mut h = sample_hist(&d, 50_000, 7);
         assert!(h.min() >= 1.0);
         assert!(h.percentile(99.9) > 50.0);
@@ -252,7 +267,12 @@ mod tests {
 
     #[test]
     fn pareto_infinite_mean_is_none() {
-        assert!(Dist::Pareto { scale: 1.0, shape: 0.9 }.mean().is_none());
+        assert!(Dist::Pareto {
+            scale: 1.0,
+            shape: 0.9
+        }
+        .mean()
+        .is_none());
     }
 
     #[test]

@@ -8,10 +8,9 @@
 
 use crate::dist::Dist;
 use laminar_sim::{Duration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Sandbox latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SandboxModel {
     /// Latency distribution, seconds.
     pub latency: Dist,
@@ -26,7 +25,13 @@ impl SandboxModel {
             latency: Dist::Mixture {
                 components: vec![
                     (0.85, Dist::lognormal_median_p99(1.5, 8.0)),
-                    (0.15, Dist::Pareto { scale: 4.0, shape: 1.3 }),
+                    (
+                        0.15,
+                        Dist::Pareto {
+                            scale: 4.0,
+                            shape: 1.3,
+                        },
+                    ),
                 ],
             }
             .clamped(0.05, 300.0),
@@ -35,7 +40,9 @@ impl SandboxModel {
 
     /// A fast, low-variance environment for unit tests.
     pub fn fast_test_sandbox() -> Self {
-        SandboxModel { latency: Dist::Constant { value: 0.1 } }
+        SandboxModel {
+            latency: Dist::Constant { value: 0.1 },
+        }
     }
 
     /// Samples one call latency in seconds.

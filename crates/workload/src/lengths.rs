@@ -8,10 +8,9 @@
 //! those shapes.
 
 use crate::dist::Dist;
-use serde::{Deserialize, Serialize};
 
 /// Which model checkpoint's output distribution to emulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Checkpoint {
     /// Qwen2.5-Math-7B mid-RL checkpoint (math reasoning).
     Math7B,
@@ -24,7 +23,7 @@ pub enum Checkpoint {
 }
 
 /// Trajectory length model: prompt and response token distributions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LengthModel {
     /// Prompt (input) length distribution, tokens.
     pub prompt: Dist,
@@ -53,7 +52,10 @@ impl LengthModel {
             Checkpoint::Tool7B => (900.0, 8.0),
         };
         LengthModel {
-            prompt: Dist::Uniform { lo: 256.0, hi: 2048.0 },
+            prompt: Dist::Uniform {
+                lo: 256.0,
+                hi: 2048.0,
+            },
             response: Dist::lognormal_median_p99(median, skew).clamped(16.0, 16_384.0),
             max_response: 16_384,
             max_prompt: 2_048,
@@ -86,7 +88,7 @@ impl LengthModel {
 
 /// Length-evolution schedule: multiplicative factor on the median response
 /// length as a function of training iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LengthEvolution {
     /// Lengths stay put.
     Static,
@@ -148,7 +150,7 @@ mod tests {
         let mut rng = SimRng::new(2);
         for _ in 0..2000 {
             let p = m.sample_prompt(&mut rng);
-            assert!(p >= 1 && p <= 2048);
+            assert!((1..=2048).contains(&p));
         }
     }
 
@@ -171,11 +173,17 @@ mod tests {
 
     #[test]
     fn evolution_schedules() {
-        let g = LengthEvolution::Growing { rate: 0.05, ceiling: 2.0 };
+        let g = LengthEvolution::Growing {
+            rate: 0.05,
+            ceiling: 2.0,
+        };
         assert_eq!(g.factor(0), 1.0);
         assert!(g.factor(10) > 1.5);
         assert_eq!(g.factor(1000), 2.0);
-        let s = LengthEvolution::Shrinking { rate: 0.05, floor: 0.5 };
+        let s = LengthEvolution::Shrinking {
+            rate: 0.05,
+            floor: 0.5,
+        };
         assert!(s.factor(5) < 1.0);
         assert_eq!(s.factor(1000), 0.5);
         assert_eq!(LengthEvolution::Static.factor(99), 1.0);

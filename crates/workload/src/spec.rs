@@ -11,10 +11,9 @@ use crate::dataset::GroupedBatch;
 use crate::env::SandboxModel;
 use crate::lengths::{Checkpoint, LengthModel};
 use laminar_sim::{Duration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// One phase of a trajectory's execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Segment {
     /// Auto-regressively decode this many tokens on the rollout GPU.
     Decode {
@@ -30,7 +29,7 @@ pub enum Segment {
 }
 
 /// The complete, system-independent description of one trajectory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrajectorySpec {
     /// Globally unique trajectory id.
     pub id: u64,
@@ -66,7 +65,10 @@ impl TrajectorySpec {
 
     /// Number of environment calls.
     pub fn env_calls(&self) -> usize {
-        self.segments.iter().filter(|s| matches!(s, Segment::Env { .. })).count()
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Env { .. }))
+            .count()
     }
 
     /// Prompt plus response tokens — the unit the paper's throughput metric
@@ -83,7 +85,7 @@ impl TrajectorySpec {
 }
 
 /// Task family being trained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// Single-turn reasoning (math): one decode segment per trajectory.
     SingleTurn,
@@ -96,7 +98,7 @@ pub enum WorkloadKind {
 }
 
 /// Deterministic workload generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     /// Root seed; together with a trajectory id it fully determines a spec.
     pub seed: u64,
@@ -156,28 +158,38 @@ impl WorkloadGenerator {
         let prompt_tokens = lengths.sample_prompt(&mut rng);
         let segments = match self.kind {
             WorkloadKind::SingleTurn => {
-                vec![Segment::Decode { tokens: lengths.sample_response(&mut rng) }]
+                vec![Segment::Decode {
+                    tokens: lengths.sample_response(&mut rng),
+                }]
             }
             WorkloadKind::MultiTurn { max_calls } => {
                 // Call count skews low: most problems resolve in a few tool
                 // invocations, hard ones exhaust the cap (§2.1).
-                let calls = (1 + rng.below(max_calls.max(1) as u64)
-                    .min(rng.below(max_calls.max(1) as u64)))
-                    as usize;
+                let calls = (1 + rng
+                    .below(max_calls.max(1) as u64)
+                    .min(rng.below(max_calls.max(1) as u64))) as usize;
                 let mut segs = Vec::with_capacity(2 * calls + 1);
                 let mut budget = lengths.max_response;
                 for _ in 0..calls {
                     let tokens = lengths.sample_response(&mut rng).min(budget.max(1));
                     budget = budget.saturating_sub(tokens);
                     segs.push(Segment::Decode { tokens });
-                    segs.push(Segment::Env { latency: self.sandbox.sample(&mut rng) });
+                    segs.push(Segment::Env {
+                        latency: self.sandbox.sample(&mut rng),
+                    });
                 }
                 let tokens = lengths.sample_response(&mut rng).min(budget.max(1));
                 segs.push(Segment::Decode { tokens });
                 segs
             }
         };
-        TrajectorySpec { id, prompt_id, group_index, prompt_tokens, segments }
+        TrajectorySpec {
+            id,
+            prompt_id,
+            group_index,
+            prompt_tokens,
+            segments,
+        }
     }
 
     /// Generates all trajectories of a grouped batch (e.g. the 512×16
@@ -223,7 +235,7 @@ mod tests {
         for id in 0..200 {
             let t = w.trajectory(id, id / 16, (id % 16) as usize, 1.0);
             let calls = t.env_calls();
-            assert!(calls >= 1 && calls <= 8, "calls {calls}");
+            assert!((1..=8).contains(&calls), "calls {calls}");
             // Starts and ends with decode; strict alternation.
             assert!(matches!(t.segments.first(), Some(Segment::Decode { .. })));
             assert!(matches!(t.segments.last(), Some(Segment::Decode { .. })));
@@ -266,11 +278,17 @@ mod tests {
     #[test]
     fn evolution_scales_lengths() {
         let w = WorkloadGenerator::single_turn(9, Checkpoint::Math7B);
-        let total =
-            |e: f64| (0..500).map(|i| w.trajectory(i, i / 16, 0, e).decode_tokens()).sum::<u64>();
+        let total = |e: f64| {
+            (0..500)
+                .map(|i| w.trajectory(i, i / 16, 0, e).decode_tokens())
+                .sum::<u64>()
+        };
         let base = total(1.0);
         let grown = total(1.8);
-        assert!(grown as f64 > base as f64 * 1.4, "base {base} grown {grown}");
+        assert!(
+            grown as f64 > base as f64 * 1.4,
+            "base {base} grown {grown}"
+        );
     }
 
     #[test]

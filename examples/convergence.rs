@@ -19,9 +19,15 @@ fn main() {
         (
             "Laminar inherent",
             12.0,
-            StalenessRegime::Inherent { weights: vec![0.45, 0.3, 0.15, 0.07, 0.03] },
+            StalenessRegime::Inherent {
+                weights: vec![0.45, 0.3, 0.15, 0.07, 0.03],
+            },
         ),
-        ("partial rollout (mixed)", 13.0, StalenessRegime::Mixed { window: 4 }),
+        (
+            "partial rollout (mixed)",
+            13.0,
+            StalenessRegime::Mixed { window: 4 },
+        ),
     ];
 
     // Reward reached inside a fixed wall-clock budget: system throughput
@@ -41,7 +47,10 @@ fn main() {
         cfg.eval_episodes = 600;
         let curve = convergence_curve(&regime, &cfg);
         let last = curve.last().map(|&(_, r)| r).unwrap_or(0.0);
-        println!("{name:<26} {secs_per_iter:>10.0} {:>12} {last:>12.3}", cfg.iterations);
+        println!(
+            "{name:<26} {secs_per_iter:>10.0} {:>12} {last:>12.3}",
+            cfg.iterations
+        );
     }
     println!(
         "\npaper Figure 13: Laminar converges fastest in wall-clock time — its\n\

@@ -19,10 +19,13 @@ fn main() {
 fn threaded_relay_failures() {
     println!("== threaded relay tier: failure + repair ==");
     let mut tier = RelayTier::new(RelayTierConfig::fast(8));
-    let weights_v1 = bytes::Bytes::from(vec![1u8; 4 << 20]);
+    let weights_v1 = laminar::relay::Bytes::from(vec![1u8; 4 << 20]);
     tier.publish(1, weights_v1);
     assert!(tier.wait_converged(1, std::time::Duration::from_secs(10)));
-    println!("version 1 resident on all {} relays", tier.alive_nodes().len());
+    println!(
+        "version 1 resident on all {} relays",
+        tier.alive_nodes().len()
+    );
 
     // Kill the master and a mid-chain relay.
     tier.kill(0);
@@ -34,14 +37,17 @@ fn threaded_relay_failures() {
     );
 
     // The actor keeps publishing; survivors converge.
-    tier.publish(2, bytes::Bytes::from(vec![2u8; 4 << 20]));
+    tier.publish(2, laminar::relay::Bytes::from(vec![2u8; 4 << 20]));
     assert!(tier.wait_converged(2, std::time::Duration::from_secs(10)));
     println!("version 2 converged on survivors: {:?}", tier.alive_nodes());
 
     // A replacement machine arrives and catches up instantly.
     let id = tier.add_node();
     assert!(tier.wait_converged(2, std::time::Duration::from_secs(10)));
-    println!("replacement relay {id} caught up to version {:?}\n", tier.node_version(id));
+    println!(
+        "replacement relay {id} caught up to version {:?}\n",
+        tier.node_version(id)
+    );
     tier.shutdown();
 }
 
@@ -68,7 +74,10 @@ fn simulated_machine_failure() {
         ..LaminarSystem::default()
     };
     let report = sys.run(&cfg);
-    println!("completed {} training iterations through the failure", report.iteration_secs.len());
+    println!(
+        "completed {} training iterations through the failure",
+        report.iteration_secs.len()
+    );
     println!("throughput: {:.0} tokens/s", report.throughput);
     println!("generation throughput timeline (dip at kill, recovery at +252s):");
     let max = report
@@ -78,7 +87,11 @@ fn simulated_machine_failure() {
         .map(|&(_, v)| v)
         .fold(0.0f64, f64::max);
     for &(t, v) in report.gen_series.points() {
-        let width = if max > 0.0 { (v / max * 40.0) as usize } else { 0 };
+        let width = if max > 0.0 {
+            (v / max * 40.0) as usize
+        } else {
+            0
+        };
         println!("  {:>6.0}s | {}", t.as_secs_f64(), "#".repeat(width));
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     let scales = [16usize, 64, 256];
     let systems = SystemKind::all();
 
-    println!("single-turn math reasoning, {} (Table 2 placements)\n", model.name);
+    println!(
+        "single-turn math reasoning, {} (Table 2 placements)\n",
+        model.name
+    );
     print!("{:>6}", "GPUs");
     for k in systems {
         print!(" {:>14}", k.name());

@@ -24,7 +24,10 @@ fn analytic_model() {
         let bytes = model.weight_bytes();
         print!("{:<14}", model.name);
         for p in [2usize, 8, 32, 128] {
-            print!("  p={p:<3} {:>6.3}s", chain.optimal_broadcast_secs(p, bytes));
+            print!(
+                "  p={p:<3} {:>6.3}s",
+                chain.optimal_broadcast_secs(p, bytes)
+            );
         }
         println!();
     }
@@ -35,7 +38,10 @@ fn analytic_model() {
 fn threaded_pipelining() {
     println!("== threaded tier: pipelined vs store-and-forward (8 MiB, 100 MB/s hops) ==");
     let size = 8usize << 20;
-    for (label, chunk) in [("pipelined (32 chunks)", size / 32), ("store-and-forward", size)] {
+    for (label, chunk) in [
+        ("pipelined (32 chunks)", size / 32),
+        ("store-and-forward", size),
+    ] {
         let mut tier = RelayTier::new(RelayTierConfig {
             chunk_bytes: chunk,
             hop_seconds_per_byte: 1e-8,
@@ -43,7 +49,7 @@ fn threaded_pipelining() {
             ..RelayTierConfig::fast(6)
         });
         let start = Instant::now();
-        tier.publish(1, bytes::Bytes::from(vec![0u8; size]));
+        tier.publish(1, laminar::relay::Bytes::from(vec![0u8; size]));
         assert!(tier.wait_converged(1, std::time::Duration::from_secs(60)));
         println!("  {label:<24} {:>8.3}s", start.elapsed().as_secs_f64());
         tier.shutdown();
@@ -54,7 +60,11 @@ fn threaded_pipelining() {
 fn shard_pull() {
     println!("== rollout-side TP shard pull ==");
     let mut tier = RelayTier::new(RelayTierConfig::fast(4));
-    let weights = bytes::Bytes::from((0..1_000_000u32).flat_map(u32::to_le_bytes).collect::<Vec<u8>>());
+    let weights = laminar::relay::Bytes::from(
+        (0..1_000_000u32)
+            .flat_map(u32::to_le_bytes)
+            .collect::<Vec<u8>>(),
+    );
     tier.publish(3, weights.clone());
     assert!(tier.wait_converged(3, std::time::Duration::from_secs(10)));
     // A TP=4 replica colocated with relay 2 pulls its four shards.
@@ -64,7 +74,7 @@ fn shard_pull() {
         println!("  rank {rank}: version {version}, {} bytes", shard.len());
         rebuilt.extend_from_slice(&shard);
     }
-    assert_eq!(bytes::Bytes::from(rebuilt), weights);
+    assert_eq!(laminar::relay::Bytes::from(rebuilt), weights);
     println!("  shards reassemble to the exact published weights");
     tier.shutdown();
 }

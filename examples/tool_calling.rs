@@ -32,7 +32,11 @@ fn main() {
 
     println!("\nrunning Laminar with and without the repack mechanism...");
     let with = LaminarSystem::default().run(&cfg);
-    let without = LaminarSystem { repack: false, ..LaminarSystem::default() }.run(&cfg);
+    let without = LaminarSystem {
+        repack: false,
+        ..LaminarSystem::default()
+    }
+    .run(&cfg);
 
     println!();
     println!(

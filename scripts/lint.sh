@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Lint gate: formatting and clippy across the whole workspace, warnings
+# denied. Run before sending a change out for review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "warning: rustfmt unavailable, skipping format check" >&2
+fi
+
+cargo clippy --workspace --all-targets -- -D warnings
+echo "lint: clean"

@@ -20,6 +20,9 @@
 //!   rollout manager;
 //! * [`rl`] — from-scratch NN, GRPO / PPO / Decoupled-PPO, the ReasonTree
 //!   environment;
+//! * [`runtime`] — the shared system substrate: [`runtime::SystemConfig`],
+//!   the [`runtime::RlSystem`] trait, batch generation, and the structured
+//!   event-trace layer ([`runtime::TraceSink`]);
 //! * [`baselines`] — verl-sync, one-step, stream-generation, and
 //!   partial-rollout systems over the shared substrate;
 //! * [`core`] — the Laminar system itself, Table 2/3 configurations, and
@@ -48,24 +51,25 @@ pub use laminar_data as data;
 pub use laminar_relay as relay;
 pub use laminar_rl as rl;
 pub use laminar_rollout as rollout;
+pub use laminar_runtime as runtime;
 pub use laminar_sim as sim;
 pub use laminar_workload as workload;
 
 /// The most commonly used types, for `use laminar::prelude::*`.
 pub mod prelude {
-    pub use laminar_baselines::{
-        OneStepStaleness, PartialRollout, RlSystem, RunReport, StreamGeneration, SystemConfig,
-        VerlSync,
-    };
+    pub use laminar_baselines::{OneStepStaleness, PartialRollout, StreamGeneration, VerlSync};
     pub use laminar_cluster::{ClusterSpec, DecodeModel, GpuSpec, MachineSpec, ModelSpec};
     pub use laminar_core::{
-        convergence_curve, placement_for, ConvergenceConfig, FaultSpec, HyperParams,
-        LaminarSystem, StalenessRegime, SystemKind,
+        convergence_curve, placement_for, ConvergenceConfig, FaultSpec, HyperParams, LaminarSystem,
+        StalenessRegime, SystemKind,
     };
     pub use laminar_data::{Experience, ExperienceBuffer, PartialResponsePool, PromptPool};
     pub use laminar_relay::{RelaySyncModel, RelayTier, RelayTierConfig};
     pub use laminar_rl::{GrpoConfig, GrpoTrainer, ReasonEnv, TabularPolicy};
     pub use laminar_rollout::{plan_repack, ReplicaEngine, RolloutManager};
+    pub use laminar_runtime::{
+        NullTrace, RecordingTrace, RlSystem, RunReport, SystemConfig, TraceSink,
+    };
     pub use laminar_sim::{Duration, SimRng, Simulation, Time};
     pub use laminar_workload::{Checkpoint, Dataset, TrajectorySpec, WorkloadGenerator};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-fb1d9d490225adc4.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-fb1d9d490225adc4: tests/convergence.rs
+
+tests/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-acbd75b8c782e61e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-acbd75b8c782e61e: tests/determinism.rs
+
+tests/determinism.rs:

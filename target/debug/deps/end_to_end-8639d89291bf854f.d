@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8639d89291bf854f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8639d89291bf854f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-279f8177723c94fc.d: crates/rollout/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-279f8177723c94fc: crates/rollout/tests/engine_properties.rs
+
+crates/rollout/tests/engine_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-30dd286cf4547743.d: crates/rollout/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-30dd286cf4547743.rmeta: crates/rollout/tests/engine_properties.rs Cargo.toml
+
+crates/rollout/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

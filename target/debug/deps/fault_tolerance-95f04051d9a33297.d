@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-95f04051d9a33297.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-95f04051d9a33297: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

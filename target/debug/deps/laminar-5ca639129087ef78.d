@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laminar-5ca639129087ef78.d: src/lib.rs
+
+/root/repo/target/debug/deps/laminar-5ca639129087ef78: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar-6b0a7711d67222d7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar-6b0a7711d67222d7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

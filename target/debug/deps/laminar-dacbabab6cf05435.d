@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/laminar-dacbabab6cf05435.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblaminar-dacbabab6cf05435.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblaminar-dacbabab6cf05435.rmeta: src/lib.rs
+
+src/lib.rs:

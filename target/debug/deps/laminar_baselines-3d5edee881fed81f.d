@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/laminar_baselines-3d5edee881fed81f.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/debug/deps/liblaminar_baselines-3d5edee881fed81f.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/debug/deps/liblaminar_baselines-3d5edee881fed81f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/partial.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/verl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar_baselines-9ae0e8525f468aad.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/debug/deps/liblaminar_baselines-9ae0e8525f468aad.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/partial.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/verl.rs:

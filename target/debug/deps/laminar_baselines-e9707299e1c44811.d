@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_baselines-e9707299e1c44811.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_baselines-e9707299e1c44811.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/partial.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/verl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

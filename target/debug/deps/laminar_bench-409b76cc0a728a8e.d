@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/laminar_bench-409b76cc0a728a8e.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_bench-409b76cc0a728a8e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/async_figs.rs:
+crates/bench/src/experiments/convergence_fig.rs:
+crates/bench/src/experiments/perf_figs.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/throughput.rs:
+crates/bench/src/experiments/workload_figs.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

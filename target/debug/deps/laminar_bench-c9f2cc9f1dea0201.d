@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/laminar_bench-c9f2cc9f1dea0201.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liblaminar_bench-c9f2cc9f1dea0201.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/async_figs.rs:
+crates/bench/src/experiments/convergence_fig.rs:
+crates/bench/src/experiments/perf_figs.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/throughput.rs:
+crates/bench/src/experiments/workload_figs.rs:
+crates/bench/src/table.rs:

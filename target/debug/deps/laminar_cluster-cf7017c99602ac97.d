@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/laminar_cluster-cf7017c99602ac97.d: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_cluster-cf7017c99602ac97.rmeta: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chain.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/links.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/parallel.rs:
+crates/cluster/src/roofline.rs:
+crates/cluster/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/laminar_core-1d3b5a5b79e6cea5.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/debug/deps/liblaminar_core-1d3b5a5b79e6cea5.rlib: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/debug/deps/liblaminar_core-1d3b5a5b79e6cea5.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/hyper.rs:
+crates/core/src/placement.rs:
+crates/core/src/system/mod.rs:
+crates/core/src/system/driver.rs:
+crates/core/src/system/elastic.rs:
+crates/core/src/system/faults.rs:
+crates/core/src/system/timeline.rs:

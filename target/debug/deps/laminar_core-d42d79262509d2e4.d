@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/laminar_core-d42d79262509d2e4.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/tests.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/debug/deps/laminar_core-d42d79262509d2e4: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/tests.rs crates/core/src/system/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/hyper.rs:
+crates/core/src/placement.rs:
+crates/core/src/system/mod.rs:
+crates/core/src/system/driver.rs:
+crates/core/src/system/elastic.rs:
+crates/core/src/system/faults.rs:
+crates/core/src/system/tests.rs:
+crates/core/src/system/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_core-e0ba1b4b7743fb24.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/debug/deps/liblaminar_core-e0ba1b4b7743fb24.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/hyper.rs:
+crates/core/src/placement.rs:
+crates/core/src/system/mod.rs:
+crates/core/src/system/driver.rs:
+crates/core/src/system/elastic.rs:
+crates/core/src/system/faults.rs:
+crates/core/src/system/timeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/laminar_data-38feb51298784136.d: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/debug/deps/liblaminar_data-38feb51298784136.rmeta: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+crates/data/src/lib.rs:
+crates/data/src/buffer.rs:
+crates/data/src/checkpoint.rs:
+crates/data/src/experience.rs:
+crates/data/src/partial.rs:
+crates/data/src/prompt_pool.rs:
+crates/data/src/shared.rs:

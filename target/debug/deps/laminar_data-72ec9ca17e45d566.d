@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_data-72ec9ca17e45d566.d: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/debug/deps/liblaminar_data-72ec9ca17e45d566.rlib: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/debug/deps/liblaminar_data-72ec9ca17e45d566.rmeta: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+crates/data/src/lib.rs:
+crates/data/src/buffer.rs:
+crates/data/src/checkpoint.rs:
+crates/data/src/experience.rs:
+crates/data/src/partial.rs:
+crates/data/src/prompt_pool.rs:
+crates/data/src/shared.rs:

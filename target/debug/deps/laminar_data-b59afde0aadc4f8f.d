@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/laminar_data-b59afde0aadc4f8f.d: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_data-b59afde0aadc4f8f.rmeta: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/buffer.rs:
+crates/data/src/checkpoint.rs:
+crates/data/src/experience.rs:
+crates/data/src/partial.rs:
+crates/data/src/prompt_pool.rs:
+crates/data/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

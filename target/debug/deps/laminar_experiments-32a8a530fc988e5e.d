@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar_experiments-32a8a530fc988e5e.d: crates/bench/src/bin/laminar_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_experiments-32a8a530fc988e5e.rmeta: crates/bench/src/bin/laminar_experiments.rs Cargo.toml
+
+crates/bench/src/bin/laminar_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laminar_experiments-52952f2d4015a8f2.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/debug/deps/laminar_experiments-52952f2d4015a8f2: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laminar_experiments-5b4c6f306c087d62.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/debug/deps/laminar_experiments-5b4c6f306c087d62: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

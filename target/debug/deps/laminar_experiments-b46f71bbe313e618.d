@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laminar_experiments-b46f71bbe313e618.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/debug/deps/liblaminar_experiments-b46f71bbe313e618.rmeta: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laminar_experiments-f13cef5681fca457.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/debug/deps/liblaminar_experiments-f13cef5681fca457.rmeta: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_relay-172464cf7efed3d5.d: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_relay-172464cf7efed3d5.rmeta: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs Cargo.toml
+
+crates/relay/src/lib.rs:
+crates/relay/src/bytes.rs:
+crates/relay/src/chunk.rs:
+crates/relay/src/model.rs:
+crates/relay/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

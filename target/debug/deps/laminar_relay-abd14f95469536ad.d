@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/laminar_relay-abd14f95469536ad.d: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/debug/deps/liblaminar_relay-abd14f95469536ad.rlib: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/debug/deps/liblaminar_relay-abd14f95469536ad.rmeta: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+crates/relay/src/lib.rs:
+crates/relay/src/bytes.rs:
+crates/relay/src/chunk.rs:
+crates/relay/src/model.rs:
+crates/relay/src/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar_relay-ea77888430c2626f.d: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/debug/deps/liblaminar_relay-ea77888430c2626f.rmeta: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+crates/relay/src/lib.rs:
+crates/relay/src/bytes.rs:
+crates/relay/src/chunk.rs:
+crates/relay/src/model.rs:
+crates/relay/src/runtime.rs:

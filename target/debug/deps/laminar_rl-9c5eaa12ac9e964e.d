@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/laminar_rl-9c5eaa12ac9e964e.d: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_rl-9c5eaa12ac9e964e.rmeta: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs Cargo.toml
+
+crates/rl/src/lib.rs:
+crates/rl/src/algo.rs:
+crates/rl/src/env.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/ppo.rs:
+crates/rl/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

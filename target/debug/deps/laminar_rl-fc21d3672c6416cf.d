@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_rl-fc21d3672c6416cf.d: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+/root/repo/target/debug/deps/liblaminar_rl-fc21d3672c6416cf.rlib: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+/root/repo/target/debug/deps/liblaminar_rl-fc21d3672c6416cf.rmeta: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/algo.rs:
+crates/rl/src/env.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/ppo.rs:
+crates/rl/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/laminar_rollout-82c70c066eb3d6bc.d: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/debug/deps/liblaminar_rollout-82c70c066eb3d6bc.rmeta: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+crates/rollout/src/lib.rs:
+crates/rollout/src/engine/mod.rs:
+crates/rollout/src/engine/lifecycle.rs:
+crates/rollout/src/engine/stepper.rs:
+crates/rollout/src/manager.rs:
+crates/rollout/src/repack.rs:
+crates/rollout/src/traj.rs:

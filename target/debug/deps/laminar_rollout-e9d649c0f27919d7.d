@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/laminar_rollout-e9d649c0f27919d7.d: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/debug/deps/liblaminar_rollout-e9d649c0f27919d7.rlib: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/debug/deps/liblaminar_rollout-e9d649c0f27919d7.rmeta: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+crates/rollout/src/lib.rs:
+crates/rollout/src/engine/mod.rs:
+crates/rollout/src/engine/lifecycle.rs:
+crates/rollout/src/engine/stepper.rs:
+crates/rollout/src/manager.rs:
+crates/rollout/src/repack.rs:
+crates/rollout/src/traj.rs:

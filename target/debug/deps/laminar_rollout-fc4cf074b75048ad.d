@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/laminar_rollout-fc4cf074b75048ad.d: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/engine/tests.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_rollout-fc4cf074b75048ad.rmeta: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/engine/tests.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs Cargo.toml
+
+crates/rollout/src/lib.rs:
+crates/rollout/src/engine/mod.rs:
+crates/rollout/src/engine/lifecycle.rs:
+crates/rollout/src/engine/stepper.rs:
+crates/rollout/src/engine/tests.rs:
+crates/rollout/src/manager.rs:
+crates/rollout/src/repack.rs:
+crates/rollout/src/traj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar_runtime-680295c68cae01cc.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/laminar_runtime-680295c68cae01cc: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/config.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laminar_runtime-83044d345e2d1773.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/liblaminar_runtime-83044d345e2d1773.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/config.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/trace.rs:

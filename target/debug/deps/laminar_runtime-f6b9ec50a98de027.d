@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/laminar_runtime-f6b9ec50a98de027.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/liblaminar_runtime-f6b9ec50a98de027.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/liblaminar_runtime-f6b9ec50a98de027.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/config.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/laminar_workload-1ab6570f9d31d78c.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/liblaminar_workload-1ab6570f9d31d78c.rlib: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/liblaminar_workload-1ab6570f9d31d78c.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/env.rs:
+crates/workload/src/lengths.rs:
+crates/workload/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/laminar_workload-46cc7c93e72818b3.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaminar_workload-46cc7c93e72818b3.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/env.rs:
+crates/workload/src/lengths.rs:
+crates/workload/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laminar_workload-8c0e0bd437b880eb.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/liblaminar_workload-8c0e0bd437b880eb.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/env.rs:
+crates/workload/src/lengths.rs:
+crates/workload/src/spec.rs:

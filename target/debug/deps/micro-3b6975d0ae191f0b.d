@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-3b6975d0ae191f0b.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-3b6975d0ae191f0b.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-3da309d9a88151d7.d: crates/cluster/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-3da309d9a88151d7.rmeta: crates/cluster/tests/model_properties.rs Cargo.toml
+
+crates/cluster/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-f24669c1fb19f79a.d: crates/cluster/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-f24669c1fb19f79a: crates/cluster/tests/model_properties.rs
+
+crates/cluster/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb43e219644a33b0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cb43e219644a33b0: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repack_properties-2467498e702ad43a.d: crates/rollout/tests/repack_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepack_properties-2467498e702ad43a.rmeta: crates/rollout/tests/repack_properties.rs Cargo.toml
+
+crates/rollout/tests/repack_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

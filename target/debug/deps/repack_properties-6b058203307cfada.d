@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repack_properties-6b058203307cfada.d: crates/rollout/tests/repack_properties.rs
+
+/root/repo/target/debug/deps/repack_properties-6b058203307cfada: crates/rollout/tests/repack_properties.rs
+
+crates/rollout/tests/repack_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_format-058da1e2c3aa12ef.d: crates/bench/tests/trace_format.rs
+
+/root/repo/target/debug/deps/trace_format-058da1e2c3aa12ef: crates/bench/tests/trace_format.rs
+
+crates/bench/tests/trace_format.rs:

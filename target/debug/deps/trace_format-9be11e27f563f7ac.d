@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_format-9be11e27f563f7ac.d: crates/bench/tests/trace_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_format-9be11e27f563f7ac.rmeta: crates/bench/tests/trace_format.rs Cargo.toml
+
+crates/bench/tests/trace_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

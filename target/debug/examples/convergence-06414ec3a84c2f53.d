@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convergence-06414ec3a84c2f53.d: examples/convergence.rs
+
+/root/repo/target/debug/examples/convergence-06414ec3a84c2f53: examples/convergence.rs
+
+examples/convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convergence-658e4358a517194e.d: examples/convergence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvergence-658e4358a517194e.rmeta: examples/convergence.rs Cargo.toml
+
+examples/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-da4faec977355e35.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-da4faec977355e35: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

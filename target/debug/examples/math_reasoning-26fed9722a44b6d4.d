@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/math_reasoning-26fed9722a44b6d4.d: examples/math_reasoning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmath_reasoning-26fed9722a44b6d4.rmeta: examples/math_reasoning.rs Cargo.toml
+
+examples/math_reasoning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

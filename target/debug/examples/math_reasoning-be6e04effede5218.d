@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/math_reasoning-be6e04effede5218.d: examples/math_reasoning.rs
+
+/root/repo/target/debug/examples/math_reasoning-be6e04effede5218: examples/math_reasoning.rs
+
+examples/math_reasoning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf929f9e5350481b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf929f9e5350481b: examples/quickstart.rs
+
+examples/quickstart.rs:

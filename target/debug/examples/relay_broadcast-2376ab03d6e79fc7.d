@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/relay_broadcast-2376ab03d6e79fc7.d: examples/relay_broadcast.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelay_broadcast-2376ab03d6e79fc7.rmeta: examples/relay_broadcast.rs Cargo.toml
+
+examples/relay_broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

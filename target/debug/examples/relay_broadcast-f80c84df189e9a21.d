@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relay_broadcast-f80c84df189e9a21.d: examples/relay_broadcast.rs
+
+/root/repo/target/debug/examples/relay_broadcast-f80c84df189e9a21: examples/relay_broadcast.rs
+
+examples/relay_broadcast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tool_calling-93859fc41523261a.d: examples/tool_calling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtool_calling-93859fc41523261a.rmeta: examples/tool_calling.rs Cargo.toml
+
+examples/tool_calling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_calling-c96ac22c8acef429.d: examples/tool_calling.rs
+
+/root/repo/target/debug/examples/tool_calling-c96ac22c8acef429: examples/tool_calling.rs
+
+examples/tool_calling.rs:

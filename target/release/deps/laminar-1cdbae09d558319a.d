@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/laminar-1cdbae09d558319a.d: src/lib.rs
+
+/root/repo/target/release/deps/liblaminar-1cdbae09d558319a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblaminar-1cdbae09d558319a.rmeta: src/lib.rs
+
+src/lib.rs:

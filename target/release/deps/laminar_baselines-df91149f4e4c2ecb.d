@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/laminar_baselines-df91149f4e4c2ecb.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/release/deps/liblaminar_baselines-df91149f4e4c2ecb.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/release/deps/liblaminar_baselines-df91149f4e4c2ecb.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/partial.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/verl.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/laminar_bench-d89e9d75d4730884.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/laminar_bench-d89e9d75d4730884: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/async_figs.rs crates/bench/src/experiments/convergence_fig.rs crates/bench/src/experiments/perf_figs.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/throughput.rs crates/bench/src/experiments/workload_figs.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/async_figs.rs:
+crates/bench/src/experiments/convergence_fig.rs:
+crates/bench/src/experiments/perf_figs.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/throughput.rs:
+crates/bench/src/experiments/workload_figs.rs:
+crates/bench/src/table.rs:

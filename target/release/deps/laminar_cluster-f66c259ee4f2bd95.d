@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/laminar_cluster-f66c259ee4f2bd95.d: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs
+
+/root/repo/target/release/deps/liblaminar_cluster-f66c259ee4f2bd95.rlib: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs
+
+/root/repo/target/release/deps/liblaminar_cluster-f66c259ee4f2bd95.rmeta: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chain.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/links.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/parallel.rs:
+crates/cluster/src/roofline.rs:
+crates/cluster/src/training.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/laminar_core-b3b5ca7749f31675.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/release/deps/liblaminar_core-b3b5ca7749f31675.rlib: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/release/deps/liblaminar_core-b3b5ca7749f31675.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/hyper.rs:
+crates/core/src/placement.rs:
+crates/core/src/system/mod.rs:
+crates/core/src/system/driver.rs:
+crates/core/src/system/elastic.rs:
+crates/core/src/system/faults.rs:
+crates/core/src/system/timeline.rs:

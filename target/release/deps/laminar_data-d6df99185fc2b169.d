@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/laminar_data-d6df99185fc2b169.d: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/release/deps/liblaminar_data-d6df99185fc2b169.rlib: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/release/deps/liblaminar_data-d6df99185fc2b169.rmeta: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+crates/data/src/lib.rs:
+crates/data/src/buffer.rs:
+crates/data/src/checkpoint.rs:
+crates/data/src/experience.rs:
+crates/data/src/partial.rs:
+crates/data/src/prompt_pool.rs:
+crates/data/src/shared.rs:

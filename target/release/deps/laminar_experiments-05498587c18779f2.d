@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laminar_experiments-05498587c18779f2.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/release/deps/laminar_experiments-05498587c18779f2: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laminar_experiments-b9277e459365131a.d: crates/bench/src/bin/laminar_experiments.rs
+
+/root/repo/target/release/deps/laminar_experiments-b9277e459365131a: crates/bench/src/bin/laminar_experiments.rs
+
+crates/bench/src/bin/laminar_experiments.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/laminar_relay-0154fb7d45cdc12e.d: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/release/deps/liblaminar_relay-0154fb7d45cdc12e.rlib: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/release/deps/liblaminar_relay-0154fb7d45cdc12e.rmeta: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+crates/relay/src/lib.rs:
+crates/relay/src/bytes.rs:
+crates/relay/src/chunk.rs:
+crates/relay/src/model.rs:
+crates/relay/src/runtime.rs:

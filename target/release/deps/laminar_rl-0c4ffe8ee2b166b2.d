@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/laminar_rl-0c4ffe8ee2b166b2.d: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+/root/repo/target/release/deps/liblaminar_rl-0c4ffe8ee2b166b2.rlib: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+/root/repo/target/release/deps/liblaminar_rl-0c4ffe8ee2b166b2.rmeta: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/algo.rs:
+crates/rl/src/env.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/ppo.rs:
+crates/rl/src/snapshot.rs:

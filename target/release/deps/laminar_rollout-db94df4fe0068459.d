@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/laminar_rollout-db94df4fe0068459.d: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/release/deps/liblaminar_rollout-db94df4fe0068459.rlib: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/release/deps/liblaminar_rollout-db94df4fe0068459.rmeta: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+crates/rollout/src/lib.rs:
+crates/rollout/src/engine/mod.rs:
+crates/rollout/src/engine/lifecycle.rs:
+crates/rollout/src/engine/stepper.rs:
+crates/rollout/src/manager.rs:
+crates/rollout/src/repack.rs:
+crates/rollout/src/traj.rs:

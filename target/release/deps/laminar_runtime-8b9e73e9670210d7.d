@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/laminar_runtime-8b9e73e9670210d7.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/liblaminar_runtime-8b9e73e9670210d7.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/liblaminar_runtime-8b9e73e9670210d7.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/config.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laminar_workload-5d52681cc9bc6585.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/liblaminar_workload-5d52681cc9bc6585.rlib: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/liblaminar_workload-5d52681cc9bc6585.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/env.rs:
+crates/workload/src/lengths.rs:
+crates/workload/src/spec.rs:

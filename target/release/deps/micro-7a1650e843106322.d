@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-7a1650e843106322.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-7a1650e843106322: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-5ae11ab1b2e14737.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-5ae11ab1b2e14737: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ecfb213511c5647e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ecfb213511c5647e: examples/quickstart.rs
+
+examples/quickstart.rs:

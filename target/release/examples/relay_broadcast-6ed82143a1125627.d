@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/relay_broadcast-6ed82143a1125627.d: examples/relay_broadcast.rs
+
+/root/repo/target/release/examples/relay_broadcast-6ed82143a1125627: examples/relay_broadcast.rs
+
+examples/relay_broadcast.rs:

@@ -37,7 +37,9 @@ fn every_regime_learns_something() {
     let regimes = [
         StalenessRegime::OnPolicy,
         StalenessRegime::Fixed { k: 1 },
-        StalenessRegime::Inherent { weights: vec![0.5, 0.3, 0.2] },
+        StalenessRegime::Inherent {
+            weights: vec![0.5, 0.3, 0.2],
+        },
         StalenessRegime::Mixed { window: 3 },
     ];
     for regime in regimes {
@@ -56,5 +58,8 @@ fn rewards_are_monotone_ish_not_degenerate() {
     let curve = convergence_curve(&StalenessRegime::OnPolicy, &cfg(10.0, 9));
     let max = curve.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
     assert!(max <= 1.0 + 1e-9, "rewards are success rates");
-    assert!(max > 0.3, "on-policy GRPO must make real progress, got {max}");
+    assert!(
+        max > 0.3,
+        "on-policy GRPO must make real progress, got {max}"
+    );
 }

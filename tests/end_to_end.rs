@@ -81,11 +81,21 @@ fn staleness_semantics_per_system() {
     assert!(one.max_staleness() <= 1, "k=1 pipeline");
 
     let partial = PartialRollout.run(&cfg);
-    assert!(partial.mixed_version_fraction() > 0.0, "partial rollout mixes versions");
+    assert!(
+        partial.mixed_version_fraction() > 0.0,
+        "partial rollout mixes versions"
+    );
 
     let lam = LaminarSystem::default().run(&cfg);
-    assert_eq!(lam.mixed_version_fraction(), 0.0, "Laminar never mixes versions");
-    assert!(lam.max_staleness() <= 4, "paper: inherent staleness stays at most 4");
+    assert_eq!(
+        lam.mixed_version_fraction(),
+        0.0,
+        "Laminar never mixes versions"
+    );
+    assert!(
+        lam.max_staleness() <= 4,
+        "paper: inherent staleness stays at most 4"
+    );
 }
 
 #[test]
@@ -104,7 +114,12 @@ fn laminar_beats_the_global_sync_baselines_at_scale() {
     let lam = LaminarSystem::default().run(&cfg);
     let one = OneStepStaleness.run(&cfg);
     let stream = StreamGeneration.run(&cfg);
-    assert!(lam.throughput > one.throughput, "lam {} one {}", lam.throughput, one.throughput);
+    assert!(
+        lam.throughput > one.throughput,
+        "lam {} one {}",
+        lam.throughput,
+        one.throughput
+    );
     assert!(
         lam.throughput > stream.throughput,
         "lam {} stream {}",
@@ -130,7 +145,9 @@ fn multi_turn_workload_runs_on_all_systems() {
 fn rollout_waits_beat_global_sync_in_laminar() {
     let cfg = base_config(17);
     let lam = LaminarSystem::default().run(&cfg);
-    let nccl = cfg.collective().nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
+    let nccl = cfg
+        .collective()
+        .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
     for &w in &lam.rollout_waits {
         assert!(w < nccl, "relay pull {w}s vs global sync {nccl}s");
     }

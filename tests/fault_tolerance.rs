@@ -8,7 +8,7 @@ use std::time::Duration as StdDuration;
 #[test]
 fn relay_tier_survives_cascading_failures() {
     let mut tier = RelayTier::new(RelayTierConfig::fast(8));
-    tier.publish(1, bytes::Bytes::from(vec![1u8; 1 << 18]));
+    tier.publish(1, laminar::relay::Bytes::from(vec![1u8; 1 << 18]));
     assert!(tier.wait_converged(1, StdDuration::from_secs(10)));
 
     // Three failures in sequence, including two master re-elections.
@@ -16,7 +16,7 @@ fn relay_tier_survives_cascading_failures() {
         tier.kill(victim);
         let report = tier.repair();
         assert_eq!(report.failed, vec![victim]);
-        tier.publish(v, bytes::Bytes::from(vec![v as u8; 1 << 18]));
+        tier.publish(v, laminar::relay::Bytes::from(vec![v as u8; 1 << 18]));
         assert!(
             tier.wait_converged(v, StdDuration::from_secs(10)),
             "survivors must converge after losing relay {victim}"
@@ -30,12 +30,12 @@ fn relay_tier_survives_cascading_failures() {
 #[test]
 fn relay_elasticity_grow_while_publishing() {
     let mut tier = RelayTier::new(RelayTierConfig::fast(2));
-    tier.publish(1, bytes::Bytes::from(vec![9u8; 1 << 16]));
+    tier.publish(1, laminar::relay::Bytes::from(vec![9u8; 1 << 16]));
     assert!(tier.wait_converged(1, StdDuration::from_secs(10)));
     for _ in 0..3 {
         tier.add_node();
     }
-    tier.publish(2, bytes::Bytes::from(vec![8u8; 1 << 16]));
+    tier.publish(2, laminar::relay::Bytes::from(vec![8u8; 1 << 16]));
     assert!(tier.wait_converged(2, StdDuration::from_secs(10)));
     assert_eq!(tier.alive_nodes().len(), 5);
     tier.shutdown();
@@ -71,7 +71,10 @@ fn machine_failure_never_loses_training_progress() {
     // It is allowed to be slower, but not pathologically so.
     let slow: f64 = hurt.iteration_secs.iter().sum();
     let fast: f64 = clean.iteration_secs.iter().sum();
-    assert!(slow < fast * 4.0, "failure recovery too costly: {slow} vs {fast}");
+    assert!(
+        slow < fast * 4.0,
+        "failure recovery too costly: {slow} vs {fast}"
+    );
 }
 
 #[test]
@@ -88,7 +91,11 @@ fn partial_response_pool_preserves_progress_across_drain() {
     let lost = pool.drain_rollout(1);
     assert!(!lost.is_empty());
     for p in &lost {
-        assert_eq!(p.generated_tokens, 100 * p.spec.id, "streamed progress preserved");
+        assert_eq!(
+            p.generated_tokens,
+            100 * p.spec.id,
+            "streamed progress preserved"
+        );
         assert_eq!(p.policy_versions, vec![5]);
     }
     assert_eq!(pool.len() + lost.len(), 10);

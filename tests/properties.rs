@@ -1,49 +1,59 @@
-//! Property-based tests of core invariants across crates.
+//! Property-style tests of core invariants across crates.
+//!
+//! Randomised inputs come from [`SimRng::derive`] with a fixed root seed and
+//! a per-test label, so every run covers the same deterministic case set; a
+//! failing assertion names its `case` index for direct reproduction.
 
 use laminar::cluster::{DecodeModel, GpuSpec, ModelSpec};
 use laminar::prelude::*;
 use laminar::rollout::{EngineConfig, ReplicaLoad};
-use laminar::sim::Time;
+use laminar::sim::{SimRng, Time};
 use laminar::workload::Segment;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const SEED: u64 = 0x1A417A8;
+const CASES: u64 = 64;
 
-    /// Algorithm 1 never overfills a destination and never releases a
-    /// replica into itself or into another released replica.
-    #[test]
-    fn repack_plan_respects_capacity_and_disjointness(
-        loads in proptest::collection::vec(
-            (0.0f64..500.0, 1usize..32), 2..24
-        ),
-        c_max in 200.0f64..800.0,
-        b in 8usize..64,
-    ) {
-        let replicas: Vec<ReplicaLoad> = loads
-            .iter()
-            .enumerate()
-            .map(|(i, &(kv, reqs))| ReplicaLoad {
-                replica: i,
-                kv_used: kv,
-                kv_reserved: kv,
-                kv_prev: kv + 1.0,
-                n_reqs: reqs,
-                weight_version: 0,
+/// Algorithm 1 never overfills a destination and never releases a
+/// replica into itself or into another released replica.
+#[test]
+fn repack_plan_respects_capacity_and_disjointness() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "repack_plan", case);
+        let n = 2 + rng.below(22) as usize;
+        let replicas: Vec<ReplicaLoad> = (0..n)
+            .map(|i| {
+                let kv = rng.range_f64(0.0, 500.0);
+                ReplicaLoad {
+                    replica: i,
+                    kv_used: kv,
+                    kv_reserved: kv,
+                    kv_prev: kv + 1.0,
+                    n_reqs: 1 + rng.below(31) as usize,
+                    weight_version: 0,
+                }
             })
             .collect();
+        let c_max = rng.range_f64(200.0, 800.0);
+        let b = 8 + rng.below(56) as usize;
         let plan = plan_repack(&replicas, c_max, b);
         let released: Vec<usize> = plan.released();
         // No destination is itself released.
         for &(src, dst) in &plan.moves {
-            prop_assert_ne!(src, dst);
-            prop_assert!(!released.contains(&dst));
+            assert_ne!(src, dst, "case {case}: self-move");
+            assert!(
+                !released.contains(&dst),
+                "case {case}: released destination {dst}"
+            );
         }
         // Each source released at most once.
         let mut sorted = released.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), released.len());
+        assert_eq!(
+            sorted.len(),
+            released.len(),
+            "case {case}: source released twice"
+        );
         // Projected destination loads stay within both bounds.
         for dst in plan.moves.iter().map(|&(_, d)| d) {
             let base = &replicas[dst];
@@ -59,18 +69,27 @@ proptest! {
                 .filter(|&&(_, d)| d == dst)
                 .map(|&(s, _)| replicas[s].n_reqs)
                 .sum();
-            prop_assert!(base.kv_used + extra_kv <= c_max + 1e-9);
-            prop_assert!(base.n_reqs + extra_reqs <= b);
+            assert!(
+                base.kv_used + extra_kv <= c_max + 1e-9,
+                "case {case}: KV overflow on {dst}"
+            );
+            assert!(
+                base.n_reqs + extra_reqs <= b,
+                "case {case}: request overflow on {dst}"
+            );
         }
     }
+}
 
-    /// The replica engine conserves trajectories and tokens: everything
-    /// submitted completes exactly once with exactly the spec's tokens.
-    #[test]
-    fn engine_conserves_trajectories_and_tokens(
-        lens in proptest::collection::vec(64u64..3000, 1..24),
-        prompt in 16u64..512,
-    ) {
+/// The replica engine conserves trajectories and tokens: everything
+/// submitted completes exactly once with exactly the spec's tokens.
+#[test]
+fn engine_conserves_trajectories_and_tokens() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "engine_conserves", case);
+        let count = 1 + rng.below(23) as usize;
+        let lens: Vec<u64> = (0..count).map(|_| rng.range_u64(64, 3000)).collect();
+        let prompt = rng.range_u64(16, 512);
         let decode = DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1);
         let mut e = ReplicaEngine::new(0, decode, EngineConfig::default());
         let mut expected_tokens = 0u64;
@@ -91,65 +110,94 @@ proptest! {
         while let Some(t) = e.next_event_time() {
             e.advance_to(t);
             guard += 1;
-            prop_assert!(guard < 1_000_000);
+            assert!(guard < 1_000_000, "case {case}: engine did not quiesce");
         }
-        prop_assert!(e.is_idle());
+        assert!(e.is_idle(), "case {case}");
         let done = e.take_completions();
-        prop_assert_eq!(done.len(), lens.len());
+        assert_eq!(
+            done.len(),
+            lens.len(),
+            "case {case}: trajectory lost or duplicated"
+        );
         let total: u64 = done.iter().map(|c| c.spec.total_tokens()).sum();
-        prop_assert_eq!(total, expected_tokens);
-        // Completion order respects length order for same-start trajectories.
+        assert_eq!(total, expected_tokens, "case {case}: token count drifted");
         let mut ids: Vec<u64> = done.iter().map(|c| c.spec.id).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..lens.len() as u64).collect::<Vec<_>>());
+        assert_eq!(
+            ids,
+            (0..lens.len() as u64).collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Workload generation is a pure function of (seed, id) and respects
-    /// the configured caps.
-    #[test]
-    fn workload_specs_deterministic_and_capped(seed in 0u64..1000, id in 0u64..5000) {
+/// Workload generation is a pure function of (seed, id) and respects
+/// the configured caps.
+#[test]
+fn workload_specs_deterministic_and_capped() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "workload_caps", case);
+        let seed = rng.below(1000);
+        let id = rng.below(5000);
         let w = WorkloadGenerator::single_turn(seed, Checkpoint::Math7B);
         let a = w.trajectory(id, id / 16, (id % 16) as usize, 1.0);
         let b = w.trajectory(id, id / 16, (id % 16) as usize, 1.0);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.prompt_tokens >= 1 && a.prompt_tokens <= 2048);
-        prop_assert!(a.decode_tokens() >= 1 && a.decode_tokens() <= 16_384);
+        assert_eq!(&a, &b, "case {case}: not deterministic");
+        assert!(
+            a.prompt_tokens >= 1 && a.prompt_tokens <= 2048,
+            "case {case}"
+        );
+        assert!(
+            a.decode_tokens() >= 1 && a.decode_tokens() <= 16_384,
+            "case {case}"
+        );
     }
+}
 
-    /// Multi-turn specs alternate decode/env and respect the call cap.
-    #[test]
-    fn multi_turn_specs_alternate(seed in 0u64..200, id in 0u64..500) {
+/// Multi-turn specs alternate decode/env and respect the call cap.
+#[test]
+fn multi_turn_specs_alternate() {
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "multi_turn", case);
+        let seed = rng.below(200);
+        let id = rng.below(500);
         let w = WorkloadGenerator::multi_turn(seed);
         let t = w.trajectory(id, id / 16, (id % 16) as usize, 1.0);
-        prop_assert!(t.env_calls() >= 1 && t.env_calls() <= 8);
-        let starts_decode = matches!(t.segments.first(), Some(Segment::Decode { .. }));
-        let ends_decode = matches!(t.segments.last(), Some(Segment::Decode { .. }));
-        prop_assert!(starts_decode, "must start with a decode segment");
-        prop_assert!(ends_decode, "must end with a decode segment");
+        assert!(t.env_calls() >= 1 && t.env_calls() <= 8, "case {case}");
+        assert!(
+            matches!(t.segments.first(), Some(Segment::Decode { .. })),
+            "case {case}: must start with a decode segment"
+        );
+        assert!(
+            matches!(t.segments.last(), Some(Segment::Decode { .. })),
+            "case {case}: must end with a decode segment"
+        );
         for pair in t.segments.windows(2) {
             let ok = matches!(
                 pair,
                 [Segment::Decode { .. }, Segment::Env { .. }]
                     | [Segment::Env { .. }, Segment::Decode { .. }]
             );
-            prop_assert!(ok, "segments must alternate");
+            assert!(ok, "case {case}: segments must alternate");
         }
     }
+}
 
-    /// The experience buffer conserves items under any interleaving of
-    /// writes and samples.
-    #[test]
-    fn buffer_conserves_experiences(
-        ops in proptest::collection::vec((0usize..2, 1usize..64), 1..60)
-    ) {
-        use laminar::data::{Eviction, Sampler};
-        use laminar::sim::SimRng;
+/// The experience buffer conserves items under any interleaving of
+/// writes and samples.
+#[test]
+fn buffer_conserves_experiences() {
+    use laminar::data::{Eviction, Sampler};
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "buffer_conserves", case);
+        let ops = 1 + rng.below(59) as usize;
         let mut buf = ExperienceBuffer::new(Sampler::Fifo, Eviction::None);
-        let mut rng = SimRng::new(1);
+        let mut sample_rng = SimRng::new(1);
         let mut written = 0u64;
         let mut sampled = 0u64;
-        for (op, n) in ops {
-            if op == 0 {
+        for _ in 0..ops {
+            let n = 1 + rng.below(63) as usize;
+            if rng.chance(0.5) {
                 for _ in 0..n {
                     buf.write(Experience {
                         trajectory_id: written,
@@ -164,19 +212,31 @@ proptest! {
                     written += 1;
                 }
             } else {
-                sampled += buf.sample(n, 0, &mut rng).len() as u64;
+                sampled += buf.sample(n, 0, &mut sample_rng).len() as u64;
             }
         }
-        prop_assert_eq!(written, sampled + buf.len() as u64);
+        assert_eq!(
+            written,
+            sampled + buf.len() as u64,
+            "case {case}: experiences leaked"
+        );
     }
+}
 
-    /// Chain-broadcast optimal time is never worse than any fixed chunking.
-    #[test]
-    fn optimal_chunking_dominates(p in 3usize..200, mb in 1.0f64..200.0, k in 1usize..10_000) {
-        use laminar::cluster::{ChainBroadcast, LinkSpec};
-        let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
-        let bytes = mb * 1e9;
+/// Chain-broadcast optimal time is never worse than any fixed chunking.
+#[test]
+fn optimal_chunking_dominates() {
+    use laminar::cluster::{ChainBroadcast, LinkSpec};
+    let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
+    for case in 0..CASES {
+        let mut rng = SimRng::derive(SEED, "optimal_chunking", case);
+        let p = 3 + rng.below(197) as usize;
+        let bytes = rng.range_f64(1.0, 200.0) * 1e9;
+        let k = 1 + rng.below(9_999) as usize;
         let opt = chain.optimal_broadcast_secs(p, bytes);
-        prop_assert!(opt <= chain.broadcast_secs(p, bytes, k) + 1e-9);
+        assert!(
+            opt <= chain.broadcast_secs(p, bytes, k) + 1e-9,
+            "case {case}: k={k} beat the optimum"
+        );
     }
 }
