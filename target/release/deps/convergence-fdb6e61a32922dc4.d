@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convergence-fdb6e61a32922dc4.d: tests/convergence.rs
+
+/root/repo/target/release/deps/convergence-fdb6e61a32922dc4: tests/convergence.rs
+
+tests/convergence.rs:

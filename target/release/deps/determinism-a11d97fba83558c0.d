@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-a11d97fba83558c0.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-a11d97fba83558c0: tests/determinism.rs
+
+tests/determinism.rs:

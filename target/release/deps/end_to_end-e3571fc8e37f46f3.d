@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e3571fc8e37f46f3.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e3571fc8e37f46f3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_properties-4b76e429fa18e905.d: crates/rollout/tests/engine_properties.rs
+
+/root/repo/target/release/deps/engine_properties-4b76e429fa18e905: crates/rollout/tests/engine_properties.rs
+
+crates/rollout/tests/engine_properties.rs:

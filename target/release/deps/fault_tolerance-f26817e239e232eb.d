@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-f26817e239e232eb.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-f26817e239e232eb: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

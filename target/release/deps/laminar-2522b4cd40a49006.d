@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laminar-2522b4cd40a49006.d: src/lib.rs
+
+/root/repo/target/release/deps/laminar-2522b4cd40a49006: src/lib.rs
+
+src/lib.rs:

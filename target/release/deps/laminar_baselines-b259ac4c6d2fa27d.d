@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laminar_baselines-b259ac4c6d2fa27d.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+/root/repo/target/release/deps/laminar_baselines-b259ac4c6d2fa27d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/partial.rs crates/baselines/src/pipeline.rs crates/baselines/src/verl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/partial.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/verl.rs:

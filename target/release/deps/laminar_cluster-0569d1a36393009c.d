@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/laminar_cluster-0569d1a36393009c.d: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs
+
+/root/repo/target/release/deps/laminar_cluster-0569d1a36393009c: crates/cluster/src/lib.rs crates/cluster/src/chain.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/links.rs crates/cluster/src/model.rs crates/cluster/src/parallel.rs crates/cluster/src/roofline.rs crates/cluster/src/training.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chain.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/links.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/parallel.rs:
+crates/cluster/src/roofline.rs:
+crates/cluster/src/training.rs:

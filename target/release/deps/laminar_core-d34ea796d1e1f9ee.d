@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/laminar_core-d34ea796d1e1f9ee.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/tests.rs crates/core/src/system/timeline.rs
+
+/root/repo/target/release/deps/laminar_core-d34ea796d1e1f9ee: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/hyper.rs crates/core/src/placement.rs crates/core/src/system/mod.rs crates/core/src/system/driver.rs crates/core/src/system/elastic.rs crates/core/src/system/faults.rs crates/core/src/system/tests.rs crates/core/src/system/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/hyper.rs:
+crates/core/src/placement.rs:
+crates/core/src/system/mod.rs:
+crates/core/src/system/driver.rs:
+crates/core/src/system/elastic.rs:
+crates/core/src/system/faults.rs:
+crates/core/src/system/tests.rs:
+crates/core/src/system/timeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/laminar_data-9675243a7c4ff1bb.d: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+/root/repo/target/release/deps/laminar_data-9675243a7c4ff1bb: crates/data/src/lib.rs crates/data/src/buffer.rs crates/data/src/checkpoint.rs crates/data/src/experience.rs crates/data/src/partial.rs crates/data/src/prompt_pool.rs crates/data/src/shared.rs
+
+crates/data/src/lib.rs:
+crates/data/src/buffer.rs:
+crates/data/src/checkpoint.rs:
+crates/data/src/experience.rs:
+crates/data/src/partial.rs:
+crates/data/src/prompt_pool.rs:
+crates/data/src/shared.rs:

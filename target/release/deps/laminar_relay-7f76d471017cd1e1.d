@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laminar_relay-7f76d471017cd1e1.d: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+/root/repo/target/release/deps/laminar_relay-7f76d471017cd1e1: crates/relay/src/lib.rs crates/relay/src/bytes.rs crates/relay/src/chunk.rs crates/relay/src/model.rs crates/relay/src/runtime.rs
+
+crates/relay/src/lib.rs:
+crates/relay/src/bytes.rs:
+crates/relay/src/chunk.rs:
+crates/relay/src/model.rs:
+crates/relay/src/runtime.rs:

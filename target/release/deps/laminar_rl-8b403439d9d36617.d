@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/laminar_rl-8b403439d9d36617.d: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+/root/repo/target/release/deps/laminar_rl-8b403439d9d36617: crates/rl/src/lib.rs crates/rl/src/algo.rs crates/rl/src/env.rs crates/rl/src/nn.rs crates/rl/src/policy.rs crates/rl/src/ppo.rs crates/rl/src/snapshot.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/algo.rs:
+crates/rl/src/env.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/ppo.rs:
+crates/rl/src/snapshot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laminar_rollout-e3cd1605be9ee0a9.d: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/engine/tests.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+/root/repo/target/release/deps/laminar_rollout-e3cd1605be9ee0a9: crates/rollout/src/lib.rs crates/rollout/src/engine/mod.rs crates/rollout/src/engine/lifecycle.rs crates/rollout/src/engine/stepper.rs crates/rollout/src/engine/tests.rs crates/rollout/src/manager.rs crates/rollout/src/repack.rs crates/rollout/src/traj.rs
+
+crates/rollout/src/lib.rs:
+crates/rollout/src/engine/mod.rs:
+crates/rollout/src/engine/lifecycle.rs:
+crates/rollout/src/engine/stepper.rs:
+crates/rollout/src/engine/tests.rs:
+crates/rollout/src/manager.rs:
+crates/rollout/src/repack.rs:
+crates/rollout/src/traj.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laminar_runtime-651cf6715e4966a1.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/laminar_runtime-651cf6715e4966a1: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/config.rs crates/runtime/src/report.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/config.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laminar_sim-9d70135610bc7fb4.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/laminar_sim-9d70135610bc7fb4: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laminar_workload-2cbfb131a0cdda44.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/laminar_workload-2cbfb131a0cdda44: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/dist.rs crates/workload/src/env.rs crates/workload/src/lengths.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/env.rs:
+crates/workload/src/lengths.rs:
+crates/workload/src/spec.rs:

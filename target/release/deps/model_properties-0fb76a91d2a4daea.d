@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_properties-0fb76a91d2a4daea.d: crates/cluster/tests/model_properties.rs
+
+/root/repo/target/release/deps/model_properties-0fb76a91d2a4daea: crates/cluster/tests/model_properties.rs
+
+crates/cluster/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b804df1b46aeb3d2.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-b804df1b46aeb3d2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repack_properties-e181765194a93cec.d: crates/rollout/tests/repack_properties.rs
+
+/root/repo/target/release/deps/repack_properties-e181765194a93cec: crates/rollout/tests/repack_properties.rs
+
+crates/rollout/tests/repack_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_format-0c4deb1ad94141ce.d: crates/bench/tests/trace_format.rs
+
+/root/repo/target/release/deps/trace_format-0c4deb1ad94141ce: crates/bench/tests/trace_format.rs
+
+crates/bench/tests/trace_format.rs:

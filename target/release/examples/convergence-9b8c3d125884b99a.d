@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/convergence-9b8c3d125884b99a.d: examples/convergence.rs
+
+/root/repo/target/release/examples/convergence-9b8c3d125884b99a: examples/convergence.rs
+
+examples/convergence.rs:

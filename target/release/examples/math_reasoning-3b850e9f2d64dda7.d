@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/math_reasoning-3b850e9f2d64dda7.d: examples/math_reasoning.rs
+
+/root/repo/target/release/examples/math_reasoning-3b850e9f2d64dda7: examples/math_reasoning.rs
+
+examples/math_reasoning.rs:

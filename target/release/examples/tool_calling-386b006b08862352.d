@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tool_calling-386b006b08862352.d: examples/tool_calling.rs
+
+/root/repo/target/release/examples/tool_calling-386b006b08862352: examples/tool_calling.rs
+
+examples/tool_calling.rs:
