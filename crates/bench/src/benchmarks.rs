@@ -1,0 +1,240 @@
+//! In-tree benchmark harness behind `laminar-experiments --bench`.
+//!
+//! Two measurements, written as a small JSON document (`BENCH_rollout.json`
+//! at the repo root by default) so successive runs can be diffed by
+//! `scripts/bench.sh`:
+//!
+//! - **micro**: the replica-engine hot path. The same trajectory batch is
+//!   run to completion on the retained naive full-scan reference engine and
+//!   on the indexed O(1)-per-event engine, and each is scored in processed
+//!   events per second of wall clock.
+//! - **e2e**: the experiment suite. The same experiment list runs once with
+//!   `jobs = 1` and once with the requested job count, timing wall clock
+//!   for each; the ratio is the parallel-executor speedup.
+//!
+//! The JSON is hand-rolled (the workspace is dependency-free); the schema
+//! is documented in the README and stamped with a `schema` version so the
+//! diff script can reject incompatible files.
+
+use crate::experiments::{all_experiment_ids, run_experiment, Opts};
+use laminar_cluster::{DecodeModel, GpuSpec, ModelSpec};
+use laminar_rollout::{EngineConfig, NaiveReplicaEngine, ReplicaEngine};
+use laminar_sim::{ThroughputMeter, Time};
+use laminar_workload::{Checkpoint, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Results of one `--bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'static str,
+    /// Worker threads used for the parallel e2e leg.
+    pub jobs: usize,
+    /// Trajectories in the micro-benchmark batch.
+    pub micro_trajectories: usize,
+    /// Naive reference engine, processed events per wall-clock second.
+    pub naive_events_per_sec: f64,
+    /// Indexed engine, processed events per wall-clock second.
+    pub indexed_events_per_sec: f64,
+    /// Experiment ids timed in the e2e leg.
+    pub e2e_experiments: Vec<String>,
+    /// Wall clock for the `jobs = 1` e2e leg, seconds.
+    pub serial_secs: f64,
+    /// Wall clock for the `jobs = N` e2e leg, seconds.
+    pub parallel_secs: f64,
+}
+
+impl BenchReport {
+    /// Indexed-over-naive events/sec ratio.
+    pub fn micro_speedup(&self) -> f64 {
+        self.indexed_events_per_sec / self.naive_events_per_sec.max(1e-12)
+    }
+
+    /// Serial-over-parallel wall-clock ratio.
+    pub fn e2e_speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+
+    /// Serializes the report (see README for the schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"micro\": {{");
+        let _ = writeln!(s, "    \"trajectories\": {},", self.micro_trajectories);
+        let _ = writeln!(
+            s,
+            "    \"naive_events_per_sec\": {:.1},",
+            self.naive_events_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "    \"indexed_events_per_sec\": {:.1},",
+            self.indexed_events_per_sec
+        );
+        let _ = writeln!(s, "    \"speedup\": {:.2}", self.micro_speedup());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"e2e\": {{");
+        let ids: Vec<String> = self
+            .e2e_experiments
+            .iter()
+            .map(|id| format!("\"{id}\""))
+            .collect();
+        let _ = writeln!(s, "    \"experiments\": [{}],", ids.join(", "));
+        let _ = writeln!(s, "    \"serial_secs\": {:.3},", self.serial_secs);
+        let _ = writeln!(s, "    \"parallel_secs\": {:.3},", self.parallel_secs);
+        let _ = writeln!(s, "    \"speedup\": {:.2}", self.e2e_speedup());
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn summary(&self) -> String {
+        format!(
+            "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | {:.2}x\n\
+             e2e   : {} experiments | serial {:.2}s | --jobs {} {:.2}s | {:.2}x",
+            self.micro_trajectories,
+            self.naive_events_per_sec,
+            self.indexed_events_per_sec,
+            self.micro_speedup(),
+            self.e2e_experiments.len(),
+            self.serial_secs,
+            self.jobs,
+            self.parallel_secs,
+            self.e2e_speedup(),
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The single-turn batch both engines are scored on: every trajectory fully
+/// resident (default concurrency is 1024), one mid-flight weight interrupt
+/// to exercise the repack path.
+fn micro_batch(n: usize) -> Vec<laminar_workload::TrajectorySpec> {
+    let workload = WorkloadGenerator::single_turn(11, Checkpoint::Math7B);
+    (0..n as u64)
+        .map(|i| workload.trajectory(i, i / 16, (i % 16) as usize, 1.0))
+        .collect()
+}
+
+fn decode() -> DecodeModel {
+    DecodeModel::new(ModelSpec::qwen_7b(), GpuSpec::h800(), 1)
+}
+
+/// Runs the batch to completion on the naive reference engine, returning
+/// (events processed, wall seconds).
+fn time_naive(specs: &[laminar_workload::TrajectorySpec], repeats: u32) -> (u64, f64) {
+    let mut meter = ThroughputMeter::new();
+    for _ in 0..repeats {
+        let mut e = NaiveReplicaEngine::new(decode(), EngineConfig::default());
+        for s in specs {
+            e.submit(s.clone(), Time::ZERO);
+        }
+        e.interrupt_with_weights(1, Time::from_secs(30));
+        while let Some(t) = e.next_event_time() {
+            e.advance_to(t);
+        }
+        meter.add(e.events_processed());
+        std::hint::black_box(e.completed_count());
+    }
+    (meter.events(), meter.elapsed_secs())
+}
+
+/// Same schedule on the indexed engine.
+fn time_indexed(specs: &[laminar_workload::TrajectorySpec], repeats: u32) -> (u64, f64) {
+    let mut meter = ThroughputMeter::new();
+    for _ in 0..repeats {
+        let mut e = ReplicaEngine::new(0, decode(), EngineConfig::default());
+        for s in specs {
+            e.submit(s.clone(), Time::ZERO);
+        }
+        e.interrupt_with_weights(1, Time::from_secs(30));
+        while let Some(t) = e.next_event_time() {
+            e.advance_to(t);
+        }
+        meter.add(e.events_processed());
+        std::hint::black_box(e.completed_count());
+    }
+    (meter.events(), meter.elapsed_secs())
+}
+
+/// Times one pass over `ids` with the given job count, returning wall
+/// seconds. Reports are black-boxed; results/traces are not written.
+fn time_e2e(ids: &[String], jobs: usize) -> f64 {
+    let opts = Opts {
+        jobs,
+        ..Opts::default()
+    };
+    let start = std::time::Instant::now();
+    // Outer fan-out over experiment ids mirrors the binary's `all` path;
+    // each experiment's own grids additionally use `opts.jobs`.
+    let reports =
+        crate::runner::run_indexed(ids.to_vec(), jobs, |_, id| run_experiment(&id, &opts));
+    for r in &reports {
+        std::hint::black_box(r.len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Runs the benchmark suite. `smoke` shrinks the batch and the experiment
+/// list so the whole thing finishes in a few seconds (used by lint/CI).
+pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
+    let (n, repeats) = if smoke { (96, 2) } else { (512, 3) };
+    let specs = micro_batch(n);
+    let (naive_events, naive_secs) = time_naive(&specs, repeats);
+    let (indexed_events, indexed_secs) = time_indexed(&specs, repeats);
+    let e2e_ids: Vec<String> = if smoke {
+        vec![
+            "fig2".into(),
+            "fig9".into(),
+            "fig11".into(),
+            "table2".into(),
+        ]
+    } else {
+        all_experiment_ids().iter().map(|s| s.to_string()).collect()
+    };
+    let serial_secs = time_e2e(&e2e_ids, 1);
+    let parallel_secs = time_e2e(&e2e_ids, jobs);
+    BenchReport {
+        mode: if smoke { "smoke" } else { "full" },
+        jobs,
+        micro_trajectories: n,
+        naive_events_per_sec: naive_events as f64 / naive_secs.max(1e-12),
+        indexed_events_per_sec: indexed_events as f64 / indexed_secs.max(1e-12),
+        e2e_experiments: e2e_ids,
+        serial_secs,
+        parallel_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let r = BenchReport {
+            mode: "smoke",
+            jobs: 4,
+            micro_trajectories: 96,
+            naive_events_per_sec: 1000.0,
+            indexed_events_per_sec: 3000.0,
+            e2e_experiments: vec!["fig2".into()],
+            serial_secs: 2.0,
+            parallel_secs: 0.5,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"speedup\": 3.00"));
+        assert!(j.contains("\"speedup\": 4.00"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

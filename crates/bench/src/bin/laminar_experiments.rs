@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! laminar-experiments [--full] [--seed N] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments [--full] [--seed N] [--jobs N] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.txt` (default `results/`).
@@ -9,28 +10,60 @@
 //! decode steps, weight syncs, train steps, stalls, repacks, failures) to
 //! `FILE` as JSONL — one span object per line with virtual-time
 //! nanosecond bounds, replica id, and weight version.
+//!
+//! `--jobs N` fans experiments (and each experiment's internal system-run
+//! grids) across N worker threads. Output is byte-identical for every N:
+//! result files are written, and trace spans flushed, in experiment id
+//! order after the parallel runs complete. The default is the machine's
+//! available parallelism; `--jobs 1` forces the serial path.
+//!
+//! `--bench` instead runs the in-tree benchmark harness (engine-hot-path
+//! micro-benchmark plus an end-to-end serial-vs-parallel suite timing) and
+//! writes `BENCH_rollout.json` (override with `--bench-out`). `--smoke`
+//! shrinks it to a few seconds for CI.
 
-use laminar_bench::{all_experiment_ids, run_experiment, Opts};
+use laminar_bench::{
+    all_experiment_ids, benchmarks, default_jobs, run_experiment, run_indexed, Opts,
+};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let mut opts = Opts::default();
+    let mut opts = Opts {
+        jobs: default_jobs(),
+        ..Opts::default()
+    };
     let mut out_dir = PathBuf::from("results");
+    let mut bench = false;
+    let mut smoke = false;
+    let mut bench_out = PathBuf::from("BENCH_rollout.json");
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.quick = false,
             "--quick" => opts.quick = true,
+            "--bench" => bench = true,
+            "--smoke" => smoke = true,
             "--seed" => {
                 opts.seed = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--seed requires an integer");
             }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs requires a positive integer");
+            }
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
+            }
+            "--bench-out" => {
+                bench_out = PathBuf::from(args.next().expect("--bench-out requires a file"));
             }
             "--trace" => {
                 opts.trace = Some(PathBuf::from(args.next().expect("--trace requires a file")));
@@ -49,21 +82,46 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if bench {
+        let report = benchmarks::run_bench(smoke, opts.jobs);
+        println!("{}", report.summary());
+        report.write(&bench_out).expect("write benchmark JSON");
+        eprintln!("wrote {}", bench_out.display());
+        return;
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--out DIR] [--trace FILE] <id>... | all | list"
+            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--out DIR] [--trace FILE] <id>... | all | list\n\
+             \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]"
         );
         eprintln!("experiments: {}", all_experiment_ids().join(" "));
         std::process::exit(2);
     }
     std::fs::create_dir_all(&out_dir).expect("create results directory");
-    for id in ids {
+    // Fan experiments across workers. Each worker gets its own Opts clone
+    // with trace output redirected into a per-experiment buffer, so spans
+    // never interleave; everything is printed, written, and flushed below in
+    // the original id order, making the output independent of --jobs.
+    let runs = run_indexed(ids, opts.jobs, |_, id| {
+        let mut o = opts.clone();
+        let buf = o.trace.is_some().then(|| o.buffer_trace());
         let start = Instant::now();
-        let report = run_experiment(&id, &opts);
-        let elapsed = start.elapsed();
+        let report = run_experiment(&id, &o);
+        (id, report, buf, start.elapsed())
+    });
+    for (id, report, buf, elapsed) in runs {
         println!("==== {id} ({elapsed:.2?}) ====\n{report}");
         let path = out_dir.join(format!("{id}.txt"));
         std::fs::write(&path, &report).expect("write result file");
         eprintln!("wrote {}", path.display());
+        if let (Some(buf), Some(trace_path)) = (buf, &opts.trace) {
+            let spans = buf.lock().expect("trace buffer");
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(trace_path)
+                .expect("open trace file");
+            f.write_all(spans.as_bytes()).expect("append trace JSONL");
+        }
     }
 }

@@ -14,6 +14,7 @@ use laminar_core::{placement_for, LaminarSystem, SystemKind};
 use laminar_runtime::{RecordingTrace, RlSystem, RunReport, SystemConfig, TraceSink};
 use laminar_workload::WorkloadGenerator;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Harness options.
 #[derive(Debug, Clone)]
@@ -26,6 +27,17 @@ pub struct Opts {
     /// When set, every system run appends its event-trace spans to this
     /// JSONL file (one span object per line).
     pub trace: Option<PathBuf>,
+    /// Worker threads for intra-experiment grid fan-out ([`Opts::run_grid`]).
+    /// `1` (the default) runs every grid cell inline.
+    pub jobs: usize,
+    /// When set, trace spans are buffered here instead of written straight
+    /// to [`Opts::trace`]; the experiment driver flushes whole-experiment
+    /// buffers to the file in deterministic id order after the parallel
+    /// fan-out completes. Spans within one experiment stay ordered because
+    /// [`Opts::run_grid`] sinks per-run traces in grid input order and
+    /// serial code paths sink at call time. Install via
+    /// [`Opts::buffer_trace`]; leave `None` to write straight to the file.
+    pub trace_buf: Option<Arc<Mutex<String>>>,
 }
 
 impl Default for Opts {
@@ -34,6 +46,8 @@ impl Default for Opts {
             quick: true,
             seed: 7,
             trace: None,
+            jobs: 1,
+            trace_buf: None,
         }
     }
 }
@@ -64,18 +78,70 @@ impl Opts {
         cfg
     }
 
-    /// Runs a system kind on a configuration. With [`Opts::trace`] set, the
-    /// run's event spans are appended to the JSONL trace file.
-    pub fn run_system(&self, kind: SystemKind, cfg: &SystemConfig) -> RunReport {
-        match &self.trace {
-            None => dispatch(kind, cfg, &mut laminar_runtime::NullTrace),
-            Some(path) => {
-                let mut rec = RecordingTrace::new();
-                let report = dispatch(kind, cfg, &mut rec);
-                rec.append_jsonl(path).expect("append trace JSONL");
-                report
-            }
+    /// Redirects trace output into an in-memory buffer and returns the
+    /// buffer handle. Used by the experiment driver to run experiments in
+    /// parallel while keeping the on-disk trace file ordered: each
+    /// experiment writes to its own buffer, and the driver flushes buffers
+    /// to [`Opts::trace`] in experiment id order.
+    pub fn buffer_trace(&mut self) -> Arc<Mutex<String>> {
+        let buf = Arc::new(Mutex::new(String::new()));
+        self.trace_buf = Some(Arc::clone(&buf));
+        buf
+    }
+
+    /// Whether runs should record trace spans at all.
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Sinks one run's recorded spans: into the in-memory buffer when one is
+    /// installed, otherwise appended to the [`Opts::trace`] JSONL file.
+    fn sink_trace(&self, rec: &RecordingTrace) {
+        match (&self.trace_buf, &self.trace) {
+            (Some(buf), _) => buf.lock().expect("trace buffer").push_str(&rec.to_jsonl()),
+            (None, Some(path)) => rec.append_jsonl(path).expect("append trace JSONL"),
+            (None, None) => {}
         }
+    }
+
+    /// Runs a system kind on a configuration. With [`Opts::trace`] set, the
+    /// run's event spans are appended to the JSONL trace file (or to the
+    /// installed trace buffer).
+    pub fn run_system(&self, kind: SystemKind, cfg: &SystemConfig) -> RunReport {
+        if !self.tracing() {
+            return dispatch(kind, cfg, &mut laminar_runtime::NullTrace);
+        }
+        let mut rec = RecordingTrace::new();
+        let report = dispatch(kind, cfg, &mut rec);
+        self.sink_trace(&rec);
+        report
+    }
+
+    /// Runs a batch of independent system runs, fanning them across
+    /// [`Opts::jobs`] worker threads, and returns the reports in input
+    /// order. Trace spans are recorded per run and sunk sequentially in
+    /// input order after all runs finish, so the trace file (or buffer) is
+    /// byte-identical to a `jobs = 1` run.
+    pub fn run_grid(&self, runs: Vec<(SystemKind, SystemConfig)>) -> Vec<RunReport> {
+        let tracing = self.tracing();
+        let results = crate::runner::run_indexed(runs, self.jobs, |_, (kind, cfg)| {
+            if tracing {
+                let mut rec = RecordingTrace::new();
+                let report = dispatch(kind, &cfg, &mut rec);
+                (report, Some(rec))
+            } else {
+                (dispatch(kind, &cfg, &mut laminar_runtime::NullTrace), None)
+            }
+        });
+        results
+            .into_iter()
+            .map(|(report, rec)| {
+                if let Some(rec) = rec {
+                    self.sink_trace(&rec);
+                }
+                report
+            })
+            .collect()
     }
 
     /// The evaluated cluster scales for a model, trimmed in quick mode.

@@ -8,7 +8,7 @@ use laminar_baselines::verl::sync_breakdown;
 use laminar_cluster::ModelSpec;
 use laminar_core::SystemKind;
 use laminar_workload::{Checkpoint, WorkloadGenerator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Figure 1(b): generation/training time breakdown under the synchronous
@@ -65,7 +65,30 @@ fn throughput_grid(
 ) -> String {
     let mut out = String::new();
     let systems = SystemKind::all();
-    let mut results: HashMap<(String, usize, &'static str), f64> = HashMap::new();
+    // Fan the whole model × scale × system grid across `opts.jobs` workers.
+    // Keys and reports line up index-for-index (run_grid preserves input
+    // order), and results live in a BTreeMap so every later iteration over
+    // them is in key order — a HashMap here would make the averages table
+    // depend on hashing order and break byte-identical reports.
+    let mut keys: Vec<(String, usize, &'static str)> = Vec::new();
+    let mut runs = Vec::new();
+    for model in models {
+        for total in opts.scales(model) {
+            for kind in systems {
+                keys.push((model.name.clone(), total, kind.name()));
+                runs.push((
+                    kind,
+                    opts.config(kind, model.clone(), total, workload_for(opts.seed)),
+                ));
+            }
+        }
+    }
+    let reports = opts.run_grid(runs);
+    let results: BTreeMap<(String, usize, &'static str), f64> = keys
+        .into_iter()
+        .zip(&reports)
+        .map(|(k, r)| (k, r.throughput))
+        .collect();
     for model in models {
         let scales = opts.scales(model);
         let mut t = TextTable::new({
@@ -79,14 +102,12 @@ fn throughput_grid(
             let mut best_baseline = 0.0f64;
             let mut laminar = 0.0f64;
             for kind in systems {
-                let cfg = opts.config(kind, model.clone(), total, workload_for(opts.seed));
-                let report = opts.run_system(kind, &cfg);
-                results.insert((model.name.clone(), total, kind.name()), report.throughput);
-                row.push(tokens_per_sec(report.throughput));
+                let tp = results[&(model.name.clone(), total, kind.name())];
+                row.push(tokens_per_sec(tp));
                 if kind == SystemKind::Laminar {
-                    laminar = report.throughput;
+                    laminar = tp;
                 } else {
-                    best_baseline = best_baseline.max(report.throughput);
+                    best_baseline = best_baseline.max(tp);
                 }
             }
             row.push(format!("{:.2}x vs best", laminar / best_baseline.max(1e-9)));

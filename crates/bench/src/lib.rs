@@ -11,7 +11,10 @@
 //! qualitative shape; `--full` runs the paper-sized configurations
 //! (8192-trajectory batches up to the 1024-GPU scale point).
 
+pub mod benchmarks;
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
 pub use experiments::{all_experiment_ids, run_experiment, Opts};
+pub use runner::{default_jobs, run_indexed};

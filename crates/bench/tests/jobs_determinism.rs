@@ -1,0 +1,74 @@
+//! The parallel experiment executor must be invisible in the output:
+//! report text and trace JSONL are byte-identical for every `--jobs` value.
+
+use laminar_bench::{run_experiment, run_indexed, Opts};
+use std::path::PathBuf;
+
+fn temp_trace(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "laminar_jobs_det_{tag}_{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+/// Runs `id` with the given job count, returning (report, trace bytes).
+fn run_with_jobs(id: &str, jobs: usize, tag: &str) -> (String, String) {
+    let path = temp_trace(tag);
+    let opts = Opts {
+        jobs,
+        trace: Some(path.clone()),
+        ..Opts::default()
+    };
+    let report = run_experiment(id, &opts);
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    (report, trace)
+}
+
+/// fig11 drives the model × scale × system grid through `Opts::run_grid`,
+/// the parallel hot path of the experiment suite.
+#[test]
+fn grid_experiment_is_byte_identical_across_job_counts() {
+    let (report1, trace1) = run_with_jobs("fig11", 1, "j1");
+    let (report4, trace4) = run_with_jobs("fig11", 4, "j4");
+    assert_eq!(report1, report4, "fig11 report text differs with --jobs 4");
+    assert!(!trace1.is_empty(), "serial run produced no trace spans");
+    assert_eq!(trace1, trace4, "fig11 trace JSONL differs with --jobs 4");
+}
+
+/// The binary's outer fan-out: several experiments in parallel, each with a
+/// buffered trace flushed in id order, must reproduce the serial bytes.
+#[test]
+fn experiment_fanout_with_buffered_traces_matches_serial() {
+    let ids = vec!["fig2".to_string(), "fig9".to_string(), "fig4".to_string()];
+    let run_all = |jobs: usize| -> (Vec<String>, String) {
+        let path = temp_trace(&format!("fan{jobs}"));
+        let opts = Opts {
+            jobs,
+            trace: Some(path.clone()),
+            ..Opts::default()
+        };
+        let runs = run_indexed(ids.clone(), jobs, |_, id| {
+            let mut o = opts.clone();
+            let buf = o.buffer_trace();
+            let report = run_experiment(&id, &o);
+            (report, buf)
+        });
+        let mut reports = Vec::new();
+        let mut trace = String::new();
+        for (report, buf) in runs {
+            reports.push(report);
+            trace.push_str(&buf.lock().expect("trace buffer"));
+        }
+        std::fs::remove_file(&path).ok();
+        (reports, trace)
+    };
+    let (reports1, trace1) = run_all(1);
+    let (reports4, trace4) = run_all(4);
+    assert_eq!(reports1, reports4, "report text differs with jobs=4");
+    assert!(!trace1.is_empty(), "serial fan-out produced no trace spans");
+    assert_eq!(trace1, trace4, "buffered trace JSONL differs with jobs=4");
+}

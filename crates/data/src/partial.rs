@@ -108,12 +108,16 @@ impl PartialResponsePool {
     /// recovery path when that rollout's machine fails. The drained states
     /// retain all streamed progress.
     pub fn drain_rollout(&mut self, rollout: usize) -> Vec<PartialResponse> {
-        let ids: Vec<u64> = self
+        let mut ids: Vec<u64> = self
             .entries
             .iter()
             .filter(|(_, e)| e.rollout == rollout)
             .map(|(&id, _)| id)
             .collect();
+        // Id-sorted: callers re-inject the drained trajectories into healthy
+        // engines, so the order must not leak HashMap iteration order into
+        // the recovery timeline.
+        ids.sort_unstable();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
             if let Some(e) = self.entries.remove(&id) {

@@ -1,7 +1,7 @@
 //! The trajectory state machine: admission, submission, interrupts, moves,
 //! and the segment / environment-call transitions.
 
-use super::{traj_version, CompletedTraj, ReplicaEngine, EPS};
+use super::{materialize, traj_version, CompletedTraj, ReplicaEngine, EPS};
 use crate::traj::{Phase, TrajState};
 use laminar_sim::trace::SpanKind;
 use laminar_sim::Time;
@@ -53,10 +53,20 @@ impl ReplicaEngine {
     pub fn interrupt_with_weights(&mut self, version: u64, now: Time) {
         self.advance_to(now);
         self.weight_version = version;
-        let ids: Vec<u64> = self.active.keys().copied().collect();
+        // Sorted: the re-prefill reservations below serialize on the prefill
+        // pipeline, so processing order is timeline-visible — HashMap key
+        // order would make runs nondeterministic.
+        let mut ids: Vec<u64> = self.active.keys().copied().collect();
+        ids.sort_unstable();
         for id in ids {
             let (phase, ctx, had_tokens) = {
+                let global = self.global_steps;
                 let st = self.active.get_mut(&id).expect("id from keys");
+                // Decoding trajectories carry lazily-accounted progress;
+                // settle it before inspecting the token counts.
+                if st.phase == Phase::Decoding {
+                    materialize(st, global);
+                }
                 if st.total_decoded > 0.0 {
                     st.push_version(version);
                 } else {
@@ -71,6 +81,7 @@ impl ReplicaEngine {
                         let until = self.reserve_prefill(ctx.round() as u64, now, version);
                         self.active.get_mut(&id).expect("resident").phase =
                             Phase::Prefill { until };
+                        self.push_phase_deadline(id, until);
                     }
                 }
                 Phase::Prefill { .. } => {}
@@ -94,7 +105,11 @@ impl ReplicaEngine {
     pub fn drain_in_progress(&mut self, now: Time) -> Vec<TrajState> {
         self.advance_to(now);
         let mut out: Vec<TrajState> = Vec::with_capacity(self.n_reqs());
-        let ids: Vec<u64> = self.active.keys().copied().collect();
+        // Sorted: the drained states are re-injected elsewhere in this
+        // order, so admission (and thus the whole downstream timeline) must
+        // not depend on HashMap key order.
+        let mut ids: Vec<u64> = self.active.keys().copied().collect();
+        ids.sort_unstable();
         for id in ids {
             self.remove_active(id, &mut out);
         }
@@ -135,14 +150,36 @@ impl ReplicaEngine {
 
     /// Completes every decoding trajectory whose current segment has no
     /// tokens left.
+    ///
+    /// Ready trajectories are popped off the segment-completion heap —
+    /// amortized O(log n) each — instead of scanning the whole active set.
+    /// They are processed in ascending id order, the order a scan of the
+    /// id-sorted active map would produce.
     pub(super) fn finish_ready_segments(&mut self, t: Time) {
-        let ready: Vec<u64> = self
-            .active
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::Decoding && s.remaining_in_segment() <= EPS)
-            .map(|(&id, _)| id)
-            .collect();
+        let horizon = self.global_steps + EPS;
+        let mut ready: Vec<u64> = Vec::new();
+        while let Some(&std::cmp::Reverse(e)) = self.seg_heap.peek() {
+            if !self.seg_entry_live(e) {
+                self.seg_heap.pop();
+                continue;
+            }
+            if e.key > horizon {
+                break;
+            }
+            self.seg_heap.pop();
+            ready.push(e.id);
+        }
+        ready.sort_unstable();
         for id in ready {
+            // Re-validate against live state: a stale heap entry can carry
+            // the same (key, id) as the live one — e.g. an interrupt and
+            // re-prefill while no other trajectory was decoding re-enters
+            // the segment at an unchanged `global_steps` with unchanged
+            // remaining tokens — so the same id can be popped twice.
+            match self.active.get(&id) {
+                Some(st) if st.phase == Phase::Decoding && st.finish_key <= horizon => {}
+                _ => continue,
+            }
             self.exit_decoding(id);
             let st = self.active.get_mut(&id).expect("resident");
             // Leave the Decoding phase immediately so the counter adjustment
@@ -184,24 +221,18 @@ impl ReplicaEngine {
                 });
                 self.completed_count += 1;
             } else {
-                let mut env_span = None;
                 match st.spec.segments[st.segment] {
                     Segment::Env { latency } => {
                         st.phase = Phase::Env { until: t + latency };
-                        env_span = Some((latency, traj_version(st)));
+                        let version = traj_version(st);
+                        self.push_phase_deadline(id, t + latency);
+                        self.trace(SpanKind::EnvCall, t, t + latency, version, 0);
                     }
                     Segment::Decode { .. } => {
                         // Specs alternate decode/env, but tolerate
                         // consecutive decodes by continuing directly.
-                        st.phase = Phase::Decoding;
-                        st.decode_started_at = t;
-                        let ctx = st.context_tokens();
-                        self.decoding_count += 1;
-                        self.decoding_ctx_sum += ctx;
+                        self.enter_decoding(id, t);
                     }
-                }
-                if let Some((latency, version)) = env_span {
-                    self.trace(SpanKind::EnvCall, t, t + latency, version, 0);
                 }
             }
         }
@@ -235,12 +266,9 @@ impl ReplicaEngine {
             let until = self.reserve_prefill(tokens, t, version);
             let st = self.active.get_mut(&id).expect("resident");
             st.phase = Phase::Prefill { until };
+            self.push_phase_deadline(id, until);
         } else {
-            st.phase = Phase::Decoding;
-            st.decode_started_at = t;
-            let ctx = st.context_tokens();
-            self.decoding_count += 1;
-            self.decoding_ctx_sum += ctx;
+            self.enter_decoding(id, t);
         }
     }
 
@@ -256,20 +284,33 @@ impl ReplicaEngine {
             self.reserved -= st.spec.final_context() as f64;
             self.resident_ctx_sum -= st.context_tokens();
             if self.active.is_empty() {
-                // Kill accumulated float error at quiesce points.
+                // Kill accumulated float error at quiesce points, and drop
+                // any lazily-invalidated heap entries along with the global
+                // decode-step accumulator they were keyed against.
                 self.reserved = 0.0;
                 self.resident_ctx_sum = 0.0;
                 self.decoding_ctx_sum = 0.0;
+                self.global_steps = 0.0;
+                self.phase_heap.clear();
+                self.seg_heap.clear();
             }
             out.push(st);
         }
     }
 
     pub(super) fn exit_decoding(&mut self, id: u64) {
-        if let Some(st) = self.active.get(&id) {
+        let global = self.global_steps;
+        if let Some(st) = self.active.get_mut(&id) {
             if st.phase == Phase::Decoding {
+                // Settle lazily-accounted progress before the context sum
+                // adjustment, and normalize the engine-local bookkeeping so
+                // drained states compare equal across engines.
+                materialize(st, global);
+                st.steps_baseline = 0.0;
+                st.finish_key = 0.0;
+                let ctx = st.context_tokens();
                 self.decoding_count -= 1;
-                self.decoding_ctx_sum -= st.context_tokens();
+                self.decoding_ctx_sum -= ctx;
             }
         }
     }
@@ -299,8 +340,18 @@ impl ReplicaEngine {
                 st.phase = Phase::Prefill { until };
             }
             let id = st.spec.id;
+            // Index the admitted trajectory's pending deadline (a fresh
+            // prefill, or an environment call still in flight from before a
+            // move).
+            let deadline = match st.phase {
+                Phase::Prefill { until } | Phase::Env { until } => Some(until),
+                Phase::Decoding => None,
+            };
             let prev = self.active.insert(id, st);
             assert!(prev.is_none(), "duplicate trajectory id {id} on replica");
+            if let Some(at) = deadline {
+                self.push_phase_deadline(id, at);
+            }
         }
     }
 }

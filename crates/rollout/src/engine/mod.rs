@@ -26,16 +26,18 @@
 //!   time advancement, decode-rate re-evaluation, and KVCache accounting.
 
 mod lifecycle;
+pub mod reference;
 mod stepper;
 #[cfg(test)]
 mod tests;
 
-use crate::traj::TrajState;
+use crate::traj::{Phase, TrajState};
 use laminar_cluster::DecodeModel;
 use laminar_sim::trace::{SpanKind, TraceSpan};
 use laminar_sim::{Time, TimeSeries, TimeWeighted};
 use laminar_workload::TrajectorySpec;
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Completion record handed to the enclosing world.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +92,63 @@ enum Internal {
     Recalc,
 }
 
+/// Entry in the phase-deadline heap: a prefill completion or environment
+/// return scheduled for `at`. Ordered by `(at, id)` so ties resolve to the
+/// lowest trajectory id, matching the order a full scan of the id-sorted
+/// active map would discover them in. Entries are invalidated lazily: one is
+/// live only while `active[id].phase` still carries exactly this deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PhaseEntry {
+    at: Time,
+    id: u64,
+}
+
+/// Entry in the segment-completion heap, keyed by the value of the engine's
+/// global decode-step accumulator at which the trajectory's current decode
+/// segment runs out of tokens. All decoding trajectories advance in lockstep,
+/// so this key is fixed when a trajectory enters [`Phase::Decoding`] and the
+/// heap needs no updates while the batch decodes. Stale entries (the
+/// trajectory left the decoding phase, or re-entered it with a new key) are
+/// detected by comparing against [`TrajState::finish_key`].
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    key: f64,
+    id: u64,
+}
+
+impl PartialEq for SegEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key.total_cmp(&other.key).is_eq() && self.id == other.id
+    }
+}
+impl Eq for SegEntry {}
+impl PartialOrd for SegEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SegEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Folds `global_steps - steps_baseline` decode steps into a decoding
+/// trajectory's materialized token counts and re-baselines it. Safe to call
+/// at any point while the trajectory decodes: the finish key is invariant
+/// under re-baselining (the remaining tokens shrink by exactly the amount
+/// the baseline advances).
+pub(crate) fn materialize(st: &mut TrajState, global_steps: f64) {
+    let delta = global_steps - st.steps_baseline;
+    if delta != 0.0 {
+        st.decoded_in_segment += delta;
+        st.total_decoded += delta;
+    }
+    st.steps_baseline = global_steps;
+}
+
 /// One rollout replica.
 #[derive(Debug)]
 pub struct ReplicaEngine {
@@ -118,6 +177,19 @@ pub struct ReplicaEngine {
     completed_count: u64,
     epoch: u64,
     trace_spans: Vec<TraceSpan>,
+    /// Global decode-step accumulator: total lockstep decode steps applied
+    /// since the last quiesce point. Per-trajectory decoded counts are
+    /// materialized lazily from this via [`TrajState::steps_baseline`],
+    /// making [`ReplicaEngine::apply_progress`] O(1) per event.
+    global_steps: f64,
+    /// Pending prefill-completion / env-return deadlines with lazy
+    /// invalidation (min-heap over `(time, id)`).
+    phase_heap: BinaryHeap<Reverse<PhaseEntry>>,
+    /// Pending segment completions keyed by the `global_steps` value at which
+    /// each decoding trajectory exhausts its segment (min-heap, lazily
+    /// invalidated via [`TrajState::finish_key`]).
+    seg_heap: BinaryHeap<Reverse<SegEntry>>,
+    events_processed: u64,
 }
 
 impl ReplicaEngine {
@@ -151,6 +223,10 @@ impl ReplicaEngine {
             completed_count: 0,
             epoch: 0,
             trace_spans: Vec::new(),
+            global_steps: 0.0,
+            phase_heap: BinaryHeap::new(),
+            seg_heap: BinaryHeap::new(),
+            events_processed: 0,
         }
     }
 
@@ -250,14 +326,103 @@ impl ReplicaEngine {
         std::mem::take(&mut self.trace_spans)
     }
 
+    /// Internal engine events processed so far (prefill completions, env
+    /// returns, segment completions, rate re-evaluations). The denominator
+    /// of the `--bench` events/sec metric.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Progress snapshot of every resident trajectory:
     /// `(id, whole tokens decoded, current segment)`. Streamed to the
     /// partial response pool by the rollout manager.
     pub fn in_progress_summary(&self) -> Vec<(u64, u64, usize)> {
-        self.active
+        let mut out: Vec<(u64, u64, usize)> = self
+            .active
             .values()
-            .map(|st| (st.spec.id, st.total_decoded.floor() as u64, st.segment))
-            .collect()
+            .map(|st| {
+                // Decoding trajectories hold lazily-accounted progress; fold
+                // in the pending global steps without mutating the state.
+                let pending = if st.phase == Phase::Decoding {
+                    self.global_steps - st.steps_baseline
+                } else {
+                    0.0
+                };
+                (
+                    st.spec.id,
+                    (st.total_decoded + pending).floor() as u64,
+                    st.segment,
+                )
+            })
+            .collect();
+        // Id-sorted so downstream consumers never see HashMap order.
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Indexed next-event bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Schedules a phase deadline (prefill completion or env return) for a
+    /// resident trajectory. The entry self-invalidates once the trajectory's
+    /// phase no longer carries exactly this deadline.
+    pub(super) fn push_phase_deadline(&mut self, id: u64, at: Time) {
+        self.phase_heap.push(Reverse(PhaseEntry { at, id }));
+    }
+
+    /// The transition a phase-heap entry stands for, or `None` when stale.
+    fn phase_entry_event(&self, e: PhaseEntry) -> Option<Internal> {
+        match self.active.get(&e.id)?.phase {
+            Phase::Prefill { until } if until == e.at => Some(Internal::PrefillDone(e.id)),
+            Phase::Env { until } if until == e.at => Some(Internal::EnvReturn(e.id)),
+            _ => None,
+        }
+    }
+
+    /// True while a segment-heap entry still describes its trajectory.
+    fn seg_entry_live(&self, e: SegEntry) -> bool {
+        self.active.get(&e.id).is_some_and(|st| {
+            st.phase == Phase::Decoding && st.finish_key.total_cmp(&e.key).is_eq()
+        })
+    }
+
+    /// Pops lazily-invalidated entries off both heap tops, restoring the
+    /// invariant that [`Self::peek_internal`] (and therefore the `&self`
+    /// inspection surface, [`Self::next_event_time`]) sees live tops. Called
+    /// after every batch of state changes; amortized O(log n) per transition
+    /// since each pushed entry is popped at most once.
+    pub(super) fn prune_event_tops(&mut self) {
+        while let Some(&Reverse(e)) = self.phase_heap.peek() {
+            if self.phase_entry_event(e).is_some() {
+                break;
+            }
+            self.phase_heap.pop();
+        }
+        while let Some(&Reverse(e)) = self.seg_heap.peek() {
+            if self.seg_entry_live(e) {
+                break;
+            }
+            self.seg_heap.pop();
+        }
+    }
+
+    /// Moves a resident trajectory into [`Phase::Decoding`] at `now`,
+    /// baselining its lazy progress and indexing its segment completion.
+    pub(super) fn enter_decoding(&mut self, id: u64, now: Time) {
+        let global = self.global_steps;
+        let Some(st) = self.active.get_mut(&id) else {
+            return;
+        };
+        st.phase = Phase::Decoding;
+        st.decode_started_at = now;
+        st.steps_baseline = global;
+        let key = global + st.remaining_in_segment();
+        st.finish_key = key;
+        let ctx = st.context_tokens();
+        self.decoding_count += 1;
+        self.decoding_ctx_sum += ctx;
+        self.seg_heap.push(Reverse(SegEntry { key, id }));
     }
 
     /// Records a span when tracing is enabled.

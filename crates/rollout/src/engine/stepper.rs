@@ -1,15 +1,29 @@
 //! The batch step loop: internal event discovery, virtual-time advancement,
 //! decode-rate re-evaluation, and KVCache accounting.
+//!
+//! Event discovery is O(log n) per event: phase deadlines (prefill
+//! completions, env returns) sit in a lazily-invalidated min-heap ordered by
+//! `(time, id)`, and segment completions sit in a second min-heap keyed by
+//! the global decode-step accumulator value at which each decoding
+//! trajectory exhausts its segment. Because lockstep continuous batching
+//! advances every decoding trajectory at the same rate, a segment's
+//! completion key is fixed when the trajectory enters the decoding phase —
+//! no heap updates are needed while the batch decodes, and
+//! [`ReplicaEngine::apply_progress`] only bumps the global accumulator
+//! instead of touching every trajectory.
 
 use super::{Internal, ReplicaEngine};
-use crate::traj::Phase;
 use laminar_sim::Time;
 
 impl ReplicaEngine {
     /// The next instant at which the replica's state changes on its own,
     /// if any. The world schedules a wake event here.
+    ///
+    /// Relies on the heap tops being live, which every `&mut self` entry
+    /// point restores via [`ReplicaEngine::prune_event_tops`] before
+    /// returning.
     pub fn next_event_time(&self) -> Option<Time> {
-        self.next_internal().map(|(t, _)| t)
+        self.peek_internal().map(|(t, _)| t)
     }
 
     /// Advances the replica's state to `now`, applying every internal
@@ -17,24 +31,28 @@ impl ReplicaEngine {
     /// rate re-evaluations) in order.
     pub fn advance_to(&mut self, now: Time) {
         let mut guard = 0u64;
-        while let Some((t, kind)) = self.next_internal() {
+        loop {
+            self.prune_event_tops();
+            let Some((t, kind)) = self.peek_internal() else {
+                break;
+            };
             if t > now {
                 break;
             }
             guard += 1;
             assert!(guard < 50_000_000, "replica engine event storm — model bug");
+            self.events_processed += 1;
             self.apply_progress(t);
             match kind {
                 Internal::PrefillDone(id) => {
-                    if let Some(st) = self.active.get_mut(&id) {
-                        st.phase = Phase::Decoding;
-                        st.decode_started_at = t;
-                        let ctx = st.context_tokens();
-                        self.decoding_count += 1;
-                        self.decoding_ctx_sum += ctx;
-                    }
+                    // The fired deadline is the live top; consume it.
+                    self.phase_heap.pop();
+                    self.enter_decoding(id, t);
                 }
-                Internal::EnvReturn(id) => self.env_return(id, t),
+                Internal::EnvReturn(id) => {
+                    self.phase_heap.pop();
+                    self.env_return(id, t);
+                }
                 Internal::SegmentDone => self.finish_ready_segments(t),
                 Internal::Recalc => {}
             }
@@ -45,32 +63,33 @@ impl ReplicaEngine {
         self.apply_progress(now);
     }
 
-    pub(super) fn next_internal(&self) -> Option<(Time, Internal)> {
+    /// The earliest pending internal transition, assuming live heap tops.
+    ///
+    /// Tie-breaking replicates the retained full-scan reference
+    /// ([`super::reference::NaiveReplicaEngine`]): phase deadlines win ties
+    /// (lowest id first), a segment completion pre-empts only when strictly
+    /// earlier, and a forced rate re-evaluation only when strictly earlier
+    /// than both.
+    pub(super) fn peek_internal(&self) -> Option<(Time, Internal)> {
         let mut best: Option<(Time, Internal)> = None;
-        let mut consider = |t: Time, k: Internal| {
-            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
-                best = Some((t, k));
-            }
-        };
-        for (&id, st) in &self.active {
-            match st.phase {
-                Phase::Prefill { until } => consider(until, Internal::PrefillDone(id)),
-                Phase::Env { until } => consider(until, Internal::EnvReturn(id)),
-                Phase::Decoding => {}
+        if let Some(&std::cmp::Reverse(e)) = self.phase_heap.peek() {
+            if let Some(kind) = self.phase_entry_event(e) {
+                best = Some((e.at, kind));
             }
         }
         if self.decoding_count > 0 && self.step_secs > 0.0 {
-            let min_rem = self
-                .active
-                .values()
-                .filter(|s| s.phase == Phase::Decoding)
-                .map(|s| s.remaining_in_segment())
-                .fold(f64::INFINITY, f64::min);
-            if min_rem.is_finite() {
-                let t_done = self.offset(min_rem.max(0.0));
-                consider(t_done, Internal::SegmentDone);
-                let t_recalc = self.offset(self.cfg.horizon_steps);
-                consider(t_recalc, Internal::Recalc);
+            if let Some(&std::cmp::Reverse(e)) = self.seg_heap.peek() {
+                if self.seg_entry_live(e) {
+                    let rem = (e.key - self.global_steps).max(0.0);
+                    let t_done = self.offset(rem);
+                    if best.as_ref().is_none_or(|(bt, _)| t_done < *bt) {
+                        best = Some((t_done, Internal::SegmentDone));
+                    }
+                    let t_recalc = self.offset(self.cfg.horizon_steps);
+                    if best.as_ref().is_none_or(|(bt, _)| t_recalc < *bt) {
+                        best = Some((t_recalc, Internal::Recalc));
+                    }
+                }
             }
         }
         best
@@ -83,12 +102,14 @@ impl ReplicaEngine {
         self.last_update.max(self.prefill_busy_until)
     }
 
-    fn offset(&self, steps: f64) -> Time {
+    pub(super) fn offset(&self, steps: f64) -> Time {
         Time::from_secs_f64(self.decode_resume_at().as_secs_f64() + steps * self.step_secs)
     }
 
-    /// Advances decode progress of every decoding trajectory to `t` at the
-    /// current rate.
+    /// Advances decode progress to `t` at the current rate — O(1): the
+    /// lockstep steps accrue once into the global accumulator and the
+    /// aggregate context sums, never per trajectory. Per-trajectory counts
+    /// are materialized lazily at phase transitions.
     pub(super) fn apply_progress(&mut self, t: Time) {
         if t <= self.last_update {
             return;
@@ -97,12 +118,7 @@ impl ReplicaEngine {
             // Progress only accrues once the prefill pipeline is clear.
             let start = self.decode_resume_at().min(t);
             let steps = t.since(start).as_secs_f64() / self.step_secs;
-            for st in self.active.values_mut() {
-                if st.phase == Phase::Decoding {
-                    st.decoded_in_segment += steps;
-                    st.total_decoded += steps;
-                }
-            }
+            self.global_steps += steps;
             let grown = self.decoding_count as f64 * steps;
             self.decoding_ctx_sum += grown;
             self.resident_ctx_sum += grown;
@@ -132,5 +148,6 @@ impl ReplicaEngine {
         self.epoch += 1;
         self.recalc_rate();
         self.record(now);
+        self.prune_event_tops();
     }
 }

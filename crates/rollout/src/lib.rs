@@ -18,6 +18,7 @@ pub mod manager;
 pub mod repack;
 pub mod traj;
 
+pub use engine::reference::NaiveReplicaEngine;
 pub use engine::{CompletedTraj, EngineConfig, ReplicaEngine};
 pub use manager::{ManagerConfig, ReplicaHealth, RolloutManager};
 pub use repack::{plan_repack, RepackPlan, ReplicaLoad};

@@ -118,15 +118,18 @@ impl RolloutManager {
     /// Scans for replicas whose heartbeat deadline passed, marking and
     /// returning the newly failed ones.
     pub fn detect_failures(&mut self, now: Time) -> Vec<usize> {
-        let mut failed = Vec::new();
-        for (&r, &h) in &self.health.clone() {
-            if h == ReplicaHealth::Healthy {
-                let last = self.last_heartbeat.get(&r).copied().unwrap_or(Time::ZERO);
-                if now.since(last) > self.cfg.heartbeat_deadline {
-                    failed.push(r);
-                }
-            }
-        }
+        // Collect ids first (by reference — no clone of the health map per
+        // tick), then mark, so the borrow of `health` ends before mutation.
+        let mut failed: Vec<usize> = self
+            .health
+            .iter()
+            .filter(|&(_, &h)| h == ReplicaHealth::Healthy)
+            .filter(|&(r, _)| {
+                let last = self.last_heartbeat.get(r).copied().unwrap_or(Time::ZERO);
+                now.since(last) > self.cfg.heartbeat_deadline
+            })
+            .map(|(&r, _)| r)
+            .collect();
         failed.sort_unstable();
         for &r in &failed {
             self.health.insert(r, ReplicaHealth::Failed);

@@ -45,6 +45,19 @@ pub struct TrajState {
     /// When the current decode segment entered [`Phase::Decoding`]; feeds the
     /// `DecodeStep` trace span emitted at segment completion.
     pub decode_started_at: Time,
+    /// Engine-local lazy-progress baseline: the engine's global decode-step
+    /// accumulator at the instant this trajectory last entered
+    /// [`Phase::Decoding`] (or was last materialized). While decoding, the
+    /// true decoded counts are `decoded_in_segment`/`total_decoded` plus
+    /// `global_steps - steps_baseline`; the engine materializes them at phase
+    /// transitions. Reset to 0 whenever the trajectory leaves the decoding
+    /// phase so states stay comparable across engines.
+    pub steps_baseline: f64,
+    /// Engine-local segment-completion key: the value of the engine's global
+    /// decode-step accumulator at which the current decode segment finishes.
+    /// Stale heap entries are detected by comparing against this field.
+    /// Reset to 0 whenever the trajectory leaves the decoding phase.
+    pub finish_key: f64,
 }
 
 impl TrajState {
@@ -60,6 +73,8 @@ impl TrajState {
             phase: Phase::Prefill { until: now },
             needs_reprefill: false,
             decode_started_at: now,
+            steps_baseline: 0.0,
+            finish_key: 0.0,
         }
     }
 

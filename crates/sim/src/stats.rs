@@ -152,8 +152,10 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            // total_cmp is a total order: even if a non-finite sample ever
+            // slipped past `add` (it can't today), the sort cannot panic
+            // mid-experiment the way a partial_cmp unwrap would.
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -272,6 +274,59 @@ impl TimeWeighted {
             0.0
         } else {
             self.weighted_sum / secs
+        }
+    }
+}
+
+/// Wall-clock event-throughput meter for benchmarking simulation hot loops.
+///
+/// Counts events against real (host) time — unlike everything else in this
+/// crate, which lives in virtual time — so harnesses can report events/sec
+/// for the engine-step and scheduler hot paths (`laminar-experiments
+/// --bench`).
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    events: u64,
+    start: std::time::Instant,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// Starts the clock with zero events.
+    pub fn new() -> Self {
+        ThroughputMeter {
+            events: 0,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Adds `n` processed events.
+    pub fn add(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Events counted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Wall-clock seconds since the meter started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Events per wall-clock second (0 before any measurable time passes).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
         }
     }
 }
@@ -447,6 +502,35 @@ mod tests {
         h.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 7.0]);
         assert_eq!(h.count(), 1);
         assert_eq!(h.percentile(99.0), 7.0);
+    }
+
+    #[test]
+    fn histogram_rejects_nan_at_push_time_and_never_panics() {
+        // NaN must be filtered on entry: the stored sample set stays
+        // NaN-free, so every percentile query is well-defined — and even a
+        // hypothetical stray NaN could not panic the total_cmp sort.
+        let mut h = Histogram::new();
+        h.add(f64::NAN);
+        assert!(h.is_empty(), "NaN rejected at push time");
+        h.extend([3.0, f64::NAN, 1.0, f64::NAN, 2.0]);
+        assert_eq!(h.count(), 3);
+        assert!(h.samples().iter().all(|x| x.is_finite()));
+        assert_eq!(h.percentile(50.0), 2.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn throughput_meter_counts_and_rates() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.events(), 0);
+        m.add(500);
+        m.add(1500);
+        assert_eq!(m.events(), 2000);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(m.elapsed_secs() > 0.0);
+        assert!(m.events_per_sec() > 0.0);
+        assert!(m.events_per_sec() <= 2000.0 / m.elapsed_secs() * 1.01);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Benchmark gate: build the experiment binary, run the engine/executor
+# benchmark suite, and compare the fresh BENCH_rollout.json against the
+# previous one, warning on regressions.
+#
+# Usage:
+#   scripts/bench.sh           # full suite (512-trajectory micro, all experiments)
+#   scripts/bench.sh --smoke   # reduced suite for CI (~seconds)
+#
+# The regression check is a warning, not a failure: wall-clock numbers vary
+# with machine load, and single-core containers cannot show parallel
+# speedup at all. Treat a warning as a prompt to re-run, not a verdict.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE="--smoke" ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+OUT=BENCH_rollout.json
+PREV=""
+if [ -f "$OUT" ]; then
+    PREV="$(mktemp)"
+    cp "$OUT" "$PREV"
+fi
+
+# NB: a bare `cargo build --release` at the workspace root does NOT rebuild
+# the laminar-bench binary; the -p flag is load-bearing.
+cargo build --release -p laminar-bench
+./target/release/laminar-experiments --bench $SMOKE --bench-out "$OUT"
+
+if [ -n "$PREV" ]; then
+    # Warn if the indexed-engine events/sec dropped more than 20% versus the
+    # previous run (same-mode comparisons only are meaningful, but a cross-mode
+    # diff still catches order-of-magnitude breakage).
+    old=$(sed -n 's/.*"indexed_events_per_sec": \([0-9.]*\).*/\1/p' "$PREV")
+    new=$(sed -n 's/.*"indexed_events_per_sec": \([0-9.]*\).*/\1/p' "$OUT")
+    if [ -n "$old" ] && [ -n "$new" ]; then
+        drop=$(awk -v o="$old" -v n="$new" 'BEGIN { print (n < 0.8 * o) ? 1 : 0 }')
+        if [ "$drop" = "1" ]; then
+            echo "bench: WARNING indexed engine regressed: $old -> $new events/sec" >&2
+        else
+            echo "bench: indexed engine $old -> $new events/sec (ok)"
+        fi
+    fi
+    rm -f "$PREV"
+fi
+echo "bench: report written to $OUT"

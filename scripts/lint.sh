@@ -12,3 +12,7 @@ fi
 
 cargo clippy --workspace --all-targets -- -D warnings
 echo "lint: clean"
+
+# Smoke-run the benchmark gate so a broken hot path or executor shows up
+# before review, not after.
+scripts/bench.sh --smoke
