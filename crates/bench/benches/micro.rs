@@ -7,7 +7,7 @@
 //! reporting the mean wall-clock per iteration.
 
 use laminar_cluster::{ChainBroadcast, DecodeModel, GpuSpec, LinkSpec, ModelSpec};
-use laminar_data::{Experience, ExperienceBuffer};
+use laminar_data::{Eviction, Experience, ExperienceBuffer, Sampler};
 use laminar_rl::{generate_episode, GrpoConfig, GrpoTrainer, ReasonEnv, RlTrajectory};
 use laminar_rollout::{plan_repack, EngineConfig, ReplicaEngine, ReplicaLoad};
 use laminar_sim::{Scheduler, SimRng, SimWorld, Simulation, Time};
@@ -101,6 +101,38 @@ fn bench_experience_buffer() {
     });
 }
 
+/// The selective samplers used to pop picks with `VecDeque::remove(i)` —
+/// O(n) per element, O(n²) per sample. Both now run one mark-and-drain
+/// pass over the deque, so sampling half of a 16k buffer is O(n).
+fn bench_selective_samplers() {
+    fn filled(sampler: Sampler) -> ExperienceBuffer {
+        let mut buf = ExperienceBuffer::new(sampler, Eviction::None);
+        for i in 0..16_384u64 {
+            buf.write(Experience {
+                trajectory_id: i,
+                prompt_id: i / 16,
+                group_index: (i % 16) as usize,
+                prompt_tokens: 1000,
+                response_tokens: 6000,
+                policy_versions: vec![i % 4],
+                started_at: Time::ZERO,
+                finished_at: Time::from_secs(i),
+            });
+        }
+        buf
+    }
+    bench("buffer/staleness_sample_8k_of_16k", |_| {
+        let mut buf = filled(Sampler::StalenessCapped { max_staleness: 1 });
+        let mut rng = SimRng::new(1);
+        black_box(buf.sample(8192, 3, &mut rng).len());
+    });
+    bench("buffer/random_sample_8k_of_16k", |_| {
+        let mut buf = filled(Sampler::Random);
+        let mut rng = SimRng::new(1);
+        black_box(buf.sample(8192, 3, &mut rng).len());
+    });
+}
+
 fn bench_chain_broadcast_model() {
     let chain = ChainBroadcast::new(LinkSpec::new("rdma", 90e9, 5e-6));
     bench("chain/optimal_broadcast", |_| {
@@ -155,6 +187,7 @@ fn main() {
     bench_event_engine();
     bench_repack_planner();
     bench_experience_buffer();
+    bench_selective_samplers();
     bench_chain_broadcast_model();
     bench_decode_model();
     bench_replica_engine();

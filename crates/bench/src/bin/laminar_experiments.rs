@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! laminar-experiments [--full] [--seed N] [--jobs N] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--out DIR] [--trace FILE] <id>... | all | list
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
 //! ```
 //!
@@ -59,6 +59,12 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .expect("--jobs requires a positive integer");
             }
+            "--chaos-seed" => {
+                opts.chaos_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--chaos-seed requires an integer");
+            }
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
             }
@@ -91,7 +97,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--out DIR] [--trace FILE] <id>... | all | list\n\
+            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--out DIR] [--trace FILE] <id>... | all | list\n\
              \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]"
         );
         eprintln!("experiments: {}", all_experiment_ids().join(" "));

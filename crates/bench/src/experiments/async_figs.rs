@@ -5,7 +5,7 @@ use crate::experiments::Opts;
 use crate::table::{f1, f2, TextTable};
 use laminar_baselines::RlSystem;
 use laminar_cluster::ModelSpec;
-use laminar_core::{system::IdlenessMetric, FaultSpec, LaminarSystem, SystemKind};
+use laminar_core::{system::IdlenessMetric, FaultEvent, LaminarSystem, SystemKind};
 use laminar_sim::{Duration, Time};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write as _;
@@ -93,11 +93,11 @@ pub fn fig15(opts: &Opts) -> String {
     // 32B TP=4 setting).
     let per_machine = (8 / cfg.rollout_tp).clamp(1, cfg.replicas().saturating_sub(1).max(1));
     let sys = LaminarSystem {
-        fault: Some(FaultSpec {
-            kill_at: Time::from_secs(if opts.quick { 60 } else { 180 }),
-            replicas: (0..per_machine).collect(),
-            recover_after: Duration::from_secs(252),
-        }),
+        faults: vec![FaultEvent::machine_crash(
+            Time::from_secs(if opts.quick { 60 } else { 180 }),
+            (0..per_machine).collect(),
+            Duration::from_secs(252),
+        )],
         record_timeline: true,
         sample_every: Duration::from_secs(if opts.quick { 15 } else { 30 }),
         ..LaminarSystem::default()

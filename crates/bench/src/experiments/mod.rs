@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod async_figs;
+pub mod chaos;
 pub mod convergence_fig;
 pub mod perf_figs;
 pub mod tables;
@@ -30,6 +31,9 @@ pub struct Opts {
     /// Worker threads for intra-experiment grid fan-out ([`Opts::run_grid`]).
     /// `1` (the default) runs every grid cell inline.
     pub jobs: usize,
+    /// Root seed for the `chaos` experiment's fault-schedule generator.
+    /// Seed `k` of the sweep uses `chaos_seed + k`.
+    pub chaos_seed: u64,
     /// When set, trace spans are buffered here instead of written straight
     /// to [`Opts::trace`]; the experiment driver flushes whole-experiment
     /// buffers to the file in deterministic id order after the parallel
@@ -47,6 +51,7 @@ impl Default for Opts {
             seed: 7,
             trace: None,
             jobs: 1,
+            chaos_seed: 1,
             trace_buf: None,
         }
     }
@@ -192,6 +197,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "ablate-chunks",
         "ablate-batch",
         "ablate-evolution",
+        "chaos",
     ]
 }
 
@@ -224,6 +230,7 @@ pub fn run_experiment(id: &str, opts: &Opts) -> String {
         "ablate-chunks" => ablations::ablate_chunks(opts),
         "ablate-batch" => ablations::ablate_batch(opts),
         "ablate-evolution" => ablations::ablate_evolution(opts),
+        "chaos" => chaos::chaos(opts),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -39,6 +39,22 @@ fn grid_experiment_is_byte_identical_across_job_counts() {
     assert_eq!(trace1, trace4, "fig11 trace JSONL differs with --jobs 4");
 }
 
+/// The chaos experiment fans its seeded sweep across workers and sinks each
+/// run's trace in seed order; report and trace must be byte-identical for
+/// any `--jobs` value (the acceptance criterion for `--chaos-seed`).
+#[test]
+fn chaos_experiment_is_byte_identical_across_job_counts() {
+    let (report1, trace1) = run_with_jobs("chaos", 1, "chaos_j1");
+    let (report4, trace4) = run_with_jobs("chaos", 4, "chaos_j4");
+    assert_eq!(report1, report4, "chaos report text differs with --jobs 4");
+    assert!(
+        !trace1.is_empty(),
+        "serial chaos run produced no trace spans"
+    );
+    assert_eq!(trace1, trace4, "chaos trace JSONL differs with --jobs 4");
+    assert!(report1.contains("all seeds green: yes"), "{report1}");
+}
+
 /// The binary's outer fan-out: several experiments in parallel, each with a
 /// buffered trace flushed in id order, must reproduce the serial bytes.
 #[test]

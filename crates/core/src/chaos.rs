@@ -1,0 +1,533 @@
+//! The deterministic chaos plane: seeded fault schedules and the lost-work
+//! invariant checker (§3.3, §4.3, Figure 15).
+//!
+//! A chaos run is an ordinary [`crate::LaminarSystem`] run driven by a list
+//! of scheduled [`FaultEvent`]s instead of the single-shot fault toggles the
+//! figures originally used. Schedules are either hand-written (the
+//! regression scenarios) or generated from a seed by [`generate_schedule`],
+//! which derives a decorrelated [`SimRng`] stream per seed so the same seed
+//! always produces the same fault sequence, byte for byte, at any worker
+//! count.
+//!
+//! After the run, [`ChaosOutcome`] holds an end-of-world snapshot plus the
+//! [`ChaosAudit`] the driver filled in while executing, and
+//! [`ChaosOutcome::violations`] lists every broken guarantee:
+//!
+//! * every admitted trajectory completes **exactly once**, or is still
+//!   accounted for (partial pool ∪ prompt pool ∪ resident on an engine) —
+//!   nothing lost, nothing duplicated;
+//! * no trajectory is resident on two replicas at once, and dead replicas
+//!   hold no residents;
+//! * per-replica weight versions are monotone, and every surviving replica
+//!   has reconverged to a version bounded by the relay tier and the actor
+//!   (`engine ≤ relay ≤ actor`);
+//! * redirects performed during a machine kill never target a replica dying
+//!   in the same fault event, and never overcommit the target's KVCache
+//!   reservation or roofline batch bound;
+//! * every recorded trace span is well-formed (`end ≥ start`).
+
+use laminar_sim::{Duration, SimRng, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A rollout machine dies: the listed replicas stop, their in-flight
+    /// work is redirected through the partial response pool, and a
+    /// replacement machine comes up `recover_after` later.
+    ReplicaCrash {
+        /// Replicas hosted on the failed machine.
+        replicas: Vec<usize>,
+        /// Time to allocate a replacement machine and re-initialize
+        /// rollouts (≈252 s in §8.5).
+        recover_after: Duration,
+    },
+    /// The trainer worker dies and recovers from the latest checkpoint
+    /// (§3.3): version bookkeeping rolls back to the checkpoint, the lost
+    /// updates are replayed, and rollouts keep generating throughout.
+    TrainerCrash {
+        /// Eviction + restart + checkpoint-load time before replay begins.
+        recover_after: Duration,
+    },
+    /// The relay broadcast tier is disrupted: weight versions published
+    /// during the outage only become pullable once it ends (already
+    /// broadcast versions stay available from the colocated relays).
+    RelayOutage {
+        /// Outage length.
+        duration: Duration,
+    },
+    /// Straggler onset: one replica's compute slows by `factor` (decode
+    /// steps and prefills both stretch) for `duration`.
+    SlowNode {
+        /// Affected replica.
+        replica: usize,
+        /// Slowdown multiplier (> 1 is slower).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: Duration,
+    },
+    /// Environment-call timeout: every env call in flight on the replica is
+    /// delayed by `extra` before returning.
+    EnvStall {
+        /// Affected replica.
+        replica: usize,
+        /// Added latency.
+        extra: Duration,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault strikes.
+    pub at: Time,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A machine crash killing `replicas` at `at`, recovering after
+    /// `recover_after` (the old `FaultSpec`).
+    pub fn machine_crash(at: Time, replicas: Vec<usize>, recover_after: Duration) -> Self {
+        FaultEvent {
+            at,
+            kind: FaultKind::ReplicaCrash {
+                replicas,
+                recover_after,
+            },
+        }
+    }
+
+    /// A trainer crash at `at` recovering after `recover_after` (the old
+    /// `TrainerFaultSpec`).
+    pub fn trainer_crash(at: Time, recover_after: Duration) -> Self {
+        FaultEvent {
+            at,
+            kind: FaultKind::TrainerCrash { recover_after },
+        }
+    }
+}
+
+/// Shape of a generated fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Faults to inject.
+    pub events: usize,
+    /// Faults strike uniformly within `[earliest, horizon]`.
+    pub earliest: Time,
+    /// Latest fault injection time.
+    pub horizon: Time,
+    /// Rollout replica count of the run under test (crash victims and
+    /// straggler targets are drawn from this range).
+    pub replicas: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            events: 4,
+            earliest: Time::from_secs(10),
+            horizon: Time::from_secs(240),
+            replicas: 4,
+        }
+    }
+}
+
+/// Generates a deterministic fault schedule from a seed: same seed, same
+/// schedule, independent of everything else the run draws from its RNG.
+pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> Vec<FaultEvent> {
+    let mut rng = SimRng::derive(seed, "chaos-schedule", 0);
+    let replicas = cfg.replicas.max(1);
+    let mut events = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let at = Time::from_secs_f64(rng.range_f64(
+            cfg.earliest.as_secs_f64(),
+            cfg.horizon.as_secs_f64().max(cfg.earliest.as_secs_f64()),
+        ));
+        let kind = match rng
+            .weighted_index(&[3.0, 2.0, 1.0, 2.0, 2.0])
+            .expect("non-empty weights")
+        {
+            0 => {
+                // Kill up to half the fleet in one event, never all of it.
+                let max_victims = (replicas / 2).clamp(1, replicas.saturating_sub(1).max(1));
+                let count = 1 + rng.index(max_victims);
+                let mut ids: Vec<usize> = (0..replicas).collect();
+                rng.shuffle(&mut ids);
+                let mut victims: Vec<usize> = ids.into_iter().take(count).collect();
+                victims.sort_unstable();
+                FaultKind::ReplicaCrash {
+                    replicas: victims,
+                    recover_after: Duration::from_secs(rng.range_u64(20, 120)),
+                }
+            }
+            1 => FaultKind::TrainerCrash {
+                recover_after: Duration::from_secs(rng.range_u64(10, 90)),
+            },
+            2 => FaultKind::RelayOutage {
+                duration: Duration::from_secs(rng.range_u64(5, 60)),
+            },
+            3 => FaultKind::SlowNode {
+                replica: rng.index(replicas),
+                factor: rng.range_f64(1.5, 4.0),
+                duration: Duration::from_secs(rng.range_u64(20, 120)),
+            },
+            _ => FaultKind::EnvStall {
+                replica: rng.index(replicas),
+                extra: Duration::from_secs(rng.range_u64(2, 30)),
+            },
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+/// The acceptance scenario: ≥ 3 fault kinds overlapping in time — a replica
+/// crash strikes while the relay tier is down *and* the trainer is still
+/// replaying from its checkpoint, with a straggler and an env stall layered
+/// on top.
+pub fn overlapping_scenario(replicas: usize) -> Vec<FaultEvent> {
+    let r = |i: usize| i % replicas.max(1);
+    vec![
+        FaultEvent::trainer_crash(Time::from_secs(40), Duration::from_secs(150)),
+        FaultEvent {
+            at: Time::from_secs(50),
+            kind: FaultKind::RelayOutage {
+                duration: Duration::from_secs(90),
+            },
+        },
+        FaultEvent::machine_crash(
+            Time::from_secs(60),
+            vec![r(0), r(1)],
+            Duration::from_secs(100),
+        ),
+        FaultEvent {
+            at: Time::from_secs(65),
+            kind: FaultKind::SlowNode {
+                replica: r(2),
+                factor: 3.0,
+                duration: Duration::from_secs(60),
+            },
+        },
+        FaultEvent {
+            at: Time::from_secs(70),
+            kind: FaultKind::EnvStall {
+                replica: r(3),
+                extra: Duration::from_secs(10),
+            },
+        },
+    ]
+}
+
+/// Bookkeeping the driver fills in while a run executes; the raw material
+/// of the invariant checker.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosAudit {
+    /// Every trajectory id ever admitted (handed to a replica).
+    pub admitted: BTreeSet<u64>,
+    /// Completion count per trajectory id.
+    pub completed: BTreeMap<u64, u64>,
+    /// Weight versions set on each replica, in order.
+    pub version_history: Vec<Vec<u64>>,
+    /// Fault events applied.
+    pub faults_applied: u64,
+    /// Trajectories redirected to a healthy replica during machine kills.
+    pub redirects: u64,
+    /// Trajectories returned to the prompt pool during machine kills
+    /// (no healthy same-version replica with capacity).
+    pub repooled: u64,
+    /// Invariant breaches detected *while* the run executed (redirect onto
+    /// a dying replica, capacity overcommit, …).
+    pub violations: Vec<String>,
+}
+
+impl ChaosAudit {
+    /// Records an admission.
+    pub fn begin(&mut self, id: u64) {
+        self.admitted.insert(id);
+    }
+
+    /// Records a completion.
+    pub fn complete(&mut self, id: u64) {
+        *self.completed.entry(id).or_insert(0) += 1;
+    }
+
+    /// Records a weight-version change on replica `r`.
+    pub fn record_version(&mut self, r: usize, version: u64) {
+        if self.version_history.len() <= r {
+            self.version_history.resize(r + 1, Vec::new());
+        }
+        self.version_history[r].push(version);
+    }
+
+    /// Records one kill-redirect, checking the in-flight invariants: the
+    /// target must be alive, outside the current kill set, and within its
+    /// capacity bounds *after* the move.
+    #[allow(clippy::too_many_arguments)]
+    pub fn redirect(
+        &mut self,
+        id: u64,
+        target: usize,
+        victims: &[usize],
+        target_alive: bool,
+        reserved_after: f64,
+        kv_limit: f64,
+        reqs_after: usize,
+        roofline_b: usize,
+    ) {
+        self.redirects += 1;
+        if victims.contains(&target) {
+            self.violations.push(format!(
+                "trajectory {id} redirected onto replica {target}, which dies in the same fault event"
+            ));
+        }
+        if !target_alive {
+            self.violations.push(format!(
+                "trajectory {id} redirected onto dead replica {target}"
+            ));
+        }
+        if reserved_after > kv_limit {
+            self.violations.push(format!(
+                "redirect of {id} overcommits replica {target} KVCache: {reserved_after:.0} > {kv_limit:.0} tokens"
+            ));
+        }
+        if reqs_after > roofline_b {
+            self.violations.push(format!(
+                "redirect of {id} overcommits replica {target} batch: {reqs_after} > roofline bound {roofline_b}"
+            ));
+        }
+    }
+}
+
+/// End-of-run snapshot handed to the invariant checker.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The audit filled in during the run.
+    pub audit: ChaosAudit,
+    /// Trajectory ids resident per engine at the end (admitted or waiting).
+    pub resident: Vec<Vec<u64>>,
+    /// Ids still tracked by the partial response pool.
+    pub partial_ids: Vec<u64>,
+    /// Ids sitting in the prompt pool.
+    pub pool_ids: Vec<u64>,
+    /// Liveness per replica.
+    pub alive: Vec<bool>,
+    /// Weight version per replica engine.
+    pub engine_versions: Vec<u64>,
+    /// Newest fully broadcast version.
+    pub relay_version: u64,
+    /// Actor version.
+    pub actor_version: u64,
+    /// Trace spans with `end < start`, as `(kind, start ns, end ns)`.
+    pub malformed_spans: Vec<(String, u64, u64)>,
+}
+
+impl ChaosOutcome {
+    /// Every violated invariant, empty when the run upheld all guarantees.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.audit.violations.clone();
+        for (id, n) in &self.audit.completed {
+            if *n != 1 {
+                v.push(format!("trajectory {id} completed {n} times"));
+            }
+            if !self.audit.admitted.contains(id) {
+                v.push(format!("trajectory {id} completed without being admitted"));
+            }
+        }
+        // No lost work: everything admitted is either done or still held
+        // somewhere (partials / prompt pool / an engine).
+        let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+        for (r, ids) in self.resident.iter().enumerate() {
+            if !self.alive[r] && !ids.is_empty() {
+                v.push(format!(
+                    "dead replica {r} still holds {} trajectories",
+                    ids.len()
+                ));
+            }
+            for &id in ids {
+                if let Some(prev) = seen.insert(id, r) {
+                    v.push(format!(
+                        "trajectory {id} resident on replicas {prev} and {r}"
+                    ));
+                }
+            }
+        }
+        let partials: BTreeSet<u64> = self.partial_ids.iter().copied().collect();
+        let pooled: BTreeSet<u64> = self.pool_ids.iter().copied().collect();
+        for &id in &self.audit.admitted {
+            let done = self.audit.completed.contains_key(&id);
+            let held = partials.contains(&id) || pooled.contains(&id) || seen.contains_key(&id);
+            if !done && !held {
+                v.push(format!(
+                    "trajectory {id} lost: admitted, never completed, held nowhere"
+                ));
+            }
+            if done && partials.contains(&id) {
+                v.push(format!(
+                    "trajectory {id} completed but still in the partial pool"
+                ));
+            }
+        }
+        for (r, history) in self.audit.version_history.iter().enumerate() {
+            if history.windows(2).any(|w| w[1] < w[0]) {
+                v.push(format!(
+                    "replica {r} weight versions not monotone: {history:?}"
+                ));
+            }
+        }
+        if self.relay_version > self.actor_version {
+            v.push(format!(
+                "relay version {} ahead of actor version {}",
+                self.relay_version, self.actor_version
+            ));
+        }
+        for (r, &ev) in self.engine_versions.iter().enumerate() {
+            if self.alive[r] && ev > self.relay_version {
+                v.push(format!(
+                    "survivor {r} at version {ev} ahead of relay version {}",
+                    self.relay_version
+                ));
+            }
+        }
+        for (kind, start, end) in &self.malformed_spans {
+            v.push(format!("malformed {kind} span: end {end} < start {start}"));
+        }
+        v
+    }
+
+    /// Count of admitted trajectories.
+    pub fn admitted(&self) -> usize {
+        self.audit.admitted.len()
+    }
+
+    /// Count of trajectories completed (exactly-once violations aside).
+    pub fn completed(&self) -> usize {
+        self.audit.completed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = ChaosConfig::default();
+        let a = generate_schedule(11, &cfg);
+        let b = generate_schedule(11, &cfg);
+        let c = generate_schedule(12, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert_ne!(a, c, "different seeds must decorrelate");
+        assert_eq!(a.len(), cfg.events);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+    }
+
+    #[test]
+    fn generated_crashes_never_kill_every_replica() {
+        let cfg = ChaosConfig {
+            events: 64,
+            replicas: 3,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..8 {
+            for ev in generate_schedule(seed, &cfg) {
+                if let FaultKind::ReplicaCrash { replicas, .. } = ev.kind {
+                    assert!(!replicas.is_empty());
+                    assert!(replicas.len() < cfg.replicas, "must leave a survivor");
+                    assert!(replicas.iter().all(|&r| r < cfg.replicas));
+                    let mut dedup = replicas.clone();
+                    dedup.dedup();
+                    assert_eq!(dedup, replicas, "victims sorted and distinct");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_scenario_has_three_concurrent_fault_kinds() {
+        let sched = overlapping_scenario(4);
+        // At t=60s the trainer is still recovering (40+150), the relay is
+        // still down (50+90), and a machine crash strikes.
+        let t = Time::from_secs(60);
+        let active = sched
+            .iter()
+            .filter(|e| {
+                let end = match &e.kind {
+                    FaultKind::ReplicaCrash { recover_after, .. } => e.at + *recover_after,
+                    FaultKind::TrainerCrash { recover_after } => e.at + *recover_after,
+                    FaultKind::RelayOutage { duration } => e.at + *duration,
+                    FaultKind::SlowNode { duration, .. } => e.at + *duration,
+                    FaultKind::EnvStall { extra, .. } => e.at + *extra,
+                };
+                e.at <= t && end >= t
+            })
+            .count();
+        assert!(active >= 3, "need ≥3 overlapping faults, got {active}");
+    }
+
+    #[test]
+    fn audit_flags_redirect_onto_victim_and_overcommit() {
+        let mut audit = ChaosAudit::default();
+        audit.redirect(7, 1, &[0, 1], true, 10.0, 100.0, 1, 8);
+        audit.redirect(8, 2, &[0, 1], true, 500.0, 100.0, 9, 8);
+        assert_eq!(audit.violations.len(), 3, "{:?}", audit.violations);
+        assert!(audit.violations[0].contains("dies in the same fault event"));
+        assert!(audit.violations[1].contains("KVCache"));
+        assert!(audit.violations[2].contains("roofline"));
+    }
+
+    #[test]
+    fn outcome_detects_lost_and_duplicated_work() {
+        let mut audit = ChaosAudit::default();
+        audit.begin(1);
+        audit.begin(2);
+        audit.begin(3);
+        audit.complete(1);
+        audit.complete(1); // duplicated
+        audit.complete(2);
+        // id 3 admitted, never completed, held nowhere => lost.
+        let out = ChaosOutcome {
+            audit,
+            resident: vec![vec![]],
+            partial_ids: vec![],
+            pool_ids: vec![],
+            alive: vec![true],
+            engine_versions: vec![0],
+            relay_version: 0,
+            actor_version: 0,
+            malformed_spans: vec![],
+        };
+        let v = out.violations();
+        assert!(v.iter().any(|m| m.contains("completed 2 times")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("lost")), "{v:?}");
+    }
+
+    #[test]
+    fn outcome_detects_version_regression_and_divergence() {
+        let mut audit = ChaosAudit::default();
+        audit.record_version(0, 3);
+        audit.record_version(0, 2); // regression
+        let out = ChaosOutcome {
+            audit,
+            resident: vec![vec![], vec![]],
+            partial_ids: vec![],
+            pool_ids: vec![],
+            alive: vec![true, true],
+            engine_versions: vec![2, 9], // replica 1 ahead of the relay
+            relay_version: 5,
+            actor_version: 4, // relay ahead of the actor
+            malformed_spans: vec![],
+        };
+        let v = out.violations();
+        assert!(v.iter().any(|m| m.contains("not monotone")), "{v:?}");
+        assert!(
+            v.iter().any(|m| m.contains("ahead of relay version")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("ahead of actor version")),
+            "{v:?}"
+        );
+    }
+}

@@ -20,13 +20,18 @@
 //! the real GRPO learner under each system's staleness semantics for
 //! Figure 13.
 
+pub mod chaos;
 pub mod convergence;
 pub mod hyper;
 pub mod placement;
 pub mod system;
 
+pub use chaos::{
+    generate_schedule, overlapping_scenario, ChaosAudit, ChaosConfig, ChaosOutcome, FaultEvent,
+    FaultKind,
+};
 pub use convergence::{convergence_curve, ConvergenceConfig, StalenessRegime};
 pub use hyper::{HyperParams, SystemKind};
 pub use laminar_runtime::{RlSystem, RunReport, SystemConfig};
 pub use placement::{paper_configs, placement_for, Placement, ScalePoint};
-pub use system::{ElasticSpec, FaultSpec, LaminarSystem, TrainerFaultSpec};
+pub use system::{ChaosRun, ElasticSpec, LaminarSystem};

@@ -28,6 +28,7 @@ impl World {
             let Some(spec) = self.pool.pop_front() else {
                 break;
             };
+            self.audit.begin(spec.id);
             self.partials.begin(spec.clone(), r, version, now);
             self.engines[r].submit(spec, now);
         }
@@ -39,6 +40,7 @@ impl World {
             return;
         }
         for c in &done {
+            self.audit.complete(c.spec.id);
             self.partials.complete(c.spec.id);
             self.report
                 .latencies
@@ -236,6 +238,7 @@ impl SimWorld for World {
                 }
                 self.pulling[r] = false;
                 self.engines[r].set_weight_version(version, now);
+                self.audit.record_version(r, version);
                 self.start_batch(r, now);
                 self.wake(r, sched);
             }
@@ -319,6 +322,13 @@ impl SimWorld for World {
                 }
             }
             Ev::WeightsAvailable { version } => {
+                if now < self.relay_blocked_until {
+                    // Relay-tier outage: the broadcast completes only after
+                    // the tier is repaired.
+                    let at = self.relay_blocked_until;
+                    sched.at(at, Ev::WeightsAvailable { version });
+                    return;
+                }
                 self.relay_version = self.relay_version.max(version);
                 // §5.1: a repack pass runs right after each weight update to
                 // free replicas for on-policy generation quickly.
@@ -347,9 +357,9 @@ impl SimWorld for World {
                     sched.after(self.opts.sample_every, Ev::SampleTick);
                 }
             }
-            Ev::KillMachine => self.kill_machine(now, sched),
-            Ev::RecoverMachine => self.recover_machine(now, sched),
-            Ev::TrainerFail => self.trainer_fail(now, sched),
+            Ev::Fault { idx } => self.apply_fault(idx, now, sched),
+            Ev::RecoverMachine { replicas } => self.recover_machine(&replicas, now, sched),
+            Ev::SlowNodeEnd { r } => self.end_slow_node(r, now, sched),
             Ev::TrainerRecover => self.trainer_recover(sched),
             Ev::AddReplicas { count } => self.add_replicas(count, now, sched),
         }

@@ -22,6 +22,7 @@ impl World {
             self.manager.register(r, now);
             // New machines initialize from the relay tier (§3.3).
             self.engines[r].set_weight_version(self.relay_version, now);
+            self.audit.record_version(r, self.relay_version);
             self.start_batch(r, now);
             self.wake(r, sched);
         }

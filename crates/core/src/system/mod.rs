@@ -18,36 +18,15 @@ mod faults;
 mod tests;
 mod timeline;
 
+use crate::chaos::{ChaosAudit, ChaosOutcome, FaultEvent};
 use laminar_data::{ExperienceBuffer, PartialResponsePool};
 use laminar_relay::RelaySyncModel;
 use laminar_rollout::manager::{ManagerConfig, RolloutManager};
 use laminar_rollout::{EngineConfig, ReplicaEngine};
-use laminar_runtime::{RlSystem, RunReport, SystemConfig, TraceSink, TraceSpan};
+use laminar_runtime::{RecordingTrace, RlSystem, RunReport, SystemConfig, TraceSink, TraceSpan};
 use laminar_sim::{Duration, SimRng, Simulation, Time};
 use laminar_workload::TrajectorySpec;
-use std::collections::VecDeque;
-
-/// Fault-injection spec for the Figure 15 experiment.
-#[derive(Debug, Clone)]
-pub struct FaultSpec {
-    /// When the machine dies.
-    pub kill_at: Time,
-    /// Replicas hosted on the failed machine.
-    pub replicas: Vec<usize>,
-    /// Time to allocate a replacement machine and re-initialize rollouts
-    /// (≈252 s in §8.5).
-    pub recover_after: Duration,
-}
-
-/// Trainer-fault spec (§3.3): the trainer worker fails and recovers from
-/// the latest checkpoint while rollouts keep generating.
-#[derive(Debug, Clone)]
-pub struct TrainerFaultSpec {
-    /// When the trainer fails (any in-flight update is lost).
-    pub fail_at: Time,
-    /// Eviction + restart + checkpoint-load time before replay begins.
-    pub recover_after: Duration,
-}
+use std::collections::{BTreeSet, VecDeque};
 
 /// Elastic scale-out spec (§3.3): fresh rollout machines join mid-run,
 /// initialize from the relay tier, and start generating.
@@ -76,10 +55,11 @@ pub struct LaminarSystem {
     pub repack: bool,
     /// Idleness detection strategy.
     pub idleness: IdlenessMetric,
-    /// Inject a machine failure (Figure 15).
-    pub fault: Option<FaultSpec>,
-    /// Inject a trainer failure (§3.3 checkpoint recovery).
-    pub trainer_fault: Option<TrainerFaultSpec>,
+    /// Scheduled fault injections (Figure 15, §3.3, and the chaos plane):
+    /// machine kills, trainer crashes, relay outages, stragglers, and env
+    /// stalls, each striking at its own simulated time. Empty for a clean
+    /// run; build schedules by hand or with [`crate::chaos::generate_schedule`].
+    pub faults: Vec<FaultEvent>,
     /// Add rollout replicas mid-run (§3.3 elasticity).
     pub elastic: Option<ElasticSpec>,
     /// Checkpoint the actor every this many versions.
@@ -100,8 +80,7 @@ impl Default for LaminarSystem {
         LaminarSystem {
             repack: true,
             idleness: IdlenessMetric::KvCacheLifecycle,
-            fault: None,
-            trainer_fault: None,
+            faults: Vec::new(),
             elastic: None,
             checkpoint_every: 5,
             replica_batch: None,
@@ -132,9 +111,18 @@ enum Ev {
     },
     RepackTick,
     SampleTick,
-    KillMachine,
-    RecoverMachine,
-    TrainerFail,
+    /// A scheduled fault strikes (index into `LaminarSystem::faults`).
+    Fault {
+        idx: usize,
+    },
+    /// The replacement machine for these replicas is up.
+    RecoverMachine {
+        replicas: Vec<usize>,
+    },
+    /// A straggler window ends; the replica returns to full speed.
+    SlowNodeEnd {
+        r: usize,
+    },
     TrainerRecover,
     AddReplicas {
         count: usize,
@@ -167,6 +155,16 @@ struct World {
     /// Incremented on trainer failure; stale in-flight `TrainerDone`
     /// events (work lost with the worker) are discarded by epoch.
     trainer_epoch: u64,
+    /// Version the trainer was at when it failed; replay restores it at
+    /// recovery (between failure and recovery `version` holds the
+    /// checkpoint resume version, so staleness accounting reflects the
+    /// rollback).
+    trainer_resume_to: u64,
+    /// Relay broadcast outage: versions published before this instant only
+    /// become pullable once it passes.
+    relay_blocked_until: Time,
+    /// Lost-work / version bookkeeping for the chaos invariant checker.
+    audit: ChaosAudit,
     checkpoints: laminar_data::CheckpointStore,
     /// Duration of the last completed training iteration (replay estimate).
     last_iter_duration: Duration,
@@ -198,18 +196,116 @@ impl World {
     fn done(&self) -> bool {
         self.iterations_done >= self.cfg.total_iterations()
     }
-}
 
-impl RlSystem for LaminarSystem {
-    fn name(&self) -> &'static str {
-        if self.repack {
-            "laminar"
-        } else {
-            "laminar-no-repack"
+    /// Moves the driver's and every engine's buffered spans into `trace`.
+    fn drain_spans(&mut self, trace: &mut dyn TraceSink) {
+        trace.record_all(std::mem::take(&mut self.trace_spans));
+        for e in &mut self.engines {
+            trace.record_all(e.take_trace_spans());
         }
     }
 
-    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+    /// Finalizes and takes the run report.
+    fn finish_report(&mut self) -> RunReport {
+        let mut report = std::mem::take(&mut self.report);
+        let alive = self.alive.iter().filter(|a| **a).count().max(1);
+        report.mean_kv_utilization = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| self.alive[*r])
+            .map(|(_, e)| e.mean_kv_utilization())
+            .sum::<f64>()
+            / alive as f64;
+        report.generation_fraction = 0.0; // fully overlapped by design
+        report.finalize();
+        report
+    }
+
+    /// Snapshots the end-of-run state for the chaos invariant checker.
+    fn chaos_outcome(&mut self, trace: &RecordingTrace) -> ChaosOutcome {
+        let mut resident = Vec::with_capacity(self.engines.len());
+        let mut engine_versions = Vec::with_capacity(self.engines.len());
+        for e in self.engines.iter_mut() {
+            resident.push(e.resident_ids());
+            engine_versions.push(e.weight_version());
+        }
+        // Completions drained from engines but not yet processed by a
+        // `ReplicaWake` when the run ended still count as held work.
+        let completed: BTreeSet<u64> = self.audit.completed.keys().copied().collect();
+        for (r, e) in self.engines.iter_mut().enumerate() {
+            for c in e.take_completions() {
+                if !completed.contains(&c.spec.id) {
+                    resident[r].push(c.spec.id);
+                }
+            }
+        }
+        let malformed_spans = trace
+            .spans()
+            .iter()
+            .filter(|s| s.end < s.start)
+            .map(|s| {
+                (
+                    s.kind.as_str().to_string(),
+                    s.start.as_nanos(),
+                    s.end.as_nanos(),
+                )
+            })
+            .collect();
+        ChaosOutcome {
+            audit: std::mem::take(&mut self.audit),
+            resident,
+            partial_ids: self.partials.ids(),
+            pool_ids: self.pool.iter().map(|s| s.id).collect(),
+            alive: self.alive.clone(),
+            engine_versions,
+            relay_version: self.relay_version,
+            actor_version: self.version,
+            malformed_spans,
+        }
+    }
+}
+
+/// A completed chaos run: the usual report, the recorded event trace, and
+/// the invariant-checker outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// The ordinary run report (throughput, latency, staleness, …).
+    pub report: RunReport,
+    /// End-of-run snapshot + audit for the invariant checker.
+    pub outcome: ChaosOutcome,
+    /// Every span the run emitted.
+    pub trace: RecordingTrace,
+}
+
+impl ChaosRun {
+    /// All invariant violations; empty when the run upheld every guarantee.
+    pub fn violations(&self) -> Vec<String> {
+        self.outcome.violations()
+    }
+}
+
+impl LaminarSystem {
+    /// Runs a chaos scenario: an ordinary run with `self.faults` injected,
+    /// the full event trace recorded, and the end state snapshotted for the
+    /// invariant checker. `ChaosRun::violations()` is empty iff the run
+    /// upheld every lost-work / version / reconvergence guarantee.
+    pub fn run_chaos(&self, cfg: &SystemConfig) -> ChaosRun {
+        let mut world = self.execute(cfg, true);
+        let mut trace = RecordingTrace::new();
+        world.drain_spans(&mut trace);
+        let report = world.finish_report();
+        let outcome = world.chaos_outcome(&trace);
+        ChaosRun {
+            report,
+            outcome,
+            trace,
+        }
+    }
+
+    /// Builds the world, runs the event loop to completion, and returns the
+    /// final world state (spans still buffered inside).
+    fn execute(&self, cfg: &SystemConfig, record_trace: bool) -> World {
         assert!(
             cfg.train_gpus > 0,
             "Laminar is disaggregated: set train_gpus > 0"
@@ -244,6 +340,9 @@ impl RlSystem for LaminarSystem {
             trainer_busy: false,
             trainer_failed: false,
             trainer_epoch: 0,
+            trainer_resume_to: 0,
+            relay_blocked_until: Time::ZERO,
+            audit: ChaosAudit::default(),
             checkpoints: laminar_data::CheckpointStore::new(self.checkpoint_every.max(1), 4),
             last_iter_duration: Duration::ZERO,
             iterations_done: 0,
@@ -257,7 +356,7 @@ impl RlSystem for LaminarSystem {
             gen_sample_prev: Time::ZERO,
             train_tokens_cum: 0.0,
             train_tokens_prev: 0.0,
-            record_trace: trace.enabled(),
+            record_trace,
             trace_spans: Vec::new(),
             trainer_started: Time::ZERO,
             trainer_free_at: Time::ZERO,
@@ -265,6 +364,9 @@ impl RlSystem for LaminarSystem {
         world.engines = (0..replicas)
             .map(|i| ReplicaEngine::new(i, cfg.decode_model(), world.engine_cfg()))
             .collect();
+        for r in 0..replicas {
+            world.audit.record_version(r, 0);
+        }
         let mut sim = Simulation::new(world);
         for r in 0..replicas {
             sim.world.start_batch(r, Time::ZERO);
@@ -278,11 +380,8 @@ impl RlSystem for LaminarSystem {
         if self.record_timeline {
             sim.scheduler.after(self.sample_every, Ev::SampleTick);
         }
-        if let Some(f) = &self.fault {
-            sim.scheduler.at(f.kill_at, Ev::KillMachine);
-        }
-        if let Some(f) = &self.trainer_fault {
-            sim.scheduler.at(f.fail_at, Ev::TrainerFail);
+        for (idx, f) in self.faults.iter().enumerate() {
+            sim.scheduler.at(f.at, Ev::Fault { idx });
         }
         if let Some(e) = &self.elastic {
             sim.scheduler
@@ -291,23 +390,22 @@ impl RlSystem for LaminarSystem {
         sim.scheduler.immediately(Ev::TrainerCheck);
         let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
         assert!(finished, "laminar run did not complete its iterations");
-        trace.record_all(std::mem::take(&mut sim.world.trace_spans));
-        for e in &mut sim.world.engines {
-            trace.record_all(e.take_trace_spans());
+        sim.world
+    }
+}
+
+impl RlSystem for LaminarSystem {
+    fn name(&self) -> &'static str {
+        if self.repack {
+            "laminar"
+        } else {
+            "laminar-no-repack"
         }
-        let mut report = sim.world.report;
-        let alive = sim.world.alive.iter().filter(|a| **a).count().max(1);
-        report.mean_kv_utilization = sim
-            .world
-            .engines
-            .iter()
-            .enumerate()
-            .filter(|(r, _)| sim.world.alive[*r])
-            .map(|(_, e)| e.mean_kv_utilization())
-            .sum::<f64>()
-            / alive as f64;
-        report.generation_fraction = 0.0; // fully overlapped by design
-        report.finalize();
-        report
+    }
+
+    fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+        let mut world = self.execute(cfg, trace.enabled());
+        world.drain_spans(trace);
+        world.finish_report()
     }
 }

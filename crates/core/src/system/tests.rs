@@ -46,11 +46,11 @@ fn rollout_waits_are_small() {
 #[test]
 fn fault_injection_recovers() {
     let sys = LaminarSystem {
-        fault: Some(FaultSpec {
-            kill_at: Time::from_secs(60),
-            replicas: vec![0, 1],
-            recover_after: Duration::from_secs(252),
-        }),
+        faults: vec![FaultEvent::machine_crash(
+            Time::from_secs(60),
+            vec![0, 1],
+            Duration::from_secs(252),
+        )],
         record_timeline: true,
         sample_every: Duration::from_secs(20),
         ..LaminarSystem::default()
@@ -69,10 +69,10 @@ fn fault_injection_recovers() {
 #[test]
 fn trainer_fault_recovers_from_checkpoint() {
     let sys = LaminarSystem {
-        trainer_fault: Some(TrainerFaultSpec {
-            fail_at: Time::from_secs(120),
-            recover_after: Duration::from_secs(90),
-        }),
+        faults: vec![FaultEvent::trainer_crash(
+            Time::from_secs(120),
+            Duration::from_secs(90),
+        )],
         checkpoint_every: 1,
         ..LaminarSystem::default()
     };
@@ -154,4 +154,174 @@ fn traced_run_covers_every_laminar_phase() {
     let plain = LaminarSystem::default().run(&cfg());
     assert_eq!(plain.throughput, traced.throughput);
     assert_eq!(plain.iteration_secs, traced.iteration_secs);
+}
+
+/// Regression: killing every replica in one event used to redirect drained
+/// trajectories onto replicas listed later in the same kill set. With all
+/// victims marked dead before any redirect is planned, nothing can be
+/// redirected (there is no survivor) — everything returns to the prompt
+/// pool and the lost-work invariants hold.
+#[test]
+fn killing_all_replicas_redirects_nothing() {
+    let sys = LaminarSystem {
+        faults: vec![FaultEvent::machine_crash(
+            Time::from_secs(30),
+            vec![0, 1, 2, 3],
+            Duration::from_secs(60),
+        )],
+        ..LaminarSystem::default()
+    };
+    let mut c = cfg();
+    c.iterations = 3;
+    let run = sys.run_chaos(&c);
+    assert_eq!(
+        run.outcome.audit.redirects, 0,
+        "no survivor can take redirects when the whole fleet dies"
+    );
+    assert!(
+        run.outcome.audit.repooled > 0,
+        "drained work returns to the prompt pool"
+    );
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert_eq!(run.report.iteration_secs.len(), 3);
+}
+
+/// Regression: redirects used to ignore the target's occupancy entirely.
+/// With every replica loaded to its roofline batch bound, a kill must fall
+/// back to the prompt pool instead of overcommitting a survivor.
+#[test]
+fn kill_redirect_respects_target_capacity() {
+    let mut c = cfg();
+    c.iterations = 3;
+    // Deep prompt pool so every replica starts with a full over-roofline
+    // batch, and a kill at 1 s — before anything completes — so all four
+    // survivors are provably at capacity when the redirects are planned.
+    c.prompts_per_batch = 64;
+    let roofline_b = c.decode_model().roofline_batch_limit();
+    let sys = LaminarSystem {
+        faults: vec![FaultEvent::machine_crash(
+            Time::from_secs(1),
+            vec![0],
+            Duration::from_secs(60),
+        )],
+        replica_batch: Some(roofline_b + 8),
+        ..LaminarSystem::default()
+    };
+    let run = sys.run_chaos(&c);
+    assert_eq!(
+        run.outcome.audit.redirects, 0,
+        "survivors past the roofline bound must not accept redirects"
+    );
+    assert!(
+        run.outcome.audit.repooled as usize >= roofline_b,
+        "the victim's whole batch returns to the prompt pool: {}",
+        run.outcome.audit.repooled
+    );
+    assert_eq!(run.violations(), Vec::<String>::new());
+}
+
+/// Regression: trainer recovery used to discard the checkpoint resume
+/// version. The failure span now carries the version the actor rolled back
+/// to, which must equal the newest checkpoint at the failure instant.
+#[test]
+fn trainer_recovery_rolls_back_to_checkpoint_version() {
+    let every = 2;
+    let sys = LaminarSystem {
+        faults: vec![FaultEvent::trainer_crash(
+            Time::from_secs(120),
+            Duration::from_secs(60),
+        )],
+        checkpoint_every: every,
+        ..LaminarSystem::default()
+    };
+    let mut c = cfg();
+    c.iterations = 4;
+    c.warmup = 0;
+    let run = sys.run_chaos(&c);
+    let failures: Vec<_> = run
+        .trace
+        .of_kind(SpanKind::Failure)
+        .into_iter()
+        .filter(|s| s.replica.is_none())
+        .collect();
+    assert_eq!(failures.len(), 1, "exactly one trainer failure span");
+    let fail = failures[0];
+    let v_at_fail = run
+        .trace
+        .of_kind(SpanKind::TrainStep)
+        .iter()
+        .filter(|s| s.end <= fail.start)
+        .count() as u64;
+    assert!(v_at_fail >= 1, "failure strikes after the first iteration");
+    assert_eq!(
+        fail.version,
+        v_at_fail - v_at_fail % every,
+        "actor resumes from the newest checkpoint, not the crash version"
+    );
+    assert_eq!(
+        fail.tokens,
+        v_at_fail % every,
+        "replayed update count recorded on the span"
+    );
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert_eq!(run.report.iteration_secs.len(), 4);
+}
+
+/// The acceptance scenario: a replica crash while the relay tier is down
+/// *and* the trainer is mid-recovery, plus a straggler and an env stall.
+/// All invariants green, and the run is deterministic.
+#[test]
+fn overlapping_chaos_scenario_upholds_invariants() {
+    let mut c = SystemConfig::small_test(laminar_workload::WorkloadGenerator::multi_turn(5));
+    c.train_gpus = 4;
+    c.rollout_gpus = 4;
+    c.iterations = 3;
+    c.warmup = 0;
+    let sys = LaminarSystem {
+        faults: crate::chaos::overlapping_scenario(4),
+        ..LaminarSystem::default()
+    };
+    let a = sys.run_chaos(&c);
+    assert_eq!(a.violations(), Vec::<String>::new());
+    assert!(
+        a.outcome.audit.faults_applied >= 5,
+        "all five scheduled faults strike"
+    );
+    assert!(a.outcome.completed() > 0);
+    let b = sys.run_chaos(&c);
+    assert_eq!(a.report.throughput, b.report.throughput, "deterministic");
+    assert_eq!(
+        a.trace.to_jsonl(),
+        b.trace.to_jsonl(),
+        "deterministic trace"
+    );
+}
+
+/// A straggler window must slow generation while it lasts and leave the
+/// run's guarantees intact once it ends.
+#[test]
+fn slow_node_hurts_throughput_then_recovers() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let clean = LaminarSystem::default().run(&c);
+    let sys = LaminarSystem {
+        faults: vec![FaultEvent {
+            at: Time::from_secs(10),
+            kind: crate::chaos::FaultKind::SlowNode {
+                replica: 0,
+                factor: 4.0,
+                duration: Duration::from_secs(120),
+            },
+        }],
+        ..LaminarSystem::default()
+    };
+    let run = sys.run_chaos(&c);
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert!(
+        run.report.throughput <= clean.throughput,
+        "a 4× straggler cannot speed the run up: {} vs {}",
+        run.report.throughput,
+        clean.throughput
+    );
 }

@@ -139,19 +139,52 @@ impl ExperienceBuffer {
                 }
             }
             Sampler::StalenessCapped { max_staleness } => {
-                let mut i = 0;
-                while out.len() < n && i < self.entries.len() {
-                    if self.entries[i].staleness(current_version) <= max_staleness {
-                        out.push(self.entries.remove(i).expect("index checked"));
-                    } else {
-                        i += 1;
+                // Single mark-and-drain pass — O(len), not O(len²) as a
+                // per-element `VecDeque::remove` would be. Marks the first
+                // `n` admissible entries in scan order, then partitions.
+                let mut marks = vec![false; self.entries.len()];
+                let mut taken = 0;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if taken == n {
+                        break;
                     }
+                    if e.staleness(current_version) <= max_staleness {
+                        marks[i] = true;
+                        taken += 1;
+                    }
+                }
+                if taken > 0 {
+                    let mut kept = VecDeque::with_capacity(self.entries.len() - taken);
+                    for (e, marked) in self.entries.drain(..).zip(marks) {
+                        if marked {
+                            out.push(e);
+                        } else {
+                            kept.push_back(e);
+                        }
+                    }
+                    self.entries = kept;
                 }
             }
             Sampler::Random => {
-                while out.len() < n && !self.entries.is_empty() {
-                    let i = rng.index(self.entries.len());
-                    out.push(self.entries.remove(i).expect("index checked"));
+                // Partial Fisher–Yates over an index array, then one drain:
+                // O(len) total. The RNG draw sequence (len, len-1, …) matches
+                // the old per-element `remove` loop, and picks come out in
+                // draw order, so behaviour is unchanged — only the quadratic
+                // shifting is gone.
+                let k = n.min(self.entries.len());
+                if k > 0 {
+                    let len = self.entries.len();
+                    let mut idx: Vec<u32> = (0..len as u32).collect();
+                    for i in 0..k {
+                        let j = i + rng.index(len - i);
+                        idx.swap(i, j);
+                    }
+                    let mut slots: Vec<Option<Experience>> =
+                        self.entries.drain(..).map(Some).collect();
+                    for &p in &idx[..k] {
+                        out.push(slots[p as usize].take().expect("picks are distinct"));
+                    }
+                    self.entries = slots.into_iter().flatten().collect();
                 }
             }
         }
@@ -403,6 +436,49 @@ mod tests {
         let groups = b.sample_groups(1, 4);
         assert_eq!(groups[0].len(), 4);
         assert_eq!(b.len(), 2, "extra responses of the prompt stay buffered");
+    }
+
+    /// The mark-and-drain rewrite must keep the first-n-admissible-in-scan-
+    /// order semantics and leave the remainder in arrival order.
+    #[test]
+    fn staleness_capped_preserves_scan_order_and_remainder() {
+        let mut b = ExperienceBuffer::new(
+            Sampler::StalenessCapped { max_staleness: 0 },
+            Eviction::None,
+        );
+        // Admissible (version 5) and stale entries interleaved.
+        for (id, v) in [(0, 5), (1, 2), (2, 5), (3, 3), (4, 5), (5, 5), (6, 1)] {
+            b.write(exp(id, v));
+        }
+        let mut rng = SimRng::new(1);
+        let ids: Vec<u64> = b
+            .sample(3, 5, &mut rng)
+            .iter()
+            .map(|e| e.trajectory_id)
+            .collect();
+        assert_eq!(ids, vec![0, 2, 4], "first n admissible, scan order");
+        let left: Vec<u64> = b.iter().map(|e| e.trajectory_id).collect();
+        assert_eq!(left, vec![1, 3, 5, 6], "remainder keeps arrival order");
+    }
+
+    #[test]
+    fn random_partial_sample_is_distinct_and_remainder_ordered() {
+        let mut b = ExperienceBuffer::new(Sampler::Random, Eviction::None);
+        for i in 0..50 {
+            b.write(exp(i, 0));
+        }
+        let mut rng = SimRng::new(7);
+        let got = b.sample(20, 0, &mut rng);
+        assert_eq!(got.len(), 20);
+        let mut ids: Vec<u64> = got.iter().map(|e| e.trajectory_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "sampling is without replacement");
+        assert_eq!(b.len(), 30);
+        let left: Vec<u64> = b.iter().map(|e| e.trajectory_id).collect();
+        let mut sorted = left.clone();
+        sorted.sort_unstable();
+        assert_eq!(left, sorted, "unsampled entries keep arrival order");
     }
 
     #[test]

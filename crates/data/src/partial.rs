@@ -143,6 +143,13 @@ impl PartialResponsePool {
         self.entries.get(&id)
     }
 
+    /// Ids of every in-progress trajectory, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.entries.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Total progress updates streamed.
     pub fn total_updates(&self) -> u64 {
         self.total_updates

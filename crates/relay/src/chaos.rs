@@ -1,0 +1,130 @@
+//! Seeded chaos driver for the threaded relay tier (§4.3).
+//!
+//! Each round publishes a new weight version, kills a seeded random subset
+//! of the alive relays (always leaving survivors), runs a [`RelayTier::repair`]
+//! pass, sometimes adds a replacement node, and requires every survivor to
+//! reconverge to the latest version. The kill/add decisions are drawn from a
+//! [`SimRng`] stream derived from the seed, so a scenario is reproducible
+//! even though the relay workers are real threads.
+
+use crate::bytes::Bytes;
+use crate::runtime::{RelayTier, RelayTierConfig};
+use laminar_sim::SimRng;
+use std::time::Duration as StdDuration;
+
+/// Shape of a relay chaos scenario.
+#[derive(Debug, Clone)]
+pub struct RelayChaosConfig {
+    /// Initial relay count.
+    pub nodes: usize,
+    /// Publish → kill → repair → reconverge rounds.
+    pub rounds: usize,
+    /// Weight blob size per publish.
+    pub blob_bytes: usize,
+    /// Per-round reconvergence deadline.
+    pub converge_timeout: StdDuration,
+}
+
+impl Default for RelayChaosConfig {
+    fn default() -> Self {
+        RelayChaosConfig {
+            nodes: 6,
+            rounds: 4,
+            blob_bytes: 64 * 1024,
+            converge_timeout: StdDuration::from_secs(10),
+        }
+    }
+}
+
+/// What a relay chaos scenario did and whether the tier survived it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayChaosReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Relays killed across all rounds.
+    pub killed: Vec<usize>,
+    /// Replacement relays added across all rounds.
+    pub added: Vec<usize>,
+    /// Repair passes that re-broadcast the latest version.
+    pub rebroadcasts: u64,
+    /// Last version published.
+    pub final_version: u64,
+    /// True iff every round reconverged within its deadline.
+    pub converged: bool,
+}
+
+/// Runs one seeded chaos scenario against a real threaded tier. The same
+/// seed always kills the same relays and adds replacements in the same
+/// rounds.
+pub fn run_relay_chaos(seed: u64, cfg: &RelayChaosConfig) -> RelayChaosReport {
+    let mut rng = SimRng::derive(seed, "relay-chaos", 0);
+    let mut tier = RelayTier::new(RelayTierConfig::fast(cfg.nodes));
+    let mut report = RelayChaosReport {
+        rounds: cfg.rounds,
+        killed: Vec::new(),
+        added: Vec::new(),
+        rebroadcasts: 0,
+        final_version: 0,
+        converged: true,
+    };
+    for round in 0..cfg.rounds {
+        let version = round as u64 + 1;
+        tier.publish(version, fill(cfg.blob_bytes, seed as u8 ^ round as u8));
+        report.final_version = version;
+        // Kill a random subset of the alive relays, always leaving at
+        // least two so the chain survives and still forwards.
+        let mut alive = tier.alive_nodes();
+        let max_kills = alive.len().saturating_sub(2).min(2);
+        if max_kills > 0 {
+            let kills = rng.index(max_kills + 1);
+            rng.shuffle(&mut alive);
+            for &id in alive.iter().take(kills) {
+                tier.kill(id);
+                report.killed.push(id);
+            }
+        }
+        let repair = tier.repair();
+        if repair.rebroadcast {
+            report.rebroadcasts += 1;
+        }
+        if rng.chance(0.3) {
+            report.added.push(tier.add_node());
+        }
+        if !tier.wait_converged(version, cfg.converge_timeout) {
+            report.converged = false;
+        }
+    }
+    tier.shutdown();
+    report
+}
+
+fn fill(len: usize, tag: u8) -> Bytes {
+    Bytes::from((0..len).map(|i| (i as u8) ^ tag).collect::<Vec<u8>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_scenario_converges_every_round() {
+        for seed in [3, 17] {
+            let report = run_relay_chaos(seed, &RelayChaosConfig::default());
+            assert!(report.converged, "seed {seed}: {report:?}");
+            assert_eq!(report.final_version, 4);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_fault_sequence() {
+        let cfg = RelayChaosConfig {
+            rounds: 3,
+            ..RelayChaosConfig::default()
+        };
+        let a = run_relay_chaos(11, &cfg);
+        let b = run_relay_chaos(11, &cfg);
+        assert_eq!(a.killed, b.killed, "kill sequence is seed-determined");
+        assert_eq!(a.added, b.added, "add sequence is seed-determined");
+        assert!(a.converged && b.converged);
+    }
+}

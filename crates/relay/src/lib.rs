@@ -19,11 +19,13 @@
 //!   implementation.
 
 pub mod bytes;
+pub mod chaos;
 pub mod chunk;
 pub mod model;
 pub mod runtime;
 
 pub use bytes::Bytes;
+pub use chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosReport};
 pub use chunk::{chunk_ranges, shard_ranges};
 pub use model::RelaySyncModel;
 pub use runtime::{RelayTier, RelayTierConfig, RepairReport, WeightVersion};

@@ -267,14 +267,27 @@ impl RelayTier {
 
     /// One heartbeat pass over the relays currently believed alive; returns
     /// the ids that missed the deadline.
+    ///
+    /// All pings go out first and replies are collected against one shared
+    /// deadline, so detection latency is one `heartbeat_timeout` regardless
+    /// of how many relays are dead — not O(n × deadline) as a sequential
+    /// per-relay `recv_timeout` would be.
     pub fn heartbeat(&self) -> Vec<usize> {
+        let pending: Vec<(usize, Receiver<usize>)> = self
+            .chain
+            .iter()
+            .map(|&id| {
+                let (tx, rx) = channel();
+                let _ = self.nodes[id].cmd.send(Command::Ping(tx));
+                (id, rx)
+            })
+            .collect();
+        let deadline = Instant::now() + self.cfg.heartbeat_timeout;
         let mut failed = Vec::new();
-        for &id in &self.chain {
-            let (tx, rx) = channel();
-            let _ = self.nodes[id].cmd.send(Command::Ping(tx));
-            match rx.recv_timeout(self.cfg.heartbeat_timeout) {
-                Ok(_) => {}
-                Err(_) => failed.push(id),
+        for (id, rx) in pending {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if rx.recv_timeout(left).is_err() {
+                failed.push(id);
             }
         }
         failed
@@ -463,6 +476,32 @@ mod tests {
 
     fn blob(len: usize, tag: u8) -> Bytes {
         Bytes::from((0..len).map(|i| (i as u8) ^ tag).collect::<Vec<u8>>())
+    }
+
+    /// Regression: heartbeat used a sequential per-relay `recv_timeout`, so
+    /// k dead relays cost k × deadline. With all pings sent up front and
+    /// replies collected against one shared deadline, two dead relays must
+    /// be detected in about one deadline, not two.
+    #[test]
+    fn heartbeat_detects_multiple_failures_in_one_deadline() {
+        let deadline = StdDuration::from_millis(200);
+        let mut tier = RelayTier::new(RelayTierConfig {
+            heartbeat_timeout: deadline,
+            ..RelayTierConfig::fast(12)
+        });
+        tier.kill(3);
+        tier.kill(7);
+        let start = Instant::now();
+        let failed = tier.heartbeat();
+        let elapsed = start.elapsed();
+        assert_eq!(failed, vec![3, 7]);
+        // Sequential detection would take ≥ 2 × 200 ms; shared-deadline
+        // detection takes ~1 × 200 ms. The margin absorbs slow CI machines.
+        assert!(
+            elapsed < deadline * 2,
+            "two dead relays must not pay two deadlines: {elapsed:?}"
+        );
+        tier.shutdown();
     }
 
     #[test]

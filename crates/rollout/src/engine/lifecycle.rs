@@ -142,10 +142,50 @@ impl ReplicaEngine {
     /// KVCache — queue up rather than overlapping for free.
     pub(super) fn reserve_prefill(&mut self, tokens: u64, now: Time, version: u64) -> Time {
         let start = now.max(self.prefill_busy_until);
-        let end = start + self.decode.prefill_time(tokens);
+        let end = start + self.decode.prefill_time(tokens).mul_f64(self.perf_factor);
         self.prefill_busy_until = end;
         self.trace(SpanKind::Prefill, start, end, version, tokens);
         end
+    }
+
+    /// Sets the straggler multiplier: decode steps and prefills take
+    /// `factor ×` their modeled time from `now` on. `1.0` restores exact
+    /// full speed (the ×1.0 path multiplies by exactly 1, so an engine that
+    /// never saw a fault is bit-identical to one that never had the knob).
+    pub fn set_perf_factor(&mut self, factor: f64, now: Time) {
+        self.advance_to(now);
+        self.perf_factor = factor.max(1e-6);
+        self.after_change(now);
+    }
+
+    /// Delays every environment call currently in flight by `extra` —
+    /// an env-call timeout fault. Returns how many calls were delayed.
+    pub fn delay_env_returns(&mut self, extra: laminar_sim::Duration, now: Time) -> u64 {
+        self.advance_to(now);
+        let mut delayed = 0;
+        // BTreeMap iteration is id-ordered, so the pushed deadlines (and the
+        // resulting timeline) are deterministic.
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            let st = self.active.get_mut(&id).expect("id from keys");
+            if let Phase::Env { until } = st.phase {
+                let new_until = until.max(now) + extra;
+                st.phase = Phase::Env { until: new_until };
+                self.push_phase_deadline(id, new_until);
+                delayed += 1;
+            }
+        }
+        // Not-yet-admitted trajectories mid-env-call stall too.
+        for st in self.waiting.iter_mut() {
+            if let Phase::Env { until } = st.phase {
+                st.phase = Phase::Env {
+                    until: until.max(now) + extra,
+                };
+                delayed += 1;
+            }
+        }
+        self.after_change(now);
+        delayed
     }
 
     /// Completes every decoding trajectory whose current segment has no

@@ -190,6 +190,9 @@ pub struct ReplicaEngine {
     /// invalidated via [`TrajState::finish_key`]).
     seg_heap: BinaryHeap<Reverse<SegEntry>>,
     events_processed: u64,
+    /// Straggler multiplier: decode steps and prefills take `perf_factor ×`
+    /// their modeled time. 1.0 (the default) is exact full speed.
+    perf_factor: f64,
 }
 
 impl ReplicaEngine {
@@ -227,6 +230,7 @@ impl ReplicaEngine {
             phase_heap: BinaryHeap::new(),
             seg_heap: BinaryHeap::new(),
             events_processed: 0,
+            perf_factor: 1.0,
         }
     }
 
@@ -331,6 +335,20 @@ impl ReplicaEngine {
     /// of the `--bench` events/sec metric.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Current straggler multiplier (1.0 = full speed).
+    pub fn perf_factor(&self) -> f64 {
+        self.perf_factor
+    }
+
+    /// Ids of every trajectory the replica currently holds — resident
+    /// (any phase) or admitted-but-waiting — in ascending order.
+    pub fn resident_ids(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.active.keys().copied().collect();
+        out.extend(self.waiting.iter().map(|st| st.spec.id));
+        out.sort_unstable();
+        out
     }
 
     /// Progress snapshot of every resident trajectory:

@@ -131,6 +131,7 @@ impl ReplicaEngine {
         self.step_secs = if self.decoding_count > 0 {
             self.decode
                 .step_secs(self.decoding_count, self.decoding_ctx_sum)
+                * self.perf_factor
         } else {
             0.0
         };

@@ -94,6 +94,12 @@ impl RolloutManager {
         self.cfg.repack_interval
     }
 
+    /// The configured KVCache headroom fraction used as the repack (and
+    /// failure-redirect) capacity bound.
+    pub fn c_max_frac(&self) -> f64 {
+        self.cfg.c_max_frac
+    }
+
     /// Registers a replica as healthy at `now`.
     pub fn register(&mut self, replica: usize, now: Time) {
         self.health.insert(replica, ReplicaHealth::Healthy);

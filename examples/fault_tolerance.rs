@@ -64,11 +64,11 @@ fn simulated_machine_failure() {
     cfg.warmup = 0;
 
     let sys = LaminarSystem {
-        fault: Some(FaultSpec {
-            kill_at: SimTime::from_secs(60),
-            replicas: vec![0, 1],
-            recover_after: laminar::sim::Duration::from_secs(252),
-        }),
+        faults: vec![FaultEvent::machine_crash(
+            SimTime::from_secs(60),
+            vec![0, 1],
+            laminar::sim::Duration::from_secs(252),
+        )],
         record_timeline: true,
         sample_every: laminar::sim::Duration::from_secs(30),
         ..LaminarSystem::default()

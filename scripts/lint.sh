@@ -16,3 +16,10 @@ echo "lint: clean"
 # Smoke-run the benchmark gate so a broken hot path or executor shows up
 # before review, not after.
 scripts/bench.sh --smoke
+
+# Chaos smoke: one seeded fault-schedule sweep with the invariant checker.
+# "all seeds green: yes" is asserted by the experiment's own tests; here we
+# just require the run to exit cleanly and stay green.
+cargo run --release -p laminar-bench --bin laminar-experiments -- \
+    --chaos-seed 1 --out "$(mktemp -d)" chaos | grep "all seeds green: yes" >/dev/null
+echo "chaos smoke: green"

@@ -60,11 +60,14 @@ pub mod prelude {
     pub use laminar_baselines::{OneStepStaleness, PartialRollout, StreamGeneration, VerlSync};
     pub use laminar_cluster::{ClusterSpec, DecodeModel, GpuSpec, MachineSpec, ModelSpec};
     pub use laminar_core::{
-        convergence_curve, placement_for, ConvergenceConfig, FaultSpec, HyperParams, LaminarSystem,
+        convergence_curve, generate_schedule, overlapping_scenario, placement_for, ChaosConfig,
+        ChaosRun, ConvergenceConfig, FaultEvent, FaultKind, HyperParams, LaminarSystem,
         StalenessRegime, SystemKind,
     };
     pub use laminar_data::{Experience, ExperienceBuffer, PartialResponsePool, PromptPool};
-    pub use laminar_relay::{RelaySyncModel, RelayTier, RelayTierConfig};
+    pub use laminar_relay::{
+        run_relay_chaos, RelayChaosConfig, RelaySyncModel, RelayTier, RelayTierConfig,
+    };
     pub use laminar_rl::{GrpoConfig, GrpoTrainer, ReasonEnv, TabularPolicy};
     pub use laminar_rollout::{plan_repack, ReplicaEngine, RolloutManager};
     pub use laminar_runtime::{

@@ -1,0 +1,102 @@
+//! Randomized chaos properties: for many seeds, a generated fault schedule
+//! must leave every Laminar invariant intact — no trajectory lost or
+//! duplicated, per-replica weight versions monotone, survivors reconverged
+//! to the relay version, and every trace span well-formed. The relay tier
+//! gets the same treatment with real threads.
+
+use laminar::prelude::*;
+
+fn small_cfg() -> SystemConfig {
+    let workload = WorkloadGenerator::single_turn(3, Checkpoint::Math7B);
+    let mut cfg = SystemConfig::small_test(workload);
+    cfg.train_gpus = 4;
+    cfg.rollout_gpus = 4;
+    cfg.iterations = 2;
+    cfg.warmup = 0;
+    cfg
+}
+
+/// 32 seeds × full schedule generation × full invariant check. Any seed
+/// that loses work, duplicates a trajectory, regresses a weight version, or
+/// leaves a survivor behind the relay fails loudly with its seed.
+#[test]
+fn every_seeded_schedule_upholds_all_invariants() {
+    let cfg = small_cfg();
+    let chaos_cfg = ChaosConfig {
+        replicas: cfg.replicas(),
+        horizon: laminar::sim::Time::from_secs(90),
+        ..ChaosConfig::default()
+    };
+    for seed in 0..32u64 {
+        let schedule = generate_schedule(seed, &chaos_cfg);
+        assert!(!schedule.is_empty(), "seed {seed}: empty schedule");
+        let sys = LaminarSystem {
+            faults: schedule.clone(),
+            ..LaminarSystem::default()
+        };
+        let run = sys.run_chaos(&cfg);
+        assert_eq!(
+            run.violations(),
+            Vec::<String>::new(),
+            "seed {seed} violated invariants (schedule: {schedule:?})"
+        );
+        assert_eq!(
+            run.report.iteration_secs.len(),
+            cfg.total_iterations(),
+            "seed {seed}: training did not finish"
+        );
+        assert!(
+            run.outcome.completed() > 0,
+            "seed {seed}: nothing completed"
+        );
+    }
+}
+
+/// A schedule is a pure function of its seed: same seed, same run, byte for
+/// byte; different seeds diverge somewhere in the sweep.
+#[test]
+fn chaos_runs_are_reproducible_per_seed() {
+    let cfg = small_cfg();
+    let chaos_cfg = ChaosConfig {
+        replicas: cfg.replicas(),
+        horizon: laminar::sim::Time::from_secs(90),
+        ..ChaosConfig::default()
+    };
+    let run = |seed: u64| {
+        let sys = LaminarSystem {
+            faults: generate_schedule(seed, &chaos_cfg),
+            ..LaminarSystem::default()
+        };
+        let r = sys.run_chaos(&cfg);
+        (r.report.throughput.to_bits(), r.trace.to_jsonl())
+    };
+    let (t1, j1) = run(9);
+    let (t2, j2) = run(9);
+    assert_eq!(t1, t2, "throughput bits differ for the same seed");
+    assert_eq!(j1, j2, "trace JSONL differs for the same seed");
+    let mut distinct = false;
+    for seed in 0..8u64 {
+        if run(seed).1 != j1 {
+            distinct = true;
+            break;
+        }
+    }
+    assert!(distinct, "eight different seeds all produced seed 9's run");
+}
+
+/// The real threaded relay tier survives seeded kill/add scenarios and
+/// reconverges every round.
+#[test]
+fn threaded_relay_tier_survives_seeded_chaos() {
+    let cfg = RelayChaosConfig {
+        nodes: 5,
+        rounds: 3,
+        blob_bytes: 16 * 1024,
+        ..RelayChaosConfig::default()
+    };
+    for seed in 0..8u64 {
+        let report = run_relay_chaos(seed, &cfg);
+        assert!(report.converged, "seed {seed}: {report:?}");
+        assert_eq!(report.final_version, 3, "seed {seed}");
+    }
+}

@@ -55,11 +55,11 @@ fn machine_failure_never_loses_training_progress() {
 
     // Same job with half the rollout replicas dying at t=30s.
     let faulty = LaminarSystem {
-        fault: Some(FaultSpec {
-            kill_at: SimTime::from_secs(30),
-            replicas: vec![0, 1],
-            recover_after: laminar::sim::Duration::from_secs(120),
-        }),
+        faults: vec![FaultEvent::machine_crash(
+            SimTime::from_secs(30),
+            vec![0, 1],
+            laminar::sim::Duration::from_secs(120),
+        )],
         ..LaminarSystem::default()
     };
     let hurt = faulty.run(&cfg);
