@@ -28,6 +28,6 @@ pub mod pipeline;
 pub mod verl;
 
 pub use common::{RlSystem, RunReport, SystemConfig};
-pub use partial::PartialRollout;
-pub use pipeline::{OneStepStaleness, StreamGeneration};
-pub use verl::VerlSync;
+pub use partial::{PartialRollout, PartialSnapshot};
+pub use pipeline::{OneStepStaleness, PipelineRun, StreamGeneration};
+pub use verl::{VerlRun, VerlSync};

@@ -17,6 +17,7 @@ use crate::common::{
 };
 use laminar_cluster::TrainModel;
 use laminar_rollout::{CompletedTraj, ReplicaEngine};
+use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Scheduler, SimWorld, Simulation, Time};
 use laminar_workload::{Dataset, TrajectorySpec};
 use std::collections::VecDeque;
@@ -25,7 +26,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartialRollout;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     ReplicaWake { r: usize, epoch: u64 },
     TrainerCheck,
@@ -33,6 +34,7 @@ enum Ev {
     Interrupt { version: u64 },
 }
 
+#[derive(Clone)]
 struct World {
     cfg: SystemConfig,
     engines: Vec<ReplicaEngine>,
@@ -225,83 +227,171 @@ impl RlSystem for PartialRollout {
     }
 
     fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
-        assert!(
-            cfg.train_gpus > 0,
-            "partial rollout is disaggregated: set train_gpus > 0"
-        );
-        let replicas = cfg.replicas();
-        let mut engine_cfg = cfg.engine_config();
-        engine_cfg.record_trace = trace.enabled();
-        let engines: Vec<ReplicaEngine> = (0..replicas)
-            .map(|i| ReplicaEngine::new(i, cfg.decode_model(), engine_cfg.clone()))
-            .collect();
-        let world = World {
-            cfg: cfg.clone(),
-            engines,
-            buffer: VecDeque::new(),
-            specs: VecDeque::new(),
-            dataset: cfg.dataset(),
-            batches_issued: 0,
-            train: {
-                // AReaL only supports Megatron-LM training (§8 baselines):
-                // lower achieved MFU than the FSDP stack, worsening with the
-                // pipeline-parallel depth of Appendix A.2 (PP=1/2/4 for
-                // 7B/32B/72B).
-                let mut t = cfg.train_model();
-                t.mfu = if cfg.model.params < 10e9 {
-                    0.30
-                } else if cfg.model.params < 50e9 {
-                    0.27
-                } else {
-                    0.24
-                };
-                t
-            },
-            nccl_secs: cfg
-                .collective()
-                .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus),
-            version: 0,
-            trainer_busy: false,
-            iterations_done: 0,
-            last_train_done: Time::ZERO,
-            report: RunReport {
-                system: self.name().into(),
-                ..RunReport::default()
-            },
-            gen_tokens_prev: 0.0,
-            gen_sample_prev: Time::ZERO,
-            record_trace: trace.enabled(),
-            trace_spans: Vec::new(),
-            trainer_started: Time::ZERO,
-        };
-        let mut sim = Simulation::new(world);
-        for r in 0..replicas {
-            sim.world.top_up(r, Time::ZERO);
-            let epoch = sim.world.engines[r].epoch();
-            if let Some(t) = sim.world.engines[r].next_event_time() {
-                sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
-            }
-        }
-        sim.scheduler.immediately(Ev::TrainerCheck);
+        let mut sim = build_partial(cfg, trace.enabled());
         let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
         assert!(
             finished,
             "partial-rollout run did not complete its iterations"
         );
-        trace.record_all(std::mem::take(&mut sim.world.trace_spans));
-        for e in &mut sim.world.engines {
-            trace.record_all(e.take_trace_spans());
+        finish_partial(sim, trace)
+    }
+}
+
+/// Assembles the partial-rollout world and seeds the event queue, stopping
+/// just before the first event fires.
+fn build_partial(cfg: &SystemConfig, record_trace: bool) -> Simulation<World> {
+    assert!(
+        cfg.train_gpus > 0,
+        "partial rollout is disaggregated: set train_gpus > 0"
+    );
+    let replicas = cfg.replicas();
+    let mut engine_cfg = cfg.engine_config();
+    engine_cfg.record_trace = record_trace;
+    let engines: Vec<ReplicaEngine> = (0..replicas)
+        .map(|i| ReplicaEngine::new(i, cfg.decode_model(), engine_cfg.clone()))
+        .collect();
+    let world = World {
+        cfg: cfg.clone(),
+        engines,
+        buffer: VecDeque::new(),
+        specs: VecDeque::new(),
+        dataset: cfg.dataset(),
+        batches_issued: 0,
+        train: {
+            // AReaL only supports Megatron-LM training (§8 baselines):
+            // lower achieved MFU than the FSDP stack, worsening with the
+            // pipeline-parallel depth of Appendix A.2 (PP=1/2/4 for
+            // 7B/32B/72B).
+            let mut t = cfg.train_model();
+            t.mfu = if cfg.model.params < 10e9 {
+                0.30
+            } else if cfg.model.params < 50e9 {
+                0.27
+            } else {
+                0.24
+            };
+            t
+        },
+        nccl_secs: cfg
+            .collective()
+            .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus),
+        version: 0,
+        trainer_busy: false,
+        iterations_done: 0,
+        last_train_done: Time::ZERO,
+        report: RunReport {
+            system: "partial-rollout".into(),
+            ..RunReport::default()
+        },
+        gen_tokens_prev: 0.0,
+        gen_sample_prev: Time::ZERO,
+        record_trace,
+        trace_spans: Vec::new(),
+        trainer_started: Time::ZERO,
+    };
+    let mut sim = Simulation::new(world);
+    for r in 0..replicas {
+        sim.world.top_up(r, Time::ZERO);
+        let epoch = sim.world.engines[r].epoch();
+        if let Some(t) = sim.world.engines[r].next_event_time() {
+            sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
         }
-        let mut report = sim.world.report;
-        report.mean_kv_utilization = sim
-            .world
-            .engines
-            .iter()
-            .map(|e| e.mean_kv_utilization())
-            .sum::<f64>()
-            / replicas as f64;
-        report.finalize();
-        report
+    }
+    sim.scheduler.immediately(Ev::TrainerCheck);
+    sim
+}
+
+/// Drains buffered spans into `trace` and finalizes the report.
+fn finish_partial(mut sim: Simulation<World>, trace: &mut dyn TraceSink) -> RunReport {
+    trace.record_all(std::mem::take(&mut sim.world.trace_spans));
+    for e in &mut sim.world.engines {
+        trace.record_all(e.take_trace_spans());
+    }
+    let replicas = sim.world.engines.len().max(1);
+    let mut report = sim.world.report;
+    report.mean_kv_utilization = sim
+        .world
+        .engines
+        .iter()
+        .map(|e| e.mean_kv_utilization())
+        .sum::<f64>()
+        / replicas as f64;
+    report.finalize();
+    report
+}
+
+/// A deterministic checkpoint of a partial-rollout run: the complete
+/// simulation state frozen between events at a cadence boundary.
+#[derive(Clone)]
+pub struct PartialSnapshot {
+    sim: Simulation<World>,
+}
+
+impl Recoverable for PartialRollout {
+    type Snapshot = PartialSnapshot;
+
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<PartialSnapshot>>) {
+        assert!(
+            every > Duration::ZERO,
+            "checkpoint cadence must be positive"
+        );
+        let mut sim = build_partial(cfg, trace.enabled());
+        let mut snapshots = Vec::new();
+        let mut deadline = Time::ZERO + every;
+        loop {
+            let finished = sim.run_while_until(|w| !w.done(), deadline, 2_000_000_000);
+            if finished {
+                break;
+            }
+            assert!(
+                sim.scheduler.next_event_time().is_some(),
+                "partial-rollout run stalled before completing its iterations"
+            );
+            snapshots.push(RunSnapshot {
+                at: deadline,
+                index: snapshots.len(),
+                state: PartialSnapshot { sim: sim.clone() },
+            });
+            deadline += every;
+        }
+        (finish_partial(sim, trace), snapshots)
+    }
+
+    fn resume(&self, snapshot: PartialSnapshot, trace: &mut dyn TraceSink) -> RunReport {
+        let mut sim = snapshot.sim;
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "resumed partial-rollout run did not complete");
+        finish_partial(sim, trace)
+    }
+
+    fn fingerprint(snapshot: &PartialSnapshot) -> u64 {
+        let sim = &snapshot.sim;
+        let w = &sim.world;
+        let mut words = vec![
+            sim.scheduler.now().as_nanos(),
+            sim.scheduler.scheduled(),
+            sim.scheduler.delivered(),
+            sim.scheduler.pending() as u64,
+            w.version,
+            w.iterations_done as u64,
+            w.batches_issued,
+            w.trainer_busy as u64,
+            w.buffer.len() as u64,
+            w.specs.len() as u64,
+        ];
+        for e in w.engines.iter() {
+            words.push(e.weight_version());
+            words.push(e.n_reqs() as u64);
+            words.push(e.kv_reserved_tokens().to_bits());
+            words.push(e.tokens_decoded().to_bits());
+            words.push(e.pending_heap_entries() as u64);
+        }
+        fnv1a(words)
     }
 }
 

@@ -15,9 +15,11 @@
 //! replica runs — no event interleaving exists to simulate.
 
 use crate::common::{
-    generate_batch, generate_batch_traced, ConsumedTraj, RecordingTrace, RlSystem, RunReport,
-    SpanKind, SystemConfig, TraceSink, TraceSpan,
+    generate_batch, generate_batch_traced, BatchGenStats, ConsumedTraj, RecordingTrace, RlSystem,
+    RunReport, SpanKind, SystemConfig, TraceSink, TraceSpan,
 };
+use laminar_cluster::TrainModel;
+use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Time, TimeSeries};
 
 /// The one-step staleness pipeline baseline.
@@ -52,104 +54,174 @@ fn run_pipeline(
     name: &'static str,
     trace: &mut dyn TraceSink,
 ) -> RunReport {
-    assert!(
-        cfg.train_gpus > 0,
-        "pipelines are disaggregated: set train_gpus > 0"
-    );
-    let replicas = cfg.replicas();
-    let train = cfg.train_model();
-    let nccl = cfg
-        .collective()
-        .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
-    let mut ds = cfg.dataset();
-    let total_iters = cfg.total_iterations();
+    let mut run = PipelineRun::new(cfg, streaming, name, trace.enabled());
+    while !run.done() {
+        run.step();
+    }
+    run.finish(trace)
+}
 
-    // Generation profiles per batch (identical workload across systems).
-    // Batch n runs under version max(n-1, 0); its engine spans are recorded
-    // on a batch-local clock and shifted onto the global timeline once the
-    // recurrence below fixes the batch's start instant.
-    let mut profiles = Vec::with_capacity(total_iters);
-    let mut batch_spans: Vec<Vec<TraceSpan>> = Vec::with_capacity(total_iters);
-    for iter in 0..total_iters {
-        let evolution = 1.0 + cfg.evolution_rate * iter as f64;
-        let specs = cfg
-            .workload
-            .batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
-        if trace.enabled() {
-            let version = iter.saturating_sub(1) as u64;
-            let mut local = RecordingTrace::new();
-            profiles.push(generate_batch_traced(
-                cfg, &specs, replicas, version, &mut local,
-            ));
-            batch_spans.push(local.take());
-        } else {
-            profiles.push(generate_batch(cfg, &specs, replicas));
-            batch_spans.push(Vec::new());
+/// One pipeline run as explicit steppable state: [`PipelineRun::step`]
+/// advances the timeline recurrence by one batch, so the recovery plane
+/// can snapshot it at iteration boundaries by cloning this struct. Spans
+/// buffer internally until [`PipelineRun::finish`], so a resumed clone
+/// re-emits a byte-identical trace.
+#[derive(Clone)]
+pub struct PipelineRun {
+    cfg: SystemConfig,
+    streaming: bool,
+    replicas: usize,
+    train: TrainModel,
+    nccl: f64,
+    /// Generation profiles per batch (identical workload across systems).
+    /// Batch n runs under version max(n-1, 0); its engine spans are
+    /// recorded on a batch-local clock and shifted onto the global
+    /// timeline once the recurrence fixes the batch's start instant.
+    profiles: Vec<BatchGenStats>,
+    batch_spans: Vec<Vec<TraceSpan>>,
+    mb_count: usize,
+    mb_size: usize,
+    report: RunReport,
+    gen_series: TimeSeries,
+    train_series: TimeSeries,
+    gen_start: Vec<f64>,
+    gen_end: Vec<f64>,
+    train_end: Vec<f64>,
+    n: usize,
+    enabled: bool,
+    spans: RecordingTrace,
+}
+
+impl PipelineRun {
+    /// Pre-generates every batch profile and assembles the recurrence
+    /// state; nothing on the global timeline has executed yet.
+    pub fn new(cfg: &SystemConfig, streaming: bool, name: &str, record_trace: bool) -> Self {
+        assert!(
+            cfg.train_gpus > 0,
+            "pipelines are disaggregated: set train_gpus > 0"
+        );
+        let replicas = cfg.replicas();
+        let train = cfg.train_model();
+        let nccl = cfg
+            .collective()
+            .nccl_broadcast_secs(&cfg.model, cfg.rollout_gpus);
+        let mut ds = cfg.dataset();
+        let total_iters = cfg.total_iterations();
+        let mut profiles = Vec::with_capacity(total_iters);
+        let mut batch_spans: Vec<Vec<TraceSpan>> = Vec::with_capacity(total_iters);
+        for iter in 0..total_iters {
+            let evolution = 1.0 + cfg.evolution_rate * iter as f64;
+            let specs = cfg
+                .workload
+                .batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
+            if record_trace {
+                let version = iter.saturating_sub(1) as u64;
+                let mut local = RecordingTrace::new();
+                profiles.push(generate_batch_traced(
+                    cfg, &specs, replicas, version, &mut local,
+                ));
+                batch_spans.push(local.take());
+            } else {
+                profiles.push(generate_batch(cfg, &specs, replicas));
+                batch_spans.push(Vec::new());
+            }
+        }
+        PipelineRun {
+            cfg: cfg.clone(),
+            streaming,
+            replicas,
+            train,
+            nccl,
+            profiles,
+            batch_spans,
+            mb_count: cfg.minibatches.max(1),
+            mb_size: cfg.global_batch().div_ceil(cfg.minibatches.max(1)),
+            report: RunReport {
+                system: name.into(),
+                ..RunReport::default()
+            },
+            gen_series: TimeSeries::new(),
+            train_series: TimeSeries::new(),
+            gen_start: Vec::with_capacity(total_iters),
+            gen_end: Vec::with_capacity(total_iters),
+            train_end: Vec::with_capacity(total_iters),
+            n: 0,
+            enabled: record_trace,
+            spans: RecordingTrace::new(),
         }
     }
 
-    let mb_count = cfg.minibatches.max(1);
-    let mb_size = cfg.global_batch().div_ceil(mb_count);
-    let mut report = RunReport {
-        system: name.into(),
-        ..RunReport::default()
-    };
-    let mut gen_series = TimeSeries::new();
-    let mut train_series = TimeSeries::new();
+    /// True once the recurrence has covered every batch.
+    pub fn done(&self) -> bool {
+        self.n >= self.cfg.total_iterations()
+    }
 
-    // Timeline recurrence.
-    let mut gen_start = vec![0.0f64; total_iters];
-    let mut gen_end = vec![0.0f64; total_iters];
-    let mut train_end = vec![0.0f64; total_iters];
-    for n in 0..total_iters {
-        let g = &profiles[n];
+    /// Virtual time consumed so far (train end of the last batch).
+    pub fn clock_secs(&self) -> f64 {
+        self.train_end.last().copied().unwrap_or(0.0)
+    }
+
+    fn rec(&mut self, span: TraceSpan) {
+        if self.enabled {
+            self.spans.record(span);
+        }
+    }
+
+    /// Advances the timeline recurrence by one batch.
+    pub fn step(&mut self) {
+        let n = self.n;
+        let cfg = self.cfg.clone();
+        let nccl = self.nccl;
+        let g = self.profiles[n].clone();
         let gsecs = g.duration.as_secs_f64();
-        gen_start[n] = if n == 0 {
+        let start = if n == 0 {
             0.0
         } else {
             // Version n is ready at train_end[n-1]; rollouts must have
             // finished batch n-1 and then block for the global broadcast.
-            let version_ready = if n >= 2 { train_end[n - 2] } else { 0.0 };
-            gen_end[n - 1].max(version_ready) + nccl
+            let version_ready = if n >= 2 { self.train_end[n - 2] } else { 0.0 };
+            self.gen_end[n - 1].max(version_ready) + nccl
         };
-        gen_end[n] = gen_start[n] + gsecs;
-        let offset = Duration::from_secs_f64(gen_start[n]);
-        trace.record_all(
-            std::mem::take(&mut batch_spans[n])
+        self.gen_start.push(start);
+        self.gen_end.push(start + gsecs);
+        let offset = Duration::from_secs_f64(start);
+        if self.enabled {
+            let shifted = std::mem::take(&mut self.batch_spans[n])
                 .into_iter()
                 .map(|s| s.shifted_by(offset))
-                .collect(),
-        );
+                .collect();
+            self.spans.record_all(shifted);
+        }
         if n > 0 {
             // Every rollout blocks on the global NCCL broadcast before
             // starting batch n.
-            trace.record(TraceSpan::new(
+            self.rec(TraceSpan::new(
                 SpanKind::WeightSync,
-                Time::from_secs_f64(gen_start[n] - nccl),
-                Time::from_secs_f64(gen_start[n]),
+                Time::from_secs_f64(start - nccl),
+                Time::from_secs_f64(start),
                 None,
                 (n - 1) as u64,
             ));
         }
-        gen_series.push(
-            Time::from_secs_f64(gen_start[n]),
-            g.total_tokens / gsecs.max(1e-9),
-        );
+        self.gen_series
+            .push(Time::from_secs_f64(start), g.total_tokens / gsecs.max(1e-9));
 
-        let prev_train_end = if n == 0 { 0.0 } else { train_end[n - 1] };
-        if streaming {
+        let prev_train_end = if n == 0 { 0.0 } else { self.train_end[n - 1] };
+        let end = if self.streaming {
             // Mini-batch j trains once its trajectories completed.
             let mut mb_end = prev_train_end;
             let mut idx = 0usize;
             while idx < g.completion_tokens.len() {
-                let hi = (idx + mb_size).min(g.completion_tokens.len());
-                let ready = gen_start[n] + g.completion_tokens[hi - 1].0.as_secs_f64();
+                let hi = (idx + self.mb_size).min(g.completion_tokens.len());
+                let ready = start + g.completion_tokens[hi - 1].0.as_secs_f64();
                 let tokens: f64 = g.completion_tokens[idx..hi].iter().map(|&(_, t)| t).sum();
-                let dur = train.minibatch_secs(tokens)
-                    * (1.0 + train.experience_prep_frac / (1.0 - train.experience_prep_frac));
+                let dur = self.train.minibatch_secs(tokens)
+                    * (1.0
+                        + self.train.experience_prep_frac
+                            / (1.0 - self.train.experience_prep_frac));
                 if ready > mb_end {
                     // Trainer idle, waiting for the mini-batch to exist.
-                    trace.record(TraceSpan::new(
+                    self.rec(TraceSpan::new(
                         SpanKind::Stall,
                         Time::from_secs_f64(mb_end),
                         Time::from_secs_f64(ready),
@@ -158,7 +230,7 @@ fn run_pipeline(
                     ));
                 }
                 let begin = mb_end.max(ready);
-                trace.record(
+                self.rec(
                     TraceSpan::new(
                         SpanKind::TrainStep,
                         Time::from_secs_f64(begin),
@@ -171,44 +243,45 @@ fn run_pipeline(
                 mb_end = begin + dur;
                 idx = hi;
             }
-            train_end[n] = mb_end;
+            mb_end
         } else {
-            let start = gen_end[n].max(prev_train_end);
-            if start > prev_train_end {
-                trace.record(TraceSpan::new(
+            let t_start = (start + gsecs).max(prev_train_end);
+            if t_start > prev_train_end {
+                self.rec(TraceSpan::new(
                     SpanKind::Stall,
                     Time::from_secs_f64(prev_train_end),
-                    Time::from_secs_f64(start),
+                    Time::from_secs_f64(t_start),
                     None,
                     n as u64,
                 ));
             }
-            train_end[n] = start + train.iteration_secs(g.total_tokens, mb_count);
-            trace.record(
+            let t_end = t_start + self.train.iteration_secs(g.total_tokens, self.mb_count);
+            self.rec(
                 TraceSpan::new(
                     SpanKind::TrainStep,
-                    Time::from_secs_f64(start),
-                    Time::from_secs_f64(train_end[n]),
+                    Time::from_secs_f64(t_start),
+                    Time::from_secs_f64(t_end),
                     None,
                     n as u64,
                 )
                 .with_tokens(g.total_tokens as u64),
             );
-        }
-        train_series.push(
-            Time::from_secs_f64(train_end[n]),
-            g.total_tokens / (train_end[n] - prev_train_end).max(1e-9),
+            t_end
+        };
+        self.train_end.push(end);
+        self.train_series.push(
+            Time::from_secs_f64(end),
+            g.total_tokens / (end - prev_train_end).max(1e-9),
         );
 
         if n >= cfg.warmup {
-            let prev = if n == 0 { 0.0 } else { train_end[n - 1] };
-            report.iteration_secs.push(train_end[n] - prev);
-            report.iteration_tokens.push(g.total_tokens);
+            self.report.iteration_secs.push(end - prev_train_end);
+            self.report.iteration_tokens.push(g.total_tokens);
             // Batch n was generated with version max(n-1, 0) and consumed
             // while the actor sat at version n: one-step staleness (batch 0
             // is on-policy).
             let staleness = u64::from(n > 0);
-            report.consumed.extend(std::iter::repeat_n(
+            self.report.consumed.extend(std::iter::repeat_n(
                 ConsumedTraj {
                     staleness,
                     mixed_version: false,
@@ -216,35 +289,131 @@ fn run_pipeline(
                 g.completion_tokens.len(),
             ));
             for off in &g.completion_offsets {
-                report.staleness_by_finish.push((
+                self.report.staleness_by_finish.push((
                     off.as_secs_f64() / g.duration.as_secs_f64().max(1e-9),
                     staleness,
                 ));
             }
-            report.latencies.extend(g.latencies.iter().copied());
-            report.mean_kv_utilization += g.mean_kv_utilization / cfg.iterations.max(1) as f64;
+            self.report.latencies.extend(g.latencies.iter().copied());
+            self.report.mean_kv_utilization += g.mean_kv_utilization / cfg.iterations.max(1) as f64;
             // Every replica blocks for the full broadcast at each sync.
-            for _ in 0..replicas {
-                report.rollout_waits.push(nccl);
+            for _ in 0..self.replicas {
+                self.report.rollout_waits.push(nccl);
             }
         }
+        self.n += 1;
     }
-    // Generation-bound fraction: how much of the steady-state period the
-    // trainer spent waiting on generation.
-    let measured: Vec<usize> = (cfg.warmup..total_iters).collect();
-    let mut wait = 0.0;
-    let mut span = 0.0;
-    for &n in &measured {
-        let prev = if n == 0 { 0.0 } else { train_end[n - 1] };
-        let start_ready = gen_end[n].max(prev);
-        wait += (start_ready - prev).max(0.0);
-        span += train_end[n] - prev;
+
+    /// Finalizes the report and forwards the buffered trace to `trace`.
+    pub fn finish(mut self, trace: &mut dyn TraceSink) -> RunReport {
+        // Generation-bound fraction: how much of the steady-state period
+        // the trainer spent waiting on generation.
+        let total_iters = self.cfg.total_iterations();
+        let mut wait = 0.0;
+        let mut span = 0.0;
+        for n in self.cfg.warmup..total_iters {
+            let prev = if n == 0 { 0.0 } else { self.train_end[n - 1] };
+            let start_ready = self.gen_end[n].max(prev);
+            wait += (start_ready - prev).max(0.0);
+            span += self.train_end[n] - prev;
+        }
+        self.report.generation_fraction = if span > 0.0 { wait / span } else { 0.0 };
+        self.report.gen_series = self.gen_series;
+        self.report.train_series = self.train_series;
+        trace.record_all(self.spans.take());
+        self.report.finalize();
+        self.report
     }
-    report.generation_fraction = if span > 0.0 { wait / span } else { 0.0 };
-    report.gen_series = gen_series;
-    report.train_series = train_series;
-    report.finalize();
-    report
+}
+
+fn pipeline_checkpointed(
+    cfg: &SystemConfig,
+    streaming: bool,
+    name: &str,
+    every: Duration,
+    trace: &mut dyn TraceSink,
+) -> (RunReport, Vec<RunSnapshot<PipelineRun>>) {
+    assert!(
+        every > Duration::ZERO,
+        "checkpoint cadence must be positive"
+    );
+    let mut run = PipelineRun::new(cfg, streaming, name, trace.enabled());
+    let mut snapshots = Vec::new();
+    let mut deadline = every.as_secs_f64();
+    while !run.done() {
+        run.step();
+        while !run.done() && run.clock_secs() >= deadline {
+            snapshots.push(RunSnapshot {
+                at: Time::from_secs_f64(deadline),
+                index: snapshots.len(),
+                state: run.clone(),
+            });
+            deadline += every.as_secs_f64();
+        }
+    }
+    (run.finish(trace), snapshots)
+}
+
+fn pipeline_resume(snapshot: PipelineRun, trace: &mut dyn TraceSink) -> RunReport {
+    let mut run = snapshot;
+    while !run.done() {
+        run.step();
+    }
+    run.finish(trace)
+}
+
+fn pipeline_fingerprint(run: &PipelineRun) -> u64 {
+    fnv1a([
+        run.n as u64,
+        run.clock_secs().to_bits(),
+        run.gen_end.last().copied().unwrap_or(0.0).to_bits(),
+        run.spans.spans().len() as u64,
+        run.report.latencies.len() as u64,
+        run.report.iteration_secs.len() as u64,
+        run.streaming as u64,
+    ])
+}
+
+impl Recoverable for OneStepStaleness {
+    type Snapshot = PipelineRun;
+
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<PipelineRun>>) {
+        pipeline_checkpointed(cfg, false, self.name(), every, trace)
+    }
+
+    fn resume(&self, snapshot: PipelineRun, trace: &mut dyn TraceSink) -> RunReport {
+        pipeline_resume(snapshot, trace)
+    }
+
+    fn fingerprint(snapshot: &PipelineRun) -> u64 {
+        pipeline_fingerprint(snapshot)
+    }
+}
+
+impl Recoverable for StreamGeneration {
+    type Snapshot = PipelineRun;
+
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<PipelineRun>>) {
+        pipeline_checkpointed(cfg, true, self.name(), every, trace)
+    }
+
+    fn resume(&self, snapshot: PipelineRun, trace: &mut dyn TraceSink) -> RunReport {
+        pipeline_resume(snapshot, trace)
+    }
+
+    fn fingerprint(snapshot: &PipelineRun) -> u64 {
+        pipeline_fingerprint(snapshot)
+    }
 }
 
 #[cfg(test)]

@@ -7,15 +7,193 @@
 //! of iteration time.
 
 use crate::common::{
-    generate_batch, generate_batch_at, RlSystem, RunReport, SpanKind, SystemConfig, TraceSink,
-    TraceSpan,
+    generate_batch, generate_batch_at, NullTrace, RecordingTrace, RlSystem, RunReport, SpanKind,
+    SystemConfig, TraceSink, TraceSpan,
 };
+use laminar_cluster::TrainModel;
 use laminar_rollout::{EngineConfig, ReplicaEngine};
+use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Time, TimeSeries};
+use laminar_workload::Dataset;
 
 /// The synchronous colocated baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VerlSync;
+
+/// One verl run as explicit steppable state: [`VerlRun::step`] executes a
+/// single synchronous iteration, so the recovery plane can snapshot the
+/// run at iteration boundaries by cloning this struct. Spans buffer
+/// internally and only reach the caller's sink at [`VerlRun::finish`], so
+/// a resumed clone re-emits a byte-identical trace.
+#[derive(Clone)]
+pub struct VerlRun {
+    cfg: SystemConfig,
+    replicas: usize,
+    train: TrainModel,
+    switch: f64,
+    ds: Dataset,
+    report: RunReport,
+    gen_series: TimeSeries,
+    train_series: TimeSeries,
+    clock: f64,
+    kv_sum: f64,
+    gen_time_total: f64,
+    iter_time_total: f64,
+    iter: usize,
+    enabled: bool,
+    spans: RecordingTrace,
+}
+
+impl VerlRun {
+    /// Assembles a run from the config (clamping KV memory for the
+    /// colocated layout) without executing anything yet.
+    pub fn new(cfg: &SystemConfig, record_trace: bool) -> Self {
+        assert_eq!(cfg.train_gpus, 0, "verl is colocated: set train_gpus = 0");
+        // Colocated serving shares GPU memory with resident training state.
+        let mut cfg = cfg.clone();
+        cfg.kv_memory_utilization = cfg.kv_memory_utilization.min(0.45);
+        let replicas = cfg.replicas();
+        let train = cfg.train_model_on(cfg.rollout_gpus);
+        let switch = cfg.reshard().switch_secs(&cfg.model);
+        let ds = cfg.dataset();
+        let report = RunReport {
+            system: "verl".into(),
+            ..RunReport::default()
+        };
+        VerlRun {
+            cfg,
+            replicas,
+            train,
+            switch,
+            ds,
+            report,
+            gen_series: TimeSeries::new(),
+            train_series: TimeSeries::new(),
+            clock: 0.0,
+            kv_sum: 0.0,
+            gen_time_total: 0.0,
+            iter_time_total: 0.0,
+            iter: 0,
+            enabled: record_trace,
+            spans: RecordingTrace::new(),
+        }
+    }
+
+    /// True once every configured iteration has run.
+    pub fn done(&self) -> bool {
+        self.iter >= self.cfg.total_iterations()
+    }
+
+    /// Virtual time consumed so far (end of the last completed iteration).
+    pub fn clock_secs(&self) -> f64 {
+        self.clock
+    }
+
+    fn rec(&mut self, span: TraceSpan) {
+        if self.enabled {
+            self.spans.record(span);
+        }
+    }
+
+    /// Executes one synchronous iteration: reshard → generate → reshard →
+    /// train.
+    pub fn step(&mut self) {
+        let iter = self.iter;
+        let cfg = self.cfg.clone();
+        let evolution = 1.0 + cfg.evolution_rate * iter as f64;
+        let specs = cfg
+            .workload
+            .batch(&self.ds.next_batch(cfg.prompts_per_batch), evolution);
+        let iter_start = self.clock;
+        let version = iter as u64;
+        let switch = self.switch;
+        // Switch to generation layout, generate, switch back. The reshard
+        // into the serving layout is when the freshly trained weights reach
+        // the engines, so it traces as a weight sync.
+        self.rec(TraceSpan::new(
+            SpanKind::WeightSync,
+            Time::from_secs_f64(self.clock),
+            Time::from_secs_f64(self.clock + switch),
+            None,
+            version,
+        ));
+        self.clock += switch;
+        let start = Duration::from_secs_f64(self.clock);
+        let gen = if self.enabled {
+            generate_batch_at(&cfg, &specs, self.replicas, start, version, &mut self.spans)
+        } else {
+            generate_batch_at(&cfg, &specs, self.replicas, start, version, &mut NullTrace)
+        };
+        let gen_secs = gen.duration.as_secs_f64();
+        self.gen_series.push(
+            Time::from_secs_f64(self.clock),
+            gen.total_tokens / gen_secs.max(1e-9),
+        );
+        self.clock += gen_secs;
+        self.rec(TraceSpan::new(
+            SpanKind::WeightSync,
+            Time::from_secs_f64(self.clock),
+            Time::from_secs_f64(self.clock + switch),
+            None,
+            version,
+        ));
+        self.clock += switch;
+        // Train the full batch on-policy.
+        let train_secs = self.train.iteration_secs(gen.total_tokens, cfg.minibatches);
+        self.rec(
+            TraceSpan::new(
+                SpanKind::TrainStep,
+                Time::from_secs_f64(self.clock),
+                Time::from_secs_f64(self.clock + train_secs),
+                None,
+                version,
+            )
+            .with_tokens(gen.total_tokens as u64),
+        );
+        self.train_series.push(
+            Time::from_secs_f64(self.clock),
+            gen.total_tokens / train_secs.max(1e-9),
+        );
+        self.clock += train_secs;
+        if iter >= cfg.warmup {
+            self.report.iteration_secs.push(self.clock - iter_start);
+            self.report.iteration_tokens.push(gen.total_tokens);
+            for off in &gen.completion_offsets {
+                self.report
+                    .staleness_by_finish
+                    .push((off.as_secs_f64() / gen_secs.max(1e-9), 0));
+            }
+            // Strictly on-policy: staleness 0, single version.
+            self.report.consumed.extend(std::iter::repeat_n(
+                crate::common::ConsumedTraj {
+                    staleness: 0,
+                    mixed_version: false,
+                },
+                specs.len(),
+            ));
+            self.report.latencies.extend(gen.latencies.iter().copied());
+            self.kv_sum += gen.mean_kv_utilization;
+            self.gen_time_total += gen_secs + 2.0 * switch;
+            self.iter_time_total += self.clock - iter_start;
+        }
+        self.iter += 1;
+    }
+
+    /// Finalizes the report and forwards the buffered trace to `trace`.
+    pub fn finish(mut self, trace: &mut dyn TraceSink) -> RunReport {
+        self.report.mean_kv_utilization = self.kv_sum / self.cfg.iterations.max(1) as f64;
+        self.report.generation_fraction = if self.iter_time_total > 0.0 {
+            self.gen_time_total / self.iter_time_total
+        } else {
+            0.0
+        };
+        self.report.gen_series = self.gen_series;
+        self.report.train_series = self.train_series;
+        trace.record_all(self.spans.take());
+        self.report.finalize();
+        self.report
+    }
+}
 
 impl RlSystem for VerlSync {
     fn name(&self) -> &'static str {
@@ -23,115 +201,65 @@ impl RlSystem for VerlSync {
     }
 
     fn run_traced(&self, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
-        assert_eq!(cfg.train_gpus, 0, "verl is colocated: set train_gpus = 0");
-        // Colocated serving shares GPU memory with resident training state.
-        let mut cfg = cfg.clone();
-        cfg.kv_memory_utilization = cfg.kv_memory_utilization.min(0.45);
-        let cfg = &cfg;
-        let replicas = cfg.replicas();
-        let train = cfg.train_model_on(cfg.rollout_gpus);
-        let switch = cfg.reshard().switch_secs(&cfg.model);
-        let mut ds = cfg.dataset();
-        let mut report = RunReport {
-            system: self.name().into(),
-            ..RunReport::default()
-        };
-        let mut gen_series = TimeSeries::new();
-        let mut train_series = TimeSeries::new();
-        let mut clock = 0.0f64;
-        let mut kv_sum = 0.0;
-        let mut gen_time_total = 0.0;
-        let mut iter_time_total = 0.0;
-        for iter in 0..cfg.total_iterations() {
-            let evolution = 1.0 + cfg.evolution_rate * iter as f64;
-            let specs = cfg
-                .workload
-                .batch(&ds.next_batch(cfg.prompts_per_batch), evolution);
-            let iter_start = clock;
-            let version = iter as u64;
-            // Switch to generation layout, generate, switch back. The
-            // reshard into the serving layout is when the freshly trained
-            // weights reach the engines, so it traces as a weight sync.
-            trace.record(TraceSpan::new(
-                SpanKind::WeightSync,
-                Time::from_secs_f64(clock),
-                Time::from_secs_f64(clock + switch),
-                None,
-                version,
-            ));
-            clock += switch;
-            let gen = generate_batch_at(
-                cfg,
-                &specs,
-                replicas,
-                Duration::from_secs_f64(clock),
-                version,
-                trace,
-            );
-            let gen_secs = gen.duration.as_secs_f64();
-            gen_series.push(
-                Time::from_secs_f64(clock),
-                gen.total_tokens / gen_secs.max(1e-9),
-            );
-            clock += gen_secs;
-            trace.record(TraceSpan::new(
-                SpanKind::WeightSync,
-                Time::from_secs_f64(clock),
-                Time::from_secs_f64(clock + switch),
-                None,
-                version,
-            ));
-            clock += switch;
-            // Train the full batch on-policy.
-            let train_secs = train.iteration_secs(gen.total_tokens, cfg.minibatches);
-            trace.record(
-                TraceSpan::new(
-                    SpanKind::TrainStep,
-                    Time::from_secs_f64(clock),
-                    Time::from_secs_f64(clock + train_secs),
-                    None,
-                    version,
-                )
-                .with_tokens(gen.total_tokens as u64),
-            );
-            train_series.push(
-                Time::from_secs_f64(clock),
-                gen.total_tokens / train_secs.max(1e-9),
-            );
-            clock += train_secs;
-            let measured = iter >= cfg.warmup;
-            if measured {
-                report.iteration_secs.push(clock - iter_start);
-                report.iteration_tokens.push(gen.total_tokens);
-                for off in &gen.completion_offsets {
-                    report
-                        .staleness_by_finish
-                        .push((off.as_secs_f64() / gen_secs.max(1e-9), 0));
-                }
-                // Strictly on-policy: staleness 0, single version.
-                report.consumed.extend(std::iter::repeat_n(
-                    crate::common::ConsumedTraj {
-                        staleness: 0,
-                        mixed_version: false,
-                    },
-                    specs.len(),
-                ));
-                report.latencies.extend(gen.latencies.iter().copied());
-                kv_sum += gen.mean_kv_utilization;
-                gen_time_total += gen_secs + 2.0 * switch;
-                iter_time_total += clock - iter_start;
+        let mut run = VerlRun::new(cfg, trace.enabled());
+        while !run.done() {
+            run.step();
+        }
+        run.finish(trace)
+    }
+}
+
+impl Recoverable for VerlSync {
+    type Snapshot = VerlRun;
+
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<VerlRun>>) {
+        assert!(
+            every > Duration::ZERO,
+            "checkpoint cadence must be positive"
+        );
+        let mut run = VerlRun::new(cfg, trace.enabled());
+        let mut snapshots = Vec::new();
+        let mut deadline = every.as_secs_f64();
+        while !run.done() {
+            run.step();
+            // Snapshot at the first iteration boundary past each cadence
+            // point (verl's only safe pause points are between iterations).
+            while !run.done() && run.clock_secs() >= deadline {
+                snapshots.push(RunSnapshot {
+                    at: Time::from_secs_f64(deadline),
+                    index: snapshots.len(),
+                    state: run.clone(),
+                });
+                deadline += every.as_secs_f64();
             }
         }
-        report.mean_kv_utilization = kv_sum / cfg.iterations.max(1) as f64;
-        report.generation_fraction = if iter_time_total > 0.0 {
-            gen_time_total / iter_time_total
-        } else {
-            0.0
-        };
-        report.gen_series = gen_series;
-        report.train_series = train_series;
-        report.finalize();
-        report
+        (run.finish(trace), snapshots)
+    }
+
+    fn resume(&self, snapshot: VerlRun, trace: &mut dyn TraceSink) -> RunReport {
+        let mut run = snapshot;
+        while !run.done() {
+            run.step();
+        }
+        run.finish(trace)
+    }
+
+    fn fingerprint(snapshot: &VerlRun) -> u64 {
+        fnv1a([
+            snapshot.iter as u64,
+            snapshot.clock.to_bits(),
+            snapshot.kv_sum.to_bits(),
+            snapshot.gen_time_total.to_bits(),
+            snapshot.iter_time_total.to_bits(),
+            snapshot.spans.spans().len() as u64,
+            snapshot.report.latencies.len() as u64,
+            snapshot.report.iteration_secs.len() as u64,
+        ])
     }
 }
 

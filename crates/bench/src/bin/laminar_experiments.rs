@@ -1,8 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N]
+//!                     [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
+//! laminar-experiments --resume-from FILE
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.txt` (default `results/`).
@@ -21,9 +23,17 @@
 //! micro-benchmark plus an end-to-end serial-vs-parallel suite timing) and
 //! writes `BENCH_rollout.json` (override with `--bench-out`). `--smoke`
 //! shrinks it to a few seconds for CI.
+//!
+//! `--checkpoint-every SECS` sets the checkpoint cadence the `recovery`
+//! experiment exercises; its report includes `checkpoint ...` descriptor
+//! lines. `--resume-from FILE` takes a file containing such a line (e.g.
+//! `results/recovery.txt`), deterministically replays the run to that
+//! checkpoint, verifies the snapshot fingerprint, and resumes it to
+//! completion. `--recovery-seed N` reseeds the sustained fault schedules.
 
 use laminar_bench::{
-    all_experiment_ids, benchmarks, default_jobs, run_experiment, run_indexed, Opts,
+    all_experiment_ids, benchmarks, default_jobs, resume_from_descriptor, run_experiment,
+    run_indexed, Opts,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -38,6 +48,7 @@ fn main() {
     let mut bench = false;
     let mut smoke = false;
     let mut bench_out = PathBuf::from("BENCH_rollout.json");
+    let mut resume_from: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -64,6 +75,25 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--chaos-seed requires an integer");
+            }
+            "--recovery-seed" => {
+                opts.recovery_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--recovery-seed requires an integer");
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&s: &f64| s > 0.0)
+                        .expect("--checkpoint-every requires positive virtual seconds"),
+                );
+            }
+            "--resume-from" => {
+                resume_from = Some(PathBuf::from(
+                    args.next().expect("--resume-from requires a file"),
+                ));
             }
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
@@ -95,10 +125,17 @@ fn main() {
         eprintln!("wrote {}", bench_out.display());
         return;
     }
+    if let Some(path) = resume_from {
+        // Deterministic checkpoint replay: rebuild the run described by the
+        // descriptor, verify the snapshot fingerprint, resume to completion.
+        println!("{}", resume_from_descriptor(&path, &opts));
+        return;
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--out DIR] [--trace FILE] <id>... | all | list\n\
-             \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]"
+            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
+             \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]\n\
+             \x20      laminar-experiments --resume-from FILE"
         );
         eprintln!("experiments: {}", all_experiment_ids().join(" "));
         std::process::exit(2);

@@ -5,6 +5,7 @@ pub mod async_figs;
 pub mod chaos;
 pub mod convergence_fig;
 pub mod perf_figs;
+pub mod recovery;
 pub mod tables;
 pub mod throughput;
 pub mod workload_figs;
@@ -34,6 +35,12 @@ pub struct Opts {
     /// Root seed for the `chaos` experiment's fault-schedule generator.
     /// Seed `k` of the sweep uses `chaos_seed + k`.
     pub chaos_seed: u64,
+    /// Root seed for the `recovery` experiment's sustained fault schedules.
+    pub recovery_seed: u64,
+    /// Checkpoint cadence override (virtual seconds) for the `recovery`
+    /// experiment's checkpoint/restore section. `None` exercises the two
+    /// built-in cadences.
+    pub checkpoint_every: Option<f64>,
     /// When set, trace spans are buffered here instead of written straight
     /// to [`Opts::trace`]; the experiment driver flushes whole-experiment
     /// buffers to the file in deterministic id order after the parallel
@@ -52,6 +59,8 @@ impl Default for Opts {
             trace: None,
             jobs: 1,
             chaos_seed: 1,
+            recovery_seed: 1,
+            checkpoint_every: None,
             trace_buf: None,
         }
     }
@@ -198,6 +207,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "ablate-batch",
         "ablate-evolution",
         "chaos",
+        "recovery",
     ]
 }
 
@@ -231,6 +241,7 @@ pub fn run_experiment(id: &str, opts: &Opts) -> String {
         "ablate-batch" => ablations::ablate_batch(opts),
         "ablate-evolution" => ablations::ablate_evolution(opts),
         "chaos" => chaos::chaos(opts),
+        "recovery" => recovery::recovery(opts),
         other => panic!("unknown experiment id: {other}"),
     }
 }

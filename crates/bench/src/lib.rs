@@ -16,5 +16,6 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 
+pub use experiments::recovery::resume_from_descriptor;
 pub use experiments::{all_experiment_ids, run_experiment, Opts};
 pub use runner::{default_jobs, run_indexed};

@@ -237,6 +237,11 @@ pub struct ChaosAudit {
     /// Trajectories returned to the prompt pool during machine kills
     /// (no healthy same-version replica with capacity).
     pub repooled: u64,
+    /// Admissions denied because the replica's circuit breaker was open
+    /// (work deferred to the post-cooldown probe instead).
+    pub breaker_blocked: u64,
+    /// Times the driver entered degraded mode.
+    pub degraded_entries: u64,
     /// Invariant breaches detected *while* the run executed (redirect onto
     /// a dying replica, capacity overcommit, …).
     pub violations: Vec<String>,
@@ -251,6 +256,30 @@ impl ChaosAudit {
     /// Records a completion.
     pub fn complete(&mut self, id: u64) {
         *self.completed.entry(id).or_insert(0) += 1;
+    }
+
+    /// Checks the breaker-gating invariant at the moment work is admitted
+    /// to replica `r`: no batch may start while the replica's breaker is
+    /// open. The driver calls this after its `allow` gate, so a violation
+    /// means the gate was bypassed.
+    pub fn admission_check(&mut self, r: usize, breaker_open: bool) {
+        if breaker_open {
+            self.violations.push(format!(
+                "batch admitted on replica {r} while its circuit breaker is open"
+            ));
+        }
+    }
+
+    /// Checks the degraded-mode staleness invariant at trainer sampling
+    /// time: no sampled experience may exceed the effective cap (the
+    /// configured cap, plus the relax allowance only while degraded).
+    pub fn staleness_check(&mut self, staleness: u64, bound: u64, degraded: bool) {
+        if staleness > bound {
+            let mode = if degraded { "degraded" } else { "normal" };
+            self.violations.push(format!(
+                "sampled staleness {staleness} exceeds the {mode}-mode bound {bound}"
+            ));
+        }
     }
 
     /// Records a weight-version change on replica `r`.
@@ -321,6 +350,20 @@ pub struct ChaosOutcome {
     pub actor_version: u64,
     /// Trace spans with `end < start`, as `(kind, start ns, end ns)`.
     pub malformed_spans: Vec<(String, u64, u64)>,
+    /// KVCache tokens still reserved per engine at the end of the run;
+    /// dead replicas must hold zero (state fully reclaimed).
+    pub kv_reserved: Vec<f64>,
+    /// Event-heap entries still pending per engine; dead replicas must
+    /// hold zero.
+    pub heap_entries: Vec<usize>,
+    /// Whether the rollout manager's health map still lists each replica
+    /// as healthy; dead replicas must not.
+    pub manager_healthy: Vec<bool>,
+    /// Circuit-breaker trip count per replica.
+    pub breaker_trips: Vec<u64>,
+    /// Trajectories ended early because an env call exhausted the stall
+    /// budget.
+    pub env_aborts: u64,
 }
 
 impl ChaosOutcome {
@@ -392,6 +435,30 @@ impl ChaosOutcome {
         }
         for (kind, start, end) in &self.malformed_spans {
             v.push(format!("malformed {kind} span: end {end} < start {start}"));
+        }
+        // Dead-replica reclamation: a machine that is down at the end of
+        // the run must have surrendered every resource it held.
+        for (r, &alive) in self.alive.iter().enumerate() {
+            if alive {
+                continue;
+            }
+            if let Some(&kv) = self.kv_reserved.get(r) {
+                if kv > 0.0 {
+                    v.push(format!(
+                        "dead replica {r} still reserves {kv:.0} KVCache tokens"
+                    ));
+                }
+            }
+            if let Some(&n) = self.heap_entries.get(r) {
+                if n > 0 {
+                    v.push(format!("dead replica {r} still holds {n} heap entries"));
+                }
+            }
+            if self.manager_healthy.get(r).copied().unwrap_or(false) {
+                v.push(format!(
+                    "dead replica {r} still marked healthy in the manager health map"
+                ));
+            }
         }
         v
     }
@@ -497,10 +564,62 @@ mod tests {
             relay_version: 0,
             actor_version: 0,
             malformed_spans: vec![],
+            kv_reserved: vec![0.0],
+            heap_entries: vec![0],
+            manager_healthy: vec![true],
+            breaker_trips: vec![0],
+            env_aborts: 0,
         };
         let v = out.violations();
         assert!(v.iter().any(|m| m.contains("completed 2 times")), "{v:?}");
         assert!(v.iter().any(|m| m.contains("lost")), "{v:?}");
+    }
+
+    #[test]
+    fn outcome_detects_unreclaimed_dead_replica_state() {
+        let out = ChaosOutcome {
+            audit: ChaosAudit::default(),
+            resident: vec![vec![], vec![]],
+            partial_ids: vec![],
+            pool_ids: vec![],
+            alive: vec![true, false],
+            engine_versions: vec![0, 0],
+            relay_version: 0,
+            actor_version: 0,
+            malformed_spans: vec![],
+            kv_reserved: vec![512.0, 256.0],
+            heap_entries: vec![3, 2],
+            manager_healthy: vec![true, true],
+            breaker_trips: vec![0, 1],
+            env_aborts: 0,
+        };
+        let v = out.violations();
+        assert!(
+            v.iter().any(|m| m.contains("still reserves 256 KVCache")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("still holds 2 heap entries")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("still marked healthy")),
+            "{v:?}"
+        );
+        // The live replica's reservations are legitimate.
+        assert!(!v.iter().any(|m| m.contains("replica 0")), "{v:?}");
+    }
+
+    #[test]
+    fn audit_flags_breaker_bypass_and_staleness_excess() {
+        let mut audit = ChaosAudit::default();
+        audit.admission_check(0, false);
+        audit.admission_check(2, true);
+        audit.staleness_check(3, 4, false);
+        audit.staleness_check(9, 8, true);
+        assert_eq!(audit.violations.len(), 2, "{:?}", audit.violations);
+        assert!(audit.violations[0].contains("circuit breaker is open"));
+        assert!(audit.violations[1].contains("degraded-mode bound 8"));
     }
 
     #[test]
@@ -518,6 +637,11 @@ mod tests {
             relay_version: 5,
             actor_version: 4, // relay ahead of the actor
             malformed_spans: vec![],
+            kv_reserved: vec![0.0, 0.0],
+            heap_entries: vec![0, 0],
+            manager_healthy: vec![true, true],
+            breaker_trips: vec![0, 0],
+            env_aborts: 0,
         };
         let v = out.violations();
         assert!(v.iter().any(|m| m.contains("not monotone")), "{v:?}");

@@ -6,7 +6,7 @@ use super::{Ev, IdlenessMetric, World};
 use laminar_data::Experience;
 use laminar_rollout::manager::LoadSample;
 use laminar_rollout::CompletedTraj;
-use laminar_runtime::{ConsumedTraj, SpanKind};
+use laminar_runtime::{BreakerState, ConsumedTraj, SpanKind};
 use laminar_sim::{Duration, Scheduler, SimWorld, Time};
 
 impl World {
@@ -21,10 +21,24 @@ impl World {
 
     /// Starts a fresh per-replica batch on `r` at its current weight
     /// version.
-    pub(super) fn start_batch(&mut self, r: usize, now: Time) {
+    ///
+    /// This is the single admission gate of the recovery plane: a replica
+    /// whose circuit breaker is open gets **no** work — instead a
+    /// [`Ev::BreakerProbe`] is scheduled for the end of the cooldown, so a
+    /// flapping node is not re-admitted every sweep. While degraded, the
+    /// batch shrinks to the configured admission fraction.
+    pub(super) fn start_batch(&mut self, r: usize, now: Time, sched: &mut Scheduler<Ev>) {
+        if !self.breakers[r].allow(now) {
+            self.audit.breaker_blocked += 1;
+            if let Some(at) = self.breakers[r].retry_at() {
+                sched.at(at.max(now), Ev::BreakerProbe { r });
+            }
+            return;
+        }
+        self.audit.admission_check(r, self.breakers[r].is_open(now));
         self.refill_pool();
         let version = self.engines[r].weight_version();
-        for _ in 0..self.replica_batch {
+        for _ in 0..self.admission_target() {
             let Some(spec) = self.pool.pop_front() else {
                 break;
             };
@@ -34,10 +48,29 @@ impl World {
         }
     }
 
+    /// Per-replica admission target: the configured batch, shrunk while
+    /// degraded so the surviving fleet is not oversubscribed.
+    fn admission_target(&self) -> usize {
+        if self.degraded {
+            ((self.replica_batch as f64 * self.opts.recovery.degraded_admission_frac).floor()
+                as usize)
+                .max(1)
+        } else {
+            self.replica_batch
+        }
+    }
+
     pub(super) fn drain(&mut self, r: usize, now: Time, sched: &mut Scheduler<Ev>) {
         let done = self.engines[r].take_completions();
         if done.is_empty() {
             return;
+        }
+        // A half-open probe batch delivering completions proves the replica
+        // recovered: close its breaker. (Closed-state successes are not
+        // recorded — faults accumulate toward the trip threshold even when
+        // interleaved with completions, so a flapping node still trips.)
+        if self.breakers[r].state(now) == BreakerState::HalfOpen {
+            self.breakers[r].record_success();
         }
         for c in &done {
             self.audit.complete(c.spec.id);
@@ -103,7 +136,7 @@ impl World {
                 },
             );
         } else {
-            self.start_batch(r, now);
+            self.start_batch(r, now, sched);
             self.wake(r, sched);
         }
     }
@@ -239,7 +272,7 @@ impl SimWorld for World {
                 self.pulling[r] = false;
                 self.engines[r].set_weight_version(version, now);
                 self.audit.record_version(r, version);
-                self.start_batch(r, now);
+                self.start_batch(r, now, sched);
                 self.wake(r, sched);
             }
             Ev::TrainerCheck => {
@@ -253,6 +286,21 @@ impl SimWorld for World {
                     self.buffer
                         .sample(self.cfg.global_batch(), self.version, &mut self.rng);
                 let tokens: f64 = sampled.iter().map(|e| e.total_tokens() as f64).sum();
+                // Degraded-mode invariant: even with the relaxed sampler in
+                // effect, sampled staleness must stay within the configured
+                // cap plus the relax allowance.
+                if let Some(cap) = self.opts.staleness_cap {
+                    let bound = cap
+                        + if self.degraded {
+                            self.opts.recovery.staleness_relax
+                        } else {
+                            0
+                        };
+                    for e in &sampled {
+                        self.audit
+                            .staleness_check(e.staleness(self.version), bound, self.degraded);
+                    }
+                }
                 if self.iterations_done >= self.cfg.warmup {
                     for e in &sampled {
                         self.report.consumed.push(ConsumedTraj {
@@ -362,6 +410,14 @@ impl SimWorld for World {
             Ev::SlowNodeEnd { r } => self.end_slow_node(r, now, sched),
             Ev::TrainerRecover => self.trainer_recover(sched),
             Ev::AddReplicas { count } => self.add_replicas(count, now, sched),
+            Ev::DegradeCheck => self.degrade_check(now),
+            Ev::BreakerProbe { r } => {
+                // Cooldown elapsed: if the replica is sitting idle (work
+                // was blocked at the gate), admit the single probe batch.
+                if self.alive[r] && !self.pulling[r] && self.engines[r].is_idle() {
+                    self.refresh_and_restart(r, now, sched);
+                }
+            }
         }
     }
 }

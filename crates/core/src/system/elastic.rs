@@ -2,6 +2,7 @@
 
 use super::{Ev, World};
 use laminar_rollout::ReplicaEngine;
+use laminar_runtime::CircuitBreaker;
 use laminar_sim::{Scheduler, Time};
 
 impl World {
@@ -19,12 +20,17 @@ impl World {
             ));
             self.alive.push(true);
             self.pulling.push(false);
+            self.breakers
+                .push(CircuitBreaker::new(self.opts.recovery.breaker));
             self.manager.register(r, now);
             // New machines initialize from the relay tier (§3.3).
             self.engines[r].set_weight_version(self.relay_version, now);
             self.audit.record_version(r, self.relay_version);
-            self.start_batch(r, now);
+            self.start_batch(r, now, sched);
             self.wake(r, sched);
         }
+        // Scale-out raises the alive fraction; it can end a degraded
+        // episode just like machine recovery does.
+        self.note_capacity(now, sched);
     }
 }

@@ -59,6 +59,11 @@ impl World {
             self.engines[r].advance_to(now);
             self.alive[r] = false;
             self.manager.evict(r);
+            // A kill also counts against the breaker: a machine crashing
+            // repeatedly within the window trips it, and a half-open probe
+            // lost to a crash re-opens it (keeping probe liveness — the
+            // next admission attempt schedules a fresh probe).
+            self.breakers[r].record_failure(now);
             self.span(
                 SpanKind::Failure,
                 now,
@@ -125,6 +130,7 @@ impl World {
         if !killed.is_empty() {
             sched.after(recover_after, Ev::RecoverMachine { replicas: killed });
         }
+        self.note_capacity(now, sched);
     }
 
     /// The replacement machine is up: fresh engines initialize from the
@@ -148,9 +154,10 @@ impl World {
             self.manager.mark_recovered(r, now);
             self.engines[r].set_weight_version(self.relay_version, now);
             self.audit.record_version(r, self.relay_version);
-            self.start_batch(r, now);
+            self.start_batch(r, now, sched);
             self.wake(r, sched);
         }
+        self.note_capacity(now, sched);
     }
 
     /// The trainer worker dies: the in-flight update (if any) is lost; its
@@ -224,6 +231,7 @@ impl World {
             return;
         }
         self.engines[r].set_perf_factor(factor, now);
+        self.breakers[r].record_failure(now);
         self.span(
             SpanKind::Failure,
             now,
@@ -264,6 +272,7 @@ impl World {
         }
         let delayed = self.engines[r].delay_env_returns(extra, now);
         if delayed > 0 {
+            self.breakers[r].record_failure(now);
             self.span(
                 SpanKind::Failure,
                 now,

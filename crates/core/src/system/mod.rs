@@ -14,16 +14,22 @@
 mod driver;
 mod elastic;
 mod faults;
+mod recover;
 #[cfg(test)]
 mod tests;
 mod timeline;
 
+pub use recover::LaminarSnapshot;
+
 use crate::chaos::{ChaosAudit, ChaosOutcome, FaultEvent};
-use laminar_data::{ExperienceBuffer, PartialResponsePool};
+use laminar_data::{Eviction, ExperienceBuffer, PartialResponsePool, Sampler};
 use laminar_relay::RelaySyncModel;
 use laminar_rollout::manager::{ManagerConfig, RolloutManager};
 use laminar_rollout::{EngineConfig, ReplicaEngine};
-use laminar_runtime::{RecordingTrace, RlSystem, RunReport, SystemConfig, TraceSink, TraceSpan};
+use laminar_runtime::{
+    BreakerConfig, CircuitBreaker, RecordingTrace, RetryPolicy, RlSystem, RunReport, SystemConfig,
+    TraceSink, TraceSpan,
+};
 use laminar_sim::{Duration, SimRng, Simulation, Time};
 use laminar_workload::TrajectorySpec;
 use std::collections::{BTreeSet, VecDeque};
@@ -45,6 +51,47 @@ pub enum IdlenessMetric {
     KvCacheLifecycle,
     /// RLHFuse-style static remaining-request threshold.
     StaticThreshold(usize),
+}
+
+/// Recovery-plane policy knobs: per-replica circuit breaking, the env-call
+/// retry budget, and the graceful-degradation rules the driver follows
+/// under sustained capacity loss (DESIGN.md §8).
+#[derive(Debug, Clone)]
+pub struct RecoveryOptions {
+    /// Per-replica circuit breaker: consecutive fault hits within the
+    /// window trip it; a tripped replica is not re-admitted every sweep but
+    /// waits out the cooldown and re-enters through a single probe batch.
+    pub breaker: BreakerConfig,
+    /// Retry/backoff policy whose total budget bounds how long any one
+    /// trajectory may sit in stalled environment calls before the call is
+    /// abandoned and the trajectory completes early.
+    pub env_retry: RetryPolicy,
+    /// Degraded mode arms when the alive fraction of the fleet drops below
+    /// this threshold…
+    pub degraded_alive_frac: f64,
+    /// …and stays below it for this long (transient kills that recover
+    /// quickly never degrade the run).
+    pub degraded_window: Duration,
+    /// Admission target multiplier while degraded: each replica batch
+    /// shrinks to `replica_batch * frac` (min 1) so the surviving fleet is
+    /// not oversubscribed.
+    pub degraded_admission_frac: f64,
+    /// While degraded, a configured staleness cap is relaxed by at most
+    /// this many versions — the audited degraded-mode bound.
+    pub staleness_relax: u64,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            breaker: BreakerConfig::default(),
+            env_retry: RetryPolicy::default(),
+            degraded_alive_frac: 0.75,
+            degraded_window: Duration::from_secs(30),
+            degraded_admission_frac: 0.5,
+            staleness_relax: 4,
+        }
+    }
 }
 
 /// The Laminar system, with experiment toggles.
@@ -73,6 +120,12 @@ pub struct LaminarSystem {
     pub record_timeline: bool,
     /// Timeline sampling period.
     pub sample_every: Duration,
+    /// Recovery-plane policies (breakers, env-retry budget, degradation).
+    pub recovery: RecoveryOptions,
+    /// Trainer-side staleness cap: when set, sampling skips experiences
+    /// older than this many versions (relaxed by
+    /// [`RecoveryOptions::staleness_relax`] while degraded).
+    pub staleness_cap: Option<u64>,
 }
 
 impl Default for LaminarSystem {
@@ -86,11 +139,13 @@ impl Default for LaminarSystem {
             replica_batch: None,
             record_timeline: false,
             sample_every: Duration::from_secs(10),
+            recovery: RecoveryOptions::default(),
+            staleness_cap: None,
         }
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     ReplicaWake {
         r: usize,
@@ -127,8 +182,21 @@ enum Ev {
     AddReplicas {
         count: usize,
     },
+    /// Sustained-capacity-loss check: if the alive fraction has stayed
+    /// below the threshold for the whole degraded window, enter degraded
+    /// mode.
+    DegradeCheck,
+    /// A tripped breaker's cooldown elapsed: re-admit replica `r` through
+    /// a single probe batch.
+    BreakerProbe {
+        r: usize,
+    },
 }
 
+/// Full run state. `Clone` is the snapshot mechanism of the recovery
+/// plane: heap/map clones copy their backing storage verbatim, so a cloned
+/// world replays byte-identically (see [`recover`]).
+#[derive(Clone)]
 struct World {
     cfg: SystemConfig,
     opts: LaminarSystem,
@@ -183,6 +251,18 @@ struct World {
     trainer_started: Time,
     /// When the trainer last became free (feeds trainer `Stall` spans).
     trainer_free_at: Time,
+    /// One circuit breaker per replica: faults record failures, probe
+    /// batches record successes, admission is gated on `allow`.
+    breakers: Vec<CircuitBreaker>,
+    /// True while the driver is in degraded mode (shrunken admission,
+    /// relaxed staleness cap).
+    degraded: bool,
+    /// When the alive fraction last dropped below the degradation
+    /// threshold; `None` while capacity is healthy.
+    capacity_low_since: Option<Time>,
+    /// When the current degraded episode began (start of the `Recovered`
+    /// span emitted on exit).
+    degraded_entered: Time,
 }
 
 impl World {
@@ -190,6 +270,9 @@ impl World {
     fn engine_cfg(&self) -> EngineConfig {
         let mut c = self.cfg.engine_config();
         c.record_trace = self.record_trace;
+        // Env calls may stall for at most the retry policy's total backoff
+        // budget before the call is abandoned and the trajectory ends.
+        c.env_stall_budget = Some(self.opts.recovery.env_retry.total_budget());
         c
     }
 
@@ -226,10 +309,24 @@ impl World {
     fn chaos_outcome(&mut self, trace: &RecordingTrace) -> ChaosOutcome {
         let mut resident = Vec::with_capacity(self.engines.len());
         let mut engine_versions = Vec::with_capacity(self.engines.len());
+        let mut kv_reserved = Vec::with_capacity(self.engines.len());
+        let mut heap_entries = Vec::with_capacity(self.engines.len());
+        let mut env_aborts = 0;
         for e in self.engines.iter_mut() {
             resident.push(e.resident_ids());
             engine_versions.push(e.weight_version());
+            kv_reserved.push(e.kv_reserved_tokens());
+            heap_entries.push(e.pending_heap_entries());
+            env_aborts += e.env_aborts();
         }
+        let manager_healthy = (0..self.engines.len())
+            .map(|r| {
+                matches!(
+                    self.manager.health(r),
+                    laminar_rollout::manager::ReplicaHealth::Healthy
+                )
+            })
+            .collect();
         // Completions drained from engines but not yet processed by a
         // `ReplicaWake` when the run ended still count as held work.
         let completed: BTreeSet<u64> = self.audit.completed.keys().copied().collect();
@@ -262,6 +359,11 @@ impl World {
             relay_version: self.relay_version,
             actor_version: self.version,
             malformed_spans,
+            kv_reserved,
+            heap_entries,
+            manager_healthy,
+            breaker_trips: self.breakers.iter().map(|b| b.trips()).collect(),
+            env_aborts,
         }
     }
 }
@@ -306,6 +408,17 @@ impl LaminarSystem {
     /// Builds the world, runs the event loop to completion, and returns the
     /// final world state (spans still buffered inside).
     fn execute(&self, cfg: &SystemConfig, record_trace: bool) -> World {
+        let mut sim = self.build(cfg, record_trace);
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "laminar run did not complete its iterations");
+        sim.world
+    }
+
+    /// Assembles the world and seeds the event queue, stopping just before
+    /// the first event fires. The checkpoint/restore path
+    /// ([`recover::LaminarSnapshot`]) drives the returned simulation in
+    /// cadence-bounded legs; `execute` runs it to completion in one go.
+    fn build(&self, cfg: &SystemConfig, record_trace: bool) -> Simulation<World> {
         assert!(
             cfg.train_gpus > 0,
             "Laminar is disaggregated: set train_gpus > 0"
@@ -328,7 +441,13 @@ impl LaminarSystem {
             pulling: vec![false; replicas],
             pool: VecDeque::new(),
             partials: PartialResponsePool::new(),
-            buffer: ExperienceBuffer::fifo_unbounded(),
+            buffer: match self.staleness_cap {
+                Some(cap) => ExperienceBuffer::new(
+                    Sampler::StalenessCapped { max_staleness: cap },
+                    Eviction::None,
+                ),
+                None => ExperienceBuffer::fifo_unbounded(),
+            },
             manager,
             relay: RelaySyncModel::new(cfg.machine.clone(), cfg.model.clone()),
             dataset: cfg.dataset(),
@@ -360,6 +479,10 @@ impl LaminarSystem {
             trace_spans: Vec::new(),
             trainer_started: Time::ZERO,
             trainer_free_at: Time::ZERO,
+            breakers: vec![CircuitBreaker::new(self.recovery.breaker); replicas],
+            degraded: false,
+            capacity_low_since: None,
+            degraded_entered: Time::ZERO,
         };
         world.engines = (0..replicas)
             .map(|i| ReplicaEngine::new(i, cfg.decode_model(), world.engine_cfg()))
@@ -369,7 +492,7 @@ impl LaminarSystem {
         }
         let mut sim = Simulation::new(world);
         for r in 0..replicas {
-            sim.world.start_batch(r, Time::ZERO);
+            sim.world.start_batch(r, Time::ZERO, &mut sim.scheduler);
             let epoch = sim.world.engines[r].epoch();
             if let Some(t) = sim.world.engines[r].next_event_time() {
                 sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
@@ -388,9 +511,7 @@ impl LaminarSystem {
                 .at(e.at, Ev::AddReplicas { count: e.replicas });
         }
         sim.scheduler.immediately(Ev::TrainerCheck);
-        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
-        assert!(finished, "laminar run did not complete its iterations");
-        sim.world
+        sim
     }
 }
 

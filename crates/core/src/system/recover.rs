@@ -1,0 +1,203 @@
+//! The recovery plane: graceful degradation under sustained capacity loss
+//! and deterministic checkpoint/restore (DESIGN.md §8).
+//!
+//! **Degradation.** Every fault path that changes fleet capacity calls
+//! [`World::note_capacity`]. When the alive fraction drops below the
+//! configured threshold, a [`Ev::DegradeCheck`] is armed one degraded
+//! window later; if capacity is still low when it fires, the driver enters
+//! degraded mode — the per-replica admission target shrinks and a
+//! configured staleness cap is relaxed by a bounded allowance — and emits a
+//! [`SpanKind::Degraded`] marker. Capacity returning (machine recovery or
+//! elastic scale-out) exits the mode and emits a [`SpanKind::Recovered`]
+//! span covering the whole episode, which is what the recovery benchmark
+//! reads MTTR from.
+//!
+//! **Checkpoint/restore.** A [`LaminarSnapshot`] is a deep clone of the
+//! whole `Simulation<World>` taken between events at a cadence boundary.
+//! Cloning a `BinaryHeap` or `HashMap` copies its backing storage verbatim,
+//! so the clone pops and iterates in exactly the original order; together
+//! with the seeded RNG being part of the state, a resumed run replays the
+//! remaining events byte-identically — same report, same trace — which
+//! `laminar_runtime::check_resume_equivalence` asserts outright.
+
+use super::{Ev, LaminarSystem, World};
+use laminar_data::Sampler;
+use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
+use laminar_runtime::{RunReport, SpanKind, SystemConfig, TraceSink};
+use laminar_sim::{Duration, Scheduler, Simulation, Time};
+
+impl World {
+    fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Re-evaluates fleet capacity after any event that changes it.
+    /// Arms the degradation timer when capacity drops below the threshold;
+    /// ends the degraded episode as soon as capacity returns.
+    pub(super) fn note_capacity(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        let frac = self.alive_count() as f64 / self.alive.len().max(1) as f64;
+        if frac < self.opts.recovery.degraded_alive_frac {
+            if self.capacity_low_since.is_none() {
+                self.capacity_low_since = Some(now);
+                sched.after(self.opts.recovery.degraded_window, Ev::DegradeCheck);
+            }
+        } else {
+            self.capacity_low_since = None;
+            if self.degraded {
+                self.exit_degraded(now);
+            }
+        }
+    }
+
+    /// The armed degradation timer fired: enter degraded mode iff capacity
+    /// has stayed low for the whole window (transient dips are absorbed).
+    pub(super) fn degrade_check(&mut self, now: Time) {
+        if self.degraded {
+            return;
+        }
+        let Some(since) = self.capacity_low_since else {
+            return;
+        };
+        if now.since(since) >= self.opts.recovery.degraded_window {
+            self.enter_degraded(now);
+        }
+    }
+
+    /// The staleness cap currently in force: the configured cap, plus the
+    /// relax allowance only while degraded.
+    fn effective_staleness_cap(&self) -> Option<u64> {
+        self.opts.staleness_cap.map(|cap| {
+            if self.degraded {
+                cap + self.opts.recovery.staleness_relax
+            } else {
+                cap
+            }
+        })
+    }
+
+    fn enter_degraded(&mut self, now: Time) {
+        self.degraded = true;
+        self.degraded_entered = now;
+        self.audit.degraded_entries += 1;
+        self.span(SpanKind::Degraded, now, now, None, self.relay_version, 0);
+        if let Some(cap) = self.effective_staleness_cap() {
+            self.buffer
+                .set_sampler(Sampler::StalenessCapped { max_staleness: cap });
+        }
+    }
+
+    fn exit_degraded(&mut self, now: Time) {
+        self.degraded = false;
+        self.span(
+            SpanKind::Recovered,
+            self.degraded_entered,
+            now,
+            None,
+            self.relay_version,
+            0,
+        );
+        if let Some(cap) = self.effective_staleness_cap() {
+            self.buffer
+                .set_sampler(Sampler::StalenessCapped { max_staleness: cap });
+        }
+    }
+}
+
+/// A deterministic checkpoint of a Laminar run: the complete simulation
+/// state (engines with their event heaps and resident trajectories, the
+/// experience and partial-response buffers, actor and relay versions, the
+/// driver clock, and every pending simulation event), frozen between
+/// events at a cadence boundary.
+#[derive(Clone)]
+pub struct LaminarSnapshot {
+    sim: Simulation<World>,
+}
+
+impl LaminarSnapshot {
+    /// Virtual time the snapshot was taken at (all events up to and
+    /// including this instant have executed).
+    pub fn at(&self) -> Time {
+        self.sim.scheduler.now()
+    }
+}
+
+impl Recoverable for LaminarSystem {
+    type Snapshot = LaminarSnapshot;
+
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<LaminarSnapshot>>) {
+        assert!(
+            every > Duration::ZERO,
+            "checkpoint cadence must be positive"
+        );
+        let mut sim = self.build(cfg, trace.enabled());
+        let mut snapshots = Vec::new();
+        let mut deadline = Time::ZERO + every;
+        loop {
+            let finished = sim.run_while_until(|w| !w.done(), deadline, 2_000_000_000);
+            if finished {
+                break;
+            }
+            assert!(
+                sim.scheduler.next_event_time().is_some(),
+                "laminar run stalled before completing its iterations"
+            );
+            snapshots.push(RunSnapshot {
+                at: deadline,
+                index: snapshots.len(),
+                state: LaminarSnapshot { sim: sim.clone() },
+            });
+            deadline += every;
+        }
+        let mut world = sim.world;
+        world.drain_spans(trace);
+        (world.finish_report(), snapshots)
+    }
+
+    fn resume(&self, snapshot: LaminarSnapshot, trace: &mut dyn TraceSink) -> RunReport {
+        let mut sim = snapshot.sim;
+        let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
+        assert!(finished, "resumed laminar run did not complete");
+        let mut world = sim.world;
+        world.drain_spans(trace);
+        world.finish_report()
+    }
+
+    fn fingerprint(snapshot: &LaminarSnapshot) -> u64 {
+        let sim = &snapshot.sim;
+        let w = &sim.world;
+        let mut words = vec![
+            sim.scheduler.now().as_nanos(),
+            sim.scheduler.scheduled(),
+            sim.scheduler.delivered(),
+            sim.scheduler.pending() as u64,
+            w.version,
+            w.relay_version,
+            w.iterations_done as u64,
+            w.batches_issued,
+            w.trainer_busy as u64,
+            w.trainer_failed as u64,
+            w.trainer_epoch,
+            w.buffer.len() as u64,
+            w.pool.len() as u64,
+            w.partials.ids().len() as u64,
+            w.degraded as u64,
+        ];
+        words.extend(w.rng.state_words());
+        for (r, e) in w.engines.iter().enumerate() {
+            words.push(r as u64);
+            words.push(w.alive[r] as u64);
+            words.push(e.weight_version());
+            words.push(e.n_reqs() as u64);
+            words.push(e.kv_reserved_tokens().to_bits());
+            words.push(e.tokens_decoded().to_bits());
+            words.push(e.pending_heap_entries() as u64);
+            words.push(e.env_aborts());
+        }
+        fnv1a(words)
+    }
+}

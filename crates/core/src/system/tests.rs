@@ -297,6 +297,149 @@ fn overlapping_chaos_scenario_upholds_invariants() {
     );
 }
 
+/// Soak: a dense generated schedule (200+ faults inside a 90 s horizon)
+/// pushed through `run_chaos`. Every invariant must hold — including the
+/// recovery-plane ones (no admission past an open breaker, degraded-mode
+/// staleness within bound) and full reclamation of dead-replica state (KV
+/// accounting, heap entries, health-map rows) — and the whole ordeal must
+/// be deterministic.
+#[test]
+fn soak_dense_schedule_upholds_all_invariants() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let chaos = crate::chaos::ChaosConfig {
+        events: 220,
+        earliest: Time::from_secs(5),
+        horizon: Time::from_secs(90),
+        replicas: c.replicas(),
+    };
+    let sys = LaminarSystem {
+        faults: crate::chaos::generate_schedule(11, &chaos),
+        staleness_cap: Some(4),
+        ..LaminarSystem::default()
+    };
+    let a = sys.run_chaos(&c);
+    assert_eq!(a.violations(), Vec::<String>::new());
+    assert!(
+        a.outcome.audit.faults_applied >= 100,
+        "the schedule actually lands: {} faults applied",
+        a.outcome.audit.faults_applied
+    );
+    assert_eq!(a.report.iteration_secs.len(), 3, "training survives");
+    let b = sys.run_chaos(&c);
+    assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl(), "deterministic");
+}
+
+/// Losing half the fleet for longer than the degraded window must open a
+/// `degraded` span, shrink admission, and close it with a `recovered` span
+/// once capacity returns — all without breaching the (relaxed) staleness
+/// bound.
+#[test]
+fn sustained_capacity_loss_enters_and_exits_degraded_mode() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let sys = LaminarSystem {
+        faults: vec![FaultEvent::machine_crash(
+            Time::from_secs(10),
+            vec![0, 1],
+            Duration::from_secs(50),
+        )],
+        staleness_cap: Some(4),
+        ..LaminarSystem::default()
+    };
+    let run = sys.run_chaos(&c);
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert!(
+        run.outcome.audit.degraded_entries >= 1,
+        "half the fleet gone past the window must degrade the driver"
+    );
+    let degraded = run.trace.of_kind(SpanKind::Degraded);
+    let recovered = run.trace.of_kind(SpanKind::Recovered);
+    assert!(!degraded.is_empty(), "degraded marker span emitted");
+    assert!(
+        !recovered.is_empty(),
+        "capacity returning closes the episode with a recovered span"
+    );
+    // The recovered span covers the whole episode: entry to exit.
+    let ep = recovered[0];
+    assert!(ep.end > ep.start, "episode has positive MTTR");
+    assert_eq!(run.report.iteration_secs.len(), 3);
+}
+
+/// A flapping straggler — repeated `SlowNode` hits inside the breaker
+/// window — must trip its circuit breaker, and the driver must stop
+/// admitting work on that replica until the cooldown probe.
+#[test]
+fn flapping_slow_node_trips_breaker_and_blocks_admission() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let flapper = 1usize;
+    let flap = |secs: u64| FaultEvent {
+        at: Time::from_secs(secs),
+        kind: crate::chaos::FaultKind::SlowNode {
+            replica: flapper,
+            factor: 3.0,
+            duration: Duration::from_secs(5),
+        },
+    };
+    let sys = LaminarSystem {
+        faults: vec![flap(10), flap(18), flap(26)],
+        ..LaminarSystem::default()
+    };
+    let run = sys.run_chaos(&c);
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert!(
+        run.outcome.breaker_trips[flapper] >= 1,
+        "three flaps inside the window must trip the breaker: {:?}",
+        run.outcome.breaker_trips
+    );
+    assert!(
+        run.outcome.audit.breaker_blocked >= 1,
+        "an open breaker must deny at least one admission"
+    );
+    assert_eq!(run.report.iteration_secs.len(), 3);
+}
+
+/// Regression: a permanently-stalled env call used to wedge its batch (the
+/// trajectory never completed, the iteration never filled). The retry
+/// budget now bounds the stall — the trajectory ends early as aborted and
+/// the run completes every iteration.
+#[test]
+fn permanently_stalled_env_aborts_trajectory_instead_of_wedging() {
+    let mut c = SystemConfig::small_test(laminar_workload::WorkloadGenerator::multi_turn(9));
+    c.train_gpus = 4;
+    c.rollout_gpus = 4;
+    c.iterations = 3;
+    c.warmup = 0;
+    // Several strikes so at least one lands while env calls are in flight;
+    // `extra` is effectively infinite next to the retry budget.
+    let stall = |secs: u64| FaultEvent {
+        at: Time::from_secs(secs),
+        kind: crate::chaos::FaultKind::EnvStall {
+            replica: 0,
+            extra: Duration::from_secs(100_000),
+        },
+    };
+    let sys = LaminarSystem {
+        faults: vec![stall(5), stall(15), stall(25)],
+        ..LaminarSystem::default()
+    };
+    let run = sys.run_chaos(&c);
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert!(
+        run.outcome.env_aborts >= 1,
+        "the stalled call must burn its retry budget and abort"
+    );
+    assert_eq!(
+        run.report.iteration_secs.len(),
+        3,
+        "the batch must not wedge: every iteration completes"
+    );
+}
+
 /// A straggler window must slow generation while it lasts and leave the
 /// run's guarantees intact once it ends.
 #[test]

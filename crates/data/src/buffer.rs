@@ -83,6 +83,18 @@ impl ExperienceBuffer {
         ExperienceBuffer::new(Sampler::Fifo, Eviction::None)
     }
 
+    /// The sampling strategy currently in effect.
+    pub fn sampler(&self) -> Sampler {
+        self.sampler
+    }
+
+    /// Swaps the sampling strategy mid-run. The degraded-mode driver uses
+    /// this to relax a staleness cap within its configured bound and to
+    /// restore it on recovery; buffered experiences are untouched.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        self.sampler = sampler;
+    }
+
     /// Writer API: appends one completed experience, applying eviction.
     pub fn write(&mut self, exp: Experience) {
         self.entries.push_back(exp);

@@ -17,9 +17,12 @@
 
 use crate::bytes::Bytes;
 use crate::chunk::{chunk_ranges, shard_ranges};
+use laminar_sim::{
+    BreakerConfig, CircuitBreaker, Duration as SimDuration, RetryPolicy, Time as SimTime,
+};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration as StdDuration, Instant};
 
@@ -42,6 +45,7 @@ enum Command {
     SetNext(Option<Sender<Command>>),
     Ping(Sender<usize>),
     Fail,
+    Poison,
     Shutdown,
 }
 
@@ -74,11 +78,19 @@ pub struct RelayTierConfig {
     pub hop_startup: f64,
     /// Heartbeat reply deadline; a relay silent past this is failed.
     pub heartbeat_timeout: StdDuration,
+    /// Per-node circuit-breaker tuning: a relay missing this many
+    /// consecutive heartbeats is quarantined, so later sweeps report it
+    /// failed without paying another full deadline.
+    pub breaker: BreakerConfig,
+    /// Backoff policy bounding post-repair re-broadcast retries in
+    /// [`RelayTier::repair_converged`].
+    pub repair_retry: RetryPolicy,
 }
 
 impl RelayTierConfig {
     /// Fast defaults for `nodes` relays: 256 KiB chunks, no simulated hop
-    /// cost, 100 ms heartbeat deadline.
+    /// cost, 100 ms heartbeat deadline, breaker tripping on two missed
+    /// heartbeats, ~1.5 s worst-case repair-retry budget.
     pub fn fast(nodes: usize) -> Self {
         RelayTierConfig {
             nodes,
@@ -86,6 +98,18 @@ impl RelayTierConfig {
             hop_seconds_per_byte: 0.0,
             hop_startup: 0.0,
             heartbeat_timeout: StdDuration::from_millis(100),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                window: SimDuration::from_secs(30),
+                cooldown: SimDuration::from_secs(5),
+            },
+            repair_retry: RetryPolicy {
+                base: SimDuration::from_millis(50),
+                factor: 2.0,
+                max_delay: SimDuration::from_secs(1),
+                max_retries: 5,
+                jitter: 0.0,
+            },
         }
     }
 }
@@ -111,6 +135,8 @@ pub struct RelayTier {
     latest: Option<WeightVersion>,
     publishes: u64,
     rebroadcasts: u64,
+    breakers: Vec<CircuitBreaker>,
+    epoch: Instant,
 }
 
 impl RelayTier {
@@ -137,6 +163,7 @@ impl RelayTier {
             });
         }
         let chain: Vec<usize> = (0..cfg.nodes).collect();
+        let breakers = vec![CircuitBreaker::new(cfg.breaker); cfg.nodes];
         let mut tier = RelayTier {
             cfg,
             nodes,
@@ -144,6 +171,8 @@ impl RelayTier {
             latest: None,
             publishes: 0,
             rebroadcasts: 0,
+            breakers,
+            epoch: Instant::now(),
         };
         tier.relink_chain();
         tier
@@ -167,6 +196,18 @@ impl RelayTier {
     /// Total repair-triggered re-broadcasts.
     pub fn rebroadcasts(&self) -> u64 {
         self.rebroadcasts
+    }
+
+    /// Times relay `id`'s heartbeat circuit breaker has tripped (`None` if
+    /// the id is out of range).
+    pub fn breaker_trips(&self, id: usize) -> Option<u64> {
+        self.breakers.get(id).map(|b| b.trips())
+    }
+
+    /// Wall time since tier construction, mapped onto the virtual-time axis
+    /// the policy primitives speak.
+    fn wall_now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
     }
 
     fn relink_chain(&mut self) {
@@ -210,11 +251,14 @@ impl RelayTier {
     /// (colocated PCIe load in the paper). `None` if nothing arrived yet or
     /// the id is out of range.
     pub fn pull(&self, id: usize) -> Option<WeightVersion> {
+        // A worker that died mid-write leaves the lock poisoned; the store
+        // itself only ever holds complete versions (assembly happens in
+        // worker-local buffers), so recover the guard and keep serving.
         self.nodes
             .get(id)?
             .store
             .read()
-            .expect("relay store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
@@ -233,7 +277,7 @@ impl RelayTier {
             .get(id)?
             .store
             .read()
-            .expect("relay store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map(|w| w.version)
     }
@@ -265,6 +309,16 @@ impl RelayTier {
         }
     }
 
+    /// Fault injection: relay `id`'s worker crashes *while holding its
+    /// store write lock*, poisoning the lock mid-write — the worst-case
+    /// variant of [`RelayTier::kill`]. Pulls must keep serving the last
+    /// complete version and repair must evict the dead worker.
+    pub fn poison(&mut self, id: usize) {
+        if let Some(n) = self.nodes.get(id) {
+            let _ = n.cmd.send(Command::Poison);
+        }
+    }
+
     /// One heartbeat pass over the relays currently believed alive; returns
     /// the ids that missed the deadline.
     ///
@@ -272,24 +326,37 @@ impl RelayTier {
     /// deadline, so detection latency is one `heartbeat_timeout` regardless
     /// of how many relays are dead — not O(n × deadline) as a sequential
     /// per-relay `recv_timeout` would be.
-    pub fn heartbeat(&self) -> Vec<usize> {
-        let pending: Vec<(usize, Receiver<usize>)> = self
-            .chain
-            .iter()
-            .map(|&id| {
-                let (tx, rx) = channel();
-                let _ = self.nodes[id].cmd.send(Command::Ping(tx));
-                (id, rx)
-            })
-            .collect();
-        let deadline = Instant::now() + self.cfg.heartbeat_timeout;
+    ///
+    /// Each relay carries a circuit breaker fed by sweep outcomes: a node
+    /// whose breaker is open (it missed `breaker.failure_threshold`
+    /// consecutive sweeps) is reported failed immediately, without being
+    /// pinged — a flapping or wedged relay stops costing a deadline per
+    /// sweep until its cooldown admits a probe.
+    pub fn heartbeat(&mut self) -> Vec<usize> {
+        let now = self.wall_now();
         let mut failed = Vec::new();
+        let mut pending: Vec<(usize, Receiver<usize>)> = Vec::new();
+        for &id in &self.chain {
+            if !self.breakers[id].allow(now) {
+                failed.push(id);
+                continue;
+            }
+            let (tx, rx) = channel();
+            let _ = self.nodes[id].cmd.send(Command::Ping(tx));
+            pending.push((id, rx));
+        }
+        let deadline = Instant::now() + self.cfg.heartbeat_timeout;
         for (id, rx) in pending {
             let left = deadline.saturating_duration_since(Instant::now());
             if rx.recv_timeout(left).is_err() {
+                let miss_at = self.wall_now();
+                self.breakers[id].record_failure(miss_at);
                 failed.push(id);
+            } else {
+                self.breakers[id].record_success();
             }
         }
+        failed.sort_unstable();
         failed
     }
 
@@ -300,14 +367,7 @@ impl RelayTier {
     pub fn repair(&mut self) -> RepairReport {
         let failed = self.heartbeat();
         let start = Instant::now();
-        if !failed.is_empty() {
-            self.chain.retain(|id| !failed.contains(id));
-            assert!(!self.chain.is_empty(), "all relay workers failed");
-            for &id in &failed {
-                self.nodes[id].alive = false;
-            }
-            self.relink_chain();
-        }
+        self.evict(&failed);
         let rebuild = start.elapsed();
         let rebroadcast = !failed.is_empty() && self.latest.is_some();
         if rebroadcast {
@@ -320,6 +380,51 @@ impl RelayTier {
             rebuild,
             master: self.master(),
             rebroadcast,
+        }
+    }
+
+    fn evict(&mut self, failed: &[usize]) {
+        if failed.is_empty() {
+            return;
+        }
+        self.chain.retain(|id| !failed.contains(id));
+        assert!(!self.chain.is_empty(), "all relay workers failed");
+        for &id in failed {
+            self.nodes[id].alive = false;
+        }
+        self.relink_chain();
+    }
+
+    /// [`RelayTier::repair`], then drive the post-repair re-broadcast to
+    /// convergence under the configured [`RetryPolicy`]: attempt `k` waits
+    /// `repair_retry.raw_delay(k)` for every survivor to hold the latest
+    /// version; on timeout the tier re-sweeps (evicting any relay that died
+    /// *during* the re-broadcast) and re-sends. Returns the repair report
+    /// and whether convergence was reached within the bounded retry budget
+    /// — the caller must degrade rather than wait forever when it wasn't.
+    pub fn repair_converged(&mut self) -> (RepairReport, bool) {
+        let report = self.repair();
+        let Some(version) = self.latest.as_ref().map(|w| w.version) else {
+            return (report, true);
+        };
+        if !report.rebroadcast {
+            return (report, true);
+        }
+        let mut attempt = 0;
+        loop {
+            let Some(wait) = self.cfg.repair_retry.raw_delay(attempt) else {
+                return (report, false);
+            };
+            let wait = StdDuration::from_secs_f64(wait.as_secs_f64());
+            if self.wait_converged(version, wait) {
+                return (report, true);
+            }
+            let failed = self.heartbeat();
+            self.evict(&failed);
+            let wv = self.latest.clone().expect("latest checked above");
+            self.send_version_to_master(&wv);
+            self.rebroadcasts += 1;
+            attempt += 1;
         }
     }
 
@@ -343,6 +448,7 @@ impl RelayTier {
             alive: true,
             thread: Some(thread),
         });
+        self.breakers.push(CircuitBreaker::new(self.cfg.breaker));
         self.chain.push(id);
         self.relink_chain();
         if let Some(wv) = self.latest.clone() {
@@ -413,7 +519,7 @@ fn node_loop(
                 }
                 let have = store
                     .read()
-                    .expect("relay store poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .as_ref()
                     .map(|w| w.version);
                 if have.is_some_and(|v| v >= version) {
@@ -442,7 +548,7 @@ fn node_loop(
                     for c in a.received {
                         blob.extend_from_slice(&c.expect("all chunks received"));
                     }
-                    let mut w = store.write().expect("relay store poisoned");
+                    let mut w = store.write().unwrap_or_else(PoisonError::into_inner);
                     if w.as_ref().is_none_or(|cur| cur.version < version) {
                         *w = Some(WeightVersion {
                             version,
@@ -464,6 +570,13 @@ fn node_loop(
             Command::Fail => {
                 failed = true;
                 next = None;
+            }
+            Command::Poison => {
+                // Crash while holding the store write lock: the thread dies
+                // and the RwLock is left poisoned, exactly like a worker
+                // panicking mid-write in production.
+                let _guard = store.write().unwrap_or_else(PoisonError::into_inner);
+                panic!("relay {_id}: injected crash while holding the store lock");
             }
             Command::Shutdown => break,
         }
@@ -712,6 +825,94 @@ mod tests {
         let mut failed = tier.heartbeat();
         failed.sort_unstable();
         assert_eq!(failed, vec![1, 4]);
+        tier.shutdown();
+    }
+
+    /// The poison-recovery satellite: a worker that panics *while holding
+    /// its store write lock* must not take the tier down — pulls recover
+    /// the poisoned lock and keep serving the last complete version, and
+    /// repair evicts the dead worker so publishes continue.
+    #[test]
+    fn poisoned_store_still_serves_pulls_and_repairs() {
+        let mut tier = RelayTier::new(RelayTierConfig::fast(5));
+        let data = blob(32 * 1024, 0x99);
+        tier.publish(1, data.clone());
+        assert!(tier.wait_converged(1, StdDuration::from_secs(5)));
+        tier.poison(2);
+        // Wait for the worker thread to actually die holding the lock.
+        let deadline = Instant::now() + StdDuration::from_secs(5);
+        while !tier.nodes[2]
+            .thread
+            .as_ref()
+            .is_some_and(JoinHandle::is_finished)
+        {
+            assert!(Instant::now() < deadline, "poisoned worker never died");
+            thread::sleep(StdDuration::from_millis(1));
+        }
+        // The lock is now poisoned; pulls must recover it and serve v1.
+        let wv = tier.pull(2).expect("poisoned store still serves");
+        assert_eq!(wv.version, 1);
+        assert_eq!(wv.data, data);
+        assert_eq!(tier.node_version(2), Some(1));
+        // The dead worker misses heartbeats, gets evicted, and the
+        // survivors keep converging on new versions.
+        let report = tier.repair();
+        assert_eq!(report.failed, vec![2]);
+        tier.publish(2, blob(32 * 1024, 0x9A));
+        assert!(tier.wait_converged(2, StdDuration::from_secs(5)));
+        assert_eq!(tier.alive_nodes(), vec![0, 1, 3, 4]);
+        tier.shutdown();
+    }
+
+    /// After enough consecutive missed sweeps the node's circuit breaker
+    /// opens and later sweeps report it failed *without* pinging it, so a
+    /// wedged relay stops costing a heartbeat deadline per sweep.
+    #[test]
+    fn breaker_quarantines_node_after_consecutive_misses() {
+        let deadline = StdDuration::from_millis(150);
+        let mut tier = RelayTier::new(RelayTierConfig {
+            heartbeat_timeout: deadline,
+            ..RelayTierConfig::fast(4)
+        });
+        tier.kill(2);
+        // fast() trips the breaker on two consecutive misses.
+        assert_eq!(tier.heartbeat(), vec![2]);
+        assert_eq!(tier.breaker_trips(2), Some(0));
+        assert_eq!(tier.heartbeat(), vec![2]);
+        assert_eq!(tier.breaker_trips(2), Some(1));
+        // Third sweep: node 2 is rejected by its open breaker up front, so
+        // the sweep finishes as soon as the three alive relays reply —
+        // well before the deadline a ping to the dead node would cost.
+        let start = Instant::now();
+        assert_eq!(tier.heartbeat(), vec![2]);
+        assert!(
+            start.elapsed() < deadline,
+            "open breaker must skip the dead node's deadline: {:?}",
+            start.elapsed()
+        );
+        tier.shutdown();
+    }
+
+    /// `repair_converged` bounds the post-repair re-broadcast with the
+    /// retry policy instead of waiting forever.
+    #[test]
+    fn repair_converged_reaches_survivors_within_retry_budget() {
+        let mut tier = RelayTier::new(RelayTierConfig {
+            // Slow hops so the kill lands mid-broadcast.
+            hop_seconds_per_byte: 2e-9,
+            hop_startup: 1e-4,
+            ..RelayTierConfig::fast(6)
+        });
+        tier.publish(1, blob(1 << 22, 0x55));
+        tier.kill(2);
+        thread::sleep(StdDuration::from_millis(30));
+        let (report, converged) = tier.repair_converged();
+        assert_eq!(report.failed, vec![2]);
+        assert!(report.rebroadcast);
+        assert!(converged, "survivors must converge within the retry budget");
+        for &id in &[0, 1, 3, 4, 5] {
+            assert_eq!(tier.node_version(id), Some(1));
+        }
         tier.shutdown();
     }
 

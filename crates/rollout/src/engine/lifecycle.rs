@@ -160,8 +160,29 @@ impl ReplicaEngine {
 
     /// Delays every environment call currently in flight by `extra` —
     /// an env-call timeout fault. Returns how many calls were delayed.
+    ///
+    /// When [`super::EngineConfig::env_stall_budget`] is set, each call
+    /// absorbs delay only up to the budget: the portion beyond it is
+    /// dropped, the trajectory is marked aborted, and it completes early at
+    /// its (no longer receding) return deadline instead of wedging the
+    /// batch forever.
     pub fn delay_env_returns(&mut self, extra: laminar_sim::Duration, now: Time) -> u64 {
         self.advance_to(now);
+        let budget = self.cfg.env_stall_budget;
+        let capped = |st: &mut TrajState| {
+            let applied = match budget {
+                Some(b) => {
+                    let remaining = b.saturating_sub(st.env_stalled);
+                    if extra > remaining {
+                        st.aborted = true;
+                    }
+                    extra.min(remaining)
+                }
+                None => extra,
+            };
+            st.env_stalled += applied;
+            applied
+        };
         let mut delayed = 0;
         // BTreeMap iteration is id-ordered, so the pushed deadlines (and the
         // resulting timeline) are deterministic.
@@ -169,7 +190,7 @@ impl ReplicaEngine {
         for id in ids {
             let st = self.active.get_mut(&id).expect("id from keys");
             if let Phase::Env { until } = st.phase {
-                let new_until = until.max(now) + extra;
+                let new_until = until.max(now) + capped(st);
                 st.phase = Phase::Env { until: new_until };
                 self.push_phase_deadline(id, new_until);
                 delayed += 1;
@@ -179,7 +200,7 @@ impl ReplicaEngine {
         for st in self.waiting.iter_mut() {
             if let Phase::Env { until } = st.phase {
                 st.phase = Phase::Env {
-                    until: until.max(now) + extra,
+                    until: until.max(now) + capped(st),
                 };
                 delayed += 1;
             }
@@ -282,6 +303,22 @@ impl ReplicaEngine {
         let Some(st) = self.active.get_mut(&id) else {
             return;
         };
+        if st.aborted {
+            // The env call exhausted the stall budget: end the trajectory
+            // here rather than continuing its remaining segments.
+            let mut sink = Vec::with_capacity(1);
+            self.remove_active(id, &mut sink);
+            let st = sink.pop().expect("just removed");
+            self.completions.push(CompletedTraj {
+                spec: st.spec,
+                policy_versions: st.policy_versions,
+                started_at: st.started_at,
+                finished_at: t,
+            });
+            self.completed_count += 1;
+            self.env_aborts += 1;
+            return;
+        }
         st.segment += 1;
         st.decoded_in_segment = 0.0;
         if st.segment >= st.spec.segments.len() {
@@ -357,6 +394,20 @@ impl ReplicaEngine {
 
     pub(super) fn try_admit(&mut self, now: Time) {
         while let Some(front) = self.waiting.front() {
+            if front.aborted {
+                // Budget-exhausted while waiting (moved mid-env-call):
+                // complete early instead of re-admitting.
+                let st = self.waiting.pop_front().expect("front exists");
+                self.completions.push(CompletedTraj {
+                    spec: st.spec,
+                    policy_versions: st.policy_versions,
+                    started_at: st.started_at,
+                    finished_at: now,
+                });
+                self.completed_count += 1;
+                self.env_aborts += 1;
+                continue;
+            }
             let need = front.spec.final_context() as f64;
             let fits = self.active.len() < self.cfg.max_concurrency
                 && self.reserved + need <= self.kv_capacity;

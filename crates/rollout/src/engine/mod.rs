@@ -65,6 +65,12 @@ pub struct EngineConfig {
     /// Record per-phase trace spans (prefill / decode segment / env call),
     /// drained via [`ReplicaEngine::take_trace_spans`].
     pub record_trace: bool,
+    /// Env-call stall budget: the maximum cumulative extra delay an
+    /// in-flight environment call may absorb from `EnvStall` faults before
+    /// the call is abandoned and the trajectory completes early (derived
+    /// from a `RetryPolicy`'s total backoff budget by the driver). `None`
+    /// preserves the historical unbounded behaviour.
+    pub env_stall_budget: Option<laminar_sim::Duration>,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +80,7 @@ impl Default for EngineConfig {
             horizon_steps: 128.0,
             record_kv_series: false,
             record_trace: false,
+            env_stall_budget: None,
         }
     }
 }
@@ -150,7 +157,12 @@ pub(crate) fn materialize(st: &mut TrajState, global_steps: f64) {
 }
 
 /// One rollout replica.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the complete engine — heaps, resident trajectories,
+/// lazy accumulators, buffered spans — which is what the checkpoint/restore
+/// plane relies on; the heap clones copy backing storage verbatim so pop
+/// order survives the round trip.
+#[derive(Debug, Clone)]
 pub struct ReplicaEngine {
     /// Replica id within the system.
     pub id: usize,
@@ -193,6 +205,9 @@ pub struct ReplicaEngine {
     /// Straggler multiplier: decode steps and prefills take `perf_factor ×`
     /// their modeled time. 1.0 (the default) is exact full speed.
     perf_factor: f64,
+    /// Trajectories completed early because an env call exhausted the
+    /// stall budget ([`EngineConfig::env_stall_budget`]).
+    env_aborts: u64,
 }
 
 impl ReplicaEngine {
@@ -231,6 +246,7 @@ impl ReplicaEngine {
             seg_heap: BinaryHeap::new(),
             events_processed: 0,
             perf_factor: 1.0,
+            env_aborts: 0,
         }
     }
 
@@ -340,6 +356,19 @@ impl ReplicaEngine {
     /// Current straggler multiplier (1.0 = full speed).
     pub fn perf_factor(&self) -> f64 {
         self.perf_factor
+    }
+
+    /// Trajectories completed early because an env call exhausted the
+    /// stall budget.
+    pub fn env_aborts(&self) -> u64 {
+        self.env_aborts
+    }
+
+    /// Entries currently sitting in the internal event heaps (live or
+    /// lazily invalidated). A drained replica holds zero — the reclamation
+    /// soak test asserts this for dead replicas.
+    pub fn pending_heap_entries(&self) -> usize {
+        self.phase_heap.len() + self.seg_heap.len()
     }
 
     /// Ids of every trajectory the replica currently holds — resident

@@ -1,6 +1,6 @@
 //! Per-trajectory execution state inside a replica.
 
-use laminar_sim::Time;
+use laminar_sim::{Duration, Time};
 use laminar_workload::{Segment, TrajectorySpec};
 
 /// Execution phase of an in-flight trajectory.
@@ -58,6 +58,13 @@ pub struct TrajState {
     /// Stale heap entries are detected by comparing against this field.
     /// Reset to 0 whenever the trajectory leaves the decoding phase.
     pub finish_key: f64,
+    /// Cumulative extra delay absorbed by this trajectory's env calls from
+    /// `EnvStall` faults, counted against the engine's stall budget.
+    pub env_stalled: Duration,
+    /// Set when an env call exhausted the stall budget: the call is
+    /// abandoned and the trajectory completes early at its next transition
+    /// instead of wedging the batch.
+    pub aborted: bool,
 }
 
 impl TrajState {
@@ -75,6 +82,8 @@ impl TrajState {
             decode_started_at: now,
             steps_baseline: 0.0,
             finish_key: 0.0,
+            env_stalled: Duration::ZERO,
+            aborted: false,
         }
     }
 

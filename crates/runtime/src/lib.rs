@@ -14,14 +14,22 @@
 //!   format and staleness accounting;
 //! * [`RlSystem`] — the trait each of the five systems implements;
 //! * [`trace`] — the [`TraceSink`] event-trace layer: every scheduler emits
-//!   phase spans (prefill, decode, weight sync, stalls, …) in virtual time.
+//!   phase spans (prefill, decode, weight sync, stalls, …) in virtual time;
+//! * [`policy`] — the unified retry/backoff + circuit-breaker policies every
+//!   recovery path shares;
+//! * [`recovery`] — deterministic checkpoint/restore: the [`Recoverable`]
+//!   trait and its byte-identity equivalence checker.
 
 pub mod batch;
 pub mod config;
+pub mod policy;
+pub mod recovery;
 pub mod report;
 pub mod trace;
 
 pub use batch::{generate_batch, generate_batch_at, generate_batch_traced, BatchGenStats};
 pub use config::SystemConfig;
+pub use policy::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+pub use recovery::{check_resume_equivalence, Recoverable, ResumeEquivalence, RunSnapshot};
 pub use report::{consumed_at, ConsumedTraj, RlSystem, RunReport};
 pub use trace::{NullTrace, RecordingTrace, SpanKind, TraceSink, TraceSpan};

@@ -1,0 +1,22 @@
+//! The unified retry/backoff and circuit-breaker policy surface.
+//!
+//! Every recovery path in the workspace speaks these types: the relay tier's
+//! heartbeat sweep and chain rebuild, the Laminar driver's replica
+//! re-admission after faults, and the rollout engine's env-call stall
+//! budget. The primitives themselves live in [`laminar_sim::policy`] — the
+//! bottom of the crate stack — so the relay and rollout layers can use them
+//! without a runtime dependency; this module is the single name the rest of
+//! the workspace (and external users) import them under.
+//!
+//! Semantics in one paragraph: a [`RetryPolicy`] yields a bounded,
+//! deterministic schedule of exponentially growing delays (jittered through
+//! the caller's [`laminar_sim::SimRng`] stream, so reruns reproduce the
+//! schedule byte for byte), and `RetryPolicy::total_budget` bounds the total
+//! wait an operation may consume before it must fail instead of waiting
+//! again. A [`CircuitBreaker`] quarantines a component after
+//! `failure_threshold` consecutive failures within its window: requests are
+//! rejected for `cooldown`, then exactly one probe is admitted, and the
+//! probe's outcome decides between re-closing and another full cooldown —
+//! which is what stops a flapping node from being re-admitted every sweep.
+
+pub use laminar_sim::policy::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -1,0 +1,147 @@
+//! Deterministic checkpoint/restore: the [`Recoverable`] trait and its
+//! equivalence checker.
+//!
+//! A recoverable system can run with snapshots taken at a configurable
+//! virtual-time cadence, and any snapshot can be resumed to completion.
+//! Because every system in the workspace is a deterministic function of its
+//! configuration, a resumed run is *provably byte-identical* to the
+//! uninterrupted one: same report text, same trace, bit for bit. Systems
+//! buffer their trace spans inside the run state (rather than streaming
+//! them to the sink mid-run), so a resumed run re-emits the complete trace
+//! from `t = 0` — strictly stronger than matching only the suffix, and what
+//! [`check_resume_equivalence`] verifies.
+//!
+//! Snapshot *contents* are whole-state: the rollout engines (heaps and
+//! resident trajectories included), experience/partial buffers, actor and
+//! relay weight versions, the driver's clock, and the pending event queue
+//! all ride along via `Clone`. The scheduler clone copies its queue storage
+//! verbatim, so event pop order — including FIFO tie-breaks — survives the
+//! round trip.
+
+use crate::config::SystemConfig;
+use crate::report::{RlSystem, RunReport};
+use crate::trace::{RecordingTrace, TraceSink};
+use laminar_sim::{Duration, Time};
+
+/// One snapshot captured at a checkpoint cadence point.
+#[derive(Debug, Clone)]
+pub struct RunSnapshot<S> {
+    /// The cadence instant this snapshot represents (a multiple of the
+    /// checkpoint interval; the run's clock may sit slightly earlier, at
+    /// the last event at or before this instant).
+    pub at: Time,
+    /// 0-based index of the cadence point.
+    pub index: usize,
+    /// The full run state.
+    pub state: S,
+}
+
+/// An [`RlSystem`] supporting deterministic checkpoint/restore.
+pub trait Recoverable: RlSystem {
+    /// The full mid-run state. Cloneable so one run can yield many
+    /// independent resumable snapshots.
+    type Snapshot: Clone;
+
+    /// Runs to completion, capturing a snapshot at every multiple of
+    /// `every` (virtual time) crossed before the run finishes. Must produce
+    /// exactly the report and trace of [`RlSystem::run_traced`] — taking
+    /// snapshots never perturbs the run.
+    fn run_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, Vec<RunSnapshot<Self::Snapshot>>);
+
+    /// Resumes a snapshot to completion. The report and the *complete*
+    /// trace (systems buffer spans in-state, so the resumed run emits the
+    /// full history) must be byte-identical to the uninterrupted run's.
+    fn resume(&self, snapshot: Self::Snapshot, trace: &mut dyn TraceSink) -> RunReport;
+
+    /// A cheap deterministic digest of the snapshot state. Checkpoint
+    /// descriptor files persist this so `--resume-from` can verify that a
+    /// deterministic replay reconstructed the same state before resuming.
+    fn fingerprint(snapshot: &Self::Snapshot) -> u64;
+}
+
+/// FNV-1a over a word stream: the fingerprint fold every implementation
+/// uses (declared here so digests stay consistent across crates).
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Outcome of one checkpoint/restore equivalence check.
+#[derive(Debug, Clone)]
+pub struct ResumeEquivalence {
+    /// The checkpoint cadence exercised.
+    pub cadence: Duration,
+    /// Snapshots the checkpointed run captured.
+    pub snapshots: usize,
+    /// The checkpointed run itself matched the uninterrupted run.
+    pub checkpointed_identical: bool,
+    /// How many resumed snapshots reproduced the uninterrupted run.
+    pub resumes_identical: usize,
+    /// Human-readable description of the first divergence, if any.
+    pub first_divergence: Option<String>,
+}
+
+impl ResumeEquivalence {
+    /// True when the checkpointed run and every resumed snapshot matched
+    /// the uninterrupted run byte for byte.
+    pub fn identical(&self) -> bool {
+        self.checkpointed_identical && self.resumes_identical == self.snapshots
+    }
+}
+
+/// Runs `sys` three ways — uninterrupted, checkpointed at `every`, and
+/// resumed from every captured snapshot — and verifies that report text and
+/// trace JSONL are byte-identical across all of them.
+pub fn check_resume_equivalence<S: Recoverable>(
+    sys: &S,
+    cfg: &SystemConfig,
+    every: Duration,
+) -> ResumeEquivalence {
+    let mut base_trace = RecordingTrace::new();
+    let base_report = sys.run_traced(cfg, &mut base_trace);
+    let base_text = format!("{base_report:?}");
+    let base_jsonl = base_trace.to_jsonl();
+
+    let mut ck_trace = RecordingTrace::new();
+    let (ck_report, snapshots) = sys.run_checkpointed(cfg, every, &mut ck_trace);
+    let mut first_divergence = None;
+    let checkpointed_identical =
+        format!("{ck_report:?}") == base_text && ck_trace.to_jsonl() == base_jsonl;
+    if !checkpointed_identical {
+        first_divergence = Some("checkpointed run diverged from uninterrupted run".to_string());
+    }
+
+    let total = snapshots.len();
+    let mut resumes_identical = 0;
+    for snap in snapshots {
+        let (at, index) = (snap.at, snap.index);
+        let mut trace = RecordingTrace::new();
+        let report = sys.resume(snap.state, &mut trace);
+        if format!("{report:?}") == base_text && trace.to_jsonl() == base_jsonl {
+            resumes_identical += 1;
+        } else if first_divergence.is_none() {
+            first_divergence = Some(format!(
+                "resume from snapshot {index} (t = {:.1}s) diverged",
+                at.as_secs_f64()
+            ));
+        }
+    }
+    ResumeEquivalence {
+        cadence: every,
+        snapshots: total,
+        checkpointed_identical,
+        resumes_identical,
+        first_divergence,
+    }
+}

@@ -18,6 +18,7 @@ pub trait SimWorld {
     fn handle(&mut self, now: Time, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+#[derive(Clone)]
 struct Scheduled<E> {
     at: Time,
     seq: u64,
@@ -44,6 +45,12 @@ impl<E> Ord for Scheduled<E> {
 }
 
 /// The clock plus the pending-event queue.
+///
+/// Cloning (for `E: Clone`) copies the queue's backing storage verbatim, so
+/// a clone pops events in exactly the same order as the original — the
+/// property the checkpoint/restore plane relies on for byte-identical
+/// resumption.
+#[derive(Clone)]
 pub struct Scheduler<E> {
     now: Time,
     seq: u64,
@@ -76,6 +83,14 @@ impl<E> Scheduler<E> {
     /// Total number of events delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Total number of events ever scheduled (the sequence counter). With
+    /// [`Scheduler::now`] and [`Scheduler::delivered`] this identifies the
+    /// exact point a deterministic run has reached — the checkpoint plane
+    /// folds all three into its state fingerprint.
+    pub fn scheduled(&self) -> u64 {
+        self.seq
     }
 
     /// Number of events still pending.
@@ -127,6 +142,18 @@ pub struct Simulation<W: SimWorld> {
     pub scheduler: Scheduler<W::Event>,
 }
 
+impl<W: SimWorld + Clone> Clone for Simulation<W>
+where
+    W::Event: Clone,
+{
+    fn clone(&self) -> Self {
+        Simulation {
+            world: self.world.clone(),
+            scheduler: self.scheduler.clone(),
+        }
+    }
+}
+
 impl<W: SimWorld> Simulation<W> {
     /// Wraps a world with a fresh scheduler at time zero.
     pub fn new(world: W) -> Self {
@@ -176,6 +203,34 @@ impl<W: SimWorld> Simulation<W> {
                 return !keep_going(&self.world);
             }
             budget -= 1;
+        }
+        true
+    }
+
+    /// Like [`Simulation::run_while`], but also pauses once the next pending
+    /// event lies strictly after `deadline` — leaving the simulation at a
+    /// well-defined between-events instant, which is exactly where the
+    /// checkpoint plane takes its snapshots. Returns `true` if the predicate
+    /// was met (the run finished), `false` if it paused at the deadline, the
+    /// queue drained, or the budget ran out first.
+    pub fn run_while_until<F: FnMut(&W) -> bool>(
+        &mut self,
+        mut keep_going: F,
+        deadline: Time,
+        max_events: u64,
+    ) -> bool {
+        let mut budget = max_events;
+        while keep_going(&self.world) {
+            match self.scheduler.next_event_time() {
+                Some(t) if t <= deadline => {
+                    if budget == 0 {
+                        return false;
+                    }
+                    self.step();
+                    budget -= 1;
+                }
+                _ => return false,
+            }
         }
         true
     }
@@ -277,6 +332,67 @@ mod tests {
         sim.scheduler.immediately(());
         let met = sim.run_while(|w| w.n < 5, 2);
         assert!(!met);
+    }
+
+    #[test]
+    fn run_while_until_pauses_between_events() {
+        struct Ticker {
+            n: u32,
+        }
+        impl SimWorld for Ticker {
+            type Event = ();
+            fn handle(&mut self, _now: Time, _ev: (), s: &mut Scheduler<()>) {
+                self.n += 1;
+                s.after(Duration::from_secs(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Ticker { n: 0 });
+        sim.scheduler.immediately(());
+        // Events land at t=0,1,2,3s; the 4s deadline admits four of them.
+        let met = sim.run_while_until(|w| w.n < 100, Time::from_secs(3), 1_000);
+        assert!(!met, "paused at the deadline, predicate unmet");
+        assert_eq!(sim.world.n, 4);
+        assert_eq!(
+            sim.scheduler.next_event_time(),
+            Some(Time::from_secs(4)),
+            "next event left queued strictly after the deadline"
+        );
+        let met = sim.run_while_until(|w| w.n < 6, Time::from_secs(1_000), 1_000);
+        assert!(met, "resuming past the deadline finishes the predicate");
+        assert_eq!(sim.world.n, 6);
+    }
+
+    #[test]
+    fn cloned_simulation_replays_identically() {
+        #[derive(Clone, Default)]
+        struct Chain {
+            seen: Vec<(u64, u32)>,
+        }
+        impl SimWorld for Chain {
+            type Event = u32;
+            fn handle(&mut self, now: Time, ev: u32, s: &mut Scheduler<u32>) {
+                self.seen.push((now.as_nanos(), ev));
+                if ev < 40 {
+                    // Fan out: ties at the same instant stress FIFO order.
+                    s.after(Duration::from_nanos(ev as u64 % 3), ev + 1);
+                    s.after(Duration::from_nanos(2), ev + 2);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chain::default());
+        sim.scheduler.at(Time::from_nanos(5), 0);
+        sim.run_while(|w| w.seen.len() < 17, 1_000_000);
+        let snapshot = sim.clone();
+        assert_eq!(snapshot.scheduler.scheduled(), sim.scheduler.scheduled());
+        sim.run_to_completion();
+        let mut resumed = snapshot;
+        resumed.run_to_completion();
+        assert_eq!(
+            resumed.world.seen, sim.world.seen,
+            "a cloned simulation must replay the identical event sequence"
+        );
+        assert_eq!(resumed.scheduler.now(), sim.scheduler.now());
+        assert_eq!(resumed.scheduler.delivered(), sim.scheduler.delivered());
     }
 
     #[test]

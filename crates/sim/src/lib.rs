@@ -40,12 +40,14 @@
 //! ```
 
 pub mod engine;
+pub mod policy;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Scheduler, SimWorld, Simulation};
+pub use policy::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, ThroughputMeter, TimeSeries, TimeWeighted};
 pub use time::{Duration, Time};

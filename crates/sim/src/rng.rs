@@ -49,6 +49,13 @@ impl SimRng {
         SimRng::new(splitmix64(seed ^ h))
     }
 
+    /// The four internal state words. Exposed for state fingerprinting
+    /// (checkpoint descriptors); equal words mean the streams will produce
+    /// identical output forever.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next raw 64-bit output (xoshiro256++ step).
     fn next_u64(&mut self) -> u64 {
         let out = self.s[0]

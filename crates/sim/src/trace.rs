@@ -33,6 +33,13 @@ pub enum SpanKind {
     Repack,
     /// A failure or recovery window (machine loss, trainer crash).
     Failure,
+    /// The driver entered degraded mode: sustained capacity loss shrank the
+    /// admission target and relaxed the staleness cap within its bound.
+    /// Emitted as a zero-length marker at the entry instant.
+    Degraded,
+    /// The driver left degraded mode; the window `[start, end]` covers the
+    /// whole degraded episode (MTTR is derived from these spans).
+    Recovered,
 }
 
 impl SpanKind {
@@ -47,6 +54,8 @@ impl SpanKind {
             SpanKind::Stall => "stall",
             SpanKind::Repack => "repack",
             SpanKind::Failure => "failure",
+            SpanKind::Degraded => "degraded",
+            SpanKind::Recovered => "recovered",
         }
     }
 }
