@@ -1,22 +1,39 @@
 //! In-tree benchmark harness behind `laminar-experiments --bench`.
 //!
-//! Two measurements, written as a small JSON document (`BENCH_rollout.json`
-//! at the repo root by default) so successive runs can be diffed by
-//! `scripts/bench.sh`:
+//! Three measurements, written as a small JSON document
+//! (`BENCH_rollout.json` at the repo root by default) so successive runs
+//! can be diffed by `scripts/bench.sh`:
 //!
 //! - **micro**: the replica-engine hot path. The same trajectory batch is
-//!   run to completion on the retained naive full-scan reference engine and
-//!   on the indexed O(1)-per-event engine, and each is scored in processed
-//!   events per second of wall clock.
-//! - **e2e**: the experiment suite. The same experiment list runs once with
-//!   `jobs = 1` and once with the requested job count, timing wall clock
-//!   for each; the ratio is the parallel-executor speedup.
+//!   run to completion on the retained naive full-scan reference engine,
+//!   on the slab-indexed O(1)-per-event engine, and on the slab engine
+//!   with span tracing enabled (spans serialized to JSONL through one
+//!   reusable buffer). Each leg is scored in processed events per second
+//!   of wall clock.
+//! - **allocs**: alongside each micro leg, the counting global allocator
+//!   (see [`crate::alloc_count`]) reports allocator round trips per
+//!   engine event and the peak live-bytes excursion — a peak-RSS proxy.
+//!   The counters only read nonzero under the `laminar-experiments`
+//!   binary, which registers the wrapper; `alloc_counting_active` records
+//!   whether the numbers are live or the harness ran unregistered.
+//! - **e2e**: the experiment suite. The same experiment list runs once
+//!   with `jobs = 1` and once with the requested job count, timing wall
+//!   clock for each; the ratio is the parallel-executor speedup. When the
+//!   request resolves to one worker anyway (see
+//!   [`crate::runner::effective_jobs`] — e.g. a 1-CPU machine), the
+//!   parallel leg IS the serial leg: both would execute the identical
+//!   inline code path, so the serial timing is reused and the reported
+//!   speedup is exactly 1.0 instead of thread-pool noise. The recorded
+//!   `available_parallelism` and `effective_jobs` label such rows.
 //!
 //! The JSON is hand-rolled (the workspace is dependency-free); the schema
 //! is documented in the README and stamped with a `schema` version so the
-//! diff script can reject incompatible files.
+//! diff script can reject incompatible files. Schema 2 keeps schema 1's
+//! throughput key names so existing diff tooling keeps working.
 
+use crate::alloc_count::{self, AllocStats};
 use crate::experiments::{all_experiment_ids, run_experiment, Opts};
+use crate::runner::effective_jobs;
 use laminar_cluster::{DecodeModel, GpuSpec, ModelSpec};
 use laminar_rollout::{EngineConfig, NaiveReplicaEngine, ReplicaEngine};
 use laminar_sim::{ThroughputMeter, Time};
@@ -24,31 +41,65 @@ use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// One micro-benchmark leg: throughput plus allocation accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroLeg {
+    /// Processed engine events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Allocator round trips per processed engine event (0 when the
+    /// counting allocator is not registered).
+    pub allocs_per_event: f64,
+    /// Peak live-heap excursion during the leg, bytes (peak-RSS proxy).
+    pub peak_bytes: u64,
+}
+
+impl MicroLeg {
+    fn from_run(events: u64, secs: f64, stats: AllocStats) -> Self {
+        MicroLeg {
+            events_per_sec: events as f64 / secs.max(1e-12),
+            allocs_per_event: stats.allocs as f64 / events.max(1) as f64,
+            peak_bytes: stats.peak_bytes,
+        }
+    }
+}
+
 /// Results of one `--bench` invocation.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// `"smoke"` or `"full"`.
     pub mode: &'static str,
-    /// Worker threads used for the parallel e2e leg.
+    /// Worker threads requested for the parallel e2e leg.
     pub jobs: usize,
+    /// The machine's available parallelism at run time.
+    pub available_parallelism: usize,
+    /// Whether the counting global allocator was live for the micro legs
+    /// (false when the harness runs without the wrapper registered, e.g.
+    /// under `cargo test` — allocation columns then read zero).
+    pub alloc_counting_active: bool,
     /// Trajectories in the micro-benchmark batch.
     pub micro_trajectories: usize,
-    /// Naive reference engine, processed events per wall-clock second.
-    pub naive_events_per_sec: f64,
-    /// Indexed engine, processed events per wall-clock second.
-    pub indexed_events_per_sec: f64,
+    /// Naive full-scan reference engine, untraced.
+    pub naive: MicroLeg,
+    /// Slab-indexed engine, untraced.
+    pub indexed: MicroLeg,
+    /// Slab-indexed engine with span tracing + JSONL serialization.
+    pub traced: MicroLeg,
     /// Experiment ids timed in the e2e leg.
     pub e2e_experiments: Vec<String>,
+    /// What the `jobs` request resolved to for the e2e list.
+    pub e2e_effective_jobs: usize,
     /// Wall clock for the `jobs = 1` e2e leg, seconds.
     pub serial_secs: f64,
-    /// Wall clock for the `jobs = N` e2e leg, seconds.
+    /// Wall clock for the `jobs = N` e2e leg, seconds. Equal to
+    /// [`BenchReport::serial_secs`] by construction when
+    /// [`BenchReport::e2e_effective_jobs`] is 1 (same inline code path).
     pub parallel_secs: f64,
 }
 
 impl BenchReport {
     /// Indexed-over-naive events/sec ratio.
     pub fn micro_speedup(&self) -> f64 {
-        self.indexed_events_per_sec / self.naive_events_per_sec.max(1e-12)
+        self.indexed.events_per_sec / self.naive.events_per_sec.max(1e-12)
     }
 
     /// Serial-over-parallel wall-clock ratio.
@@ -60,21 +111,58 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"schema\": 2,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(
+            s,
+            "  \"available_parallelism\": {},",
+            self.available_parallelism
+        );
+        let _ = writeln!(
+            s,
+            "  \"alloc_counting_active\": {},",
+            self.alloc_counting_active
+        );
         let _ = writeln!(s, "  \"micro\": {{");
         let _ = writeln!(s, "    \"trajectories\": {},", self.micro_trajectories);
         let _ = writeln!(
             s,
             "    \"naive_events_per_sec\": {:.1},",
-            self.naive_events_per_sec
+            self.naive.events_per_sec
         );
         let _ = writeln!(
             s,
             "    \"indexed_events_per_sec\": {:.1},",
-            self.indexed_events_per_sec
+            self.indexed.events_per_sec
         );
+        let _ = writeln!(
+            s,
+            "    \"traced_events_per_sec\": {:.1},",
+            self.traced.events_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "    \"naive_allocs_per_event\": {:.3},",
+            self.naive.allocs_per_event
+        );
+        let _ = writeln!(
+            s,
+            "    \"indexed_allocs_per_event\": {:.3},",
+            self.indexed.allocs_per_event
+        );
+        let _ = writeln!(
+            s,
+            "    \"traced_allocs_per_event\": {:.3},",
+            self.traced.allocs_per_event
+        );
+        let _ = writeln!(s, "    \"naive_peak_bytes\": {},", self.naive.peak_bytes);
+        let _ = writeln!(
+            s,
+            "    \"indexed_peak_bytes\": {},",
+            self.indexed.peak_bytes
+        );
+        let _ = writeln!(s, "    \"traced_peak_bytes\": {},", self.traced.peak_bytes);
         let _ = writeln!(s, "    \"speedup\": {:.2}", self.micro_speedup());
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"e2e\": {{");
@@ -84,6 +172,7 @@ impl BenchReport {
             .map(|id| format!("\"{id}\""))
             .collect();
         let _ = writeln!(s, "    \"experiments\": [{}],", ids.join(", "));
+        let _ = writeln!(s, "    \"effective_jobs\": {},", self.e2e_effective_jobs);
         let _ = writeln!(s, "    \"serial_secs\": {:.3},", self.serial_secs);
         let _ = writeln!(s, "    \"parallel_secs\": {:.3},", self.parallel_secs);
         let _ = writeln!(s, "    \"speedup\": {:.2}", self.e2e_speedup());
@@ -94,16 +183,29 @@ impl BenchReport {
 
     /// Human-readable summary for the terminal.
     pub fn summary(&self) -> String {
+        let alloc_note = if self.alloc_counting_active {
+            format!(
+                "allocs: naive {:.2}/ev | indexed {:.2}/ev | traced {:.2}/ev",
+                self.naive.allocs_per_event,
+                self.indexed.allocs_per_event,
+                self.traced.allocs_per_event,
+            )
+        } else {
+            "allocs: counting allocator not registered (columns read zero)".to_string()
+        };
         format!(
-            "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | {:.2}x\n\
-             e2e   : {} experiments | serial {:.2}s | --jobs {} {:.2}s | {:.2}x",
+            "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | traced {:>10.0} ev/s | {:.2}x\n\
+             {alloc_note}\n\
+             e2e   : {} experiments | serial {:.2}s | --jobs {} (effective {}) {:.2}s | {:.2}x",
             self.micro_trajectories,
-            self.naive_events_per_sec,
-            self.indexed_events_per_sec,
+            self.naive.events_per_sec,
+            self.indexed.events_per_sec,
+            self.traced.events_per_sec,
             self.micro_speedup(),
             self.e2e_experiments.len(),
             self.serial_secs,
             self.jobs,
+            self.e2e_effective_jobs,
             self.parallel_secs,
             self.e2e_speedup(),
         )
@@ -115,9 +217,9 @@ impl BenchReport {
     }
 }
 
-/// The single-turn batch both engines are scored on: every trajectory fully
-/// resident (default concurrency is 1024), one mid-flight weight interrupt
-/// to exercise the repack path.
+/// The single-turn batch all engine legs are scored on: every trajectory
+/// fully resident (default concurrency is 1024), one mid-flight weight
+/// interrupt to exercise the repack path.
 fn micro_batch(n: usize) -> Vec<laminar_workload::TrajectorySpec> {
     let workload = WorkloadGenerator::single_turn(11, Checkpoint::Math7B);
     (0..n as u64)
@@ -148,11 +250,22 @@ fn time_naive(specs: &[laminar_workload::TrajectorySpec], repeats: u32) -> (u64,
     (meter.events(), meter.elapsed_secs())
 }
 
-/// Same schedule on the indexed engine.
-fn time_indexed(specs: &[laminar_workload::TrajectorySpec], repeats: u32) -> (u64, f64) {
+/// Same schedule on the slab-indexed engine. With `traced`, per-phase span
+/// recording is on and every repeat serializes its spans to JSONL through
+/// one reusable buffer — the full cost of the streaming trace pipeline.
+fn time_indexed(
+    specs: &[laminar_workload::TrajectorySpec],
+    repeats: u32,
+    traced: bool,
+) -> (u64, f64) {
+    let cfg = EngineConfig {
+        record_trace: traced,
+        ..EngineConfig::default()
+    };
+    let mut jsonl = String::new();
     let mut meter = ThroughputMeter::new();
     for _ in 0..repeats {
-        let mut e = ReplicaEngine::new(0, decode(), EngineConfig::default());
+        let mut e = ReplicaEngine::new(0, decode(), cfg.clone());
         for s in specs {
             e.submit(s.clone(), Time::ZERO);
         }
@@ -162,6 +275,17 @@ fn time_indexed(specs: &[laminar_workload::TrajectorySpec], repeats: u32) -> (u6
         }
         meter.add(e.events_processed());
         std::hint::black_box(e.completed_count());
+        if traced {
+            jsonl.clear();
+            e.drain_trace_spans(&mut |spans| {
+                for sp in spans {
+                    sp.write_json(&mut jsonl)
+                        .expect("fmt::Write on String is infallible");
+                    jsonl.push('\n');
+                }
+            });
+            std::hint::black_box(jsonl.len());
+        }
     }
     (meter.events(), meter.elapsed_secs())
 }
@@ -189,8 +313,18 @@ fn time_e2e(ids: &[String], jobs: usize) -> f64 {
 pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
     let (n, repeats) = if smoke { (96, 2) } else { (512, 3) };
     let specs = micro_batch(n);
-    let (naive_events, naive_secs) = time_naive(&specs, repeats);
-    let (indexed_events, indexed_secs) = time_indexed(&specs, repeats);
+    // Allocation accounting brackets only the single-threaded micro legs:
+    // the process-global counters would otherwise mix in e2e worker-thread
+    // noise and mean nothing per-event.
+    alloc_count::enable();
+    let ((naive_events, naive_secs), naive_stats) =
+        alloc_count::measure(|| time_naive(&specs, repeats));
+    let ((indexed_events, indexed_secs), indexed_stats) =
+        alloc_count::measure(|| time_indexed(&specs, repeats, false));
+    let ((traced_events, traced_secs), traced_stats) =
+        alloc_count::measure(|| time_indexed(&specs, repeats, true));
+    let alloc_counting_active = alloc_count::is_active();
+    alloc_count::disable();
     let e2e_ids: Vec<String> = if smoke {
         vec![
             "fig2".into(),
@@ -201,15 +335,27 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
     } else {
         all_experiment_ids().iter().map(|s| s.to_string()).collect()
     };
+    let e2e_effective = effective_jobs(jobs, e2e_ids.len());
     let serial_secs = time_e2e(&e2e_ids, 1);
-    let parallel_secs = time_e2e(&e2e_ids, jobs);
+    // One effective worker means the "parallel" leg is literally the serial
+    // inline path; timing it again would only report scheduler noise as a
+    // phantom slowdown, so the serial measurement is reused (speedup 1.0).
+    let parallel_secs = if e2e_effective > 1 {
+        time_e2e(&e2e_ids, jobs)
+    } else {
+        serial_secs
+    };
     BenchReport {
         mode: if smoke { "smoke" } else { "full" },
         jobs,
+        available_parallelism: crate::runner::default_jobs(),
+        alloc_counting_active,
         micro_trajectories: n,
-        naive_events_per_sec: naive_events as f64 / naive_secs.max(1e-12),
-        indexed_events_per_sec: indexed_events as f64 / indexed_secs.max(1e-12),
+        naive: MicroLeg::from_run(naive_events, naive_secs, naive_stats),
+        indexed: MicroLeg::from_run(indexed_events, indexed_secs, indexed_stats),
+        traced: MicroLeg::from_run(traced_events, traced_secs, traced_stats),
         e2e_experiments: e2e_ids,
+        e2e_effective_jobs: e2e_effective,
         serial_secs,
         parallel_secs,
     }
@@ -219,22 +365,60 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
 mod tests {
     use super::*;
 
+    fn leg(ev: f64, allocs: f64, peak: u64) -> MicroLeg {
+        MicroLeg {
+            events_per_sec: ev,
+            allocs_per_event: allocs,
+            peak_bytes: peak,
+        }
+    }
+
     #[test]
     fn json_report_is_well_formed() {
         let r = BenchReport {
             mode: "smoke",
             jobs: 4,
+            available_parallelism: 8,
+            alloc_counting_active: true,
             micro_trajectories: 96,
-            naive_events_per_sec: 1000.0,
-            indexed_events_per_sec: 3000.0,
+            naive: leg(1000.0, 2.5, 4096),
+            indexed: leg(3000.0, 0.125, 1024),
+            traced: leg(2500.0, 0.25, 2048),
             e2e_experiments: vec!["fig2".into()],
+            e2e_effective_jobs: 4,
             serial_secs: 2.0,
             parallel_secs: 0.5,
         };
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"available_parallelism\": 8"));
+        assert!(j.contains("\"alloc_counting_active\": true"));
+        assert!(j.contains("\"indexed_allocs_per_event\": 0.125"));
+        assert!(j.contains("\"traced_peak_bytes\": 2048"));
+        assert!(j.contains("\"effective_jobs\": 4"));
         assert!(j.contains("\"speedup\": 3.00"));
         assert!(j.contains("\"speedup\": 4.00"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn single_effective_worker_reports_unit_e2e_speedup() {
+        let r = BenchReport {
+            mode: "smoke",
+            jobs: 4,
+            available_parallelism: 1,
+            alloc_counting_active: false,
+            micro_trajectories: 96,
+            naive: leg(1000.0, 0.0, 0),
+            indexed: leg(3000.0, 0.0, 0),
+            traced: leg(2500.0, 0.0, 0),
+            e2e_experiments: vec!["fig2".into(), "fig9".into()],
+            e2e_effective_jobs: 1,
+            serial_secs: 2.0,
+            parallel_secs: 2.0,
+        };
+        assert!((r.e2e_speedup() - 1.0).abs() < 1e-9);
+        assert!(r.summary().contains("effective 1"));
+        assert!(r.to_json().contains("\"effective_jobs\": 1"));
     }
 }

@@ -32,12 +32,17 @@
 //! completion. `--recovery-seed N` reseeds the sustained fault schedules.
 
 use laminar_bench::{
-    all_experiment_ids, benchmarks, default_jobs, resume_from_descriptor, run_experiment,
-    run_indexed, Opts,
+    all_experiment_ids, benchmarks, default_jobs, effective_jobs, resume_from_descriptor,
+    run_experiment, run_indexed, Opts,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Counting allocator for `--bench` allocation accounting. Dormant (one
+/// relaxed load per allocation) until the bench harness enables it.
+#[global_allocator]
+static ALLOC: laminar_bench::alloc_count::CountingAlloc = laminar_bench::alloc_count::CountingAlloc;
 
 fn main() {
     let mut opts = Opts {
@@ -145,9 +150,15 @@ fn main() {
     // with trace output redirected into a per-experiment buffer, so spans
     // never interleave; everything is printed, written, and flushed below in
     // the original id order, making the output independent of --jobs.
+    //
+    // When the request resolves to one worker (`--jobs 1`, a single id, or a
+    // serial machine), experiments run inline in id order already, so the
+    // per-experiment buffering detour is skipped and spans stream straight
+    // to the trace file — same bytes, no whole-trace copy held in memory.
+    let buffered = effective_jobs(opts.jobs, ids.len()) > 1;
     let runs = run_indexed(ids, opts.jobs, |_, id| {
         let mut o = opts.clone();
-        let buf = o.trace.is_some().then(|| o.buffer_trace());
+        let buf = (buffered && o.trace.is_some()).then(|| o.buffer_trace());
         let start = Instant::now();
         let report = run_experiment(&id, &o);
         (id, report, buf, start.elapsed())

@@ -112,7 +112,7 @@ impl Opts {
     /// installed, otherwise appended to the [`Opts::trace`] JSONL file.
     fn sink_trace(&self, rec: &RecordingTrace) {
         match (&self.trace_buf, &self.trace) {
-            (Some(buf), _) => buf.lock().expect("trace buffer").push_str(&rec.to_jsonl()),
+            (Some(buf), _) => rec.write_jsonl_into(&mut buf.lock().expect("trace buffer")),
             (None, Some(path)) => rec.append_jsonl(path).expect("append trace JSONL"),
             (None, None) => {}
         }

@@ -11,6 +11,7 @@
 //! qualitative shape; `--full` runs the paper-sized configurations
 //! (8192-trajectory batches up to the 1024-GPU scale point).
 
+pub mod alloc_count;
 pub mod benchmarks;
 pub mod experiments;
 pub mod runner;
@@ -18,4 +19,4 @@ pub mod table;
 
 pub use experiments::recovery::resume_from_descriptor;
 pub use experiments::{all_experiment_ids, run_experiment, Opts};
-pub use runner::{default_jobs, run_indexed};
+pub use runner::{default_jobs, effective_jobs, run_indexed};

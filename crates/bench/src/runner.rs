@@ -25,8 +25,21 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The worker count a `jobs` request resolves to for `items` work items:
+/// never more workers than items, and never more than the machine can run
+/// concurrently. When this is 1 — a serial machine, a single item, or an
+/// explicit `--jobs 1` — [`run_indexed`] runs strictly inline (no pool
+/// spawn), and callers can skip parallel-only detours such as per-run trace
+/// buffering. Output is byte-identical either way, so clamping is purely a
+/// perf decision.
+pub fn effective_jobs(jobs: usize, items: usize) -> usize {
+    jobs.max(1).min(items.max(1)).min(default_jobs())
+}
+
 /// Runs `f` over `items` on up to `jobs` scoped threads, returning results
 /// in input order. `f` receives the item's input index alongside the item.
+/// The thread pool is only spawned when [`effective_jobs`] resolves above 1;
+/// a 1-CPU machine (or `jobs = 1`, or a single item) runs strictly inline.
 ///
 /// # Panics
 ///
@@ -38,14 +51,14 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = items.len();
-    if jobs <= 1 || n <= 1 {
+    let workers = effective_jobs(jobs, n);
+    if workers <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
             .map(|(i, item)| f(i, item))
             .collect();
     }
-    let workers = jobs.min(n);
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, item) in items.into_iter().enumerate() {

@@ -83,8 +83,7 @@ impl World {
             if self.iterations_done >= self.cfg.warmup {
                 self.report.staleness_by_finish.push((
                     c.finished_at.as_secs_f64(),
-                    self.version
-                        .saturating_sub(*c.policy_versions.first().expect("non-empty")),
+                    self.version.saturating_sub(c.policy_versions.first()),
                 ));
             }
             self.buffer.write(to_experience(c));
@@ -239,7 +238,7 @@ pub(super) fn to_experience(c: &CompletedTraj) -> Experience {
         group_index: c.spec.group_index,
         prompt_tokens: c.spec.prompt_tokens,
         response_tokens: c.spec.decode_tokens(),
-        policy_versions: c.policy_versions.clone(),
+        policy_versions: c.policy_versions.to_vec(),
         started_at: c.started_at,
         finished_at: c.finished_at,
     }

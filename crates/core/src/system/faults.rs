@@ -113,7 +113,8 @@ impl World {
                     let mut st = laminar_rollout::TrajState::new(p.spec, version, p.started_at);
                     st.total_decoded = p.generated_tokens as f64;
                     st.segment = p.segment_index;
-                    st.policy_versions = p.policy_versions;
+                    st.policy_versions =
+                        laminar_rollout::PolicyVersions::from_vec(p.policy_versions);
                     self.engines[h].inject(vec![st], now);
                 }
                 None => {

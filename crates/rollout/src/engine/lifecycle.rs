@@ -29,7 +29,7 @@ impl ReplicaEngine {
         // new version for free.
         for st in self.waiting.iter_mut() {
             if st.total_decoded == 0.0 {
-                st.policy_versions = vec![version];
+                st.policy_versions.reset(version);
             }
         }
         self.after_change(now);
@@ -53,15 +53,17 @@ impl ReplicaEngine {
     pub fn interrupt_with_weights(&mut self, version: u64, now: Time) {
         self.advance_to(now);
         self.weight_version = version;
-        // Sorted: the re-prefill reservations below serialize on the prefill
-        // pipeline, so processing order is timeline-visible — HashMap key
-        // order would make runs nondeterministic.
-        let mut ids: Vec<u64> = self.active.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
+        // Id order: the re-prefill reservations below serialize on the
+        // prefill pipeline, so processing order is timeline-visible — the
+        // slab index iterates ascending by id, matching the old sorted-map
+        // scan. The id snapshot goes through the reusable scratch buffer so
+        // the pass allocates nothing at steady state.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        self.active.ids_into(&mut ids);
+        for &id in &ids {
             let (phase, ctx, had_tokens) = {
                 let global = self.global_steps;
-                let st = self.active.get_mut(&id).expect("id from keys");
+                let st = self.active.get_mut(id).expect("id from index");
                 // Decoding trajectories carry lazily-accounted progress;
                 // settle it before inspecting the token counts.
                 if st.phase == Phase::Decoding {
@@ -70,7 +72,7 @@ impl ReplicaEngine {
                 if st.total_decoded > 0.0 {
                     st.push_version(version);
                 } else {
-                    st.policy_versions = vec![version];
+                    st.policy_versions.reset(version);
                 }
                 (st.phase, st.context_tokens(), st.total_decoded > 0.0)
             };
@@ -79,20 +81,21 @@ impl ReplicaEngine {
                     if had_tokens {
                         self.exit_decoding(id);
                         let until = self.reserve_prefill(ctx.round() as u64, now, version);
-                        self.active.get_mut(&id).expect("resident").phase =
-                            Phase::Prefill { until };
+                        self.active.get_mut(id).expect("resident").phase = Phase::Prefill { until };
                         self.push_phase_deadline(id, until);
                     }
                 }
                 Phase::Prefill { .. } => {}
                 Phase::Env { .. } => {
-                    self.active.get_mut(&id).expect("resident").needs_reprefill = true;
+                    self.active.get_mut(id).expect("resident").needs_reprefill = true;
                 }
             }
         }
+        ids.clear();
+        self.scratch_ids = ids;
         for st in self.waiting.iter_mut() {
             if st.total_decoded == 0.0 {
-                st.policy_versions = vec![version];
+                st.policy_versions.reset(version);
             } else {
                 st.push_version(version);
             }
@@ -105,14 +108,16 @@ impl ReplicaEngine {
     pub fn drain_in_progress(&mut self, now: Time) -> Vec<TrajState> {
         self.advance_to(now);
         let mut out: Vec<TrajState> = Vec::with_capacity(self.n_reqs());
-        // Sorted: the drained states are re-injected elsewhere in this
+        // Id order: the drained states are re-injected elsewhere in this
         // order, so admission (and thus the whole downstream timeline) must
-        // not depend on HashMap key order.
-        let mut ids: Vec<u64> = self.active.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
+        // not depend on storage order. The slab index iterates ascending.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        self.active.ids_into(&mut ids);
+        for &id in &ids {
             self.remove_active(id, &mut out);
         }
+        ids.clear();
+        self.scratch_ids = ids;
         out.extend(self.waiting.drain(..));
         debug_assert!(self.active.is_empty());
         self.after_change(now);
@@ -184,11 +189,12 @@ impl ReplicaEngine {
             applied
         };
         let mut delayed = 0;
-        // BTreeMap iteration is id-ordered, so the pushed deadlines (and the
-        // resulting timeline) are deterministic.
-        let ids: Vec<u64> = self.active.keys().copied().collect();
-        for id in ids {
-            let st = self.active.get_mut(&id).expect("id from keys");
+        // Slab-index iteration is id-ordered, so the pushed deadlines (and
+        // the resulting timeline) are deterministic.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        self.active.ids_into(&mut ids);
+        for &id in &ids {
+            let st = self.active.get_mut(id).expect("id from index");
             if let Phase::Env { until } = st.phase {
                 let new_until = until.max(now) + capped(st);
                 st.phase = Phase::Env { until: new_until };
@@ -196,6 +202,8 @@ impl ReplicaEngine {
                 delayed += 1;
             }
         }
+        ids.clear();
+        self.scratch_ids = ids;
         // Not-yet-admitted trajectories mid-env-call stall too.
         for st in self.waiting.iter_mut() {
             if let Phase::Env { until } = st.phase {
@@ -218,7 +226,10 @@ impl ReplicaEngine {
     /// id-sorted active map would produce.
     pub(super) fn finish_ready_segments(&mut self, t: Time) {
         let horizon = self.global_steps + EPS;
-        let mut ready: Vec<u64> = Vec::new();
+        // Reuse the engine-owned candidate buffer: the common case (one
+        // completion per event) previously allocated a fresh Vec per call.
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        debug_assert!(ready.is_empty());
         while let Some(&std::cmp::Reverse(e)) = self.seg_heap.peek() {
             if !self.seg_entry_live(e) {
                 self.seg_heap.pop();
@@ -231,18 +242,18 @@ impl ReplicaEngine {
             ready.push(e.id);
         }
         ready.sort_unstable();
-        for id in ready {
+        for &id in &ready {
             // Re-validate against live state: a stale heap entry can carry
             // the same (key, id) as the live one — e.g. an interrupt and
             // re-prefill while no other trajectory was decoding re-enters
             // the segment at an unchanged `global_steps` with unchanged
             // remaining tokens — so the same id can be popped twice.
-            match self.active.get(&id) {
+            match self.active.get(id) {
                 Some(st) if st.phase == Phase::Decoding && st.finish_key <= horizon => {}
                 _ => continue,
             }
             self.exit_decoding(id);
-            let st = self.active.get_mut(&id).expect("resident");
+            let st = self.active.get_mut(id).expect("resident");
             // Leave the Decoding phase immediately so the counter adjustment
             // above is not repeated by a later `remove_active`/`exit_decoding`
             // on the same trajectory; the placeholder is overwritten below.
@@ -269,11 +280,9 @@ impl ReplicaEngine {
                 version,
                 seg_tokens.round() as u64,
             );
-            let st = self.active.get_mut(&id).expect("resident");
+            let st = self.active.get_mut(id).expect("resident");
             if st.segment >= st.spec.segments.len() {
-                let mut sink = Vec::with_capacity(1);
-                self.remove_active(id, &mut sink);
-                let st = sink.pop().expect("just removed");
+                let st = self.take_active(id).expect("just validated resident");
                 self.completions.push(CompletedTraj {
                     spec: st.spec,
                     policy_versions: st.policy_versions,
@@ -297,18 +306,18 @@ impl ReplicaEngine {
                 }
             }
         }
+        ready.clear();
+        self.scratch_ready = ready;
     }
 
     pub(super) fn env_return(&mut self, id: u64, t: Time) {
-        let Some(st) = self.active.get_mut(&id) else {
+        let Some(st) = self.active.get_mut(id) else {
             return;
         };
         if st.aborted {
             // The env call exhausted the stall budget: end the trajectory
             // here rather than continuing its remaining segments.
-            let mut sink = Vec::with_capacity(1);
-            self.remove_active(id, &mut sink);
-            let st = sink.pop().expect("just removed");
+            let st = self.take_active(id).expect("resident");
             self.completions.push(CompletedTraj {
                 spec: st.spec,
                 policy_versions: st.policy_versions,
@@ -324,9 +333,7 @@ impl ReplicaEngine {
         if st.segment >= st.spec.segments.len() {
             // Env call was the last segment (not produced by our generators,
             // but handle it): complete.
-            let mut sink = Vec::with_capacity(1);
-            self.remove_active(id, &mut sink);
-            let st = sink.pop().expect("just removed");
+            let st = self.take_active(id).expect("resident");
             self.completions.push(CompletedTraj {
                 spec: st.spec,
                 policy_versions: st.policy_versions,
@@ -341,7 +348,7 @@ impl ReplicaEngine {
             let tokens = st.context_tokens().round() as u64;
             let version = traj_version(st);
             let until = self.reserve_prefill(tokens, t, version);
-            let st = self.active.get_mut(&id).expect("resident");
+            let st = self.active.get_mut(id).expect("resident");
             st.phase = Phase::Prefill { until };
             self.push_phase_deadline(id, until);
         } else {
@@ -349,35 +356,45 @@ impl ReplicaEngine {
         }
     }
 
-    /// Removes `id` from the active set, returning its state through `out`
-    /// and releasing its reservation.
-    pub(super) fn remove_active(&mut self, id: u64, out: &mut Vec<TrajState>) {
-        if let Some(st) = self.active.get(&id) {
+    /// Removes `id` from the active set and returns its state, releasing
+    /// its reservation. The single-completion hot path — no sink `Vec`.
+    pub(super) fn take_active(&mut self, id: u64) -> Option<TrajState> {
+        if let Some(st) = self.active.get(id) {
             if st.phase == Phase::Decoding {
                 self.exit_decoding(id);
             }
         }
-        if let Some(st) = self.active.remove(&id) {
-            self.reserved -= st.spec.final_context() as f64;
-            self.resident_ctx_sum -= st.context_tokens();
-            if self.active.is_empty() {
-                // Kill accumulated float error at quiesce points, and drop
-                // any lazily-invalidated heap entries along with the global
-                // decode-step accumulator they were keyed against.
-                self.reserved = 0.0;
-                self.resident_ctx_sum = 0.0;
-                self.decoding_ctx_sum = 0.0;
-                self.global_steps = 0.0;
-                self.phase_heap.clear();
-                self.seg_heap.clear();
-            }
+        let st = self.active.remove(id)?;
+        self.reserved -= st.spec.final_context() as f64;
+        self.resident_ctx_sum -= st.context_tokens();
+        if self.active.is_empty() {
+            // Kill accumulated float error at quiesce points, and drop
+            // any lazily-invalidated heap entries along with the global
+            // decode-step accumulator they were keyed against. Resetting
+            // the (empty) slab normalizes its free list so checkpoints do
+            // not carry slot-recycling history.
+            self.reserved = 0.0;
+            self.resident_ctx_sum = 0.0;
+            self.decoding_ctx_sum = 0.0;
+            self.global_steps = 0.0;
+            self.phase_heap.clear();
+            self.seg_heap.clear();
+            self.active.clear();
+        }
+        Some(st)
+    }
+
+    /// Removes `id` from the active set, returning its state through `out`
+    /// (drain paths that collect several states).
+    pub(super) fn remove_active(&mut self, id: u64, out: &mut Vec<TrajState>) {
+        if let Some(st) = self.take_active(id) {
             out.push(st);
         }
     }
 
     pub(super) fn exit_decoding(&mut self, id: u64) {
         let global = self.global_steps;
-        if let Some(st) = self.active.get_mut(&id) {
+        if let Some(st) = self.active.get_mut(id) {
             if st.phase == Phase::Decoding {
                 // Settle lazily-accounted progress before the context sum
                 // adjustment, and normalize the engine-local bookkeeping so

@@ -27,17 +27,19 @@
 
 mod lifecycle;
 pub mod reference;
+mod slab;
 mod stepper;
 #[cfg(test)]
 mod tests;
 
-use crate::traj::{Phase, TrajState};
+use crate::traj::{Phase, PolicyVersions, TrajState};
 use laminar_cluster::DecodeModel;
 use laminar_sim::trace::{SpanKind, TraceSpan};
 use laminar_sim::{Time, TimeSeries, TimeWeighted};
 use laminar_workload::TrajectorySpec;
+use slab::TrajSlab;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Completion record handed to the enclosing world.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +47,7 @@ pub struct CompletedTraj {
     /// The finished assignment.
     pub spec: TrajectorySpec,
     /// Weight versions used across generation, oldest first.
-    pub policy_versions: Vec<u64>,
+    pub policy_versions: PolicyVersions,
     /// When generation first started.
     pub started_at: Time,
     /// When the final token was produced.
@@ -170,7 +172,10 @@ pub struct ReplicaEngine {
     cfg: EngineConfig,
     kv_capacity: f64,
     weight_version: u64,
-    active: BTreeMap<u64, TrajState>,
+    /// Resident trajectories: slab slots + free list + id-sorted index, so
+    /// steady-state admission/completion churn allocates nothing and
+    /// iteration stays in deterministic id order.
+    active: TrajSlab,
     waiting: VecDeque<TrajState>,
     reserved: f64,
     last_update: Time,
@@ -208,6 +213,12 @@ pub struct ReplicaEngine {
     /// Trajectories completed early because an env call exhausted the
     /// stall budget ([`EngineConfig::env_stall_budget`]).
     env_aborts: u64,
+    /// Reusable id buffer for iterate-and-mutate passes over the active set
+    /// (interrupts, drains, env-delay fan-out). Always empty between calls.
+    scratch_ids: Vec<u64>,
+    /// Reusable buffer of segment-completion candidates popped per
+    /// `finish_ready_segments` call. Always empty between calls.
+    scratch_ready: Vec<u64>,
 }
 
 impl ReplicaEngine {
@@ -224,7 +235,7 @@ impl ReplicaEngine {
             cfg,
             kv_capacity,
             weight_version: 0,
-            active: BTreeMap::new(),
+            active: TrajSlab::new(),
             waiting: VecDeque::new(),
             reserved: 0.0,
             prefill_busy_until: Time::ZERO,
@@ -247,6 +258,8 @@ impl ReplicaEngine {
             events_processed: 0,
             perf_factor: 1.0,
             env_aborts: 0,
+            scratch_ids: Vec::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
@@ -346,6 +359,17 @@ impl ReplicaEngine {
         std::mem::take(&mut self.trace_spans)
     }
 
+    /// Hands accumulated trace spans to `drain` and clears the buffer while
+    /// keeping its capacity — the allocation-free counterpart of
+    /// [`ReplicaEngine::take_trace_spans`] for callers that drain
+    /// repeatedly (e.g. a sink's `record_slice`).
+    pub fn drain_trace_spans(&mut self, drain: &mut dyn FnMut(&[TraceSpan])) {
+        if !self.trace_spans.is_empty() {
+            drain(&self.trace_spans);
+            self.trace_spans.clear();
+        }
+    }
+
     /// Internal engine events processed so far (prefill completions, env
     /// returns, segment completions, rate re-evaluations). The denominator
     /// of the `--bench` events/sec metric.
@@ -374,7 +398,7 @@ impl ReplicaEngine {
     /// Ids of every trajectory the replica currently holds — resident
     /// (any phase) or admitted-but-waiting — in ascending order.
     pub fn resident_ids(&self) -> Vec<u64> {
-        let mut out: Vec<u64> = self.active.keys().copied().collect();
+        let mut out: Vec<u64> = self.active.iter().map(|(id, _)| id).collect();
         out.extend(self.waiting.iter().map(|st| st.spec.id));
         out.sort_unstable();
         out
@@ -382,12 +406,13 @@ impl ReplicaEngine {
 
     /// Progress snapshot of every resident trajectory:
     /// `(id, whole tokens decoded, current segment)`. Streamed to the
-    /// partial response pool by the rollout manager.
+    /// partial response pool by the rollout manager. Id-sorted — the slab
+    /// index iterates in ascending id order — so downstream consumers never
+    /// see storage order.
     pub fn in_progress_summary(&self) -> Vec<(u64, u64, usize)> {
-        let mut out: Vec<(u64, u64, usize)> = self
-            .active
-            .values()
-            .map(|st| {
+        self.active
+            .iter()
+            .map(|(id, st)| {
                 // Decoding trajectories hold lazily-accounted progress; fold
                 // in the pending global steps without mutating the state.
                 let pending = if st.phase == Phase::Decoding {
@@ -395,16 +420,9 @@ impl ReplicaEngine {
                 } else {
                     0.0
                 };
-                (
-                    st.spec.id,
-                    (st.total_decoded + pending).floor() as u64,
-                    st.segment,
-                )
+                (id, (st.total_decoded + pending).floor() as u64, st.segment)
             })
-            .collect();
-        // Id-sorted so downstream consumers never see HashMap order.
-        out.sort_unstable();
-        out
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -420,7 +438,7 @@ impl ReplicaEngine {
 
     /// The transition a phase-heap entry stands for, or `None` when stale.
     fn phase_entry_event(&self, e: PhaseEntry) -> Option<Internal> {
-        match self.active.get(&e.id)?.phase {
+        match self.active.get(e.id)?.phase {
             Phase::Prefill { until } if until == e.at => Some(Internal::PrefillDone(e.id)),
             Phase::Env { until } if until == e.at => Some(Internal::EnvReturn(e.id)),
             _ => None,
@@ -429,7 +447,7 @@ impl ReplicaEngine {
 
     /// True while a segment-heap entry still describes its trajectory.
     fn seg_entry_live(&self, e: SegEntry) -> bool {
-        self.active.get(&e.id).is_some_and(|st| {
+        self.active.get(e.id).is_some_and(|st| {
             st.phase == Phase::Decoding && st.finish_key.total_cmp(&e.key).is_eq()
         })
     }
@@ -458,7 +476,7 @@ impl ReplicaEngine {
     /// baselining its lazy progress and indexing its segment completion.
     pub(super) fn enter_decoding(&mut self, id: u64, now: Time) {
         let global = self.global_steps;
-        let Some(st) = self.active.get_mut(&id) else {
+        let Some(st) = self.active.get_mut(id) else {
             return;
         };
         st.phase = Phase::Decoding;
@@ -490,7 +508,5 @@ impl ReplicaEngine {
 
 /// Current policy version of an in-flight trajectory (the last recorded one).
 fn traj_version(st: &TrajState) -> u64 {
-    *st.policy_versions
-        .last()
-        .expect("policy_versions never empty")
+    st.policy_versions.last()
 }

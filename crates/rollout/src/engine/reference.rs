@@ -120,9 +120,14 @@ impl NaiveReplicaEngine {
         self.weight_version = version;
         for st in self.waiting.iter_mut() {
             if st.total_decoded == 0.0 {
-                st.policy_versions = vec![version];
+                st.policy_versions.reset(version);
             }
         }
+        // A publish is a schedule boundary: progress was just brought up to
+        // `now`, so re-sample the decode rate against the grown context —
+        // the indexed engine re-evaluates at every boundary, and the
+        // timelines only match if the reference does too.
+        self.recalc_rate();
     }
 
     /// Partial-rollout style interruption: every in-flight trajectory adopts
@@ -141,7 +146,7 @@ impl NaiveReplicaEngine {
                 if st.total_decoded > 0.0 {
                     st.push_version(version);
                 } else {
-                    st.policy_versions = vec![version];
+                    st.policy_versions.reset(version);
                 }
                 (st.phase, st.context_tokens(), st.total_decoded > 0.0)
             };
@@ -162,7 +167,7 @@ impl NaiveReplicaEngine {
         }
         for st in self.waiting.iter_mut() {
             if st.total_decoded == 0.0 {
-                st.policy_versions = vec![version];
+                st.policy_versions.reset(version);
             } else {
                 st.push_version(version);
             }

@@ -22,4 +22,4 @@ pub use engine::reference::NaiveReplicaEngine;
 pub use engine::{CompletedTraj, EngineConfig, ReplicaEngine};
 pub use manager::{ManagerConfig, ReplicaHealth, RolloutManager};
 pub use repack::{plan_repack, RepackPlan, ReplicaLoad};
-pub use traj::{Phase, TrajState};
+pub use traj::{Phase, PolicyVersions, TrajState};

@@ -66,11 +66,14 @@ pub fn plan_repack(replicas: &[ReplicaLoad], c_max: f64, b: usize) -> RepackPlan
         .iter()
         .filter(|r| r.n_reqs > 0 && r.kv_used < c_max.min(r.kv_prev) && r.n_reqs < b)
         .collect();
-    // Line 4: smallest KVCache footprint first.
+    // Line 4: smallest KVCache footprint first. `total_cmp` (the same
+    // policy the stats percentiles use) keeps the sort a total order even
+    // on NaN input — NaN sorts after every finite footprint and can never
+    // fit a destination, so a poisoned sample degrades to "ignored" instead
+    // of panicking mid-plan.
     s.sort_by(|a, b| {
         a.kv_used
-            .partial_cmp(&b.kv_used)
-            .expect("finite kv usage")
+            .total_cmp(&b.kv_used)
             .then(a.replica.cmp(&b.replica))
     });
 
@@ -143,6 +146,26 @@ mod tests {
             n_reqs,
             weight_version: 0,
         }
+    }
+
+    #[test]
+    fn nan_kv_sample_does_not_panic_or_distort_plan() {
+        // A poisoned (NaN) monitoring sample must neither panic the sort
+        // (regression: `partial_cmp().expect()`) nor join any move — NaN
+        // fails every CanFit comparison and `total_cmp` orders it last.
+        let mut poisoned = load(2, f64::NAN, 2);
+        poisoned.kv_prev = f64::NAN;
+        let rs = vec![load(0, 100.0, 2), load(1, 120.0, 3), poisoned];
+        let plan = plan_repack(&rs, 1000.0, 64);
+        assert_eq!(plan.moves, vec![(0, 1)], "finite replicas still repack");
+        assert!(
+            !plan.moves.iter().any(|&(s, d)| s == 2 || d == 2),
+            "NaN replica must not participate"
+        );
+        // All-NaN input: still a clean no-op.
+        let mut poisoned_too = poisoned;
+        poisoned_too.replica = 3;
+        assert!(plan_repack(&[poisoned, poisoned_too], 1000.0, 64).is_empty());
     }
 
     #[test]

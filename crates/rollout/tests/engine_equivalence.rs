@@ -56,6 +56,8 @@ fn random_spec(rng: &mut SimRng, id: u64) -> TrajectorySpec {
 enum Op {
     Submit(Time, TrajectorySpec),
     Interrupt(Time, u64),
+    /// Non-interrupting weight publish ([`ReplicaEngine::set_weight_version`]).
+    SetVersion(Time, u64),
 }
 
 fn random_schedule(rng: &mut SimRng) -> Vec<Op> {
@@ -73,6 +75,34 @@ fn random_schedule(rng: &mut SimRng) -> Vec<Op> {
     ops.sort_by_key(|op| match *op {
         Op::Submit(t, ref s) => (t, 0, s.id),
         Op::Interrupt(t, v) => (t, 1, v),
+        Op::SetVersion(t, v) => (t, 2, v),
+    });
+    ops
+}
+
+/// A denser schedule in the style of the chaos plane's fault timelines:
+/// more trajectories, staggered arrival over a longer window, and an
+/// interleaved mix of interrupting and non-interrupting weight publishes
+/// with monotonically increasing versions.
+fn chaos_schedule(rng: &mut SimRng) -> Vec<Op> {
+    let n = rng.range_u64(8, 48);
+    let mut ops: Vec<Op> = (0..n)
+        .map(|i| Op::Submit(Time::from_secs(rng.below(180)), random_spec(rng, i)))
+        .collect();
+    let publishes = rng.range_u64(2, 7);
+    let mut at = 0u64;
+    for v in 0..publishes {
+        at += rng.range_u64(10, 60);
+        ops.push(if rng.chance(0.5) {
+            Op::Interrupt(Time::from_secs(at), v + 1)
+        } else {
+            Op::SetVersion(Time::from_secs(at), v + 1)
+        });
+    }
+    ops.sort_by_key(|op| match *op {
+        Op::Submit(t, ref s) => (t, 0, s.id),
+        Op::Interrupt(t, v) => (t, 1, v),
+        Op::SetVersion(t, v) => (t, 2, v),
     });
     ops
 }
@@ -128,6 +158,10 @@ fn indexed_engine_matches_naive_reference() {
                     fast.interrupt_with_weights(*v, *t);
                     slow.interrupt_with_weights(*v, *t);
                 }
+                Op::SetVersion(t, v) => {
+                    fast.set_weight_version(*v, *t);
+                    slow.set_weight_version(*v, *t);
+                }
             }
         }
         let mut guard = 0u64;
@@ -161,6 +195,61 @@ fn indexed_engine_matches_naive_reference() {
     }
 }
 
+/// The slab-backed active set must be invisible next to the naive
+/// reference's `BTreeMap` under chaos-style schedules: dense staggered
+/// arrivals with a mixed stream of interrupting and non-interrupting weight
+/// publishes, over the same seed range the chaos plane sweeps. Guards the
+/// slab's id-ordered iteration, free-list reuse, and the `(first, extras)`
+/// policy-version encoding against the reference timeline.
+#[test]
+fn slab_engine_matches_naive_over_chaos_schedules() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::derive(seed, "chaos-schedule", 0);
+        let ops = chaos_schedule(&mut rng);
+        let cfg = EngineConfig {
+            max_concurrency: rng.range_u64(2, 48) as usize,
+            ..EngineConfig::default()
+        };
+        let mut fast = ReplicaEngine::new(0, decode(), cfg.clone());
+        let mut slow = NaiveReplicaEngine::new(decode(), cfg);
+        for op in &ops {
+            match op {
+                Op::Submit(t, spec) => {
+                    fast.submit(spec.clone(), *t);
+                    slow.submit(spec.clone(), *t);
+                }
+                Op::Interrupt(t, v) => {
+                    fast.interrupt_with_weights(*v, *t);
+                    slow.interrupt_with_weights(*v, *t);
+                }
+                Op::SetVersion(t, v) => {
+                    fast.set_weight_version(*v, *t);
+                    slow.set_weight_version(*v, *t);
+                }
+            }
+        }
+        let mut guard = 0u64;
+        loop {
+            let (tf, ts) = (fast.next_event_time(), slow.next_event_time());
+            if tf.is_none() && ts.is_none() {
+                break;
+            }
+            if let Some(t) = tf {
+                fast.advance_to(t);
+            }
+            if let Some(t) = ts {
+                slow.advance_to(t);
+            }
+            guard += 1;
+            assert!(guard < 8_000_000, "seed {seed}: engines failed to quiesce");
+        }
+        assert!(fast.is_idle(), "seed {seed}: slab engine left work");
+        assert!(slow.is_idle(), "seed {seed}: naive engine left work");
+        assert_timeline_eq(seed, &fast.take_completions(), &slow.take_completions());
+        assert_eq!(fast.completed_count(), slow.completed_count());
+    }
+}
+
 /// The indexed engine's lazy accounting must stay internally consistent:
 /// repeated runs of the same schedule are byte-identical.
 #[test]
@@ -173,6 +262,7 @@ fn indexed_engine_is_deterministic_across_runs() {
             match op {
                 Op::Submit(t, spec) => e.submit(spec.clone(), *t),
                 Op::Interrupt(t, v) => e.interrupt_with_weights(*v, *t),
+                Op::SetVersion(t, v) => e.set_weight_version(*v, *t),
             }
         }
         let mut guard = 0u64;

@@ -103,12 +103,12 @@ fn interrupts_preserve_work() {
         for c in &done {
             // Versions are non-decreasing along the trajectory and end at
             // the newest interrupting version that touched it.
+            let versions = c.policy_versions.to_vec();
             assert!(
-                c.policy_versions.windows(2).all(|w| w[0] <= w[1]),
-                "case {case}: {:?}",
-                c.policy_versions
+                versions.windows(2).all(|w| w[0] <= w[1]),
+                "case {case}: {versions:?}"
             );
-            assert!(*c.policy_versions.last().unwrap() <= 2, "case {case}");
+            assert!(c.policy_versions.last() <= 2, "case {case}");
         }
     }
 }

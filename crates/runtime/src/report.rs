@@ -98,10 +98,10 @@ pub trait RlSystem {
 /// Converts a [`CompletedTraj`] into a consumption record at an actor
 /// version.
 pub fn consumed_at(c: &CompletedTraj, actor_version: u64) -> ConsumedTraj {
-    let behavior = *c.policy_versions.first().expect("versions never empty");
+    let behavior = c.policy_versions.first();
     ConsumedTraj {
         staleness: actor_version.saturating_sub(behavior),
-        mixed_version: c.policy_versions.windows(2).any(|w| w[0] != w[1]),
+        mixed_version: c.policy_versions.is_mixed(),
     }
 }
 

@@ -28,6 +28,15 @@ pub trait TraceSink {
             self.record(s);
         }
     }
+
+    /// Records a batch of spans by reference, letting the emitter keep (and
+    /// reuse) its buffer: the allocation-free counterpart of
+    /// [`TraceSink::record_all`].
+    fn record_slice(&mut self, spans: &[TraceSpan]) {
+        for s in spans {
+            self.record(*s);
+        }
+    }
 }
 
 /// The no-op sink: spans are dropped and emitters are told not to bother.
@@ -76,28 +85,64 @@ impl RecordingTrace {
     /// The whole trace as JSONL (one span object per line, trailing newline).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.spans.len() * 96);
-        for s in &self.spans {
-            out.push_str(&s.to_json());
-            out.push('\n');
-        }
+        self.write_jsonl_into(&mut out);
         out
     }
 
+    /// Streams the trace as JSONL into an existing buffer: every span is
+    /// serialized in place through [`TraceSpan::write_json`], so a caller
+    /// reusing one `String` across runs performs no per-span allocation.
+    pub fn write_jsonl_into(&self, out: &mut String) {
+        for s in &self.spans {
+            s.write_json(out)
+                .expect("fmt::Write on String is infallible");
+            out.push('\n');
+        }
+    }
+
     /// Writes the trace as JSONL, appending to `path` so one invocation can
-    /// accumulate spans across several system runs.
+    /// accumulate spans across several system runs. Spans stream through one
+    /// bounded chunk buffer rather than materializing the full trace in
+    /// memory.
     pub fn append_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::io::Write;
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        f.write_all(self.to_jsonl().as_bytes())
+        // Flush at a chunk boundary well below the reserve so a full chunk
+        // plus one worst-case line (~160 bytes) never reallocates.
+        const CHUNK: usize = 1 << 16;
+        let mut buf = String::with_capacity(CHUNK + 256);
+        for s in &self.spans {
+            s.write_json(&mut buf)
+                .expect("fmt::Write on String is infallible");
+            buf.push('\n');
+            if buf.len() >= CHUNK {
+                f.write_all(buf.as_bytes())?;
+                buf.clear();
+            }
+        }
+        f.write_all(buf.as_bytes())
     }
 }
 
 impl TraceSink for RecordingTrace {
     fn record(&mut self, span: TraceSpan) {
         self.spans.push(span);
+    }
+
+    fn record_all(&mut self, mut spans: Vec<TraceSpan>) {
+        if self.spans.is_empty() {
+            // Adopt the batch's storage outright instead of copying.
+            self.spans = spans;
+        } else {
+            self.spans.append(&mut spans);
+        }
+    }
+
+    fn record_slice(&mut self, spans: &[TraceSpan]) {
+        self.spans.extend_from_slice(spans);
     }
 }
 

@@ -123,28 +123,60 @@ impl TraceSpan {
         self
     }
 
-    /// One JSONL line for this span (no trailing newline). All fields are
-    /// numeric or fixed identifiers, so hand-rolled formatting is exact.
-    pub fn to_json(&self) -> String {
-        let replica = match self.replica {
-            Some(r) => r.to_string(),
-            None => "null".to_string(),
-        };
-        format!(
-            "{{\"kind\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"replica\":{},\"version\":{},\"tokens\":{}}}",
-            self.kind.as_str(),
-            self.start.as_nanos(),
-            self.end.as_nanos(),
-            replica,
-            self.version,
-            self.tokens,
-        )
+    /// Serializes this span as one JSONL line (no trailing newline) into
+    /// `w` — typically a reusable per-run `String`, so steady-state span
+    /// serialization performs no heap allocation. All fields are numeric or
+    /// fixed identifiers, so the hand-rolled formatting is exact and
+    /// byte-stable.
+    pub fn write_json<W: fmt::Write>(&self, w: &mut W) -> fmt::Result {
+        w.write_str("{\"kind\":\"")?;
+        w.write_str(self.kind.as_str())?;
+        w.write_str("\",\"start_ns\":")?;
+        write_u64(w, self.start.as_nanos())?;
+        w.write_str(",\"end_ns\":")?;
+        write_u64(w, self.end.as_nanos())?;
+        w.write_str(",\"replica\":")?;
+        match self.replica {
+            Some(r) => write_u64(w, r as u64)?,
+            None => w.write_str("null")?,
+        }
+        w.write_str(",\"version\":")?;
+        write_u64(w, self.version)?;
+        w.write_str(",\"tokens\":")?;
+        write_u64(w, self.tokens)?;
+        w.write_str("}")
     }
+}
+
+/// Writes `v` in decimal without going through `core::fmt`'s padding
+/// machinery: digits are produced into a fixed stack buffer and emitted as
+/// one `str` write. `u64::MAX` has 20 digits, so the buffer never overflows.
+fn write_u64<W: fmt::Write>(w: &mut W, mut v: u64) -> fmt::Result {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // Buffer holds only ASCII digits, so the unchecked-from-utf8 invariant
+    // is trivially satisfied via the safe checked path.
+    w.write_str(std::str::from_utf8(&buf[at..]).expect("ascii digits"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
+
+    fn json(s: &TraceSpan) -> String {
+        let mut out = String::new();
+        s.write_json(&mut out).unwrap();
+        out
+    }
 
     #[test]
     fn json_line_shape() {
@@ -157,7 +189,7 @@ mod tests {
         )
         .with_tokens(128);
         assert_eq!(
-            s.to_json(),
+            json(&s),
             "{\"kind\":\"prefill\",\"start_ns\":1000000000,\"end_ns\":2000000000,\
              \"replica\":3,\"version\":7,\"tokens\":128}"
         );
@@ -166,7 +198,81 @@ mod tests {
     #[test]
     fn global_span_serializes_null_replica() {
         let s = TraceSpan::new(SpanKind::TrainStep, Time::ZERO, Time::from_secs(1), None, 2);
-        assert!(s.to_json().contains("\"replica\":null"));
+        assert!(json(&s).contains("\"replica\":null"));
+    }
+
+    /// Reference serializer reproducing the retired allocating
+    /// `to_json() -> String` exactly — the golden the streaming writer must
+    /// match byte-for-byte.
+    fn reference_json(s: &TraceSpan) -> String {
+        let replica = match s.replica {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"replica\":{},\"version\":{},\"tokens\":{}}}",
+            s.kind.as_str(),
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            replica,
+            s.version,
+            s.tokens,
+        )
+    }
+
+    #[test]
+    fn write_json_matches_reference_on_fuzzed_spans() {
+        const KINDS: [SpanKind; 10] = [
+            SpanKind::Prefill,
+            SpanKind::DecodeStep,
+            SpanKind::EnvCall,
+            SpanKind::WeightSync,
+            SpanKind::TrainStep,
+            SpanKind::Stall,
+            SpanKind::Repack,
+            SpanKind::Failure,
+            SpanKind::Degraded,
+            SpanKind::Recovered,
+        ];
+        let mut rng = SimRng::new(0x5eed_50a7);
+        let mut buf = String::new();
+        for i in 0..4096u64 {
+            let kind = KINDS[(rng.next_u64() % KINDS.len() as u64) as usize];
+            // Bias toward boundary values: zero, single-digit, and u64::MAX
+            // fields all round-trip.
+            let pick = |rng: &mut SimRng| match rng.next_u64() % 5 {
+                0 => 0,
+                1 => rng.next_u64() % 10,
+                2 => u64::MAX,
+                _ => rng.next_u64(),
+            };
+            let start = Time::from_nanos(pick(&mut rng));
+            let end = Time::from_nanos(pick(&mut rng));
+            let replica = match rng.next_u64() % 3 {
+                0 => None,
+                1 => Some(0usize),
+                _ => Some((rng.next_u64() % 1_000_000) as usize),
+            };
+            let s = TraceSpan::new(kind, start, end, replica, pick(&mut rng))
+                .with_tokens(pick(&mut rng));
+            buf.clear();
+            s.write_json(&mut buf).unwrap();
+            assert_eq!(buf, reference_json(&s), "span #{i} diverged: {s:?}");
+        }
+    }
+
+    #[test]
+    fn write_json_covers_issue_boundary_cases() {
+        // replica: None + 0 tokens + u64::MAX version, explicitly.
+        let s = TraceSpan::new(SpanKind::EnvCall, Time::ZERO, Time::ZERO, None, u64::MAX);
+        assert_eq!(json(&s), reference_json(&s));
+        assert_eq!(
+            json(&s),
+            format!(
+                "{{\"kind\":\"env_call\",\"start_ns\":0,\"end_ns\":0,\"replica\":null,\"version\":{},\"tokens\":0}}",
+                u64::MAX
+            )
+        );
     }
 
     #[test]

@@ -47,6 +47,23 @@ if [ -n "$PREV" ]; then
             echo "bench: indexed engine $old -> $new events/sec (ok)"
         fi
     fi
+    # Allocation regression: same 20% rule on allocs-per-event, per engine
+    # leg. Unlike wall clock these counts are deterministic, so a jump is a
+    # real code change, not machine noise. Silently skipped when the previous
+    # report predates schema 2 (sed finds no field) or when either run had
+    # the counting allocator inactive (columns read 0.000).
+    for leg in indexed traced; do
+        old=$(sed -n "s/.*\"${leg}_allocs_per_event\": \([0-9.]*\).*/\1/p" "$PREV")
+        new=$(sed -n "s/.*\"${leg}_allocs_per_event\": \([0-9.]*\).*/\1/p" "$OUT")
+        if [ -n "$old" ] && [ -n "$new" ]; then
+            grew=$(awk -v o="$old" -v n="$new" 'BEGIN { print (o > 0 && n > 0 && n > 1.2 * o) ? 1 : 0 }')
+            if [ "$grew" = "1" ]; then
+                echo "bench: WARNING $leg engine allocations grew: $old -> $new allocs/event" >&2
+            else
+                echo "bench: $leg engine $old -> $new allocs/event (ok)"
+            fi
+        fi
+    done
     rm -f "$PREV"
 fi
 echo "bench: report written to $OUT"
