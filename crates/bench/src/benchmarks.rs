@@ -86,6 +86,11 @@ pub struct BenchReport {
     pub traced: MicroLeg,
     /// Experiment ids timed in the e2e leg.
     pub e2e_experiments: Vec<String>,
+    /// Per-experiment wall clock from the serial leg, seconds, aligned
+    /// with [`BenchReport::e2e_experiments`]. Serial timings are the
+    /// meaningful per-id numbers — parallel legs overlap experiments, so
+    /// only their total is comparable.
+    pub experiment_secs: Vec<f64>,
     /// What the `jobs` request resolved to for the e2e list.
     pub e2e_effective_jobs: usize,
     /// Wall clock for the `jobs = 1` e2e leg, seconds.
@@ -172,6 +177,13 @@ impl BenchReport {
             .map(|id| format!("\"{id}\""))
             .collect();
         let _ = writeln!(s, "    \"experiments\": [{}],", ids.join(", "));
+        let secs: Vec<String> = self
+            .e2e_experiments
+            .iter()
+            .zip(&self.experiment_secs)
+            .map(|(id, secs)| format!("\"{id}\": {secs:.3}"))
+            .collect();
+        let _ = writeln!(s, "    \"experiment_secs\": {{{}}},", secs.join(", "));
         let _ = writeln!(s, "    \"effective_jobs\": {},", self.e2e_effective_jobs);
         let _ = writeln!(s, "    \"serial_secs\": {:.3},", self.serial_secs);
         let _ = writeln!(s, "    \"parallel_secs\": {:.3},", self.parallel_secs);
@@ -290,9 +302,10 @@ fn time_indexed(
     (meter.events(), meter.elapsed_secs())
 }
 
-/// Times one pass over `ids` with the given job count, returning wall
-/// seconds. Reports are black-boxed; results/traces are not written.
-fn time_e2e(ids: &[String], jobs: usize) -> f64 {
+/// Times one pass over `ids` with the given job count, returning total
+/// wall seconds plus per-experiment wall seconds in id order. Reports are
+/// black-boxed; results/traces are not written.
+fn time_e2e(ids: &[String], jobs: usize) -> (f64, Vec<f64>) {
     let opts = Opts {
         jobs,
         ..Opts::default()
@@ -300,12 +313,17 @@ fn time_e2e(ids: &[String], jobs: usize) -> f64 {
     let start = std::time::Instant::now();
     // Outer fan-out over experiment ids mirrors the binary's `all` path;
     // each experiment's own grids additionally use `opts.jobs`.
-    let reports =
-        crate::runner::run_indexed(ids.to_vec(), jobs, |_, id| run_experiment(&id, &opts));
-    for r in &reports {
+    let reports = crate::runner::run_indexed(ids.to_vec(), jobs, |_, id| {
+        let t0 = std::time::Instant::now();
+        let report = run_experiment(&id, &opts);
+        (report, t0.elapsed().as_secs_f64())
+    });
+    let mut per_id = Vec::with_capacity(reports.len());
+    for (r, secs) in &reports {
         std::hint::black_box(r.len());
+        per_id.push(*secs);
     }
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), per_id)
 }
 
 /// Runs the benchmark suite. `smoke` shrinks the batch and the experiment
@@ -336,12 +354,12 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         all_experiment_ids().iter().map(|s| s.to_string()).collect()
     };
     let e2e_effective = effective_jobs(jobs, e2e_ids.len());
-    let serial_secs = time_e2e(&e2e_ids, 1);
+    let (serial_secs, experiment_secs) = time_e2e(&e2e_ids, 1);
     // One effective worker means the "parallel" leg is literally the serial
     // inline path; timing it again would only report scheduler noise as a
     // phantom slowdown, so the serial measurement is reused (speedup 1.0).
     let parallel_secs = if e2e_effective > 1 {
-        time_e2e(&e2e_ids, jobs)
+        time_e2e(&e2e_ids, jobs).0
     } else {
         serial_secs
     };
@@ -355,6 +373,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         indexed: MicroLeg::from_run(indexed_events, indexed_secs, indexed_stats),
         traced: MicroLeg::from_run(traced_events, traced_secs, traced_stats),
         e2e_experiments: e2e_ids,
+        experiment_secs,
         e2e_effective_jobs: e2e_effective,
         serial_secs,
         parallel_secs,
@@ -385,12 +404,14 @@ mod tests {
             indexed: leg(3000.0, 0.125, 1024),
             traced: leg(2500.0, 0.25, 2048),
             e2e_experiments: vec!["fig2".into()],
+            experiment_secs: vec![2.0],
             e2e_effective_jobs: 4,
             serial_secs: 2.0,
             parallel_secs: 0.5,
         };
         let j = r.to_json();
         assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"experiment_secs\": {\"fig2\": 2.000}"));
         assert!(j.contains("\"available_parallelism\": 8"));
         assert!(j.contains("\"alloc_counting_active\": true"));
         assert!(j.contains("\"indexed_allocs_per_event\": 0.125"));
@@ -413,6 +434,7 @@ mod tests {
             indexed: leg(3000.0, 0.0, 0),
             traced: leg(2500.0, 0.0, 0),
             e2e_experiments: vec!["fig2".into(), "fig9".into()],
+            experiment_secs: vec![1.0, 1.0],
             e2e_effective_jobs: 1,
             serial_secs: 2.0,
             parallel_secs: 2.0,

@@ -3,8 +3,10 @@
 //! ```text
 //! laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N]
 //!                     [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
 //! laminar-experiments --resume-from FILE
+//! laminar-experiments --list
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.txt` (default `results/`).
@@ -30,10 +32,18 @@
 //! `results/recovery.txt`), deterministically replays the run to that
 //! checkpoint, verifies the snapshot fingerprint, and resumes it to
 //! completion. `--recovery-seed N` reseeds the sustained fault schedules.
+//!
+//! `--spec FILE` runs a declarative lab spec (variants × seeds × repeats,
+//! see `specs/*.toml`) through the planner/executor, prints the summary
+//! and gate tables, and writes `<out>/<name>.rows.jsonl` plus
+//! `<name>.summary.txt`. The process exits nonzero if any regression gate
+//! fails. `--full` runs the spec's paper-sized shape instead of its
+//! `[quick]` override. `--list` prints every registered experiment with
+//! its title and spec-overridable knobs.
 
 use laminar_bench::{
     all_experiment_ids, benchmarks, default_jobs, effective_jobs, resume_from_descriptor,
-    run_experiment, run_indexed, Opts,
+    run_experiment, run_indexed, run_spec, LabSpec, Opts, REGISTRY,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -54,6 +64,7 @@ fn main() {
     let mut smoke = false;
     let mut bench_out = PathBuf::from("BENCH_rollout.json");
     let mut resume_from: Option<PathBuf> = None;
+    let mut specs: Vec<PathBuf> = Vec::new();
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -109,9 +120,20 @@ fn main() {
             "--trace" => {
                 opts.trace = Some(PathBuf::from(args.next().expect("--trace requires a file")));
             }
-            "list" => {
-                for id in all_experiment_ids() {
-                    println!("{id}");
+            "--spec" => {
+                specs.push(PathBuf::from(args.next().expect("--spec requires a file")));
+            }
+            "--list" | "list" => {
+                // One row per registry entry: id, title, and the spec knobs
+                // (legacy flags) the experiment honours beyond the common set.
+                let width = REGISTRY.iter().map(|d| d.id.len()).max().unwrap_or(0);
+                for def in REGISTRY {
+                    let knobs = if def.knobs.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  [{}]", def.knobs.join(" "))
+                    };
+                    println!("{:width$}  {}{}", def.id, def.title, knobs);
                 }
                 return;
             }
@@ -136,11 +158,45 @@ fn main() {
         println!("{}", resume_from_descriptor(&path, &opts));
         return;
     }
+    if !specs.is_empty() {
+        // Declarative lab path: each spec file runs variants × seeds ×
+        // repeats through the planner/executor and is summarised, gated,
+        // and persisted on its own. Any failing gate fails the process.
+        std::fs::create_dir_all(&out_dir).expect("create results directory");
+        let mut all_gates_pass = true;
+        for path in &specs {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read spec {}: {e}", path.display()));
+            let mut spec = LabSpec::parse(&text)
+                .unwrap_or_else(|e| panic!("parse spec {}: {e}", path.display()));
+            if opts.quick {
+                spec.apply_quick();
+            }
+            let spec_dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+            let report = run_spec(&spec, &opts, spec_dir)
+                .unwrap_or_else(|e| panic!("run spec {}: {e}", path.display()));
+            println!("==== {} ====\n{}", spec.name, report.render());
+            let rows_path = out_dir.join(format!("{}.rows.jsonl", spec.name));
+            std::fs::write(&rows_path, &report.rows_jsonl).expect("write rows JSONL");
+            eprintln!("wrote {}", rows_path.display());
+            let summary_path = out_dir.join(format!("{}.summary.txt", spec.name));
+            std::fs::write(&summary_path, report.render()).expect("write summary");
+            eprintln!("wrote {}", summary_path.display());
+            all_gates_pass &= report.gates_pass();
+        }
+        if !all_gates_pass {
+            eprintln!("regression gates FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
     if ids.is_empty() {
         eprintln!(
             "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
+             \x20      laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]\n\
              \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]\n\
-             \x20      laminar-experiments --resume-from FILE"
+             \x20      laminar-experiments --resume-from FILE\n\
+             \x20      laminar-experiments --list"
         );
         eprintln!("experiments: {}", all_experiment_ids().join(" "));
         std::process::exit(2);

@@ -7,28 +7,31 @@
 //! 1. the fixed *acceptance scenario* — a trainer crash, a relay outage, a
 //!    two-replica machine crash, a straggler, and an env stall, all
 //!    overlapping — run twice to prove byte-determinism;
-//! 2. a seeded sweep: `--chaos-seed N` picks the root seed, each seed
-//!    expands to a full fault schedule via
-//!    [`laminar_core::generate_schedule`], and the runs fan out across
-//!    `--jobs` threads with deterministic, input-ordered output.
+//! 2. the seeded sweep, expressed as the lab spec
+//!    `specs/chaos-sweep.toml`: the planner expands variants × seeds,
+//!    trials fan across `--jobs` threads through the deterministic
+//!    executor, and rows aggregate into the summary table. The legacy
+//!    `--chaos-seed N` flag is a thin alias that re-roots the spec's seed
+//!    set (and `--seed N` its data seed).
 
 use super::Opts;
+use crate::lab::{self, LabSpec, Summary};
 use laminar_cluster::ModelSpec;
-use laminar_core::{
-    generate_schedule, overlapping_scenario, ChaosConfig, FaultKind, LaminarSystem, SystemKind,
-};
-use laminar_sim::Time;
+use laminar_core::{overlapping_scenario, LaminarSystem, SystemKind};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write;
 
-fn kind_label(kind: &FaultKind) -> &'static str {
-    match kind {
-        FaultKind::ReplicaCrash { .. } => "crash",
-        FaultKind::TrainerCrash { .. } => "trainer",
-        FaultKind::RelayOutage { .. } => "relay-outage",
-        FaultKind::SlowNode { .. } => "slow-node",
-        FaultKind::EnvStall { .. } => "env-stall",
+/// The sweep's spec: the committed `specs/chaos-sweep.toml`, shrunk in
+/// quick mode, with the legacy seed flags applied as aliases.
+pub(crate) fn chaos_spec(opts: &Opts) -> LabSpec {
+    let mut spec = LabSpec::parse(include_str!("../../../../specs/chaos-sweep.toml"))
+        .expect("in-tree chaos-sweep spec parses");
+    if opts.quick {
+        spec.apply_quick();
     }
+    spec.reseed(opts.chaos_seed);
+    spec.data_seed = opts.seed;
+    spec
 }
 
 /// Runs the chaos experiment and renders its report.
@@ -81,57 +84,43 @@ pub fn chaos(opts: &Opts) -> String {
         opts.sink_trace(&a.trace);
     }
 
-    // Part 2: the seeded sweep, fanned across --jobs workers. Output and
-    // trace spans are sunk in seed order, so the report is byte-identical
-    // at any jobs count.
-    let n_seeds = if opts.quick { 4 } else { 8 };
-    let seeds: Vec<u64> = (0..n_seeds).map(|k| opts.chaos_seed + k).collect();
-    let chaos_cfg = ChaosConfig {
-        replicas,
-        horizon: if opts.quick {
-            Time::from_secs(90)
-        } else {
-            Time::from_secs(240)
-        },
-        ..ChaosConfig::default()
-    };
+    // Part 2: the seeded sweep through the lab (spec → planner → executor
+    // → analysis). Trials fan across --jobs workers; rows and trace spans
+    // come back in plan order, so the report is byte-identical at any jobs
+    // count.
+    let spec = chaos_spec(opts);
+    let rows = lab::run_lab(&spec, opts);
     let _ = writeln!(
         out,
-        "\n{:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>10}  schedule",
+        "\nsweep spec `{}` ({} seeds rooted at {}):\n",
+        spec.name,
+        spec.seeds.len(),
+        opts.chaos_seed
+    );
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>10}  schedule",
         "seed", "faults", "admitted", "completed", "redirects", "repooled", "violations"
     );
-    let runs = crate::runner::run_indexed(seeds, opts.jobs, |_, seed| {
-        let schedule = generate_schedule(seed, &chaos_cfg);
-        let labels: Vec<String> = schedule
-            .iter()
-            .map(|e| format!("{}@{:.0}s", kind_label(&e.kind), e.at.as_secs_f64()))
-            .collect();
-        let sys = LaminarSystem {
-            faults: schedule,
-            ..LaminarSystem::default()
-        };
-        (seed, labels, sys.run_chaos(&cfg))
-    });
     let mut all_green = true;
-    for (seed, labels, run) in &runs {
-        let violations = run.violations();
-        all_green &= violations.is_empty();
+    for r in &rows {
+        let m = |k: &str| r.metric(k).unwrap_or(0.0) as u64;
+        all_green &= m("violations") == 0;
         let _ = writeln!(
             out,
             "{:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>10}  {}",
-            seed,
-            run.outcome.audit.faults_applied,
-            run.outcome.admitted(),
-            run.outcome.completed(),
-            run.outcome.audit.redirects,
-            run.outcome.audit.repooled,
-            violations.len(),
-            labels.join(" "),
+            r.seed,
+            m("faults"),
+            m("admitted"),
+            m("completed"),
+            m("redirects"),
+            m("repooled"),
+            m("violations"),
+            r.note,
         );
-        if opts.trace.is_some() {
-            opts.sink_trace(&run.trace);
-        }
     }
+    let _ = writeln!(out, "\naggregates over the sweep:\n");
+    out.push_str(&Summary::from_rows(&rows).render());
     let _ = writeln!(
         out,
         "\nEvery scheduled fault is drawn from SimRng::derive(seed, \"chaos-schedule\", 0);\n\
@@ -158,5 +147,25 @@ mod tests {
         assert!(s.contains("deterministic: yes"), "{s}");
         assert!(s.contains("all seeds green: yes"), "{s}");
         assert_eq!(s, chaos(&o), "report is reproducible");
+    }
+
+    #[test]
+    fn chaos_seed_flag_aliases_onto_the_spec() {
+        let o = Opts {
+            chaos_seed: 42,
+            seed: 9,
+            ..Opts::default()
+        };
+        let spec = chaos_spec(&o);
+        assert_eq!(spec.seeds, vec![42, 43, 44, 45], "quick mode keeps 4 seeds");
+        assert_eq!(spec.data_seed, 9);
+        assert_eq!(spec.variants.len(), 1);
+        assert_eq!(spec.variants[0].gpus, 16, "quick shrink applied");
+        let full = chaos_spec(&Opts {
+            quick: false,
+            ..Opts::default()
+        });
+        assert_eq!(full.seeds.len(), 8);
+        assert_eq!(full.variants[0].gpus, 64);
     }
 }

@@ -104,13 +104,13 @@ impl Opts {
     }
 
     /// Whether runs should record trace spans at all.
-    fn tracing(&self) -> bool {
+    pub(crate) fn tracing(&self) -> bool {
         self.trace.is_some()
     }
 
     /// Sinks one run's recorded spans: into the in-memory buffer when one is
     /// installed, otherwise appended to the [`Opts::trace`] JSONL file.
-    fn sink_trace(&self, rec: &RecordingTrace) {
+    pub(crate) fn sink_trace(&self, rec: &RecordingTrace) {
         match (&self.trace_buf, &self.trace) {
             (Some(buf), _) => rec.write_jsonl_into(&mut buf.lock().expect("trace buffer")),
             (None, Some(path)) => rec.append_jsonl(path).expect("append trace JSONL"),
@@ -171,7 +171,11 @@ impl Opts {
 }
 
 /// Runs `kind` on `cfg`, forwarding spans to `trace`.
-fn dispatch(kind: SystemKind, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> RunReport {
+pub(crate) fn dispatch(
+    kind: SystemKind,
+    cfg: &SystemConfig,
+    trace: &mut dyn TraceSink,
+) -> RunReport {
     match kind {
         SystemKind::Verl => VerlSync.run_traced(cfg, trace),
         SystemKind::OneStep => OneStepStaleness.run_traced(cfg, trace),
@@ -181,34 +185,180 @@ fn dispatch(kind: SystemKind, cfg: &SystemConfig, trace: &mut dyn TraceSink) -> 
     }
 }
 
-/// Every experiment id, in paper order.
+/// One registered experiment: id, a one-line title, the spec/CLI knobs it
+/// honors beyond the common set (`--seed`, `--full/--quick`, `--jobs`,
+/// `--trace`), and its run function.
+///
+/// This table is the single source of truth: the id list, the dispatch,
+/// and the binary's `--list` output all derive from it.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDef {
+    /// Stable experiment id (also the result file stem).
+    pub id: &'static str,
+    /// One-line description for `--list`.
+    pub title: &'static str,
+    /// Experiment-specific knobs beyond the common set.
+    pub knobs: &'static [&'static str],
+    /// Renders the report.
+    pub run: fn(&Opts) -> String,
+}
+
+/// Every experiment, in paper order.
+pub static REGISTRY: &[ExperimentDef] = &[
+    ExperimentDef {
+        id: "fig1b",
+        title: "RL iteration time breakdown under the synchronous system",
+        knobs: &[],
+        run: throughput::fig1b,
+    },
+    ExperimentDef {
+        id: "fig2",
+        title: "workload skew across task distributions",
+        knobs: &[],
+        run: workload_figs::fig2,
+    },
+    ExperimentDef {
+        id: "fig4",
+        title: "one-step decode latency vs decode batch size",
+        knobs: &[],
+        run: perf_figs::fig4,
+    },
+    ExperimentDef {
+        id: "fig9",
+        title: "KVCache utilization lifecycle",
+        knobs: &[],
+        run: perf_figs::fig9,
+    },
+    ExperimentDef {
+        id: "fig10",
+        title: "inherent staleness over trajectory finish-time ranges",
+        knobs: &[],
+        run: async_figs::fig10,
+    },
+    ExperimentDef {
+        id: "fig11",
+        title: "training throughput, single-turn math, all scales",
+        knobs: &[],
+        run: throughput::fig11,
+    },
+    ExperimentDef {
+        id: "fig12",
+        title: "training throughput, multi-turn tool calling",
+        knobs: &[],
+        run: throughput::fig12,
+    },
+    ExperimentDef {
+        id: "fig13",
+        title: "reward vs wall-clock time across staleness regimes",
+        knobs: &[],
+        run: convergence_fig::fig13,
+    },
+    ExperimentDef {
+        id: "fig14",
+        title: "rollout waiting time during weight sync",
+        knobs: &[],
+        run: perf_figs::fig14,
+    },
+    ExperimentDef {
+        id: "fig15",
+        title: "throughput timeline across a rollout-machine failure",
+        knobs: &[],
+        run: async_figs::fig15,
+    },
+    ExperimentDef {
+        id: "fig16",
+        title: "repack efficiency",
+        knobs: &[],
+        run: async_figs::fig16,
+    },
+    ExperimentDef {
+        id: "fig17",
+        title: "response-length distributions per checkpoint",
+        knobs: &[],
+        run: workload_figs::fig17,
+    },
+    ExperimentDef {
+        id: "fig18",
+        title: "chain-pipelined relay broadcast latency",
+        knobs: &[],
+        run: perf_figs::fig18,
+    },
+    ExperimentDef {
+        id: "table1",
+        title: "rollout statistics with and without repack",
+        knobs: &[],
+        run: async_figs::table1,
+    },
+    ExperimentDef {
+        id: "table2",
+        title: "GPU allocation per system and scale",
+        knobs: &[],
+        run: tables::table2,
+    },
+    ExperimentDef {
+        id: "table3",
+        title: "convergence hyperparameters",
+        knobs: &[],
+        run: tables::table3,
+    },
+    ExperimentDef {
+        id: "ablate-repack",
+        title: "ablation: repack on/off across scales",
+        knobs: &[],
+        run: ablations::ablate_repack,
+    },
+    ExperimentDef {
+        id: "ablate-idleness",
+        title: "ablation: idleness metric (KVCache lifecycle vs static threshold)",
+        knobs: &[],
+        run: ablations::ablate_idleness,
+    },
+    ExperimentDef {
+        id: "ablate-sampling",
+        title: "ablation: experience sampling strategy vs consumed staleness",
+        knobs: &[],
+        run: ablations::ablate_sampling,
+    },
+    ExperimentDef {
+        id: "ablate-chunks",
+        title: "ablation: chain broadcast chunk count",
+        knobs: &[],
+        run: ablations::ablate_chunks,
+    },
+    ExperimentDef {
+        id: "ablate-batch",
+        title: "ablation: per-replica batch size vs throughput and staleness",
+        knobs: &[],
+        run: ablations::ablate_batch,
+    },
+    ExperimentDef {
+        id: "ablate-evolution",
+        title: "ablation: evolving trajectory lengths",
+        knobs: &[],
+        run: ablations::ablate_evolution,
+    },
+    ExperimentDef {
+        id: "chaos",
+        title: "seeded fault schedules with invariant checking (spec: specs/chaos-sweep.toml)",
+        knobs: &["--chaos-seed"],
+        run: chaos::chaos,
+    },
+    ExperimentDef {
+        id: "recovery",
+        title: "degradation, MTTR, checkpoint/restore (spec: specs/recovery-sweep.toml)",
+        knobs: &["--recovery-seed", "--checkpoint-every", "--resume-from"],
+        run: recovery::recovery,
+    },
+];
+
+/// Looks up a registered experiment by id.
+pub fn find_experiment(id: &str) -> Option<&'static ExperimentDef> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// Every experiment id, in paper order (derived from [`REGISTRY`]).
 pub fn all_experiment_ids() -> Vec<&'static str> {
-    vec![
-        "fig1b",
-        "fig2",
-        "fig4",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "fig16",
-        "fig17",
-        "fig18",
-        "table1",
-        "table2",
-        "table3",
-        "ablate-repack",
-        "ablate-idleness",
-        "ablate-sampling",
-        "ablate-chunks",
-        "ablate-batch",
-        "ablate-evolution",
-        "chaos",
-        "recovery",
-    ]
+    REGISTRY.iter().map(|e| e.id).collect()
 }
 
 /// Runs one experiment by id, returning the report text.
@@ -217,33 +367,8 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
 ///
 /// Panics on an unknown id; use [`all_experiment_ids`] to enumerate.
 pub fn run_experiment(id: &str, opts: &Opts) -> String {
-    match id {
-        "fig1b" => throughput::fig1b(opts),
-        "fig2" => workload_figs::fig2(opts),
-        "fig4" => perf_figs::fig4(opts),
-        "fig9" => perf_figs::fig9(opts),
-        "fig10" => async_figs::fig10(opts),
-        "fig11" => throughput::fig11(opts),
-        "fig12" => throughput::fig12(opts),
-        "fig13" => convergence_fig::fig13(opts),
-        "fig14" => perf_figs::fig14(opts),
-        "fig15" => async_figs::fig15(opts),
-        "fig16" => async_figs::fig16(opts),
-        "fig17" => workload_figs::fig17(opts),
-        "fig18" => perf_figs::fig18(opts),
-        "table1" => async_figs::table1(opts),
-        "table2" => tables::table2(opts),
-        "table3" => tables::table3(opts),
-        "ablate-repack" => ablations::ablate_repack(opts),
-        "ablate-idleness" => ablations::ablate_idleness(opts),
-        "ablate-sampling" => ablations::ablate_sampling(opts),
-        "ablate-chunks" => ablations::ablate_chunks(opts),
-        "ablate-batch" => ablations::ablate_batch(opts),
-        "ablate-evolution" => ablations::ablate_evolution(opts),
-        "chaos" => chaos::chaos(opts),
-        "recovery" => recovery::recovery(opts),
-        other => panic!("unknown experiment id: {other}"),
-    }
+    let def = find_experiment(id).unwrap_or_else(|| panic!("unknown experiment id: {id}"));
+    (def.run)(opts)
 }
 
 #[cfg(test)]

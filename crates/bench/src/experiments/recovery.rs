@@ -22,17 +22,29 @@
 //!    `--resume-from FILE`.
 
 use super::Opts;
+use crate::lab::{self, LabSpec, Summary};
 use laminar_baselines::{OneStepStaleness, PartialRollout, StreamGeneration, VerlSync};
 use laminar_cluster::ModelSpec;
-use laminar_core::{
-    generate_schedule, ChaosConfig, FaultEvent, FaultKind, LaminarSystem, SystemKind,
-};
+use laminar_core::{FaultEvent, FaultKind, LaminarSystem, SystemKind};
 use laminar_runtime::recovery::{check_resume_equivalence, Recoverable};
 use laminar_runtime::{NullTrace, RecordingTrace, SystemConfig};
 use laminar_sim::{Duration, SpanKind, Time};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write;
 use std::path::Path;
+
+/// The sweep's spec: the committed `specs/recovery-sweep.toml`, shrunk in
+/// quick mode, with the legacy seed flags applied as aliases.
+pub(crate) fn recovery_spec(opts: &Opts) -> LabSpec {
+    let mut spec = LabSpec::parse(include_str!("../../../../specs/recovery-sweep.toml"))
+        .expect("in-tree recovery-sweep spec parses");
+    if opts.quick {
+        spec.apply_quick();
+    }
+    spec.reseed(opts.recovery_seed);
+    spec.data_seed = opts.seed;
+    spec
+}
 
 /// The configuration the fault parts of the experiment run on.
 pub(crate) fn recovery_config(opts: &Opts, kind: SystemKind) -> SystemConfig {
@@ -175,51 +187,41 @@ pub fn recovery(opts: &Opts) -> String {
         opts.sink_trace(&run.trace);
     }
 
-    // Part 2: seeded sweep of dense schedules, fanned across --jobs.
-    let n_seeds = if opts.quick { 3 } else { 6 };
-    let seeds: Vec<u64> = (0..n_seeds).map(|k| opts.recovery_seed + k).collect();
-    let chaos_cfg = ChaosConfig {
-        events: 8,
-        replicas,
-        horizon: if opts.quick {
-            Time::from_secs(90)
-        } else {
-            Time::from_secs(240)
-        },
-        ..ChaosConfig::default()
-    };
+    // Part 2: the seeded sweep through the lab (spec → planner → executor
+    // → analysis): dense generated schedules, fanned across --jobs with
+    // rows and trace spans returned in plan order.
+    let spec = recovery_spec(opts);
+    let rows = lab::run_lab(&spec, opts);
     let _ = writeln!(
         out,
-        "\n{:>6}  {:>6}  {:>8}  {:>6}  {:>7}  {:>7}  {:>10}",
+        "\nsweep spec `{}` ({} seeds rooted at {}):\n",
+        spec.name,
+        spec.seeds.len(),
+        opts.recovery_seed
+    );
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>6}  {:>8}  {:>6}  {:>7}  {:>7}  {:>10}",
         "seed", "faults", "degraded", "trips", "blocked", "aborts", "violations"
     );
-    let runs = crate::runner::run_indexed(seeds, opts.jobs, |_, seed| {
-        let sys = LaminarSystem {
-            faults: generate_schedule(seed, &chaos_cfg),
-            ..LaminarSystem::default()
-        };
-        (seed, sys.run_chaos(&cfg))
-    });
     let mut all_green = violations.is_empty() && clean.violations().is_empty();
-    for (seed, run) in &runs {
-        let v = run.violations();
-        all_green &= v.is_empty();
-        let trips: u64 = run.outcome.breaker_trips.iter().sum();
+    for r in &rows {
+        let m = |k: &str| r.metric(k).unwrap_or(0.0) as u64;
+        all_green &= m("violations") == 0;
         let _ = writeln!(
             out,
             "{:>6}  {:>6}  {:>8}  {:>6}  {:>7}  {:>7}  {:>10}",
-            seed,
-            run.outcome.audit.faults_applied,
-            run.outcome.audit.degraded_entries,
-            trips,
-            run.outcome.audit.breaker_blocked,
-            run.outcome.env_aborts,
-            v.len(),
+            r.seed,
+            m("faults"),
+            m("degraded_entries"),
+            m("breaker_trips"),
+            m("breaker_blocked"),
+            m("env_aborts"),
+            m("violations"),
         );
-        if opts.trace.is_some() {
-            opts.sink_trace(&run.trace);
-        }
     }
+    let _ = writeln!(out, "\naggregates over the sweep:\n");
+    out.push_str(&Summary::from_rows(&rows).render());
 
     // Part 3: checkpoint/restore equivalence for all five systems.
     let cadences: Vec<Duration> = match opts.checkpoint_every {

@@ -1,0 +1,93 @@
+//! The declarative experiment lab: spec → planner → executor → analysis
+//! tables → regression gates.
+//!
+//! A [`LabSpec`] (parsed from a TOML-subset file, see [`spec`]) declares
+//! variants × seeds × repeats plus per-metric regression gates. The
+//! [`planner`] expands it into a deterministic trial list, [`exec`] fans
+//! the trials through the work-stealing executor, [`analysis`] turns
+//! results into JSONL rows and mean/percentile summary tables, and
+//! [`gate`] checks the aggregates against committed baselines. The figure
+//! functions for the chaos and recovery sweeps are expressed through this
+//! layer; `laminar-experiments --spec FILE` runs arbitrary spec files
+//! through it end to end.
+
+pub mod analysis;
+pub mod exec;
+pub mod gate;
+pub mod planner;
+pub mod spec;
+
+pub use analysis::{parse_rows_jsonl, write_rows_jsonl, Summary, TrialRow};
+pub use exec::run_lab;
+pub use gate::{all_pass, evaluate_gates, render_gates, GateOutcome};
+pub use planner::{plan, Trial};
+pub use spec::{GateBaseline, GateSpec, LabSpec, Stat, VariantSpec, WorkloadKind};
+
+use crate::experiments::Opts;
+use std::path::Path;
+
+/// A fully executed spec: rows, their JSONL serialization, the aggregate
+/// summary, and every evaluated gate.
+#[derive(Debug, Clone)]
+pub struct LabReport {
+    /// The (possibly quick-shrunk / reseeded) spec that ran.
+    pub spec: LabSpec,
+    /// One row per trial, in plan order.
+    pub rows: Vec<TrialRow>,
+    /// Deterministic JSONL serialization of `rows`.
+    pub rows_jsonl: String,
+    /// Per-(variant, metric) aggregates.
+    pub summary: Summary,
+    /// Evaluated gates, spec order.
+    pub gates: Vec<GateOutcome>,
+}
+
+impl LabReport {
+    /// True iff every gate passed (vacuously true without gates).
+    pub fn gates_pass(&self) -> bool {
+        all_pass(&self.gates)
+    }
+
+    /// Renders the human-readable report: trial count, summary table, and
+    /// gate table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "lab `{}` — {} variants × {} seeds × {} repeats = {} trials\n\n{}",
+            self.spec.name,
+            self.spec.variants.len(),
+            self.spec.seeds.len(),
+            self.spec.repeats,
+            self.rows.len(),
+            self.summary.render(),
+        );
+        if !self.gates.is_empty() {
+            out.push('\n');
+            out.push_str(&render_gates(&self.gates));
+            out.push_str(&format!(
+                "\ngates: {}\n",
+                if self.gates_pass() {
+                    "all pass"
+                } else {
+                    "FAIL"
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Runs a spec end to end: plan, execute across [`Opts::jobs`], aggregate,
+/// and evaluate gates (file baselines resolve relative to `spec_dir`).
+pub fn run_spec(spec: &LabSpec, opts: &Opts, spec_dir: &Path) -> Result<LabReport, String> {
+    let rows = run_lab(spec, opts);
+    let rows_jsonl = write_rows_jsonl(&spec.name, &rows);
+    let summary = Summary::from_rows(&rows);
+    let gates = evaluate_gates(spec, &summary, spec_dir)?;
+    Ok(LabReport {
+        spec: spec.clone(),
+        rows,
+        rows_jsonl,
+        summary,
+        gates,
+    })
+}

@@ -1,0 +1,88 @@
+//! Deterministic spec → trial-list expansion.
+//!
+//! The planner is pure: the trial list depends only on the spec, never on
+//! the machine, `--jobs`, or the clock. Expansion order is fixed — variants
+//! in declaration order, then seeds in declaration order, then repeats —
+//! so the list (and therefore every downstream JSONL row index) is
+//! order-stable across runs and job counts.
+
+use super::spec::LabSpec;
+
+/// One planned trial: a (variant, seed, repeat) coordinate in the spec's
+/// grid, plus its fixed position in the expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trial {
+    /// Position in the expanded list (also the JSONL row index).
+    pub index: usize,
+    /// Index into [`LabSpec::variants`].
+    pub variant: usize,
+    /// Trial seed (fault-schedule seed for chaos variants, data seed
+    /// otherwise).
+    pub seed: u64,
+    /// Repeat number, `0..spec.repeats`.
+    pub repeat: u32,
+}
+
+/// Expands a spec into its deterministic trial list:
+/// `variants × seeds × repeats`, nested in that order.
+pub fn plan(spec: &LabSpec) -> Vec<Trial> {
+    let mut trials =
+        Vec::with_capacity(spec.variants.len() * spec.seeds.len() * spec.repeats as usize);
+    for (vi, _) in spec.variants.iter().enumerate() {
+        for &seed in &spec.seeds {
+            for repeat in 0..spec.repeats {
+                trials.push(Trial {
+                    index: trials.len(),
+                    variant: vi,
+                    seed,
+                    repeat,
+                });
+            }
+        }
+    }
+    trials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> LabSpec {
+        LabSpec::parse(
+            "name = \"demo\"\nseeds = [3, 1]\nrepeats = 2\n\
+             [variant.b]\nsystem = \"laminar\"\n[variant.a]\nsystem = \"verl\"",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn expansion_is_declaration_ordered() {
+        let trials = plan(&demo_spec());
+        let coords: Vec<(usize, u64, u32)> = trials
+            .iter()
+            .map(|t| (t.variant, t.seed, t.repeat))
+            .collect();
+        // Variant `b` (declared first) before `a`; seed 3 before 1 (spec
+        // order, not sorted); repeat 0 before 1.
+        assert_eq!(
+            coords,
+            vec![
+                (0, 3, 0),
+                (0, 3, 1),
+                (0, 1, 0),
+                (0, 1, 1),
+                (1, 3, 0),
+                (1, 3, 1),
+                (1, 1, 0),
+                (1, 1, 1),
+            ]
+        );
+        assert!(trials.iter().enumerate().all(|(i, t)| t.index == i));
+    }
+
+    #[test]
+    fn planning_is_stable() {
+        let spec = demo_spec();
+        assert_eq!(plan(&spec), plan(&spec));
+    }
+}

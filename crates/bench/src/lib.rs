@@ -14,9 +14,13 @@
 pub mod alloc_count;
 pub mod benchmarks;
 pub mod experiments;
+pub mod lab;
 pub mod runner;
 pub mod table;
 
 pub use experiments::recovery::resume_from_descriptor;
-pub use experiments::{all_experiment_ids, run_experiment, Opts};
+pub use experiments::{
+    all_experiment_ids, find_experiment, run_experiment, ExperimentDef, Opts, REGISTRY,
+};
+pub use lab::{run_spec, LabReport, LabSpec};
 pub use runner::{default_jobs, effective_jobs, run_indexed};

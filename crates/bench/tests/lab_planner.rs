@@ -1,0 +1,99 @@
+//! Lab determinism contract: spec expansion is order-stable, trial
+//! execution is byte-identical for every `--jobs` value, and repeats of
+//! the same (variant, seed) pair reproduce the same row.
+
+use laminar_bench::lab::{plan, run_lab, write_rows_jsonl};
+use laminar_bench::{LabSpec, Opts};
+
+/// The committed CI smoke spec, so the integration tests exercise the
+/// exact artifact the lab-smoke CI job runs.
+const SMOKE: &str = include_str!("../../../specs/smoke.toml");
+
+/// A tiny two-repeat study for the repeat-determinism contract.
+const REPEATS: &str = r#"
+name = "repeat-check"
+seeds = [3, 9]
+repeats = 2
+
+[variant.verl]
+system = "verl"
+workload = "single-turn"
+gpus = 16
+iterations = 2
+
+[variant.laminar]
+system = "laminar"
+workload = "single-turn"
+gpus = 16
+iterations = 2
+chaos_events = 2
+chaos_horizon_secs = 60.0
+"#;
+
+#[test]
+fn planner_expansion_is_order_stable() {
+    let spec = LabSpec::parse(REPEATS).expect("parse");
+    let trials = plan(&spec);
+    // variants (declaration order) × seeds (list order) × repeats, nested
+    // in exactly that order, indices contiguous.
+    let expected: Vec<(&str, u64, u32)> = vec![
+        ("verl", 3, 0),
+        ("verl", 3, 1),
+        ("verl", 9, 0),
+        ("verl", 9, 1),
+        ("laminar", 3, 0),
+        ("laminar", 3, 1),
+        ("laminar", 9, 0),
+        ("laminar", 9, 1),
+    ];
+    assert_eq!(trials.len(), expected.len());
+    for (i, (t, (variant, seed, repeat))) in trials.iter().zip(&expected).enumerate() {
+        assert_eq!(t.index, i);
+        assert_eq!(spec.variants[t.variant].name, *variant);
+        assert_eq!(t.seed, *seed);
+        assert_eq!(t.repeat, *repeat);
+    }
+    // Re-planning the same spec reproduces the same list.
+    assert_eq!(plan(&spec), trials);
+}
+
+#[test]
+fn rows_are_byte_identical_across_job_counts() {
+    let spec = LabSpec::parse(SMOKE).expect("parse smoke spec");
+    let jsonl = |jobs: usize| {
+        let opts = Opts {
+            jobs,
+            ..Opts::default()
+        };
+        write_rows_jsonl(&spec.name, &run_lab(&spec, &opts))
+    };
+    let serial = jsonl(1);
+    let parallel = jsonl(8);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "rows JSONL differs between --jobs 1 and 8"
+    );
+}
+
+#[test]
+fn repeated_variant_seed_pairs_reproduce_identical_rows() {
+    let spec = LabSpec::parse(REPEATS).expect("parse");
+    let opts = Opts {
+        jobs: 4,
+        ..Opts::default()
+    };
+    let rows = run_lab(&spec, &opts);
+    assert_eq!(rows.len(), 8);
+    for pair in rows.chunks(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert_eq!((&a.variant, a.seed), (&b.variant, b.seed));
+        assert_eq!((a.repeat, b.repeat), (0, 1));
+        assert_eq!(
+            a.metrics, b.metrics,
+            "repeat of {} seed {}",
+            a.variant, a.seed
+        );
+        assert_eq!(a.note, b.note);
+    }
+}
