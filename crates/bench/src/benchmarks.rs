@@ -26,16 +26,28 @@
 //!   speedup is exactly 1.0 instead of thread-pool noise. The recorded
 //!   `available_parallelism` and `effective_jobs` label such rows.
 //!
+//! - **shards**: the conservative-lookahead sharded driver's scaling
+//!   curve. One fixed Laminar system run is repeated at shard counts 1,
+//!   2, 4, and 8 (requested raw, not clamped — on a small machine the
+//!   extra workers timeshare, and the point of the curve is the sharded
+//!   code path itself), recording wall seconds per shard count plus a
+//!   determinism verdict: every leg's report debug string and JSONL event
+//!   trace must be byte-identical to the serial leg's. A `false` there is
+//!   a correctness bug, never noise.
+//!
 //! The JSON is hand-rolled (the workspace is dependency-free); the schema
 //! is documented in the README and stamped with a `schema` version so the
-//! diff script can reject incompatible files. Schema 2 keeps schema 1's
-//! throughput key names so existing diff tooling keeps working.
+//! diff script can reject incompatible files. Schema 3 adds the
+//! `shard_curve` block and keeps every schema-2 key name so existing diff
+//! tooling keeps working.
 
 use crate::alloc_count::{self, AllocStats};
 use crate::experiments::{all_experiment_ids, run_experiment, Opts};
 use crate::runner::effective_jobs;
 use laminar_cluster::{DecodeModel, GpuSpec, ModelSpec};
+use laminar_core::{placement_for, LaminarSystem, SystemKind};
 use laminar_rollout::{EngineConfig, NaiveReplicaEngine, ReplicaEngine};
+use laminar_runtime::{RecordingTrace, RlSystem, SystemConfig};
 use laminar_sim::{ThroughputMeter, Time};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write as _;
@@ -63,6 +75,15 @@ impl MicroLeg {
     }
 }
 
+/// One point of the sharded-driver scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPoint {
+    /// Requested shard count (worker threads between lookahead fences).
+    pub shards: usize,
+    /// Wall seconds for the fixed system run at this shard count.
+    pub secs: f64,
+}
+
 /// Results of one `--bench` invocation.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -84,6 +105,13 @@ pub struct BenchReport {
     pub indexed: MicroLeg,
     /// Slab-indexed engine with span tracing + JSONL serialization.
     pub traced: MicroLeg,
+    /// Sharded-driver scaling curve: wall seconds for one fixed Laminar
+    /// system run at each shard count, serial (1) first.
+    pub shard_curve: Vec<ShardPoint>,
+    /// True when every shard count produced the byte-identical report and
+    /// JSONL event trace the serial driver did. Deterministic by design —
+    /// `false` is a correctness regression, not noise.
+    pub shard_deterministic: bool,
     /// Experiment ids timed in the e2e leg.
     pub e2e_experiments: Vec<String>,
     /// Per-experiment wall clock from the serial leg, seconds, aligned
@@ -112,11 +140,33 @@ impl BenchReport {
         self.serial_secs / self.parallel_secs.max(1e-12)
     }
 
+    /// Serial-over-best-sharded wall-clock ratio (1.0 when the curve is
+    /// empty). Below 1.0 on machines where the shard workers timeshare a
+    /// single core — the determinism verdict is the load-bearing output
+    /// there.
+    pub fn shard_speedup(&self) -> f64 {
+        let serial = self
+            .shard_curve
+            .iter()
+            .find(|p| p.shards == 1)
+            .map(|p| p.secs);
+        let best = self
+            .shard_curve
+            .iter()
+            .filter(|p| p.shards > 1)
+            .map(|p| p.secs)
+            .min_by(f64::total_cmp);
+        match (serial, best) {
+            (Some(s), Some(b)) => s / b.max(1e-12),
+            _ => 1.0,
+        }
+    }
+
     /// Serializes the report (see README for the schema).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 2,");
+        let _ = writeln!(s, "  \"schema\": 3,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(
@@ -170,6 +220,16 @@ impl BenchReport {
         let _ = writeln!(s, "    \"traced_peak_bytes\": {},", self.traced.peak_bytes);
         let _ = writeln!(s, "    \"speedup\": {:.2}", self.micro_speedup());
         let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"shard_curve\": {{");
+        let secs: Vec<String> = self
+            .shard_curve
+            .iter()
+            .map(|p| format!("\"{}\": {:.3}", p.shards, p.secs))
+            .collect();
+        let _ = writeln!(s, "    \"secs_by_shards\": {{{}}},", secs.join(", "));
+        let _ = writeln!(s, "    \"deterministic\": {},", self.shard_deterministic);
+        let _ = writeln!(s, "    \"speedup\": {:.2}", self.shard_speedup());
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"e2e\": {{");
         let ids: Vec<String> = self
             .e2e_experiments
@@ -205,15 +265,24 @@ impl BenchReport {
         } else {
             "allocs: counting allocator not registered (columns read zero)".to_string()
         };
+        let shard_note = self
+            .shard_curve
+            .iter()
+            .map(|p| format!("{}:{:.2}s", p.shards, p.secs))
+            .collect::<Vec<_>>()
+            .join(" | ");
         format!(
             "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | traced {:>10.0} ev/s | {:.2}x\n\
              {alloc_note}\n\
+             shards: {shard_note} | {:.2}x | deterministic: {}\n\
              e2e   : {} experiments | serial {:.2}s | --jobs {} (effective {}) {:.2}s | {:.2}x",
             self.micro_trajectories,
             self.naive.events_per_sec,
             self.indexed.events_per_sec,
             self.traced.events_per_sec,
             self.micro_speedup(),
+            self.shard_speedup(),
+            self.shard_deterministic,
             self.e2e_experiments.len(),
             self.serial_secs,
             self.jobs,
@@ -302,6 +371,44 @@ fn time_indexed(
     (meter.events(), meter.elapsed_secs())
 }
 
+/// Measures the sharded-driver scaling curve: one fixed Laminar system run
+/// repeated at each shard count, returning the points plus the determinism
+/// verdict (report debug string and JSONL trace byte-identical to the
+/// serial leg at every count).
+fn time_shard_curve(smoke: bool) -> (Vec<ShardPoint>, bool) {
+    let model = ModelSpec::qwen_7b();
+    let p = placement_for(SystemKind::Laminar, &model, 16);
+    let mut cfg = SystemConfig::new(
+        model,
+        p.train,
+        p.rollout,
+        p.tp,
+        WorkloadGenerator::single_turn(11, Checkpoint::Math7B),
+    );
+    cfg.iterations = if smoke { 2 } else { 3 };
+    cfg.warmup = 0;
+    let mut curve = Vec::new();
+    let mut fingerprint: Option<(String, String)> = None;
+    let mut deterministic = true;
+    for shards in [1usize, 2, 4, 8] {
+        let sys = LaminarSystem {
+            shards,
+            ..LaminarSystem::default()
+        };
+        let mut trace = RecordingTrace::new();
+        let start = std::time::Instant::now();
+        let report = sys.run_traced(&cfg, &mut trace);
+        let secs = start.elapsed().as_secs_f64();
+        let fp = (format!("{report:?}"), trace.to_jsonl());
+        match &fingerprint {
+            None => fingerprint = Some(fp),
+            Some(serial) => deterministic &= *serial == fp,
+        }
+        curve.push(ShardPoint { shards, secs });
+    }
+    (curve, deterministic)
+}
+
 /// Times one pass over `ids` with the given job count, returning total
 /// wall seconds plus per-experiment wall seconds in id order. Reports are
 /// black-boxed; results/traces are not written.
@@ -343,6 +450,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         alloc_count::measure(|| time_indexed(&specs, repeats, true));
     let alloc_counting_active = alloc_count::is_active();
     alloc_count::disable();
+    let (shard_curve, shard_deterministic) = time_shard_curve(smoke);
     let e2e_ids: Vec<String> = if smoke {
         vec![
             "fig2".into(),
@@ -372,6 +480,8 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         naive: MicroLeg::from_run(naive_events, naive_secs, naive_stats),
         indexed: MicroLeg::from_run(indexed_events, indexed_secs, indexed_stats),
         traced: MicroLeg::from_run(traced_events, traced_secs, traced_stats),
+        shard_curve,
+        shard_deterministic,
         e2e_experiments: e2e_ids,
         experiment_secs,
         e2e_effective_jobs: e2e_effective,
@@ -403,14 +513,28 @@ mod tests {
             naive: leg(1000.0, 2.5, 4096),
             indexed: leg(3000.0, 0.125, 1024),
             traced: leg(2500.0, 0.25, 2048),
+            shard_curve: vec![
+                ShardPoint {
+                    shards: 1,
+                    secs: 2.0,
+                },
+                ShardPoint {
+                    shards: 4,
+                    secs: 1.0,
+                },
+            ],
+            shard_deterministic: true,
             e2e_experiments: vec!["fig2".into()],
             experiment_secs: vec![2.0],
             e2e_effective_jobs: 4,
             serial_secs: 2.0,
             parallel_secs: 0.5,
         };
+        assert!((r.shard_speedup() - 2.0).abs() < 1e-9);
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"schema\": 3"));
+        assert!(j.contains("\"secs_by_shards\": {\"1\": 2.000, \"4\": 1.000}"));
+        assert!(j.contains("\"deterministic\": true"));
         assert!(j.contains("\"experiment_secs\": {\"fig2\": 2.000}"));
         assert!(j.contains("\"available_parallelism\": 8"));
         assert!(j.contains("\"alloc_counting_active\": true"));
@@ -433,6 +557,8 @@ mod tests {
             naive: leg(1000.0, 0.0, 0),
             indexed: leg(3000.0, 0.0, 0),
             traced: leg(2500.0, 0.0, 0),
+            shard_curve: Vec::new(),
+            shard_deterministic: true,
             e2e_experiments: vec!["fig2".into(), "fig9".into()],
             experiment_secs: vec![1.0, 1.0],
             e2e_effective_jobs: 1,

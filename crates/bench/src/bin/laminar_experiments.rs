@@ -1,8 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N]
-//!                     [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list
+//! laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N]
+//!                     [--recovery-seed N] [--checkpoint-every SECS] [--out DIR]
+//!                     [--trace FILE] <id>... | all | list
 //! laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
 //! laminar-experiments --resume-from FILE
@@ -20,6 +21,12 @@
 //! result files are written, and trace spans flushed, in experiment id
 //! order after the parallel runs complete. The default is the machine's
 //! available parallelism; `--jobs 1` forces the serial path.
+//!
+//! `--shards N` (default 1) runs every Laminar system under the
+//! conservative-lookahead sharded driver with N replica-group shards.
+//! Output is byte-identical at every shard count — sharding is purely a
+//! wall-clock lever. The request is clamped so `jobs × shards` never
+//! exceeds the machine's available parallelism.
 //!
 //! `--bench` instead runs the in-tree benchmark harness (engine-hot-path
 //! micro-benchmark plus an end-to-end serial-vs-parallel suite timing) and
@@ -85,6 +92,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .expect("--jobs requires a positive integer");
+            }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--shards requires a positive integer");
             }
             "--chaos-seed" => {
                 opts.chaos_seed = args
@@ -192,7 +206,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--chaos-seed N] [--recovery-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
+            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N] [--recovery-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
              \x20      laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]\n\
              \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]\n\
              \x20      laminar-experiments --resume-from FILE\n\

@@ -280,6 +280,11 @@ pub struct VariantSpec {
     pub iterations: usize,
     /// Warmup iterations excluded from measurement.
     pub warmup: usize,
+    /// Replica-group shards for the Laminar driver (`1` = serial wake
+    /// loop, `>1` = conservative-lookahead sharded loop). Output is
+    /// byte-identical at every value, which is exactly what shard-curve
+    /// specs gate on. Laminar-only, like the chaos knobs.
+    pub shards: usize,
     /// Faults per generated chaos schedule; `0` disables fault injection.
     /// Chaos knobs require `system = "laminar"` (the invariant-checked
     /// chaos path is Laminar-only).
@@ -533,6 +538,7 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
         gpus: 16,
         iterations: 2,
         warmup: 0,
+        shards: 1,
         chaos_events: 0,
         chaos_earliest_secs: 10.0,
         chaos_horizon_secs: 240.0,
@@ -544,6 +550,7 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
             "gpus" => v.gpus = val.as_usize(k)?,
             "iterations" => v.iterations = val.as_usize(k)?,
             "warmup" => v.warmup = val.as_usize(k)?,
+            "shards" => v.shards = val.as_usize(k)?,
             "chaos_events" => v.chaos_events = val.as_usize(k)?,
             "chaos_earliest_secs" => v.chaos_earliest_secs = val.as_f64(k)?,
             "chaos_horizon_secs" => v.chaos_horizon_secs = val.as_f64(k)?,
@@ -556,9 +563,15 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
             v.name
         ));
     }
-    if v.gpus == 0 || v.iterations == 0 {
+    if v.shards > 1 && v.system != SystemKind::Laminar {
         return Err(format!(
-            "variant `{}`: gpus and iterations must be positive",
+            "variant `{}`: shards > 1 requires system = \"laminar\" (the baselines are serial-only)",
+            v.name
+        ));
+    }
+    if v.gpus == 0 || v.iterations == 0 || v.shards == 0 {
+        return Err(format!(
+            "variant `{}`: gpus, iterations, and shards must be positive",
             v.name
         ));
     }
@@ -710,6 +723,19 @@ gpus = 16
         let s = LabSpec::parse("name = \"x\"\nseeds = [9, 4, 4]\n[variant.a]\nsystem = \"verl\"")
             .expect("parse");
         assert_eq!(s.seeds, vec![9, 4, 4]);
+    }
+
+    #[test]
+    fn shards_knob_parses_and_is_laminar_only() {
+        let s = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"laminar\"\nshards = 4",
+        )
+        .expect("parse");
+        assert_eq!(s.variants[0].shards, 4);
+        let err =
+            LabSpec::parse("name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"verl\"\nshards = 2")
+                .unwrap_err();
+        assert!(err.contains("serial-only"), "{err}");
     }
 
     #[test]

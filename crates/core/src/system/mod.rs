@@ -15,6 +15,7 @@ mod driver;
 mod elastic;
 mod faults;
 mod recover;
+mod sharded;
 #[cfg(test)]
 mod tests;
 mod timeline;
@@ -25,6 +26,7 @@ use crate::chaos::{ChaosAudit, ChaosOutcome, FaultEvent};
 use laminar_data::{Eviction, ExperienceBuffer, PartialResponsePool, Sampler};
 use laminar_relay::RelaySyncModel;
 use laminar_rollout::manager::{ManagerConfig, RolloutManager};
+use laminar_rollout::shard::WakeQueue;
 use laminar_rollout::{EngineConfig, ReplicaEngine};
 use laminar_runtime::{
     BreakerConfig, CircuitBreaker, RecordingTrace, RetryPolicy, RlSystem, RunReport, SystemConfig,
@@ -126,6 +128,12 @@ pub struct LaminarSystem {
     /// older than this many versions (relaxed by
     /// [`RecoveryOptions::staleness_relax`] while degraded).
     pub staleness_cap: Option<u64>,
+    /// Replica-group shards for parallel discrete-event execution
+    /// (DESIGN.md §11). At 1 (the default) the run uses the serial
+    /// wake-per-event loop; above 1 the [`sharded`] conservative-lookahead
+    /// driver advances replica engines on up to this many threads between
+    /// global interaction fences. Output is byte-identical either way.
+    pub shards: usize,
 }
 
 impl Default for LaminarSystem {
@@ -141,6 +149,7 @@ impl Default for LaminarSystem {
             sample_every: Duration::from_secs(10),
             recovery: RecoveryOptions::default(),
             staleness_cap: None,
+            shards: 1,
         }
     }
 }
@@ -263,6 +272,20 @@ struct World {
     /// When the current degraded episode began (start of the `Recovered`
     /// span emitted on exit).
     degraded_entered: Time,
+    /// True when the run is driven by the conservative-lookahead sharded
+    /// loop ([`sharded`]): per-event `ReplicaWake`s are suppressed — engine
+    /// events are advanced between fences by the shard workers instead.
+    sharded: bool,
+    /// Sharded runs only: the pending `ReplicaWake` multiset per replica —
+    /// exactly what the serial driver would have queued centrally. The
+    /// shard workers replay each replica's wake chains (fire at each
+    /// prediction in scheduler order, settle, re-predict) up to the fence,
+    /// which keeps the forced rate-re-evaluation horizon — re-based at
+    /// every wake settlement, even a stale one — byte-identical to serial
+    /// execution. A replica may carry several live chains at once (the
+    /// fault plane re-wakes survivors without invalidating their existing
+    /// chains), so a queue, not a single slot, is required.
+    armed: Vec<WakeQueue>,
 }
 
 impl World {
@@ -406,8 +429,13 @@ impl LaminarSystem {
     }
 
     /// Builds the world, runs the event loop to completion, and returns the
-    /// final world state (spans still buffered inside).
+    /// final world state (spans still buffered inside). Above one shard the
+    /// conservative-lookahead driver takes over ([`sharded`]); output is
+    /// byte-identical either way.
     fn execute(&self, cfg: &SystemConfig, record_trace: bool) -> World {
+        if self.shards > 1 {
+            return self.execute_sharded(cfg, record_trace);
+        }
         let mut sim = self.build(cfg, record_trace);
         let finished = sim.run_while(|w| !w.done(), 2_000_000_000);
         assert!(finished, "laminar run did not complete its iterations");
@@ -483,6 +511,8 @@ impl LaminarSystem {
             degraded: false,
             capacity_low_since: None,
             degraded_entered: Time::ZERO,
+            sharded: self.shards > 1,
+            armed: vec![WakeQueue::new(); replicas],
         };
         world.engines = (0..replicas)
             .map(|i| ReplicaEngine::new(i, cfg.decode_model(), world.engine_cfg()))
@@ -493,10 +523,9 @@ impl LaminarSystem {
         let mut sim = Simulation::new(world);
         for r in 0..replicas {
             sim.world.start_batch(r, Time::ZERO, &mut sim.scheduler);
-            let epoch = sim.world.engines[r].epoch();
-            if let Some(t) = sim.world.engines[r].next_event_time() {
-                sim.scheduler.at(t, Ev::ReplicaWake { r, epoch });
-            }
+            // Serial runs get a queued `ReplicaWake`; sharded runs arm the
+            // per-replica prediction the lookahead loop replays instead.
+            sim.world.wake(r, &mut sim.scheduler);
         }
         sim.scheduler
             .after(ManagerConfig::default().repack_interval, Ev::RepackTick);

@@ -134,7 +134,16 @@ impl Recoverable for LaminarSystem {
             every > Duration::ZERO,
             "checkpoint cadence must be positive"
         );
-        let mut sim = self.build(cfg, trace.enabled());
+        // Checkpointing drives the serial wake loop regardless of the shard
+        // setting: snapshots freeze the run between queue events, a boundary
+        // the sharded driver's out-of-queue fence loop doesn't expose. The
+        // two drivers produce byte-identical output, so resume equivalence
+        // is unaffected.
+        let serial = LaminarSystem {
+            shards: 1,
+            ..self.clone()
+        };
+        let mut sim = serial.build(cfg, trace.enabled());
         let mut snapshots = Vec::new();
         let mut deadline = Time::ZERO + every;
         loop {

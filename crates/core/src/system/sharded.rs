@@ -1,0 +1,126 @@
+//! The conservative-lookahead sharded driver (DESIGN.md §11).
+//!
+//! The serial loop routes every internal replica event through the central
+//! scheduler as a `ReplicaWake` — one heap push + pop + handler dispatch per
+//! event, all on one core. But between two *global interaction points* the
+//! replicas never observe each other: weight publishes, trajectory
+//! hand-offs into the experience buffer, repack passes, and chaos events
+//! are the only cross-replica effects, and all of them either live in the
+//! central event queue or are derivable from engine state. That makes the
+//! queue's next event time a *conservative lookahead fence*: every engine
+//! may advance freely through its internal events up to the fence with no
+//! risk of receiving an effect from the past.
+//!
+//! The loop, each round:
+//!
+//! 1. **Fence.** The next central-queue event time (weight publish, trainer
+//!    completion, repack tick, fault, …) bounds the lookahead window.
+//! 2. **Advance.** [`laminar_rollout::shard::parallel_advance`] fans the
+//!    engines across up to `shards` scoped threads; each processes its
+//!    internal events up to the fence and stops *at its last event* (never
+//!    clamping forward — the forced rate-re-evaluation horizon is keyed off
+//!    the engine clock, so clamping would shift recalc instants off the
+//!    serial timeline). The scope join is the barrier.
+//! 3. **Replay.** Completions that surfaced inside the window are handed
+//!    off in global `(finish time, replica)` order, each group at its own
+//!    instant: buffer writes, audit, breaker bookkeeping, and the
+//!    idle-replica restart all happen exactly as the serial wake chain
+//!    would have done them (`World::process_completions` is the shared
+//!    body). The restart — the only path where a drained effect feeds back
+//!    into an engine — happens at the final completion's instant, which is
+//!    precisely the engine's idle time.
+//! 4. **Step.** When no hand-off remains inside the window, one central
+//!    event is delivered; its handler runs against engines already advanced
+//!    to the fence, which is the same state the serial handler saw.
+//!
+//! Determinism: the shard partition decides only *which thread* runs an
+//! engine's (self-contained, deterministic) event loop between fences;
+//! every cross-engine effect is applied single-threaded at a barrier in a
+//! canonical order no thread schedule can perturb. Reports and traces are
+//! therefore byte-identical at any shard count — and byte-identical to the
+//! serial driver, up to the measure-zero case of two *distinct* replicas'
+//! events landing on the identical nanosecond, where the serial tiebreak
+//! (scheduler FIFO seq) is replaced by replica order. The core test suite
+//! asserts report + trace equality of serial vs sharded runs outright.
+
+use super::{Ev, LaminarSystem, World};
+use laminar_rollout::shard::parallel_advance_chains;
+use laminar_runtime::SystemConfig;
+use laminar_sim::{Scheduler, Time};
+
+impl LaminarSystem {
+    /// Runs the world to completion under the sharded lookahead loop.
+    /// Mirrors `execute`'s contract: returns the final world state with
+    /// spans still buffered inside.
+    pub(super) fn execute_sharded(&self, cfg: &SystemConfig, record_trace: bool) -> World {
+        let shards = self.shards.max(1);
+        let mut sim = self.build(cfg, record_trace);
+        let mut budget: u64 = 2_000_000_000;
+        while !sim.world.done() {
+            assert!(budget > 0, "laminar run did not complete its iterations");
+            budget -= 1;
+            let fence = sim.scheduler.next_event_time().unwrap_or(Time::MAX);
+            sim.world.advance_shards(fence, shards);
+            match sim.world.next_handoff(fence) {
+                // A completion group strictly inside the window: replay it
+                // at its own instant. (At exactly the fence, the central
+                // event keeps priority — see the module determinism note.)
+                Some(t) if t < fence => sim.world.replay_handoffs(t, &mut sim.scheduler),
+                _ => {
+                    let stepped = sim.step();
+                    assert!(stepped, "laminar run stalled before completing");
+                }
+            }
+        }
+        sim.world
+    }
+}
+
+impl World {
+    /// Replays every engine's wake chains up to `fence` across the shard
+    /// workers. Dead and mid-pull replicas are flagged ineligible: their
+    /// due wakes are consumed without firing, exactly as the serial
+    /// handler's alive/pulling guard consumes them at their instants.
+    /// (Eligibility only changes at central events and hand-off replays,
+    /// i.e. at window boundaries, so a per-window flag is exact.)
+    fn advance_shards(&mut self, fence: Time, shards: usize) {
+        let eligible: Vec<bool> = (0..self.engines.len())
+            .map(|r| self.alive[r] && !self.pulling[r])
+            .collect();
+        parallel_advance_chains(&mut self.engines, &mut self.armed, &eligible, fence, shards);
+    }
+
+    /// Earliest buffered completion instant at or before `fence` across the
+    /// live fleet — the next hand-off interaction the central clock must
+    /// observe. Dead replicas keep their undrained completions (the chaos
+    /// audit counts them as held work, exactly as the serial path does).
+    fn next_handoff(&self, fence: Time) -> Option<Time> {
+        self.engines
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| self.alive[*r] && !self.pulling[*r])
+            .filter_map(|(_, e)| e.first_completion_time())
+            .filter(|t| *t <= fence)
+            .min()
+    }
+
+    /// Replays every completion group that finished at exactly `t`, in
+    /// replica order, through the shared serial delivery path; a replica
+    /// that went idle and has nothing further buffered restarts at `t` —
+    /// its last event's instant, matching the serial wake chain.
+    fn replay_handoffs(&mut self, t: Time, sched: &mut Scheduler<Ev>) {
+        for r in 0..self.engines.len() {
+            if !self.alive[r] || self.pulling[r] {
+                continue;
+            }
+            if self.engines[r].first_completion_time() != Some(t) {
+                continue;
+            }
+            let group = self.engines[r].take_completions_through(t);
+            self.process_completions(r, group, t, sched);
+            if self.engines[r].is_idle() && self.engines[r].first_completion_time().is_none() {
+                self.refresh_and_restart(r, t, sched);
+            }
+        }
+    }
+}

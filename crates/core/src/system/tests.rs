@@ -468,3 +468,77 @@ fn slow_node_hurts_throughput_then_recovers() {
         clean.throughput
     );
 }
+
+/// The conservative-lookahead sharded driver (DESIGN.md §11) must be
+/// invisible in the output: a clean run at any shard count produces the
+/// byte-identical report and JSONL event trace the serial wake loop does.
+#[test]
+fn sharded_run_matches_serial_byte_identically() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let fingerprint = |shards: usize| {
+        let sys = LaminarSystem {
+            shards,
+            record_timeline: true,
+            ..LaminarSystem::default()
+        };
+        let mut trace = RecordingTrace::new();
+        let report = sys.run_traced(&c, &mut trace);
+        (format!("{report:?}"), trace.to_jsonl())
+    };
+    let serial = fingerprint(1);
+    for shards in [2, 4] {
+        let sharded = fingerprint(shards);
+        assert_eq!(
+            serial.1, sharded.1,
+            "JSONL trace diverged at shards={shards}"
+        );
+        assert_eq!(serial.0, sharded.0, "report diverged at shards={shards}");
+    }
+}
+
+/// Sharded execution under chaos: a generated fault schedule (kills,
+/// trainer crashes, stragglers, env stalls, relay outages) driven through
+/// the lookahead fences must uphold every invariant and reproduce the
+/// serial run's report and trace byte for byte — faults are queue events,
+/// i.e. fences, so the shards observe them at identical instants.
+#[test]
+fn sharded_chaos_run_matches_serial_byte_identically() {
+    let mut c = cfg();
+    c.iterations = 3;
+    c.warmup = 0;
+    let chaos = crate::chaos::ChaosConfig {
+        events: 60,
+        earliest: Time::from_secs(5),
+        horizon: Time::from_secs(90),
+        replicas: c.replicas(),
+    };
+    let run = |shards: usize| {
+        let sys = LaminarSystem {
+            shards,
+            faults: crate::chaos::generate_schedule(23, &chaos),
+            staleness_cap: Some(4),
+            ..LaminarSystem::default()
+        };
+        sys.run_chaos(&c)
+    };
+    let serial = run(1);
+    assert_eq!(serial.violations(), Vec::<String>::new());
+    let sharded = run(4);
+    assert_eq!(sharded.violations(), Vec::<String>::new());
+    assert_eq!(
+        serial.trace.to_jsonl(),
+        sharded.trace.to_jsonl(),
+        "chaos trace diverged between serial and sharded drivers"
+    );
+    assert_eq!(
+        format!("{:?}", serial.report),
+        format!("{:?}", sharded.report),
+        "chaos report diverged between serial and sharded drivers"
+    );
+    assert_eq!(
+        serial.outcome.audit.faults_applied,
+        sharded.outcome.audit.faults_applied
+    );
+}

@@ -8,6 +8,10 @@
 #   scripts/bench.sh               # full suite (512-trajectory micro, all experiments)
 #   scripts/bench.sh --smoke       # reduced suite for CI (~seconds)
 #   scripts/bench.sh --warn-only   # report regressions without failing
+#   scripts/bench.sh --profile     # wrap the run in `perf record` (graceful no-op
+#                                  # without perf); writes perf.data + a hot-symbol
+#                                  # summary, and a flamegraph SVG when the
+#                                  # stackcollapse/flamegraph tools are on PATH
 #
 # Wall-clock numbers vary with machine load, and single-core containers
 # cannot show parallel speedup at all — use --warn-only on noisy runners,
@@ -21,11 +25,13 @@ cd "$(dirname "$0")/.."
 
 SMOKE=""
 WARN_ONLY=""
+PROFILE=""
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE="--smoke" ;;
         --warn-only) WARN_ONLY=1 ;;
-        *) echo "usage: $0 [--smoke] [--warn-only]" >&2; exit 2 ;;
+        --profile) PROFILE=1 ;;
+        *) echo "usage: $0 [--smoke] [--warn-only] [--profile]" >&2; exit 2 ;;
     esac
 done
 
@@ -39,7 +45,44 @@ fi
 # NB: a bare `cargo build --release` at the workspace root does NOT rebuild
 # the laminar-bench binary; the -p flag is load-bearing.
 cargo build --release -p laminar-bench
-./target/release/laminar-experiments --bench $SMOKE --bench-out "$OUT"
+
+BENCH_CMD=(./target/release/laminar-experiments --bench $SMOKE --bench-out "$OUT")
+if [ -n "$PROFILE" ]; then
+    if command -v perf >/dev/null 2>&1; then
+        # Call-graph sampling of the whole bench run (micro legs, shard
+        # curve, e2e suite). dwarf unwinding keeps the inlined hot loop
+        # attributable; fall back to frame pointers if dwarf is rejected.
+        perf record -o perf.data --call-graph dwarf -- "${BENCH_CMD[@]}" \
+            || perf record -o perf.data -g -- "${BENCH_CMD[@]}"
+        perf report -i perf.data --stdio --percent-limit 1 > perf.report.txt || true
+        echo "bench: profile written to perf.data (top symbols: perf.report.txt)"
+        # Flamegraph is best-effort: only when Brendan Gregg's scripts (or
+        # inferno's drop-in equivalents) are installed.
+        if command -v stackcollapse-perf.pl >/dev/null 2>&1 && command -v flamegraph.pl >/dev/null 2>&1; then
+            perf script -i perf.data | stackcollapse-perf.pl | flamegraph.pl > bench-flame.svg \
+                && echo "bench: flamegraph written to bench-flame.svg"
+        elif command -v inferno-collapse-perf >/dev/null 2>&1 && command -v inferno-flamegraph >/dev/null 2>&1; then
+            perf script -i perf.data | inferno-collapse-perf | inferno-flamegraph > bench-flame.svg \
+                && echo "bench: flamegraph written to bench-flame.svg"
+        else
+            echo "bench: no flamegraph tooling on PATH (stackcollapse-perf.pl/flamegraph.pl or inferno); skipping SVG"
+        fi
+    else
+        echo "bench: --profile requested but perf is not installed; running unprofiled" >&2
+        "${BENCH_CMD[@]}"
+    fi
+else
+    "${BENCH_CMD[@]}"
+fi
+
+# The schema-3 shard curve carries a determinism verdict: every shard count
+# must have reproduced the serial run byte-for-byte. Unlike wall-clock
+# numbers this can never be machine noise, so it fails even under
+# --warn-only.
+if grep -q '"deterministic": false' "$OUT"; then
+    echo "bench: FAILURE sharded driver diverged from serial output (shard_curve.deterministic = false)" >&2
+    exit 1
+fi
 
 REGRESSED=0
 if [ -n "$PREV" ]; then
