@@ -17,7 +17,10 @@ use crate::common::{
 };
 use laminar_cluster::TrainModel;
 use laminar_rollout::{CompletedTraj, ReplicaEngine};
-use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
+use laminar_runtime::delta::{
+    encode_report_plane, encode_span_batch, StateImage, StatePlane, WordEnc, SPAN_BATCH,
+};
+use laminar_runtime::recovery::{Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Scheduler, SimWorld, Simulation, Time};
 use laminar_workload::{Dataset, TrajectorySpec};
 use std::collections::VecDeque;
@@ -369,29 +372,96 @@ impl Recoverable for PartialRollout {
         finish_partial(sim, trace)
     }
 
-    fn fingerprint(snapshot: &PartialSnapshot) -> u64 {
+    fn encode_state(snapshot: &PartialSnapshot) -> StateImage {
         let sim = &snapshot.sim;
         let w = &sim.world;
-        let mut words = vec![
-            sim.scheduler.now().as_nanos(),
-            sim.scheduler.scheduled(),
-            sim.scheduler.delivered(),
-            sim.scheduler.pending() as u64,
-            w.version,
-            w.iterations_done as u64,
-            w.batches_issued,
-            w.trainer_busy as u64,
-            w.buffer.len() as u64,
-            w.specs.len() as u64,
-        ];
-        for e in w.engines.iter() {
-            words.push(e.weight_version());
-            words.push(e.n_reqs() as u64);
-            words.push(e.kv_reserved_tokens().to_bits());
-            words.push(e.tokens_decoded().to_bits());
-            words.push(e.pending_heap_entries() as u64);
+        let mut img = StateImage::new();
+
+        let mut e = WordEnc::new();
+        e.t(sim.scheduler.now())
+            .u(sim.scheduler.scheduled())
+            .u(sim.scheduler.delivered())
+            .z(sim.scheduler.pending())
+            .u(w.version)
+            .u(w.batches_issued)
+            .b(w.trainer_busy)
+            .z(w.iterations_done)
+            .t(w.last_train_done)
+            .f(w.gen_tokens_prev)
+            .t(w.gen_sample_prev)
+            .b(w.record_trace)
+            .t(w.trainer_started);
+        let (next_prompt, next_traj) = w.dataset.cursor();
+        e.u(next_prompt).u(next_traj);
+        let mut driver = StatePlane::new("driver");
+        driver.extend_paged(e.words());
+        img.push_plane(driver);
+
+        let mut queue = StatePlane::new("queue");
+        for (at, seq, ev) in sim.scheduler.pending_entries() {
+            let mut words = vec![at.as_nanos(), seq];
+            match ev {
+                Ev::ReplicaWake { r, epoch } => words.extend([0, *r as u64, *epoch]),
+                Ev::TrainerCheck => words.push(1),
+                Ev::TrainerDone { tokens } => words.extend([2, tokens.to_bits()]),
+                Ev::Interrupt { version } => words.extend([3, *version]),
+            }
+            queue.push_chunk(words);
         }
-        fnv1a(words)
+        img.push_plane(queue);
+
+        let mut specs = StatePlane::new("specs");
+        for spec in &w.specs {
+            let mut words = Vec::new();
+            spec.encode_words(&mut words);
+            specs.push_chunk(words);
+        }
+        img.push_plane(specs);
+
+        let mut buffer = StatePlane::new("buffer");
+        for done in &w.buffer {
+            let mut words = Vec::new();
+            done.encode_words(&mut words);
+            buffer.push_chunk(words);
+        }
+        img.push_plane(buffer);
+
+        let mut engines = StatePlane::new("engines");
+        for eng in &w.engines {
+            let mut scalars = Vec::new();
+            eng.checkpoint_scalar_words(&mut scalars);
+            engines.push_chunk(scalars);
+            for (_, st) in eng.active_states() {
+                let mut words = Vec::new();
+                st.encode_words(&mut words);
+                engines.push_chunk(words);
+            }
+            for st in eng.waiting_states() {
+                let mut words = Vec::new();
+                st.encode_words(&mut words);
+                engines.push_chunk(words);
+            }
+            for done in eng.completions() {
+                let mut words = Vec::new();
+                done.encode_words(&mut words);
+                engines.push_chunk(words);
+            }
+        }
+        img.push_plane(engines);
+
+        let mut spans = StatePlane::new("spans");
+        for batch in w.trace_spans.chunks(SPAN_BATCH) {
+            spans.push_chunk(encode_span_batch(batch));
+        }
+        for eng in &w.engines {
+            for batch in eng.trace_spans().chunks(SPAN_BATCH) {
+                spans.push_chunk(encode_span_batch(batch));
+            }
+        }
+        img.push_plane(spans);
+
+        img.push_plane(encode_report_plane("report", &w.report));
+        img
     }
 }
 

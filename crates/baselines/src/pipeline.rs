@@ -19,7 +19,10 @@ use crate::common::{
     RunReport, SpanKind, SystemConfig, TraceSink, TraceSpan,
 };
 use laminar_cluster::TrainModel;
-use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
+use laminar_runtime::delta::{
+    encode_report_plane, encode_span_plane, StateImage, StatePlane, WordEnc,
+};
+use laminar_runtime::recovery::{Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Time, TimeSeries};
 
 /// The one-step staleness pipeline baseline.
@@ -362,16 +365,31 @@ fn pipeline_resume(snapshot: PipelineRun, trace: &mut dyn TraceSink) -> RunRepor
     run.finish(trace)
 }
 
-fn pipeline_fingerprint(run: &PipelineRun) -> u64 {
-    fnv1a([
-        run.n as u64,
-        run.clock_secs().to_bits(),
-        run.gen_end.last().copied().unwrap_or(0.0).to_bits(),
-        run.spans.spans().len() as u64,
-        run.report.latencies.len() as u64,
-        run.report.iteration_secs.len() as u64,
-        run.streaming as u64,
-    ])
+/// Canonical state image of a pipeline run: the recurrence cursors and
+/// per-batch timeline vectors (paged — append-only, so only the tail page
+/// dirties per step), the buffered span stream, and the report.
+fn pipeline_encode(run: &PipelineRun) -> StateImage {
+    let mut img = StateImage::new();
+    let mut e = WordEnc::new();
+    e.z(run.n).b(run.streaming).b(run.enabled);
+    for vec in [&run.gen_start, &run.gen_end, &run.train_end] {
+        e.z(vec.len());
+        for &x in vec {
+            e.f(x);
+        }
+    }
+    for series in [&run.gen_series, &run.train_series] {
+        e.z(series.len());
+        for &(t, v) in series.points() {
+            e.t(t).f(v);
+        }
+    }
+    let mut scalars = StatePlane::new("scalars");
+    scalars.extend_paged(e.words());
+    img.push_plane(scalars);
+    img.push_plane(encode_span_plane("spans", run.spans.spans()));
+    img.push_plane(encode_report_plane("report", &run.report));
+    img
 }
 
 impl Recoverable for OneStepStaleness {
@@ -390,8 +408,8 @@ impl Recoverable for OneStepStaleness {
         pipeline_resume(snapshot, trace)
     }
 
-    fn fingerprint(snapshot: &PipelineRun) -> u64 {
-        pipeline_fingerprint(snapshot)
+    fn encode_state(snapshot: &PipelineRun) -> StateImage {
+        pipeline_encode(snapshot)
     }
 }
 
@@ -411,8 +429,8 @@ impl Recoverable for StreamGeneration {
         pipeline_resume(snapshot, trace)
     }
 
-    fn fingerprint(snapshot: &PipelineRun) -> u64 {
-        pipeline_fingerprint(snapshot)
+    fn encode_state(snapshot: &PipelineRun) -> StateImage {
+        pipeline_encode(snapshot)
     }
 }
 

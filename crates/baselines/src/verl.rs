@@ -12,7 +12,10 @@ use crate::common::{
 };
 use laminar_cluster::TrainModel;
 use laminar_rollout::{EngineConfig, ReplicaEngine};
-use laminar_runtime::recovery::{fnv1a, Recoverable, RunSnapshot};
+use laminar_runtime::delta::{
+    encode_report_plane, encode_span_plane, StateImage, StatePlane, WordEnc,
+};
+use laminar_runtime::recovery::{Recoverable, RunSnapshot};
 use laminar_sim::{Duration, Time, TimeSeries};
 use laminar_workload::Dataset;
 
@@ -249,17 +252,29 @@ impl Recoverable for VerlSync {
         run.finish(trace)
     }
 
-    fn fingerprint(snapshot: &VerlRun) -> u64 {
-        fnv1a([
-            snapshot.iter as u64,
-            snapshot.clock.to_bits(),
-            snapshot.kv_sum.to_bits(),
-            snapshot.gen_time_total.to_bits(),
-            snapshot.iter_time_total.to_bits(),
-            snapshot.spans.spans().len() as u64,
-            snapshot.report.latencies.len() as u64,
-            snapshot.report.iteration_secs.len() as u64,
-        ])
+    fn encode_state(snapshot: &VerlRun) -> StateImage {
+        let mut img = StateImage::new();
+        let mut e = WordEnc::new();
+        e.z(snapshot.iter)
+            .f(snapshot.clock)
+            .f(snapshot.kv_sum)
+            .f(snapshot.gen_time_total)
+            .f(snapshot.iter_time_total)
+            .b(snapshot.enabled);
+        let (next_prompt, next_traj) = snapshot.ds.cursor();
+        e.u(next_prompt).u(next_traj);
+        for series in [&snapshot.gen_series, &snapshot.train_series] {
+            e.z(series.len());
+            for &(t, v) in series.points() {
+                e.t(t).f(v);
+            }
+        }
+        let mut scalars = StatePlane::new("scalars");
+        scalars.extend_paged(e.words());
+        img.push_plane(scalars);
+        img.push_plane(encode_span_plane("spans", snapshot.spans.spans()));
+        img.push_plane(encode_report_plane("report", &snapshot.report));
+        img
     }
 }
 

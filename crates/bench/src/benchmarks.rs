@@ -35,11 +35,21 @@
 //!   trace must be byte-identical to the serial leg's. A `false` there is
 //!   a correctness bug, never noise.
 //!
+//! - **checkpoint**: the incremental-checkpoint cost profile. The
+//!   recovery-scenario Laminar run (faults on, trace recording on) runs
+//!   through `check_resume_equivalence` at a fixed 20 s cadence: every
+//!   cadence point commits a delta checkpoint into the content-addressed
+//!   store AND is resumed to completion, so the block carries both the
+//!   equivalence verdict (`delta_identical`) and the byte economics —
+//!   delta bytes vs whole-state bytes per cadence point, the steady-state
+//!   ratio at the final cadence point, and chunk reuse counts. The
+//!   verdict is deterministic; a `false` is a correctness regression.
+//!
 //! The JSON is hand-rolled (the workspace is dependency-free); the schema
 //! is documented in the README and stamped with a `schema` version so the
 //! diff script can reject incompatible files. Schema 3 adds the
-//! `shard_curve` block and keeps every schema-2 key name so existing diff
-//! tooling keeps working.
+//! `shard_curve` block; schema 4 adds the `checkpoint` block. Every
+//! earlier key name is kept so existing diff tooling keeps working.
 
 use crate::alloc_count::{self, AllocStats};
 use crate::experiments::{all_experiment_ids, run_experiment, Opts};
@@ -84,6 +94,46 @@ pub struct ShardPoint {
     pub secs: f64,
 }
 
+/// Checkpoint-cost profile of the recovery-scenario run (see the module
+/// docs): equivalence verdict plus delta-vs-whole-state byte economics.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointBench {
+    /// Cadence points committed (and resumed from) during the run.
+    pub points: usize,
+    /// True when the delta-checkpointed run, every resume, and every
+    /// fingerprint verification matched the uninterrupted run byte for
+    /// byte. Deterministic — `false` is a correctness regression.
+    pub delta_identical: bool,
+    /// Mean bytes persisted per cadence point by the delta store (new
+    /// chunk payloads plus the manifest).
+    pub delta_bytes_per_point: u64,
+    /// Mean bytes a whole-state snapshot of the same image would have
+    /// persisted per cadence point.
+    pub whole_bytes_per_point: u64,
+    /// The final commit's delta bytes — the steady-state per-cadence cost
+    /// once the run is warm.
+    pub steady_delta_bytes: u64,
+    /// The final image's total bytes — what a whole-state snapshot would
+    /// still be writing at that point.
+    pub steady_whole_bytes: u64,
+    /// Chunks across all commits, and how many were deduplicated against
+    /// the store instead of persisted again.
+    pub chunks_total: u64,
+    /// See [`CheckpointBench::chunks_total`].
+    pub chunks_reused: u64,
+}
+
+impl CheckpointBench {
+    /// Steady-state whole-over-delta byte ratio: how many times cheaper
+    /// the incremental checkpoint is once the run is warm.
+    pub fn delta_ratio(&self) -> f64 {
+        if self.steady_delta_bytes == 0 {
+            return 1.0;
+        }
+        self.steady_whole_bytes as f64 / self.steady_delta_bytes as f64
+    }
+}
+
 /// Results of one `--bench` invocation.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -112,6 +162,8 @@ pub struct BenchReport {
     /// JSONL event trace the serial driver did. Deterministic by design —
     /// `false` is a correctness regression, not noise.
     pub shard_deterministic: bool,
+    /// Incremental-checkpoint cost profile of the recovery scenario.
+    pub checkpoint: CheckpointBench,
     /// Experiment ids timed in the e2e leg.
     pub e2e_experiments: Vec<String>,
     /// Per-experiment wall clock from the serial leg, seconds, aligned
@@ -166,7 +218,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 3,");
+        let _ = writeln!(s, "  \"schema\": 4,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(
@@ -230,6 +282,26 @@ impl BenchReport {
         let _ = writeln!(s, "    \"deterministic\": {},", self.shard_deterministic);
         let _ = writeln!(s, "    \"speedup\": {:.2}", self.shard_speedup());
         let _ = writeln!(s, "  }},");
+        let c = &self.checkpoint;
+        let _ = writeln!(s, "  \"checkpoint\": {{");
+        let _ = writeln!(s, "    \"points\": {},", c.points);
+        let _ = writeln!(s, "    \"delta_identical\": {},", c.delta_identical);
+        let _ = writeln!(
+            s,
+            "    \"delta_bytes_per_point\": {},",
+            c.delta_bytes_per_point
+        );
+        let _ = writeln!(
+            s,
+            "    \"whole_bytes_per_point\": {},",
+            c.whole_bytes_per_point
+        );
+        let _ = writeln!(s, "    \"steady_delta_bytes\": {},", c.steady_delta_bytes);
+        let _ = writeln!(s, "    \"steady_whole_bytes\": {},", c.steady_whole_bytes);
+        let _ = writeln!(s, "    \"chunks_total\": {},", c.chunks_total);
+        let _ = writeln!(s, "    \"chunks_reused\": {},", c.chunks_reused);
+        let _ = writeln!(s, "    \"delta_ratio\": {:.2}", c.delta_ratio());
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"e2e\": {{");
         let ids: Vec<String> = self
             .e2e_experiments
@@ -275,6 +347,7 @@ impl BenchReport {
             "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | traced {:>10.0} ev/s | {:.2}x\n\
              {alloc_note}\n\
              shards: {shard_note} | {:.2}x | deterministic: {}\n\
+             ckpt  : {} points | delta {}B/pt vs whole {}B/pt | steady {:.2}x | reused {}/{} chunks | identical: {}\n\
              e2e   : {} experiments | serial {:.2}s | --jobs {} (effective {}) {:.2}s | {:.2}x",
             self.micro_trajectories,
             self.naive.events_per_sec,
@@ -283,6 +356,13 @@ impl BenchReport {
             self.micro_speedup(),
             self.shard_speedup(),
             self.shard_deterministic,
+            self.checkpoint.points,
+            self.checkpoint.delta_bytes_per_point,
+            self.checkpoint.whole_bytes_per_point,
+            self.checkpoint.delta_ratio(),
+            self.checkpoint.chunks_reused,
+            self.checkpoint.chunks_total,
+            self.checkpoint.delta_identical,
             self.e2e_experiments.len(),
             self.serial_secs,
             self.jobs,
@@ -409,6 +489,35 @@ fn time_shard_curve(smoke: bool) -> (Vec<ShardPoint>, bool) {
     (curve, deterministic)
 }
 
+/// Profiles incremental-checkpoint cost on the recovery scenario: the
+/// chaos-laden Laminar replay config (trace recording on) run through
+/// `check_resume_equivalence` at a 20 s cadence. Ten iterations put the
+/// run well past warm-up, where accumulated state (spans, buffer,
+/// report) dwarfs the per-cadence churn — the regime the steady-state
+/// ratio is meant to measure. The run is small enough (sub-second in
+/// release) that smoke mode keeps the full profile.
+fn bench_checkpoints() -> CheckpointBench {
+    let mut cfg = crate::experiments::recovery::replay_config(11, SystemKind::Laminar);
+    cfg.iterations = 10;
+    let eq = laminar_runtime::check_resume_equivalence(
+        &LaminarSystem::default(),
+        &cfg,
+        laminar_sim::Duration::from_secs(20),
+    );
+    let c = &eq.cost;
+    let points = c.points.max(1) as u64;
+    CheckpointBench {
+        points: c.points,
+        delta_identical: eq.identical(),
+        delta_bytes_per_point: c.delta_bytes / points,
+        whole_bytes_per_point: c.whole_bytes / points,
+        steady_delta_bytes: c.steady_delta_bytes,
+        steady_whole_bytes: c.steady_whole_bytes,
+        chunks_total: c.chunks_total as u64,
+        chunks_reused: c.chunks_reused as u64,
+    }
+}
+
 /// Times one pass over `ids` with the given job count, returning total
 /// wall seconds plus per-experiment wall seconds in id order. Reports are
 /// black-boxed; results/traces are not written.
@@ -451,6 +560,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
     let alloc_counting_active = alloc_count::is_active();
     alloc_count::disable();
     let (shard_curve, shard_deterministic) = time_shard_curve(smoke);
+    let checkpoint = bench_checkpoints();
     let e2e_ids: Vec<String> = if smoke {
         vec![
             "fig2".into(),
@@ -482,6 +592,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         traced: MicroLeg::from_run(traced_events, traced_secs, traced_stats),
         shard_curve,
         shard_deterministic,
+        checkpoint,
         e2e_experiments: e2e_ids,
         experiment_secs,
         e2e_effective_jobs: e2e_effective,
@@ -499,6 +610,19 @@ mod tests {
             events_per_sec: ev,
             allocs_per_event: allocs,
             peak_bytes: peak,
+        }
+    }
+
+    fn ckpt() -> CheckpointBench {
+        CheckpointBench {
+            points: 24,
+            delta_identical: true,
+            delta_bytes_per_point: 24000,
+            whole_bytes_per_point: 86000,
+            steady_delta_bytes: 21728,
+            steady_whole_bytes: 137840,
+            chunks_total: 11313,
+            chunks_reused: 7388,
         }
     }
 
@@ -524,6 +648,7 @@ mod tests {
                 },
             ],
             shard_deterministic: true,
+            checkpoint: ckpt(),
             e2e_experiments: vec!["fig2".into()],
             experiment_secs: vec![2.0],
             e2e_effective_jobs: 4,
@@ -531,8 +656,13 @@ mod tests {
             parallel_secs: 0.5,
         };
         assert!((r.shard_speedup() - 2.0).abs() < 1e-9);
+        assert!(r.checkpoint.delta_ratio() > 5.0);
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 3"));
+        assert!(j.contains("\"schema\": 4"));
+        assert!(j.contains("\"delta_identical\": true"));
+        assert!(j.contains("\"delta_bytes_per_point\": 24000"));
+        assert!(j.contains("\"delta_ratio\": 6.34"));
+        assert!(j.contains("\"chunks_reused\": 7388"));
         assert!(j.contains("\"secs_by_shards\": {\"1\": 2.000, \"4\": 1.000}"));
         assert!(j.contains("\"deterministic\": true"));
         assert!(j.contains("\"experiment_secs\": {\"fig2\": 2.000}"));
@@ -559,6 +689,7 @@ mod tests {
             traced: leg(2500.0, 0.0, 0),
             shard_curve: Vec::new(),
             shard_deterministic: true,
+            checkpoint: ckpt(),
             e2e_experiments: vec!["fig2".into(), "fig9".into()],
             experiment_secs: vec![1.0, 1.0],
             e2e_effective_jobs: 1,

@@ -63,7 +63,7 @@ pub(crate) fn recovery_config(opts: &Opts, kind: SystemKind) -> SystemConfig {
 /// The configuration the checkpoint/restore section (and `--resume-from`
 /// replay) uses: a pure function of `(seed, system)`, small enough that
 /// deterministic replay from `t = 0` costs milliseconds.
-pub(crate) fn replay_config(seed: u64, kind: SystemKind) -> SystemConfig {
+pub fn replay_config(seed: u64, kind: SystemKind) -> SystemConfig {
     let mut c = SystemConfig::small_test(WorkloadGenerator::single_turn(seed, Checkpoint::Math7B));
     if matches!(kind, SystemKind::Verl) {
         c.train_gpus = 0;
@@ -237,13 +237,23 @@ pub fn recovery(opts: &Opts) -> String {
         let _ = writeln!(out, "  cadence {:.0}s:", cadence.as_secs_f64());
         let mut row = |name: &str, eq: laminar_runtime::recovery::ResumeEquivalence| {
             all_identical &= eq.identical();
+            let c = &eq.cost;
+            let pts = c.points.max(1) as u64;
             let _ = writeln!(
                 out,
-                "    {name:<16} {} snapshots, checkpointed identical: {}, resumes identical: {}/{}{}",
+                "    {name:<16} {} snapshots, checkpointed identical: {}, resumes identical: {}/{}, \
+                 fingerprints verified: {}/{}, delta {}B/pt vs whole {}B/pt (steady {:.2}x, {}/{} chunks reused){}",
                 eq.snapshots,
                 if eq.checkpointed_identical { "yes" } else { "NO" },
                 eq.resumes_identical,
                 eq.snapshots,
+                eq.fingerprints_verified,
+                eq.snapshots,
+                c.delta_bytes / pts,
+                c.whole_bytes / pts,
+                c.steady_ratio(),
+                c.chunks_reused,
+                c.chunks_total,
                 match &eq.first_divergence {
                     Some(d) => format!(" ({d})"),
                     None => String::new(),

@@ -139,6 +139,30 @@ fn run_trial(spec: &LabSpec, trial: &Trial, tracing: bool) -> (TrialRow, Option<
         push("breaker_blocked", run.outcome.audit.breaker_blocked as f64);
         push("env_aborts", run.outcome.env_aborts as f64);
         push("violations", run.violations().len() as f64);
+        if v.checkpoint_every_secs > 0.0 {
+            // Checkpoint validation rides along: the same system (faults
+            // and all) re-runs under the soak checker, which commits a
+            // delta checkpoint at every cadence point, verifies every
+            // manifest chain and fingerprint, and resumes from the final
+            // checkpoint — O(run) even at tight cadences, so soak specs
+            // can commit hundreds of checkpoints per trial.
+            let soak = laminar_runtime::check_checkpoint_soak(
+                &sys,
+                &cfg,
+                laminar_sim::Duration::from_secs_f64(v.checkpoint_every_secs),
+            );
+            let c = &soak.cost;
+            let pts = c.points.max(1) as f64;
+            push("ckpt_points", c.points as f64);
+            push("ckpt_identical", if soak.identical() { 1.0 } else { 0.0 });
+            push("ckpt_delta_bytes_per_point", c.delta_bytes as f64 / pts);
+            push("ckpt_whole_bytes_per_point", c.whole_bytes as f64 / pts);
+            push("ckpt_steady_ratio", c.steady_ratio());
+            push(
+                "ckpt_chunk_reuse_frac",
+                c.chunks_reused as f64 / (c.chunks_total as f64).max(1.0),
+            );
+        }
         (note, tracing.then_some(run.trace))
     } else {
         let (report, trace) = if tracing {

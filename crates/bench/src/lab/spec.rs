@@ -285,6 +285,12 @@ pub struct VariantSpec {
     /// byte-identical at every value, which is exactly what shard-curve
     /// specs gate on. Laminar-only, like the chaos knobs.
     pub shards: usize,
+    /// Delta-checkpoint cadence in virtual seconds; `0` (the default)
+    /// disables checkpoint validation. When positive, every trial
+    /// additionally runs `check_resume_equivalence` at this cadence and
+    /// reports `ckpt_*` metrics (equivalence verdict, delta-vs-whole
+    /// bytes, steady-state ratio). Laminar-only, like the chaos knobs.
+    pub checkpoint_every_secs: f64,
     /// Faults per generated chaos schedule; `0` disables fault injection.
     /// Chaos knobs require `system = "laminar"` (the invariant-checked
     /// chaos path is Laminar-only).
@@ -539,6 +545,7 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
         iterations: 2,
         warmup: 0,
         shards: 1,
+        checkpoint_every_secs: 0.0,
         chaos_events: 0,
         chaos_earliest_secs: 10.0,
         chaos_horizon_secs: 240.0,
@@ -551,6 +558,7 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
             "iterations" => v.iterations = val.as_usize(k)?,
             "warmup" => v.warmup = val.as_usize(k)?,
             "shards" => v.shards = val.as_usize(k)?,
+            "checkpoint_every_secs" => v.checkpoint_every_secs = val.as_f64(k)?,
             "chaos_events" => v.chaos_events = val.as_usize(k)?,
             "chaos_earliest_secs" => v.chaos_earliest_secs = val.as_f64(k)?,
             "chaos_horizon_secs" => v.chaos_horizon_secs = val.as_f64(k)?,
@@ -566,6 +574,18 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
     if v.shards > 1 && v.system != SystemKind::Laminar {
         return Err(format!(
             "variant `{}`: shards > 1 requires system = \"laminar\" (the baselines are serial-only)",
+            v.name
+        ));
+    }
+    if v.checkpoint_every_secs < 0.0 {
+        return Err(format!(
+            "variant `{}`: checkpoint_every_secs must be non-negative",
+            v.name
+        ));
+    }
+    if v.checkpoint_every_secs > 0.0 && v.system != SystemKind::Laminar {
+        return Err(format!(
+            "variant `{}`: checkpoint_every_secs requires system = \"laminar\"",
             v.name
         ));
     }
@@ -736,6 +756,25 @@ gpus = 16
             LabSpec::parse("name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"verl\"\nshards = 2")
                 .unwrap_err();
         assert!(err.contains("serial-only"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_knob_parses_and_is_laminar_only() {
+        let s = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"laminar\"\ncheckpoint_every_secs = 5.0",
+        )
+        .expect("parse");
+        assert_eq!(s.variants[0].checkpoint_every_secs, 5.0);
+        let err = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"verl\"\ncheckpoint_every_secs = 5.0",
+        )
+        .unwrap_err();
+        assert!(err.contains("checkpoint_every_secs"), "{err}");
+        let err = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nsystem = \"laminar\"\ncheckpoint_every_secs = -1.0",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
     }
 
     #[test]

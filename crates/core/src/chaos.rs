@@ -228,6 +228,10 @@ pub struct ChaosAudit {
     pub admitted: BTreeSet<u64>,
     /// Completion count per trajectory id.
     pub completed: BTreeMap<u64, u64>,
+    /// Every completion in arrival order. Carries the same information as
+    /// `completed` (which is its multiset view) but is append-only, so the
+    /// checkpoint encoder can page it without mid-stream shifts.
+    pub completion_log: Vec<u64>,
     /// Weight versions set on each replica, in order.
     pub version_history: Vec<Vec<u64>>,
     /// Fault events applied.
@@ -256,6 +260,7 @@ impl ChaosAudit {
     /// Records a completion.
     pub fn complete(&mut self, id: u64) {
         *self.completed.entry(id).or_insert(0) += 1;
+        self.completion_log.push(id);
     }
 
     /// Checks the breaker-gating invariant at the moment work is admitted

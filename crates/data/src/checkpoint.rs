@@ -8,6 +8,7 @@
 //! from, and how much training is replayed?*
 
 use laminar_sim::Time;
+use std::collections::VecDeque;
 
 /// One persisted checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,8 +24,9 @@ pub struct Checkpoint {
 pub struct CheckpointStore {
     /// Persist every `every` versions (e.g. every 5 iterations).
     pub every: u64,
-    /// Checkpoints retained, newest last.
-    history: Vec<Checkpoint>,
+    /// Checkpoints retained, newest last. A deque so retention pruning
+    /// pops from the front in O(1) instead of shifting the whole history.
+    history: VecDeque<Checkpoint>,
     /// Maximum retained checkpoints (older ones are pruned).
     keep: usize,
 }
@@ -36,31 +38,34 @@ impl CheckpointStore {
         assert!(every >= 1 && keep >= 1, "degenerate checkpoint policy");
         CheckpointStore {
             every,
-            history: Vec::new(),
+            history: VecDeque::new(),
             keep,
         }
     }
 
     /// Called after every actor update; persists when the policy says so.
-    /// Returns the checkpoint if one was written.
+    /// Returns the checkpoint if one was written. Version 0 is the initial
+    /// weights before any training — there is nothing to persist and a v0
+    /// entry would skew [`recovery`](CheckpointStore::recovery), so it
+    /// never checkpoints even though `0 % every == 0`.
     pub fn on_version(&mut self, version: u64, now: Time) -> Option<Checkpoint> {
-        if !version.is_multiple_of(self.every) {
+        if version == 0 || !version.is_multiple_of(self.every) {
             return None;
         }
         let ckpt = Checkpoint {
             version,
             written_at: now,
         };
-        self.history.push(ckpt);
+        self.history.push_back(ckpt);
         while self.history.len() > self.keep {
-            self.history.remove(0);
+            self.history.pop_front();
         }
         Some(ckpt)
     }
 
     /// The newest persisted checkpoint, if any.
     pub fn latest(&self) -> Option<Checkpoint> {
-        self.history.last().copied()
+        self.history.back().copied()
     }
 
     /// Recovery decision for a trainer failing at `failed_version`: the
@@ -71,9 +76,14 @@ impl CheckpointStore {
         (resume, failed_version.saturating_sub(resume))
     }
 
-    /// All retained checkpoints, oldest first.
-    pub fn history(&self) -> &[Checkpoint] {
-        &self.history
+    /// Retained checkpoints, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &Checkpoint> + '_ {
+        self.history.iter()
+    }
+
+    /// Retained checkpoint count.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
     }
 }
 
@@ -89,7 +99,7 @@ mod tests {
             assert_eq!(c.is_some(), v % 5 == 0, "v={v}");
         }
         assert_eq!(s.latest().unwrap().version, 10);
-        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history_len(), 2);
     }
 
     #[test]
@@ -98,8 +108,20 @@ mod tests {
         for v in 1..=5 {
             s.on_version(v, Time::from_secs(v));
         }
-        let versions: Vec<u64> = s.history().iter().map(|c| c.version).collect();
+        let versions: Vec<u64> = s.history().map(|c| c.version).collect();
         assert_eq!(versions, vec![4, 5]);
+    }
+
+    /// Regression: `0 % every == 0`, but version 0 is the untrained initial
+    /// weights — persisting it would seed history with a bogus entry and
+    /// make `recovery()` claim a v0 checkpoint exists before any training.
+    #[test]
+    fn version_zero_never_checkpoints() {
+        let mut s = CheckpointStore::new(5, 3);
+        assert!(s.on_version(0, Time::ZERO).is_none());
+        assert!(s.latest().is_none());
+        assert_eq!(s.history_len(), 0);
+        assert_eq!(s.recovery(3), (0, 3), "no checkpoint -> restart");
     }
 
     #[test]

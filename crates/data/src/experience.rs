@@ -71,6 +71,20 @@ impl Experience {
     pub fn generation_latency(&self) -> laminar_sim::Duration {
         self.finished_at.since(self.started_at)
     }
+
+    /// Appends the record's canonical checkpoint encoding (one experience =
+    /// one delta-checkpoint chunk in the buffer plane).
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.trajectory_id);
+        out.push(self.prompt_id);
+        out.push(self.group_index as u64);
+        out.push(self.prompt_tokens);
+        out.push(self.response_tokens);
+        out.push(self.policy_versions.len() as u64);
+        out.extend(self.policy_versions.iter().copied());
+        out.push(self.started_at.as_nanos());
+        out.push(self.finished_at.as_nanos());
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,19 @@ impl PartialResponse {
         let total = self.spec.decode_tokens().max(1);
         self.generated_tokens as f64 / total as f64
     }
+
+    /// Appends the record's canonical checkpoint encoding (one in-progress
+    /// trajectory = one delta-checkpoint chunk in the partial-pool plane).
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        self.spec.encode_words(out);
+        out.push(self.generated_tokens);
+        out.push(self.segment_index as u64);
+        out.push(self.policy_versions.len() as u64);
+        out.extend(self.policy_versions.iter().copied());
+        out.push(self.started_at.as_nanos());
+        out.push(self.updated_at.as_nanos());
+        out.push(self.rollout as u64);
+    }
 }
 
 /// Central store of in-progress trajectories, keyed by trajectory id.
@@ -44,6 +57,10 @@ pub struct PartialResponsePool {
     entries: HashMap<u64, PartialResponse>,
     total_updates: u64,
     recovered: u64,
+    /// Monotone mutation counter: bumped by every mutating method so the
+    /// delta-checkpoint encoder can skip re-encoding the pool plane when
+    /// nothing changed between cadence points.
+    epoch: u64,
 }
 
 impl PartialResponsePool {
@@ -52,9 +69,16 @@ impl PartialResponsePool {
         Self::default()
     }
 
+    /// Monotone mutation epoch: unchanged iff no mutating method ran since
+    /// the value was last observed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Registers a trajectory starting on `rollout` at `now` with weight
     /// version `version`.
     pub fn begin(&mut self, spec: TrajectorySpec, rollout: usize, version: u64, now: Time) {
+        self.epoch += 1;
         let id = spec.id;
         self.entries.insert(
             id,
@@ -73,6 +97,7 @@ impl PartialResponsePool {
     /// Streams a progress update. Unknown ids are ignored (the trajectory
     /// may have been completed or recovered concurrently).
     pub fn update(&mut self, id: u64, generated_tokens: u64, segment_index: usize, now: Time) {
+        self.epoch += 1;
         if let Some(e) = self.entries.get_mut(&id) {
             e.generated_tokens = generated_tokens;
             e.segment_index = segment_index;
@@ -85,6 +110,7 @@ impl PartialResponsePool {
     /// (partial-rollout style continuation, or recovery on another rollout
     /// at a newer version).
     pub fn add_version(&mut self, id: u64, version: u64) {
+        self.epoch += 1;
         if let Some(e) = self.entries.get_mut(&id) {
             if e.policy_versions.last() != Some(&version) {
                 e.policy_versions.push(version);
@@ -94,6 +120,7 @@ impl PartialResponsePool {
 
     /// Reassigns a trajectory to another rollout (repack move or recovery).
     pub fn reassign(&mut self, id: u64, rollout: usize) {
+        self.epoch += 1;
         if let Some(e) = self.entries.get_mut(&id) {
             e.rollout = rollout;
         }
@@ -101,6 +128,7 @@ impl PartialResponsePool {
 
     /// Completes a trajectory, removing and returning its state.
     pub fn complete(&mut self, id: u64) -> Option<PartialResponse> {
+        self.epoch += 1;
         self.entries.remove(&id)
     }
 
@@ -108,6 +136,7 @@ impl PartialResponsePool {
     /// recovery path when that rollout's machine fails. The drained states
     /// retain all streamed progress.
     pub fn drain_rollout(&mut self, rollout: usize) -> Vec<PartialResponse> {
+        self.epoch += 1;
         let mut ids: Vec<u64> = self
             .entries
             .iter()

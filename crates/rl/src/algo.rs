@@ -324,6 +324,9 @@ mod tests {
         let cfg = GrpoConfig::default();
         let mut trainer = GrpoTrainer::new(env, cfg);
         let mut snapshots: Vec<TabularPolicy> = vec![trainer.policy.clone()];
+        // Versions pruned off the ring's front: snapshot `i` holds policy
+        // version `pruned + i`, not `i`, once retention kicks in.
+        let mut pruned: u64 = 0;
         let mut rng = SimRng::new(seed);
         let group_size = 8;
         let prompts = 16;
@@ -331,7 +334,7 @@ mod tests {
         for it in 0..iters {
             let behind = snapshots.len().saturating_sub(1 + staleness as usize);
             let behavior = snapshots[behind].clone();
-            let bver = behind as u64;
+            let bver = pruned + behind as u64;
             let mut groups = Vec::with_capacity(prompts);
             for p in 0..prompts {
                 let prompt_id = (it * prompts + p) as u64;
@@ -345,6 +348,7 @@ mod tests {
             snapshots.push(trainer.policy.clone());
             if snapshots.len() > 64 {
                 snapshots.remove(0);
+                pruned += 1;
             }
             if it + 1 == iters {
                 last_eval = evaluate(env, &trainer.policy, 600, &mut rng);

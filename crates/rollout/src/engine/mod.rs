@@ -54,6 +54,18 @@ pub struct CompletedTraj {
     pub finished_at: Time,
 }
 
+impl CompletedTraj {
+    /// Appends the record's canonical checkpoint encoding (one completion =
+    /// one delta-checkpoint chunk in the undrained-completions plane).
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        self.spec.encode_words(out);
+        out.push(self.policy_versions.len() as u64);
+        out.extend(self.policy_versions.iter());
+        out.push(self.started_at.as_nanos());
+        out.push(self.finished_at.as_nanos());
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -447,6 +459,78 @@ impl ReplicaEngine {
                 (id, (st.total_decoded + pending).floor() as u64, st.segment)
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint plane
+    // ------------------------------------------------------------------
+
+    /// Resident trajectories in ascending id order — the per-trajectory
+    /// chunk source for delta checkpoints.
+    pub fn active_states(&self) -> impl Iterator<Item = (u64, &TrajState)> + '_ {
+        self.active.iter()
+    }
+
+    /// Admitted-but-waiting trajectories in queue order.
+    pub fn waiting_states(&self) -> impl Iterator<Item = &TrajState> + '_ {
+        self.waiting.iter()
+    }
+
+    /// Whether the resident trajectory under `id` mutated since the last
+    /// [`clear_traj_dirty`](ReplicaEngine::clear_traj_dirty). Unknown ids
+    /// read as dirty (conservative).
+    pub fn traj_dirty(&self, id: u64) -> bool {
+        self.active.is_dirty_id(id)
+    }
+
+    /// Clears the resident-trajectory dirty set after a delta checkpoint
+    /// re-encoded every dirty chunk.
+    pub fn clear_traj_dirty(&mut self) {
+        self.active.clear_dirty();
+    }
+
+    /// Buffered trace spans, without draining them — the checkpoint encoder
+    /// reads the append-only stream in place.
+    pub fn trace_spans(&self) -> &[TraceSpan] {
+        &self.trace_spans
+    }
+
+    /// Undrained completion records, without draining them.
+    pub fn completions(&self) -> &[CompletedTraj] {
+        &self.completions
+    }
+
+    /// Appends the engine's scalar state — everything outside the
+    /// per-trajectory chunks, the span stream, and the completion buffer —
+    /// as a fixed-order word stream for the delta-checkpoint scalar chunk.
+    /// The derived event heaps contribute only their entry counts: their
+    /// contents are reconstructible from trajectory phases and lazily
+    /// invalidated, so counts match the granularity the recovery
+    /// fingerprint has always used.
+    pub fn checkpoint_scalar_words(&self, out: &mut Vec<u64>) {
+        out.push(self.id as u64);
+        out.push(self.weight_version);
+        out.push(self.reserved.to_bits());
+        out.push(self.last_update.as_nanos());
+        out.push(self.step_secs.to_bits());
+        out.push(self.decoding_count as u64);
+        out.push(self.decoding_ctx_sum.to_bits());
+        out.push(self.resident_ctx_sum.to_bits());
+        out.push(self.prefill_busy_until.as_nanos());
+        out.push(self.tokens_decoded.to_bits());
+        out.push(self.completed_count);
+        out.push(self.epoch);
+        out.push(self.global_steps.to_bits());
+        out.push(self.events_processed);
+        out.push(self.perf_factor.to_bits());
+        out.push(self.env_aborts);
+        out.push(self.phase_heap.len() as u64);
+        out.push(self.seg_heap.len() as u64);
+        out.push(self.busy.mean().to_bits());
+        out.push(self.kv_tw.mean().to_bits());
+        out.push(self.kv_series.len() as u64);
+        out.push(self.waiting.len() as u64);
+        out.push(self.active.len() as u64);
     }
 
     // ------------------------------------------------------------------

@@ -100,6 +100,35 @@ impl RolloutManager {
         self.cfg.c_max_frac
     }
 
+    /// Appends the manager's complete mutable state as a fixed-order word
+    /// stream for the delta-checkpoint scalar plane. Map entries are
+    /// emitted in ascending replica order so the encoding never leaks
+    /// `HashMap` iteration order.
+    pub fn checkpoint_words(&self, out: &mut Vec<u64>) {
+        out.push(self.repacks_planned);
+        out.push(self.replicas_released);
+        out.push(self.failures_detected);
+        let mut ids: Vec<usize> = self.health.keys().copied().collect();
+        ids.sort_unstable();
+        out.push(ids.len() as u64);
+        for r in ids {
+            out.push(r as u64);
+            out.push(match self.health[&r] {
+                ReplicaHealth::Healthy => 0,
+                ReplicaHealth::Failed => 1,
+                ReplicaHealth::Evicted => 2,
+            });
+            out.push(
+                self.last_heartbeat
+                    .get(&r)
+                    .copied()
+                    .unwrap_or(Time::ZERO)
+                    .as_nanos(),
+            );
+            out.push(self.prev_kv.get(&r).copied().unwrap_or(0.0).to_bits());
+        }
+    }
+
     /// Registers a replica as healthy at `now`.
     pub fn register(&mut self, replica: usize, now: Time) {
         self.health.insert(replica, ReplicaHealth::Healthy);

@@ -329,7 +329,7 @@ impl ShardMessage {
 /// A group of replica engines executed by the conservative-lookahead
 /// protocol: queue time-stamped messages, then [`ShardedReplicaSet::run`].
 ///
-/// The set is the unit the schema-3 benchmark scales over shard counts, and
+/// The set is the unit the shard-curve benchmark scales over shard counts, and
 /// the subject of the sharded-vs-naive equivalence sweep.
 #[derive(Debug)]
 pub struct ShardedReplicaSet {

@@ -228,6 +228,41 @@ impl TrajState {
     pub fn push_version(&mut self, version: u64) {
         self.policy_versions.push(version);
     }
+
+    /// Appends the state's canonical checkpoint encoding: a fixed-order
+    /// word stream covering every field (spec included). One trajectory =
+    /// one delta-checkpoint chunk, so the encoding must be identical no
+    /// matter whether a full or an incremental encoder produced it — both
+    /// call exactly this method.
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        self.spec.encode_words(out);
+        out.push(self.segment as u64);
+        out.push(self.decoded_in_segment.to_bits());
+        out.push(self.total_decoded.to_bits());
+        out.push(self.policy_versions.len() as u64);
+        out.extend(self.policy_versions.iter());
+        out.push(self.started_at.as_nanos());
+        match self.phase {
+            Phase::Prefill { until } => {
+                out.push(0);
+                out.push(until.as_nanos());
+            }
+            Phase::Decoding => {
+                out.push(1);
+                out.push(0);
+            }
+            Phase::Env { until } => {
+                out.push(2);
+                out.push(until.as_nanos());
+            }
+        }
+        out.push(self.needs_reprefill as u64);
+        out.push(self.decode_started_at.as_nanos());
+        out.push(self.steps_baseline.to_bits());
+        out.push(self.finish_key.to_bits());
+        out.push(self.env_stalled.as_nanos());
+        out.push(self.aborted as u64);
+    }
 }
 
 #[cfg(test)]

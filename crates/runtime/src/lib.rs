@@ -22,6 +22,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod delta;
 pub mod policy;
 pub mod recovery;
 pub mod report;
@@ -29,7 +30,11 @@ pub mod trace;
 
 pub use batch::{generate_batch, generate_batch_at, generate_batch_traced, BatchGenStats};
 pub use config::SystemConfig;
+pub use delta::{CommitStats, DeltaStore, Manifest, StateImage, StatePlane};
 pub use policy::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
-pub use recovery::{check_resume_equivalence, Recoverable, ResumeEquivalence, RunSnapshot};
+pub use recovery::{
+    check_checkpoint_soak, check_resume_equivalence, CheckpointCost, CheckpointSoak,
+    DeltaCheckpoint, Recoverable, ResumeEquivalence, RunSnapshot,
+};
 pub use report::{consumed_at, ConsumedTraj, RlSystem, RunReport};
 pub use trace::{NullTrace, RecordingTrace, SpanKind, TraceSink, TraceSpan};

@@ -19,6 +19,7 @@
 //! round trip.
 
 use crate::config::SystemConfig;
+use crate::delta::{CommitStats, DeltaStore, StateImage};
 use crate::report::{RlSystem, RunReport};
 use crate::trace::{RecordingTrace, TraceSink};
 use laminar_sim::{Duration, Time};
@@ -33,6 +34,23 @@ pub struct RunSnapshot<S> {
     /// 0-based index of the cadence point.
     pub index: usize,
     /// The full run state.
+    pub state: S,
+}
+
+/// One delta checkpoint: the committed manifest plus the in-memory resume
+/// state it describes.
+#[derive(Debug, Clone)]
+pub struct DeltaCheckpoint<S> {
+    /// The cadence instant this checkpoint represents.
+    pub at: Time,
+    /// 0-based index of the cadence point.
+    pub index: usize,
+    /// Manifest id in the [`DeltaStore`] the commit went to.
+    pub manifest_id: u64,
+    /// Cost accounting for the commit (delta vs whole-state bytes).
+    pub stats: CommitStats,
+    /// The in-memory resume state — the vehicle [`Recoverable::resume`]
+    /// actually runs; the committed image is its persisted, verifiable twin.
     pub state: S,
 }
 
@@ -58,10 +76,101 @@ pub trait Recoverable: RlSystem {
     /// full history) must be byte-identical to the uninterrupted run's.
     fn resume(&self, snapshot: Self::Snapshot, trace: &mut dyn TraceSink) -> RunReport;
 
-    /// A cheap deterministic digest of the snapshot state. Checkpoint
-    /// descriptor files persist this so `--resume-from` can verify that a
-    /// deterministic replay reconstructed the same state before resuming.
-    fn fingerprint(snapshot: &Self::Snapshot) -> u64;
+    /// Encodes the snapshot as its canonical [`StateImage`] — every mutable
+    /// plane, chunked at natural state granularity. This is the persisted
+    /// form delta checkpoints commit and the domain of [`fingerprint`]:
+    /// two snapshots are equivalent iff their images are identical.
+    ///
+    /// [`fingerprint`]: Recoverable::fingerprint
+    fn encode_state(snapshot: &Self::Snapshot) -> StateImage;
+
+    /// A cheap deterministic digest of the snapshot state: the FNV-1a
+    /// fingerprint of the canonical state image. Checkpoint descriptor
+    /// files persist this so `--resume-from` can verify that a
+    /// deterministic replay reconstructed the same state before resuming,
+    /// and manifests record it so [`resume_verified`] can prove a
+    /// reconstructed image matches the live state bit for bit.
+    ///
+    /// [`resume_verified`]: Recoverable::resume_verified
+    fn fingerprint(snapshot: &Self::Snapshot) -> u64 {
+        Self::encode_state(snapshot).fingerprint()
+    }
+
+    /// Runs to completion, committing a delta checkpoint into `store` at
+    /// every cadence point. The default implementation encodes each
+    /// snapshot from scratch; systems with dirty-set tracking override it
+    /// to build images incrementally (O(dirty) per cadence point instead
+    /// of O(world)). Either way the committed images must be byte-identical
+    /// to what [`encode_state`](Recoverable::encode_state) produces — the
+    /// property tests hold overrides to that.
+    fn run_delta_checkpointed(
+        &self,
+        cfg: &SystemConfig,
+        every: Duration,
+        trace: &mut dyn TraceSink,
+        store: &mut DeltaStore,
+    ) -> (RunReport, Vec<DeltaCheckpoint<Self::Snapshot>>) {
+        let (report, snapshots) = self.run_checkpointed(cfg, every, trace);
+        let checkpoints = snapshots
+            .into_iter()
+            .map(|snap| {
+                let image = Self::encode_state(&snap.state);
+                let (manifest_id, stats) = store.commit(snap.at, &image);
+                DeltaCheckpoint {
+                    at: snap.at,
+                    index: snap.index,
+                    manifest_id,
+                    stats,
+                    state: snap.state,
+                }
+            })
+            .collect();
+        (report, checkpoints)
+    }
+
+    /// Verifies one committed checkpoint without resuming it: the manifest
+    /// chain must be intact, the image reconstructed from the store must
+    /// hash to the manifest's recorded fingerprint, and the in-memory
+    /// resume state must re-encode to that same fingerprint.
+    fn verify_checkpoint(
+        store: &DeltaStore,
+        checkpoint: &DeltaCheckpoint<Self::Snapshot>,
+    ) -> Result<(), String> {
+        let manifest = store
+            .manifest(checkpoint.manifest_id)
+            .ok_or_else(|| {
+                format!(
+                    "checkpoint {} references unknown manifest {:016x}",
+                    checkpoint.index, checkpoint.manifest_id
+                )
+            })?
+            .clone();
+        store.verify_chain(manifest.id)?;
+        let image = store.verify(&manifest)?;
+        let live = Self::fingerprint(&checkpoint.state);
+        if live != image.fingerprint() {
+            return Err(format!(
+                "checkpoint {}: live state fingerprint {live:016x} != reconstructed \
+                 image fingerprint {:016x}",
+                checkpoint.index,
+                image.fingerprint()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resumes a delta checkpoint only after the full
+    /// [`verify_checkpoint`](Recoverable::verify_checkpoint) pass. Any
+    /// mismatch refuses to resume with a description of the failure.
+    fn resume_verified(
+        &self,
+        store: &DeltaStore,
+        checkpoint: DeltaCheckpoint<Self::Snapshot>,
+        trace: &mut dyn TraceSink,
+    ) -> Result<RunReport, String> {
+        Self::verify_checkpoint(store, &checkpoint)?;
+        Ok(self.resume(checkpoint.state, trace))
+    }
 }
 
 /// FNV-1a over a word stream: the fingerprint fold every implementation
@@ -77,6 +186,48 @@ pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
     h
 }
 
+/// Aggregate checkpoint-cost accounting across one checkpointed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCost {
+    /// Cadence points committed.
+    pub points: usize,
+    /// Bytes actually persisted across all commits (new chunks + manifests).
+    pub delta_bytes: u64,
+    /// Bytes whole-state snapshots of the same images would have persisted.
+    pub whole_bytes: u64,
+    /// Chunks referenced across all manifests.
+    pub chunks_total: usize,
+    /// Chunks deduplicated against already-stored content.
+    pub chunks_reused: usize,
+    /// The final commit's persisted bytes — the steady-state per-cadence
+    /// delta cost once the run has warmed up.
+    pub steady_delta_bytes: u64,
+    /// The final commit's whole-state bytes.
+    pub steady_whole_bytes: u64,
+}
+
+impl CheckpointCost {
+    /// Folds one commit into the aggregate.
+    pub fn absorb(&mut self, stats: &CommitStats) {
+        self.points += 1;
+        self.delta_bytes += stats.delta_bytes;
+        self.whole_bytes += stats.whole_bytes;
+        self.chunks_total += stats.chunks_total;
+        self.chunks_reused += stats.chunks_reused;
+        self.steady_delta_bytes = stats.delta_bytes;
+        self.steady_whole_bytes = stats.whole_bytes;
+    }
+
+    /// Whole-state bytes over delta bytes at the final cadence point — how
+    /// many times cheaper the steady-state delta checkpoint is.
+    pub fn steady_ratio(&self) -> f64 {
+        if self.steady_delta_bytes == 0 {
+            return 0.0;
+        }
+        self.steady_whole_bytes as f64 / self.steady_delta_bytes as f64
+    }
+}
+
 /// Outcome of one checkpoint/restore equivalence check.
 #[derive(Debug, Clone)]
 pub struct ResumeEquivalence {
@@ -88,21 +239,134 @@ pub struct ResumeEquivalence {
     pub checkpointed_identical: bool,
     /// How many resumed snapshots reproduced the uninterrupted run.
     pub resumes_identical: usize,
+    /// How many checkpoints passed the full manifest-chain + fingerprint
+    /// verification before resuming.
+    pub fingerprints_verified: usize,
+    /// Delta-checkpoint cost accounting for the checkpointed run.
+    pub cost: CheckpointCost,
     /// Human-readable description of the first divergence, if any.
     pub first_divergence: Option<String>,
 }
 
 impl ResumeEquivalence {
     /// True when the checkpointed run and every resumed snapshot matched
-    /// the uninterrupted run byte for byte.
+    /// the uninterrupted run byte for byte, with every checkpoint passing
+    /// fingerprint verification.
     pub fn identical(&self) -> bool {
-        self.checkpointed_identical && self.resumes_identical == self.snapshots
+        self.checkpointed_identical
+            && self.resumes_identical == self.snapshots
+            && self.fingerprints_verified == self.snapshots
     }
 }
 
-/// Runs `sys` three ways — uninterrupted, checkpointed at `every`, and
-/// resumed from every captured snapshot — and verifies that report text and
-/// trace JSONL are byte-identical across all of them.
+/// Outcome of one checkpoint soak (see [`check_checkpoint_soak`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointSoak {
+    /// The checkpoint cadence exercised.
+    pub cadence: Duration,
+    /// Checkpoints the delta-checkpointed run committed.
+    pub snapshots: usize,
+    /// The checkpointed run itself matched the uninterrupted run.
+    pub checkpointed_identical: bool,
+    /// How many checkpoints passed manifest-chain + fingerprint
+    /// verification.
+    pub fingerprints_verified: usize,
+    /// Whether the resume from the final checkpoint reproduced the
+    /// uninterrupted run byte for byte.
+    pub last_resume_identical: bool,
+    /// Delta-checkpoint cost accounting for the checkpointed run.
+    pub cost: CheckpointCost,
+    /// Human-readable description of the first failure, if any.
+    pub first_divergence: Option<String>,
+}
+
+impl CheckpointSoak {
+    /// True when the checkpointed run matched the uninterrupted run, every
+    /// manifest verified, and the final-checkpoint resume was identical.
+    pub fn identical(&self) -> bool {
+        self.checkpointed_identical
+            && self.fingerprints_verified == self.snapshots
+            && self.last_resume_identical
+    }
+}
+
+/// The O(run)-cost sibling of [`check_resume_equivalence`] for tight
+/// cadences: runs `sys` uninterrupted and delta-checkpointed, verifies
+/// *every* committed manifest (chain intact, reconstructed image hashes
+/// to the recorded fingerprint, live state re-encodes to the same
+/// fingerprint), but resumes only from the final checkpoint. Soak studies
+/// committing hundreds of checkpoints use this — resuming from each one
+/// would cost O(points × run length).
+pub fn check_checkpoint_soak<S: Recoverable>(
+    sys: &S,
+    cfg: &SystemConfig,
+    every: Duration,
+) -> CheckpointSoak {
+    let mut base_trace = RecordingTrace::new();
+    let base_report = sys.run_traced(cfg, &mut base_trace);
+    let base_text = format!("{base_report:?}");
+    let base_jsonl = base_trace.to_jsonl();
+
+    let mut store = DeltaStore::new();
+    let mut ck_trace = RecordingTrace::new();
+    let (ck_report, checkpoints) =
+        sys.run_delta_checkpointed(cfg, every, &mut ck_trace, &mut store);
+    let mut first_divergence = None;
+    let checkpointed_identical =
+        format!("{ck_report:?}") == base_text && ck_trace.to_jsonl() == base_jsonl;
+    if !checkpointed_identical {
+        first_divergence = Some("checkpointed run diverged from uninterrupted run".to_string());
+    }
+
+    let total = checkpoints.len();
+    let mut fingerprints_verified = 0;
+    let mut cost = CheckpointCost::default();
+    let mut last_resume_identical = false;
+    let last_index = total.saturating_sub(1);
+    for ckpt in checkpoints {
+        cost.absorb(&ckpt.stats);
+        match S::verify_checkpoint(&store, &ckpt) {
+            Ok(()) => fingerprints_verified += 1,
+            Err(err) => {
+                if first_divergence.is_none() {
+                    first_divergence = Some(format!(
+                        "checkpoint {} (t = {:.1}s) failed verification: {err}",
+                        ckpt.index,
+                        ckpt.at.as_secs_f64()
+                    ));
+                }
+                continue;
+            }
+        }
+        if ckpt.index == last_index {
+            let (at, index) = (ckpt.at, ckpt.index);
+            let mut trace = RecordingTrace::new();
+            let report = sys.resume(ckpt.state, &mut trace);
+            last_resume_identical =
+                format!("{report:?}") == base_text && trace.to_jsonl() == base_jsonl;
+            if !last_resume_identical && first_divergence.is_none() {
+                first_divergence = Some(format!(
+                    "resume from final checkpoint {index} (t = {:.1}s) diverged",
+                    at.as_secs_f64()
+                ));
+            }
+        }
+    }
+    CheckpointSoak {
+        cadence: every,
+        snapshots: total,
+        checkpointed_identical,
+        fingerprints_verified,
+        last_resume_identical,
+        cost,
+        first_divergence,
+    }
+}
+
+/// Runs `sys` three ways — uninterrupted, delta-checkpointed at `every`,
+/// and resumed (with manifest-chain + fingerprint verification) from every
+/// committed checkpoint — and verifies that report text and trace JSONL are
+/// byte-identical across all of them.
 pub fn check_resume_equivalence<S: Recoverable>(
     sys: &S,
     cfg: &SystemConfig,
@@ -113,8 +377,10 @@ pub fn check_resume_equivalence<S: Recoverable>(
     let base_text = format!("{base_report:?}");
     let base_jsonl = base_trace.to_jsonl();
 
+    let mut store = DeltaStore::new();
     let mut ck_trace = RecordingTrace::new();
-    let (ck_report, snapshots) = sys.run_checkpointed(cfg, every, &mut ck_trace);
+    let (ck_report, checkpoints) =
+        sys.run_delta_checkpointed(cfg, every, &mut ck_trace, &mut store);
     let mut first_divergence = None;
     let checkpointed_identical =
         format!("{ck_report:?}") == base_text && ck_trace.to_jsonl() == base_jsonl;
@@ -122,19 +388,34 @@ pub fn check_resume_equivalence<S: Recoverable>(
         first_divergence = Some("checkpointed run diverged from uninterrupted run".to_string());
     }
 
-    let total = snapshots.len();
+    let total = checkpoints.len();
     let mut resumes_identical = 0;
-    for snap in snapshots {
-        let (at, index) = (snap.at, snap.index);
+    let mut fingerprints_verified = 0;
+    let mut cost = CheckpointCost::default();
+    for ckpt in checkpoints {
+        cost.absorb(&ckpt.stats);
+        let (at, index) = (ckpt.at, ckpt.index);
         let mut trace = RecordingTrace::new();
-        let report = sys.resume(snap.state, &mut trace);
-        if format!("{report:?}") == base_text && trace.to_jsonl() == base_jsonl {
-            resumes_identical += 1;
-        } else if first_divergence.is_none() {
-            first_divergence = Some(format!(
-                "resume from snapshot {index} (t = {:.1}s) diverged",
-                at.as_secs_f64()
-            ));
+        match sys.resume_verified(&store, ckpt, &mut trace) {
+            Ok(report) => {
+                fingerprints_verified += 1;
+                if format!("{report:?}") == base_text && trace.to_jsonl() == base_jsonl {
+                    resumes_identical += 1;
+                } else if first_divergence.is_none() {
+                    first_divergence = Some(format!(
+                        "resume from checkpoint {index} (t = {:.1}s) diverged",
+                        at.as_secs_f64()
+                    ));
+                }
+            }
+            Err(err) => {
+                if first_divergence.is_none() {
+                    first_divergence = Some(format!(
+                        "checkpoint {index} (t = {:.1}s) failed verification: {err}",
+                        at.as_secs_f64()
+                    ));
+                }
+            }
         }
     }
     ResumeEquivalence {
@@ -142,6 +423,8 @@ pub fn check_resume_equivalence<S: Recoverable>(
         snapshots: total,
         checkpointed_identical,
         resumes_identical,
+        fingerprints_verified,
+        cost,
         first_divergence,
     }
 }

@@ -125,6 +125,19 @@ impl<E> Scheduler<E> {
         self.queue.peek().map(|s| s.at)
     }
 
+    /// Every pending event as `(at, seq, &ev)` in canonical `(at, seq)`
+    /// order. `(at, seq)` is a total order over scheduled events, so this
+    /// sorted view determines the exact pop sequence regardless of the
+    /// heap's internal layout — it is the checkpoint plane's canonical
+    /// encoding of the queue (one chunk per pending event, stable keys
+    /// while an event waits).
+    pub fn pending_entries(&self) -> Vec<(Time, u64, &E)> {
+        let mut out: Vec<(Time, u64, &E)> =
+            self.queue.iter().map(|s| (s.at, s.seq, &s.ev)).collect();
+        out.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
     fn pop(&mut self) -> Option<(Time, E)> {
         let s = self.queue.pop()?;
         debug_assert!(s.at >= self.now, "event queue moved backwards");

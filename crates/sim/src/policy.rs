@@ -174,6 +174,21 @@ impl CircuitBreaker {
         }
     }
 
+    /// Appends the breaker's complete internal state as a fixed-order word
+    /// stream — the delta-checkpoint encoding for breaker planes.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
+        out.push(self.consecutive as u64);
+        out.push(self.last_failure.as_nanos());
+        out.push(self.open_until.as_nanos());
+        out.push(self.probing as u64);
+        out.push(self.trips);
+    }
+
     /// The breaker's position at `now` (an open breaker past its cooldown
     /// reads as half-open).
     pub fn state(&self, now: Time) -> BreakerState {

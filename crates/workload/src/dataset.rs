@@ -60,6 +60,13 @@ impl Dataset {
     pub fn trajectories_issued(&self) -> u64 {
         self.next_trajectory_id
     }
+
+    /// The dataset's mutable cursor `(next prompt, next trajectory id)` —
+    /// the only state that advances between batches; the checkpoint plane
+    /// persists exactly this pair.
+    pub fn cursor(&self) -> (u64, u64) {
+        (self.next_prompt, self.next_trajectory_id)
+    }
 }
 
 /// A batch of prompts expanded into GRPO groups.

@@ -82,6 +82,29 @@ impl TrajectorySpec {
     pub fn final_context(&self) -> u64 {
         self.total_tokens()
     }
+
+    /// Appends the spec's canonical checkpoint encoding: a fixed-order word
+    /// stream covering every field, shared by all delta-checkpoint planes
+    /// that persist trajectory assignments.
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.id);
+        out.push(self.prompt_id);
+        out.push(self.group_index as u64);
+        out.push(self.prompt_tokens);
+        out.push(self.segments.len() as u64);
+        for seg in &self.segments {
+            match seg {
+                Segment::Decode { tokens } => {
+                    out.push(0);
+                    out.push(*tokens);
+                }
+                Segment::Env { latency } => {
+                    out.push(1);
+                    out.push(latency.as_nanos());
+                }
+            }
+        }
+    }
 }
 
 /// Task family being trained.

@@ -75,12 +75,22 @@ else
     "${BENCH_CMD[@]}"
 fi
 
-# The schema-3 shard curve carries a determinism verdict: every shard count
-# must have reproduced the serial run byte-for-byte. Unlike wall-clock
-# numbers this can never be machine noise, so it fails even under
-# --warn-only.
+# The shard curve (schema 3) carries a determinism verdict: every shard
+# count must have reproduced the serial run byte-for-byte. Unlike
+# wall-clock numbers this can never be machine noise, so it fails even
+# under --warn-only.
 if grep -q '"deterministic": false' "$OUT"; then
     echo "bench: FAILURE sharded driver diverged from serial output (shard_curve.deterministic = false)" >&2
+    exit 1
+fi
+
+# The checkpoint block (schema 4) carries the delta-equivalence verdict:
+# the delta-checkpointed run, every manifest-chain + fingerprint
+# verification, and every resume must have matched the uninterrupted run
+# byte-for-byte. Deterministic, so it likewise fails even under
+# --warn-only.
+if grep -q '"delta_identical": false' "$OUT"; then
+    echo "bench: FAILURE delta checkpoints diverged from whole-state run (checkpoint.delta_identical = false)" >&2
     exit 1
 fi
 
@@ -118,6 +128,22 @@ if [ -n "$PREV" ]; then
             fi
         fi
     done
+    # Checkpoint-cost regression: delta bytes persisted per cadence point
+    # may not grow more than 20% versus the previous run. The encoder is
+    # deterministic, so growth is a real state-image layout change —
+    # regenerate spec baselines alongside an intentional one. Silently
+    # skipped when the previous report predates schema 4.
+    old=$(sed -n 's/.*"delta_bytes_per_point": \([0-9.]*\).*/\1/p' "$PREV")
+    new=$(sed -n 's/.*"delta_bytes_per_point": \([0-9.]*\).*/\1/p' "$OUT")
+    if [ -n "$old" ] && [ -n "$new" ]; then
+        grew=$(awk -v o="$old" -v n="$new" 'BEGIN { print (o > 0 && n > 1.2 * o) ? 1 : 0 }')
+        if [ "$grew" = "1" ]; then
+            echo "bench: REGRESSION delta checkpoint cost grew: $old -> $new bytes/point (>20%)" >&2
+            REGRESSED=1
+        else
+            echo "bench: delta checkpoints $old -> $new bytes/point (ok)"
+        fi
+    fi
     rm -f "$PREV"
 fi
 echo "bench: report written to $OUT"
