@@ -45,10 +45,22 @@
 //!   ratio at the final cadence point, and chunk reuse counts. The
 //!   verdict is deterministic; a `false` is a correctness regression.
 //!
+//! - **fleet**: the fleet control-plane profile. The `fleet` experiment's
+//!   acceptance scenario (a mid-run cell kill with a straggler and a
+//!   router partition layered on, 4 cells, 3 tenant classes) supplies the
+//!   headline numbers — goodput retained through the kill, measured
+//!   fleet-MTTR, starvation margin, invariant violations — and the
+//!   fleet-chaos sweep is serialized at `--jobs 1` and a parallel job
+//!   count to produce the `jobs_deterministic` verdict. Both are
+//!   deterministic; `scripts/bench.sh` hard-fails on
+//!   `"jobs_deterministic": false` even under `--warn-only`.
+//!
 //! The JSON is hand-rolled (the workspace is dependency-free); the schema
 //! is documented in the README and stamped with a `schema` version so the
 //! diff script can reject incompatible files. Schema 3 adds the
-//! `shard_curve` block; schema 4 adds the `checkpoint` block. Every
+//! `shard_curve` block; schema 4 adds the `checkpoint` block; schema 5
+//! adds the `fleet` block (acceptance-scenario dip/MTTR/starvation plus
+//! the `jobs_deterministic` verdict over the fleet-chaos sweep). Every
 //! earlier key name is kept so existing diff tooling keeps working.
 
 use crate::alloc_count::{self, AllocStats};
@@ -134,6 +146,32 @@ impl CheckpointBench {
     }
 }
 
+/// Fleet control-plane profile: the `fleet` experiment's acceptance
+/// scenario (mid-run cell kill with a straggler and a router partition
+/// layered on) plus a jobs-invariance verdict over the
+/// `specs/fleet-chaos.toml` sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetBench {
+    /// Cells behind the admission router in the acceptance scenario.
+    pub cells: usize,
+    /// Goodput retained through the scenario's isolated cell kill
+    /// (trough/baseline; 1.0 would mean no measurable dip).
+    pub goodput_retained: f64,
+    /// Measured fleet-MTTR for that kill: seconds until goodput regained
+    /// 70% of its pre-kill baseline.
+    pub fleet_mttr_secs: f64,
+    /// Minimum per-tenant completion-share margin across the 3-class mix.
+    pub starvation_margin: f64,
+    /// Fleet invariant violations (exactly-once, starvation floor,
+    /// quarantine admissions, dip bounds). Deterministic — any nonzero
+    /// count is a correctness bug.
+    pub violations: usize,
+    /// True when the fleet-chaos sweep's rows JSONL is byte-identical at
+    /// `--jobs 1` and a parallel job count. Deterministic by design —
+    /// `false` is a correctness regression, never noise.
+    pub jobs_deterministic: bool,
+}
+
 /// Results of one `--bench` invocation.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -164,6 +202,9 @@ pub struct BenchReport {
     pub shard_deterministic: bool,
     /// Incremental-checkpoint cost profile of the recovery scenario.
     pub checkpoint: CheckpointBench,
+    /// Fleet control-plane profile (acceptance scenario + jobs-invariance
+    /// verdict of the fleet-chaos sweep).
+    pub fleet: FleetBench,
     /// Experiment ids timed in the e2e leg.
     pub e2e_experiments: Vec<String>,
     /// Per-experiment wall clock from the serial leg, seconds, aligned
@@ -218,7 +259,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 4,");
+        let _ = writeln!(s, "  \"schema\": 5,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(
@@ -302,6 +343,15 @@ impl BenchReport {
         let _ = writeln!(s, "    \"chunks_reused\": {},", c.chunks_reused);
         let _ = writeln!(s, "    \"delta_ratio\": {:.2}", c.delta_ratio());
         let _ = writeln!(s, "  }},");
+        let f = &self.fleet;
+        let _ = writeln!(s, "  \"fleet\": {{");
+        let _ = writeln!(s, "    \"cells\": {},", f.cells);
+        let _ = writeln!(s, "    \"goodput_retained\": {:.3},", f.goodput_retained);
+        let _ = writeln!(s, "    \"fleet_mttr_secs\": {:.1},", f.fleet_mttr_secs);
+        let _ = writeln!(s, "    \"starvation_margin\": {:.3},", f.starvation_margin);
+        let _ = writeln!(s, "    \"violations\": {},", f.violations);
+        let _ = writeln!(s, "    \"jobs_deterministic\": {}", f.jobs_deterministic);
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"e2e\": {{");
         let ids: Vec<String> = self
             .e2e_experiments
@@ -348,6 +398,7 @@ impl BenchReport {
              {alloc_note}\n\
              shards: {shard_note} | {:.2}x | deterministic: {}\n\
              ckpt  : {} points | delta {}B/pt vs whole {}B/pt | steady {:.2}x | reused {}/{} chunks | identical: {}\n\
+             fleet : {} cells | retained {:.3} | MTTR {:.1}s | starvation {:.2} | violations {} | jobs-deterministic: {}\n\
              e2e   : {} experiments | serial {:.2}s | --jobs {} (effective {}) {:.2}s | {:.2}x",
             self.micro_trajectories,
             self.naive.events_per_sec,
@@ -363,6 +414,12 @@ impl BenchReport {
             self.checkpoint.chunks_reused,
             self.checkpoint.chunks_total,
             self.checkpoint.delta_identical,
+            self.fleet.cells,
+            self.fleet.goodput_retained,
+            self.fleet.fleet_mttr_secs,
+            self.fleet.starvation_margin,
+            self.fleet.violations,
+            self.fleet.jobs_deterministic,
             self.e2e_experiments.len(),
             self.serial_secs,
             self.jobs,
@@ -518,6 +575,37 @@ fn bench_checkpoints() -> CheckpointBench {
     }
 }
 
+/// Profiles the fleet control plane: the `fleet` experiment's acceptance
+/// scenario (kill + straggler + partition over 4 cells, 3 tenant classes)
+/// for the headline dip/MTTR/starvation numbers, plus a jobs-invariance
+/// check — the `specs/fleet-chaos.toml` sweep must serialize to the
+/// byte-identical rows JSONL at `--jobs 1` and at a parallel job count.
+fn bench_fleet(jobs: usize) -> FleetBench {
+    let opts = Opts::default();
+    let cfg = crate::experiments::fleet::acceptance_config(4, opts.seed);
+    let run = laminar_fleet::run_fleet(&cfg);
+    let spec = crate::experiments::fleet::fleet_spec(&opts);
+    let serialize = |jobs: usize| {
+        let rows = crate::lab::run_lab(
+            &spec,
+            &Opts {
+                jobs,
+                ..Opts::default()
+            },
+        );
+        crate::lab::write_rows_jsonl(&spec.name, &rows)
+    };
+    let jobs_deterministic = serialize(1) == serialize(jobs.max(2));
+    FleetBench {
+        cells: cfg.cells,
+        goodput_retained: run.report.goodput_retained,
+        fleet_mttr_secs: run.report.mttr_max_secs,
+        starvation_margin: run.report.starvation_margin,
+        violations: run.violations().len(),
+        jobs_deterministic,
+    }
+}
+
 /// Times one pass over `ids` with the given job count, returning total
 /// wall seconds plus per-experiment wall seconds in id order. Reports are
 /// black-boxed; results/traces are not written.
@@ -561,6 +649,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
     alloc_count::disable();
     let (shard_curve, shard_deterministic) = time_shard_curve(smoke);
     let checkpoint = bench_checkpoints();
+    let fleet = bench_fleet(jobs);
     let e2e_ids: Vec<String> = if smoke {
         vec![
             "fig2".into(),
@@ -593,6 +682,7 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
         shard_curve,
         shard_deterministic,
         checkpoint,
+        fleet,
         e2e_experiments: e2e_ids,
         experiment_secs,
         e2e_effective_jobs: e2e_effective,
@@ -626,6 +716,17 @@ mod tests {
         }
     }
 
+    fn fleet() -> FleetBench {
+        FleetBench {
+            cells: 4,
+            goodput_retained: 0.851,
+            fleet_mttr_secs: 25.0,
+            starvation_margin: 1.0,
+            violations: 0,
+            jobs_deterministic: true,
+        }
+    }
+
     #[test]
     fn json_report_is_well_formed() {
         let r = BenchReport {
@@ -649,6 +750,7 @@ mod tests {
             ],
             shard_deterministic: true,
             checkpoint: ckpt(),
+            fleet: fleet(),
             e2e_experiments: vec!["fig2".into()],
             experiment_secs: vec![2.0],
             e2e_effective_jobs: 4,
@@ -658,8 +760,13 @@ mod tests {
         assert!((r.shard_speedup() - 2.0).abs() < 1e-9);
         assert!(r.checkpoint.delta_ratio() > 5.0);
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 4"));
+        assert!(j.contains("\"schema\": 5"));
         assert!(j.contains("\"delta_identical\": true"));
+        assert!(j.contains("\"goodput_retained\": 0.851"));
+        assert!(j.contains("\"fleet_mttr_secs\": 25.0"));
+        assert!(j.contains("\"starvation_margin\": 1.000"));
+        assert!(j.contains("\"violations\": 0"));
+        assert!(j.contains("\"jobs_deterministic\": true"));
         assert!(j.contains("\"delta_bytes_per_point\": 24000"));
         assert!(j.contains("\"delta_ratio\": 6.34"));
         assert!(j.contains("\"chunks_reused\": 7388"));
@@ -690,6 +797,7 @@ mod tests {
             shard_curve: Vec::new(),
             shard_deterministic: true,
             checkpoint: ckpt(),
+            fleet: fleet(),
             e2e_experiments: vec!["fig2".into(), "fig9".into()],
             experiment_secs: vec![1.0, 1.0],
             e2e_effective_jobs: 1,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N]
-//!                     [--recovery-seed N] [--checkpoint-every SECS] [--out DIR]
+//!                     [--recovery-seed N] [--fleet-cells N] [--fleet-seed N]
+//!                     [--checkpoint-every SECS] [--out DIR]
 //!                     [--trace FILE] <id>... | all | list
 //! laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
@@ -39,6 +40,11 @@
 //! `results/recovery.txt`), deterministically replays the run to that
 //! checkpoint, verifies the snapshot fingerprint, and resumes it to
 //! completion. `--recovery-seed N` reseeds the sustained fault schedules.
+//!
+//! `--fleet-cells N` widens the `fleet` experiment's acceptance scenario
+//! to N Laminar cells (min 4) and `--fleet-seed N` re-roots the seed set
+//! of its `specs/fleet-chaos.toml` sweep, the same way `--chaos-seed`
+//! aliases onto the chaos spec.
 //!
 //! `--spec FILE` runs a declarative lab spec (variants × seeds × repeats,
 //! see `specs/*.toml`) through the planner/executor, prints the summary
@@ -111,6 +117,19 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--recovery-seed requires an integer");
+            }
+            "--fleet-cells" => {
+                opts.fleet_cells = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--fleet-cells requires a positive integer");
+            }
+            "--fleet-seed" => {
+                opts.fleet_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--fleet-seed requires an integer");
             }
             "--checkpoint-every" => {
                 opts.checkpoint_every = Some(
@@ -206,7 +225,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N] [--recovery-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
+            "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N] [--recovery-seed N] [--fleet-cells N] [--fleet-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
              \x20      laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]\n\
              \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]\n\
              \x20      laminar-experiments --resume-from FILE\n\

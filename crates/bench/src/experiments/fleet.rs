@@ -1,0 +1,180 @@
+//! The `fleet` experiment: the admission-router control plane over many
+//! Laminar cells, checked by the fleet invariant suite (exactly-once
+//! completion across re-dispatch, zero admissions to quarantined cells,
+//! the per-tenant starvation floor, bounded goodput dips with measured
+//! fleet-MTTR).
+//!
+//! Two parts, mirroring the `chaos` experiment one layer up the stack:
+//!
+//! 1. the fixed *acceptance scenario* — a mid-run cell kill with a
+//!    straggler and a router partition layered on — run twice to prove
+//!    byte-determinism of the fleet fingerprint;
+//! 2. the seeded sweep, expressed as the lab spec
+//!    `specs/fleet-chaos.toml`: clean and chaos fleet variants × seeds fan
+//!    across `--jobs` threads through the deterministic executor. The
+//!    `--fleet-seed N` flag re-roots the spec's seed set (and `--seed N`
+//!    its data seed); `--fleet-cells N` widens the acceptance scenario.
+
+use super::Opts;
+use crate::lab::{self, LabSpec, Summary};
+use laminar_fleet::{fleet_overlapping_scenario, run_fleet, FleetConfig};
+use std::fmt::Write;
+
+/// The sweep's spec: the committed `specs/fleet-chaos.toml`, shrunk in
+/// quick mode, with the legacy seed flags applied as aliases.
+pub(crate) fn fleet_spec(opts: &Opts) -> LabSpec {
+    let mut spec = LabSpec::parse(include_str!("../../../../specs/fleet-chaos.toml"))
+        .expect("in-tree fleet-chaos spec parses");
+    if opts.quick {
+        spec.apply_quick();
+    }
+    spec.reseed(opts.fleet_seed);
+    spec.data_seed = opts.seed;
+    spec
+}
+
+/// The acceptance-scenario configuration: `cells` cells (min 4), three
+/// tenant classes, the overlapping kill + straggler + partition schedule.
+pub(crate) fn acceptance_config(cells: usize, seed: u64) -> FleetConfig {
+    let cells = cells.max(4);
+    let mut cfg = FleetConfig::standard(cells, 3, seed);
+    cfg.faults = fleet_overlapping_scenario(cells);
+    cfg
+}
+
+/// Runs the fleet experiment and renders its report.
+pub fn fleet(opts: &Opts) -> String {
+    let cells = opts.fleet_cells.max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet — admission router over {cells} Laminar cells, 3 tenant classes\n\
+         (root fleet seed {})\n",
+        opts.fleet_seed
+    );
+
+    // Part 1: the fixed acceptance scenario, run twice for determinism.
+    let cfg = acceptance_config(cells, opts.seed);
+    let a = run_fleet(&cfg);
+    let b = run_fleet(&cfg);
+    let deterministic = a.fingerprint() == b.fingerprint();
+    let violations = a.violations();
+    let _ = writeln!(
+        out,
+        "acceptance scenario: {} faults applied, {}/{} requests completed,\n\
+         {} re-dispatched, {} quarantine entries, goodput retained {:.3}, \
+         fleet MTTR {:.1}s,\nviolations: {}, deterministic: {}",
+        a.report.faults_applied,
+        a.report.completed,
+        a.report.arrivals,
+        a.report.redispatched,
+        a.report.quarantine_entries,
+        a.report.goodput_retained,
+        a.report.mttr_max_secs,
+        if violations.is_empty() {
+            "none".to_string()
+        } else {
+            violations.join("; ")
+        },
+        if deterministic { "yes" } else { "NO" },
+    );
+
+    // Part 2: the seeded sweep through the lab. Rows come back in plan
+    // order, so the report is byte-identical at any --jobs count.
+    let spec = fleet_spec(opts);
+    let rows = lab::run_lab(&spec, opts);
+    let _ = writeln!(
+        out,
+        "\nsweep spec `{}` ({} seeds rooted at {}):\n",
+        spec.name,
+        spec.seeds.len(),
+        opts.fleet_seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}  {:>6}  {:>6}  {:>9}  {:>8}  {:>7}  {:>8}  {:>8}  {:>10}  schedule",
+        "variant",
+        "seed",
+        "faults",
+        "completed",
+        "redisp",
+        "quarant",
+        "starve",
+        "retained",
+        "violations"
+    );
+    let mut all_green = true;
+    for r in &rows {
+        let m = |k: &str| r.metric(k).unwrap_or(0.0);
+        all_green &= m("violations") == 0.0;
+        let _ = writeln!(
+            out,
+            "{:<12}  {:>6}  {:>6}  {:>9}  {:>8}  {:>7}  {:>8.3}  {:>8.3}  {:>10}  {}",
+            r.variant,
+            r.seed,
+            m("faults") as u64,
+            m("completed") as u64,
+            m("redispatched") as u64,
+            m("quarantine_entries") as u64,
+            m("starvation_margin"),
+            m("goodput_retained"),
+            m("violations") as u64,
+            r.note,
+        );
+    }
+    let _ = writeln!(out, "\naggregates over the sweep:\n");
+    out.push_str(&Summary::from_rows(&rows).render());
+    let _ = writeln!(
+        out,
+        "\nEvery scheduled fleet fault is drawn from SimRng::derive(seed, \"fleet-chaos-schedule\", 0);\n\
+         the invariant checker proves every request completed exactly once across re-dispatch,\n\
+         no tenant starved below its fair share, and quarantined cells admitted nothing but probes.\n\
+         all seeds green: {}",
+        if all_green && violations.is_empty() && deterministic {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_report_is_green_and_deterministic() {
+        let o = Opts::default();
+        let s = fleet(&o);
+        assert!(s.contains("deterministic: yes"), "{s}");
+        assert!(s.contains("all seeds green: yes"), "{s}");
+        assert_eq!(s, fleet(&o), "report is reproducible");
+    }
+
+    #[test]
+    fn fleet_seed_flag_aliases_onto_the_spec() {
+        let o = Opts {
+            fleet_seed: 42,
+            seed: 9,
+            ..Opts::default()
+        };
+        let spec = fleet_spec(&o);
+        assert!(spec.seeds.starts_with(&[42, 43]), "{:?}", spec.seeds);
+        assert_eq!(spec.data_seed, 9);
+        assert_eq!(spec.variants.len(), 2);
+        let full = fleet_spec(&Opts {
+            quick: false,
+            ..Opts::default()
+        });
+        assert_eq!(full.seeds.len(), 16, "full shape keeps all 16 seeds");
+    }
+
+    #[test]
+    fn acceptance_scenario_enforces_minimum_cells() {
+        let cfg = acceptance_config(1, 7);
+        assert_eq!(cfg.cells, 4);
+        assert_eq!(cfg.tenants.len(), 3);
+        assert!(!cfg.faults.is_empty());
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod async_figs;
 pub mod chaos;
 pub mod convergence_fig;
+pub mod fleet;
 pub mod perf_figs;
 pub mod recovery;
 pub mod tables;
@@ -44,6 +45,12 @@ pub struct Opts {
     pub chaos_seed: u64,
     /// Root seed for the `recovery` experiment's sustained fault schedules.
     pub recovery_seed: u64,
+    /// Cells behind the admission router for the `fleet` experiment's
+    /// acceptance scenario (`--fleet-cells`, min 4).
+    pub fleet_cells: usize,
+    /// Root seed for the `fleet` experiment's fault-schedule generator
+    /// (`--fleet-seed`). Seed `k` of the sweep uses `fleet_seed + k`.
+    pub fleet_seed: u64,
     /// Checkpoint cadence override (virtual seconds) for the `recovery`
     /// experiment's checkpoint/restore section. `None` exercises the two
     /// built-in cadences.
@@ -68,6 +75,8 @@ impl Default for Opts {
             shards: 1,
             chaos_seed: 1,
             recovery_seed: 1,
+            fleet_cells: 4,
+            fleet_seed: 1,
             checkpoint_every: None,
             trace_buf: None,
         }
@@ -376,6 +385,12 @@ pub static REGISTRY: &[ExperimentDef] = &[
         title: "degradation, MTTR, checkpoint/restore (spec: specs/recovery-sweep.toml)",
         knobs: &["--recovery-seed", "--checkpoint-every", "--resume-from"],
         run: recovery::recovery,
+    },
+    ExperimentDef {
+        id: "fleet",
+        title: "fleet control plane: admission routing, quarantine, chaos invariants (spec: specs/fleet-chaos.toml)",
+        knobs: &["--fleet-cells", "--fleet-seed"],
+        run: fleet::fleet,
     },
 ];
 

@@ -16,8 +16,12 @@ use laminar_cluster::ModelSpec;
 use laminar_core::{
     generate_schedule, placement_for, ChaosConfig, FaultEvent, FaultKind, LaminarSystem, SystemKind,
 };
+use laminar_fleet::{
+    generate_fleet_schedule, run_fleet, FleetChaosConfig, FleetConfig, FleetFaultEvent,
+    FleetFaultKind,
+};
 use laminar_runtime::{RecordingTrace, RunReport, SystemConfig};
-use laminar_sim::Time;
+use laminar_sim::{Duration, Time};
 use std::fmt::Write as _;
 
 /// Builds a trial's configuration and fault schedule — a pure function of
@@ -100,9 +104,99 @@ pub fn schedule_note(schedule: &[FaultEvent]) -> String {
     out
 }
 
+/// Builds a fleet trial's configuration — a pure function of
+/// `(variant, seed)`, following the same convention as [`trial_setup`]:
+/// fleet chaos variants pin the workload streams to the spec's `data_seed`
+/// and spend the trial seed on the fleet fault schedule; clean fleet
+/// variants spend the trial seed on the workload streams.
+fn fleet_trial_setup(spec: &LabSpec, v: &VariantSpec, seed: u64) -> FleetConfig {
+    let chaos = v.fleet_chaos_events > 0;
+    let data_seed = if chaos { spec.data_seed } else { seed };
+    let mut cfg = FleetConfig::standard(v.fleet_cells, v.fleet_tenant_classes, data_seed);
+    cfg.cell_capacity = v.fleet_cell_capacity;
+    cfg.horizon = Duration::from_secs_f64(v.fleet_horizon_secs);
+    if chaos {
+        cfg.faults = generate_fleet_schedule(
+            seed,
+            &FleetChaosConfig {
+                events: v.fleet_chaos_events,
+                earliest: Time::from_secs_f64(v.fleet_chaos_earliest_secs),
+                horizon: Time::from_secs_f64(v.fleet_chaos_horizon_secs),
+                cells: v.fleet_cells,
+            },
+        );
+    }
+    cfg
+}
+
+/// Short label for a fleet fault kind, used in schedule notes.
+pub fn fleet_fault_label(kind: &FleetFaultKind) -> &'static str {
+    match kind {
+        FleetFaultKind::CellCrash { .. } => "cell-crash",
+        FleetFaultKind::CellSlow { .. } => "cell-slow",
+        FleetFaultKind::RouterPartition { .. } => "partition",
+    }
+}
+
+/// Renders a fleet schedule as `kind@Ns` tokens — the row note for fleet
+/// chaos trials.
+pub fn fleet_schedule_note(schedule: &[FleetFaultEvent]) -> String {
+    let mut out = String::new();
+    for (i, e) in schedule.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(
+            out,
+            "{}@{:.0}s",
+            fleet_fault_label(&e.kind),
+            e.at.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Runs one fleet trial: the fleet driver has no span tracing (its cells
+/// are service entities, not instrumented systems), so the trace slot is
+/// always empty.
+fn run_fleet_trial(spec: &LabSpec, v: &VariantSpec, trial: &Trial) -> TrialRow {
+    let cfg = fleet_trial_setup(spec, v, trial.seed);
+    let note = fleet_schedule_note(&cfg.faults);
+    let run = run_fleet(&cfg);
+    let r = &run.report;
+    let mut metrics = Vec::new();
+    let mut push = |k: &str, x: f64| metrics.push((k.to_string(), x));
+    push("goodput", r.goodput_rps);
+    push("arrivals", r.arrivals as f64);
+    push("admitted", r.admitted as f64);
+    push("completed", r.completed as f64);
+    push("redispatched", r.redispatched as f64);
+    push("rate_deferred", r.rate_deferred as f64);
+    push("quarantine_entries", r.quarantine_entries as f64);
+    push("probes", r.probes as f64);
+    push("faults", r.faults_applied as f64);
+    push("p50_latency_secs", r.p50_latency_secs);
+    push("p95_latency_secs", r.p95_latency_secs);
+    push("starvation_margin", r.starvation_margin);
+    push("goodput_retained", r.goodput_retained);
+    push("mttr_secs", r.mttr_max_secs);
+    push("makespan_secs", r.makespan_secs);
+    push("violations", run.violations().len() as f64);
+    TrialRow {
+        variant: v.name.clone(),
+        seed: trial.seed,
+        repeat: trial.repeat,
+        metrics,
+        note,
+    }
+}
+
 /// Runs one trial, returning its row and (when tracing) its span record.
 fn run_trial(spec: &LabSpec, trial: &Trial, tracing: bool) -> (TrialRow, Option<RecordingTrace>) {
     let v = &spec.variants[trial.variant];
+    if v.fleet_cells > 0 {
+        return (run_fleet_trial(spec, v, trial), None);
+    }
     let (cfg, faults) = trial_setup(spec, v, trial.seed);
     let mut metrics = Vec::new();
     let (note, trace) = if v.system == SystemKind::Laminar {
@@ -249,6 +343,90 @@ iterations = 2
         let verl = rows.iter().find(|r| r.variant == "verl").expect("verl row");
         assert!(verl.metric("throughput").unwrap() > 0.0);
         assert!(verl.metric("violations").is_none());
+    }
+
+    const FLEET_SPEC: &str = r#"
+name = "fleet-exec-test"
+seeds = [3, 4]
+repeats = 1
+data_seed = 7
+
+[variant.fleet-clean]
+fleet_cells = 4
+fleet_tenant_classes = 3
+fleet_horizon_secs = 240.0
+
+[variant.fleet-chaos]
+fleet_cells = 4
+fleet_tenant_classes = 3
+fleet_horizon_secs = 240.0
+fleet_chaos_events = 3
+fleet_chaos_earliest_secs = 40.0
+fleet_chaos_horizon_secs = 180.0
+"#;
+
+    #[test]
+    fn fleet_rows_carry_expected_metrics() {
+        let spec = LabSpec::parse(FLEET_SPEC).expect("parse");
+        let rows = run_lab(&spec, &Opts::default());
+        assert_eq!(rows.len(), 4);
+        let clean = &rows[0];
+        assert_eq!(clean.variant, "fleet-clean");
+        assert!(clean.metric("goodput").unwrap() > 0.0);
+        assert_eq!(clean.metric("violations"), Some(0.0));
+        assert_eq!(clean.metric("faults"), Some(0.0));
+        assert!(clean.note.is_empty(), "clean fleet rows carry no schedule");
+        let chaos = rows
+            .iter()
+            .find(|r| r.variant == "fleet-chaos")
+            .expect("chaos row");
+        assert_eq!(chaos.metric("violations"), Some(0.0));
+        assert_eq!(chaos.metric("faults"), Some(3.0));
+        assert!(chaos.metric("starvation_margin").unwrap() >= 0.5);
+        assert!(!chaos.note.is_empty(), "fleet chaos rows carry a schedule");
+    }
+
+    /// Fleet chaos variants pin workload streams to `data_seed` and spend
+    /// the trial seed on the fault schedule — so two seeds see the same
+    /// arrival pattern under different failure patterns.
+    #[test]
+    fn fleet_chaos_pins_data_seed_and_sweeps_schedules() {
+        let spec = LabSpec::parse(FLEET_SPEC).expect("parse");
+        let chaos = &spec.variants[1];
+        let a = fleet_trial_setup(&spec, chaos, 3);
+        let b = fleet_trial_setup(&spec, chaos, 4);
+        assert_eq!(a.seed, b.seed, "workload streams pinned to data_seed");
+        assert_ne!(a.faults, b.faults, "trial seed sweeps fault schedules");
+        let clean = &spec.variants[0];
+        assert_ne!(
+            fleet_trial_setup(&spec, clean, 3).seed,
+            fleet_trial_setup(&spec, clean, 4).seed,
+            "clean variants sweep workloads instead"
+        );
+    }
+
+    #[test]
+    fn fleet_rows_are_jobs_invariant() {
+        let spec = LabSpec::parse(FLEET_SPEC).expect("parse");
+        let serial = run_lab(
+            &spec,
+            &Opts {
+                jobs: 1,
+                ..Opts::default()
+            },
+        );
+        let parallel = run_lab(
+            &spec,
+            &Opts {
+                jobs: 8,
+                ..Opts::default()
+            },
+        );
+        assert_eq!(
+            write_rows_jsonl(&spec.name, &serial),
+            write_rows_jsonl(&spec.name, &parallel),
+            "fleet rows must be byte-identical across --jobs"
+        );
     }
 
     #[test]

@@ -20,8 +20,12 @@ pub struct GateOutcome {
     pub name: String,
     /// Whether every declared bound held.
     pub pass: bool,
-    /// Human-readable comparison, e.g.
-    /// `laminar throughput mean 123.4 vs 130.0 (ratio 0.95)`.
+    /// Human-readable comparison carrying everything needed to act on a
+    /// failure without re-running: the metric, the observed value, the
+    /// baseline it was judged against, and each bound's *computed*
+    /// threshold (violated ones marked), e.g.
+    /// `laminar throughput mean: observed 98.0, baseline 130.0,
+    /// needs >= 104.0000 [VIOLATED] (max_drop 0.2)`.
     pub detail: String,
 }
 
@@ -46,41 +50,46 @@ fn evaluate_one(
             ),
         };
     };
-    let ratio = value / base;
+    // Each bound is rendered with its computed threshold — the number the
+    // observed value was actually compared against — so a failure line is
+    // actionable on its own: metric, observed, baseline, and how far the
+    // violated threshold was.
     let mut pass = true;
     let mut bounds = Vec::new();
+    let mut check = |ok: bool, cmp: &str, threshold: f64, origin: String| {
+        pass &= ok;
+        bounds.push(format!(
+            "{cmp} {threshold:.4}{} ({origin})",
+            if ok { "" } else { " [VIOLATED]" },
+        ));
+    };
     if let Some(d) = gate.max_drop {
-        pass &= value >= (1.0 - d) * base;
-        bounds.push(format!("max_drop {d}"));
+        let t = (1.0 - d) * base;
+        check(value >= t, ">=", t, format!("max_drop {d}"));
     }
     if let Some(g) = gate.max_growth {
-        pass &= value <= (1.0 + g) * base;
-        bounds.push(format!("max_growth {g}"));
+        let t = (1.0 + g) * base;
+        check(value <= t, "<=", t, format!("max_growth {g}"));
     }
     if let Some(r) = gate.min_ratio {
-        pass &= value >= r * base;
-        bounds.push(format!("min_ratio {r}"));
+        let t = r * base;
+        check(value >= t, ">=", t, format!("min_ratio {r}"));
     }
     if let Some(r) = gate.max_ratio {
-        pass &= value <= r * base;
-        bounds.push(format!("max_ratio {r}"));
+        let t = r * base;
+        check(value <= t, "<=", t, format!("max_ratio {r}"));
     }
     GateOutcome {
         name: gate.name.clone(),
         pass,
         detail: format!(
-            "{} {} {} {:.4} vs {:.4} (ratio {}, {})",
+            "{} {} {}: observed {:.4}, baseline {:.4}, needs {}",
             gate.variant,
             gate.metric,
             gate.stat.name(),
             value,
             base,
-            if base == 0.0 {
-                "n/a".to_string()
-            } else {
-                format!("{ratio:.3}")
-            },
-            bounds.join(", "),
+            bounds.join(" and "),
         ),
     }
 }
@@ -197,6 +206,22 @@ mod tests {
         let out = evaluate_gates(&spec, &bad, &dir).expect("eval");
         assert!(!all_pass(&out), "{out:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_detail_names_metric_observed_baseline_and_threshold() {
+        let spec = spec_with_gate(
+            "metric = \"throughput\"\nvariant = \"laminar\"\nbaseline_variant = \"verl\"\nmax_drop = 0.2",
+        );
+        let s = Summary::from_rows(&[row("laminar", 1, 50.0), row("verl", 1, 100.0)]);
+        let out = evaluate_gates(&spec, &s, Path::new(".")).expect("eval");
+        assert!(!all_pass(&out), "{out:?}");
+        let d = &out[0].detail;
+        assert!(d.contains("throughput mean"), "{d}");
+        assert!(d.contains("observed 50.0000"), "{d}");
+        assert!(d.contains("baseline 100.0000"), "{d}");
+        assert!(d.contains(">= 80.0000 [VIOLATED] (max_drop 0.2)"), "{d}");
+        assert!(!d.contains('\n'), "detail stays on one line: {d}");
     }
 
     #[test]

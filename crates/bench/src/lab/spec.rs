@@ -299,6 +299,26 @@ pub struct VariantSpec {
     pub chaos_earliest_secs: f64,
     /// Latest fault injection time, virtual seconds.
     pub chaos_horizon_secs: f64,
+    /// Laminar cells behind the fleet admission router; `0` (the default)
+    /// means this is a single-system variant, not a fleet one. A positive
+    /// value switches the trial onto the fleet control-plane driver
+    /// (`laminar_fleet::run_fleet`) and is incompatible with the
+    /// single-system knobs (`chaos_events`, `shards`,
+    /// `checkpoint_every_secs`).
+    pub fleet_cells: usize,
+    /// Concurrency capacity per fleet cell.
+    pub fleet_cell_capacity: usize,
+    /// Tenant classes in the fleet's mixed workload (cycles math-RL,
+    /// agentic tool-call, long-context).
+    pub fleet_tenant_classes: usize,
+    /// Arrival window of the fleet run, virtual seconds.
+    pub fleet_horizon_secs: f64,
+    /// Faults per generated fleet chaos schedule; `0` runs the fleet clean.
+    pub fleet_chaos_events: usize,
+    /// Earliest fleet fault injection time, virtual seconds.
+    pub fleet_chaos_earliest_secs: f64,
+    /// Latest fleet fault injection time, virtual seconds.
+    pub fleet_chaos_horizon_secs: f64,
 }
 
 /// Summary statistic a gate reads from the aggregated rows.
@@ -549,8 +569,19 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
         chaos_events: 0,
         chaos_earliest_secs: 10.0,
         chaos_horizon_secs: 240.0,
+        fleet_cells: 0,
+        fleet_cell_capacity: 12,
+        fleet_tenant_classes: 3,
+        fleet_horizon_secs: 420.0,
+        fleet_chaos_events: 0,
+        fleet_chaos_earliest_secs: 60.0,
+        fleet_chaos_horizon_secs: 300.0,
     };
+    let mut fleet_knob_seen = false;
     for (k, val) in &sec.entries {
+        if k.starts_with("fleet_") && k != "fleet_cells" {
+            fleet_knob_seen = true;
+        }
         match k.as_str() {
             "system" => v.system = parse_system(val.as_str(k)?)?,
             "workload" => v.workload = WorkloadKind::parse(val.as_str(k)?)?,
@@ -562,8 +593,34 @@ fn parse_variant(name: String, sec: &Section) -> Result<VariantSpec, String> {
             "chaos_events" => v.chaos_events = val.as_usize(k)?,
             "chaos_earliest_secs" => v.chaos_earliest_secs = val.as_f64(k)?,
             "chaos_horizon_secs" => v.chaos_horizon_secs = val.as_f64(k)?,
+            "fleet_cells" => v.fleet_cells = val.as_usize(k)?,
+            "fleet_cell_capacity" => v.fleet_cell_capacity = val.as_usize(k)?,
+            "fleet_tenant_classes" => v.fleet_tenant_classes = val.as_usize(k)?,
+            "fleet_horizon_secs" => v.fleet_horizon_secs = val.as_f64(k)?,
+            "fleet_chaos_events" => v.fleet_chaos_events = val.as_usize(k)?,
+            "fleet_chaos_earliest_secs" => v.fleet_chaos_earliest_secs = val.as_f64(k)?,
+            "fleet_chaos_horizon_secs" => v.fleet_chaos_horizon_secs = val.as_f64(k)?,
             other => return Err(format!("variant `{}`: unknown knob `{other}`", v.name)),
         }
+    }
+    if fleet_knob_seen && v.fleet_cells == 0 {
+        return Err(format!(
+            "variant `{}`: fleet_* knobs require fleet_cells > 0",
+            v.name
+        ));
+    }
+    if v.fleet_cells > 0 && (v.chaos_events > 0 || v.shards > 1 || v.checkpoint_every_secs > 0.0) {
+        return Err(format!(
+            "variant `{}`: fleet_cells is incompatible with chaos_events, shards, \
+             and checkpoint_every_secs (the fleet driver replaces the single-system run)",
+            v.name
+        ));
+    }
+    if v.fleet_cells > 0 && (v.fleet_cell_capacity == 0 || v.fleet_tenant_classes == 0) {
+        return Err(format!(
+            "variant `{}`: fleet_cell_capacity and fleet_tenant_classes must be positive",
+            v.name
+        ));
     }
     if v.chaos_events > 0 && v.system != SystemKind::Laminar {
         return Err(format!(
@@ -775,6 +832,30 @@ gpus = 16
         )
         .unwrap_err();
         assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn fleet_knobs_parse_and_exclude_single_system_knobs() {
+        let s = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nfleet_cells = 4\n\
+             fleet_tenant_classes = 3\nfleet_chaos_events = 3\nfleet_horizon_secs = 300.0",
+        )
+        .expect("parse");
+        assert_eq!(s.variants[0].fleet_cells, 4);
+        assert_eq!(s.variants[0].fleet_chaos_events, 3);
+        assert_eq!(s.variants[0].fleet_horizon_secs, 300.0);
+        let err = LabSpec::parse("name = \"x\"\nseeds = [1]\n[variant.a]\nfleet_chaos_events = 3")
+            .unwrap_err();
+        assert!(err.contains("fleet_cells > 0"), "{err}");
+        let err = LabSpec::parse(
+            "name = \"x\"\nseeds = [1]\n[variant.a]\nfleet_cells = 4\nchaos_events = 2",
+        )
+        .unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+        let err =
+            LabSpec::parse("name = \"x\"\nseeds = [1]\n[variant.a]\nfleet_cells = 4\nshards = 2")
+                .unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
     }
 
     #[test]

@@ -55,6 +55,27 @@ fn chaos_experiment_is_byte_identical_across_job_counts() {
     assert!(report1.contains("all seeds green: yes"), "{report1}");
 }
 
+/// The fleet experiment fans the fleet-chaos sweep's trials across workers
+/// and reassembles rows in plan order; the rendered report must be
+/// byte-identical for any `--jobs` value (the acceptance criterion for
+/// `--fleet-seed`). Fleet runs emit no trace spans, so only the report is
+/// compared.
+#[test]
+fn fleet_experiment_is_byte_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        run_experiment(
+            "fleet",
+            &Opts {
+                jobs,
+                ..Opts::default()
+            },
+        )
+    };
+    let (report1, report4) = (run(1), run(4));
+    assert_eq!(report1, report4, "fleet report text differs with --jobs 4");
+    assert!(report1.contains("all seeds green: yes"), "{report1}");
+}
+
 /// The binary's outer fan-out: several experiments in parallel, each with a
 /// buffered trace flushed in id order, must reproduce the serial bytes.
 #[test]

@@ -479,6 +479,421 @@ impl ChaosOutcome {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-level chaos: faults that strike whole Laminar *cells* behind the
+// admission router (`laminar-fleet`), not individual replicas inside one
+// cell. The same seeded-schedule / audit / outcome shape as the single-cell
+// plane above, one layer up.
+// ---------------------------------------------------------------------------
+
+/// One kind of injected fleet-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetFaultKind {
+    /// A whole cell dies: its in-flight requests are orphaned (the router
+    /// must re-dispatch them), its heartbeats stop, and a replacement comes
+    /// up `recover_after` later.
+    CellCrash {
+        /// The failed cell.
+        cell: usize,
+        /// Time to restart the cell.
+        recover_after: Duration,
+    },
+    /// A cell straggles: every request it serves during the window takes
+    /// `factor`× longer. The router should observe the latency signal and
+    /// quarantine the cell rather than keep feeding it.
+    CellSlow {
+        /// Affected cell.
+        cell: usize,
+        /// Slowdown multiplier (> 1 is slower).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: Duration,
+    },
+    /// The router loses its control-plane link to a set of cells: their
+    /// heartbeats stop arriving and no new work can be admitted to them,
+    /// but the cells themselves stay up and finish what they hold. The
+    /// router must NOT re-dispatch their in-flight work — partition is
+    /// suspicion, not death, and re-dispatching would break exactly-once.
+    RouterPartition {
+        /// Cells cut off from the router.
+        cells: Vec<usize>,
+        /// How long the partition lasts.
+        duration: Duration,
+    },
+}
+
+/// One scheduled fleet fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultEvent {
+    /// Simulated time at which the fault strikes.
+    pub at: Time,
+    /// What fails.
+    pub kind: FleetFaultKind,
+}
+
+/// Shape of a generated fleet fault schedule.
+#[derive(Debug, Clone)]
+pub struct FleetChaosConfig {
+    /// Faults to inject.
+    pub events: usize,
+    /// Faults strike uniformly within `[earliest, horizon]`.
+    pub earliest: Time,
+    /// Latest fault injection time.
+    pub horizon: Time,
+    /// Cell count of the fleet under test.
+    pub cells: usize,
+}
+
+impl Default for FleetChaosConfig {
+    fn default() -> Self {
+        FleetChaosConfig {
+            events: 3,
+            earliest: Time::from_secs(60),
+            horizon: Time::from_secs(360),
+            cells: 4,
+        }
+    }
+}
+
+/// Generates a deterministic fleet fault schedule from a seed, on its own
+/// derived stream (decorrelated from both the single-cell chaos stream and
+/// the fleet's workload streams).
+pub fn generate_fleet_schedule(seed: u64, cfg: &FleetChaosConfig) -> Vec<FleetFaultEvent> {
+    let mut rng = SimRng::derive(seed, "fleet-chaos-schedule", 0);
+    let cells = cfg.cells.max(1);
+    let mut events = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let at = Time::from_secs_f64(rng.range_f64(
+            cfg.earliest.as_secs_f64(),
+            cfg.horizon.as_secs_f64().max(cfg.earliest.as_secs_f64()),
+        ));
+        let kind = match rng
+            .weighted_index(&[3.0, 2.0, 2.0])
+            .expect("non-empty weights")
+        {
+            0 => FleetFaultKind::CellCrash {
+                cell: rng.index(cells),
+                recover_after: Duration::from_secs(rng.range_u64(40, 160)),
+            },
+            1 => FleetFaultKind::CellSlow {
+                cell: rng.index(cells),
+                factor: rng.range_f64(2.0, 5.0),
+                duration: Duration::from_secs(rng.range_u64(30, 120)),
+            },
+            _ => {
+                // Partition up to half the fleet, never all of it.
+                let max_cut = (cells / 2).clamp(1, cells.saturating_sub(1).max(1));
+                let count = 1 + rng.index(max_cut);
+                let mut ids: Vec<usize> = (0..cells).collect();
+                rng.shuffle(&mut ids);
+                let mut cut: Vec<usize> = ids.into_iter().take(count).collect();
+                cut.sort_unstable();
+                FleetFaultKind::RouterPartition {
+                    cells: cut,
+                    duration: Duration::from_secs(rng.range_u64(20, 90)),
+                }
+            }
+        };
+        events.push(FleetFaultEvent { at, kind });
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+/// The fleet acceptance scenario: a mid-run cell kill (the goodput-dip /
+/// MTTR measurement point), a straggler onset on a second cell shortly
+/// after (driving the latency-quarantine path), and a router partition of a
+/// third cell overlapping both (driving the suspicion-without-re-dispatch
+/// path). Needs ≥ 3 cells for the targets to be distinct.
+pub fn fleet_overlapping_scenario(cells: usize) -> Vec<FleetFaultEvent> {
+    let c = |i: usize| i % cells.max(1);
+    vec![
+        FleetFaultEvent {
+            at: Time::from_secs(120),
+            kind: FleetFaultKind::CellCrash {
+                cell: c(0),
+                recover_after: Duration::from_secs(90),
+            },
+        },
+        FleetFaultEvent {
+            at: Time::from_secs(150),
+            kind: FleetFaultKind::CellSlow {
+                cell: c(1),
+                factor: 4.0,
+                duration: Duration::from_secs(80),
+            },
+        },
+        FleetFaultEvent {
+            at: Time::from_secs(160),
+            kind: FleetFaultKind::RouterPartition {
+                cells: vec![c(2)],
+                duration: Duration::from_secs(60),
+            },
+        },
+    ]
+}
+
+/// Bookkeeping the fleet router fills in while a run executes; the raw
+/// material of the fleet invariant checker.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAudit {
+    /// Dispatch count per request id (> 1 means the request was
+    /// re-dispatched after its cell died).
+    pub dispatched: BTreeMap<u64, u64>,
+    /// Completion count per request id.
+    pub completed: BTreeMap<u64, u64>,
+    /// Owning tenant per request id.
+    pub tenant_of: BTreeMap<u64, usize>,
+    /// Admissions per cell over the whole run.
+    pub cell_admissions: Vec<u64>,
+    /// Requests re-dispatched after their cell crashed.
+    pub redispatched: u64,
+    /// Admissions deferred because the tenant's token bucket was empty.
+    pub rate_deferred: u64,
+    /// Fleet fault events applied.
+    pub faults_applied: u64,
+    /// Times any cell entered quarantine (breaker trip).
+    pub quarantine_entries: u64,
+    /// Post-cooldown probe requests admitted to half-open cells.
+    pub probes: u64,
+    /// Invariant breaches detected *while* the run executed.
+    pub violations: Vec<String>,
+}
+
+impl FleetAudit {
+    /// Records one dispatch of `req` (tenant `tenant`) onto `cell`,
+    /// checking the admission-time invariants: the target must not be
+    /// quarantined (breaker open), must be believed alive by the router,
+    /// and must stay within its concurrency capacity *after* the dispatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch(
+        &mut self,
+        req: u64,
+        tenant: usize,
+        cell: usize,
+        quarantined: bool,
+        believed_alive: bool,
+        in_flight_after: usize,
+        capacity: usize,
+    ) {
+        *self.dispatched.entry(req).or_insert(0) += 1;
+        self.tenant_of.insert(req, tenant);
+        if self.cell_admissions.len() <= cell {
+            self.cell_admissions.resize(cell + 1, 0);
+        }
+        self.cell_admissions[cell] += 1;
+        if quarantined {
+            self.violations.push(format!(
+                "request {req} admitted to quarantined cell {cell} (breaker open)"
+            ));
+        }
+        if !believed_alive {
+            self.violations.push(format!(
+                "request {req} admitted to cell {cell} the router believes dead"
+            ));
+        }
+        if in_flight_after > capacity {
+            self.violations.push(format!(
+                "dispatch of {req} overcommits cell {cell}: {in_flight_after} in flight > capacity {capacity}"
+            ));
+        }
+    }
+
+    /// Records a completion observed by the router.
+    pub fn complete(&mut self, req: u64) {
+        *self.completed.entry(req).or_insert(0) += 1;
+    }
+
+    /// Distinct requests dispatched at least once.
+    pub fn admitted(&self) -> usize {
+        self.dispatched.len()
+    }
+}
+
+/// One measured goodput dip around a cell kill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodputDip {
+    /// When the cell died.
+    pub fault_at: Time,
+    /// Mean fleet goodput (completions/sec) over the window before the
+    /// kill.
+    pub baseline: f64,
+    /// Worst windowed goodput observed after the kill.
+    pub trough: f64,
+    /// `trough / baseline`, capped at 1 — the fraction of goodput the
+    /// surviving cells retained.
+    pub retained: f64,
+    /// Time from the kill until windowed goodput first recovered to the
+    /// recovery threshold; `None` if it never did before the run ended.
+    pub mttr: Option<Duration>,
+}
+
+/// Invariant bounds the fleet checker enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetBounds {
+    /// Minimum per-tenant completion-share margin (share relative to the
+    /// tenant's weighted fair entitlement, capped by its demand share).
+    pub starvation_floor: f64,
+    /// Minimum goodput retained through any single cell kill.
+    pub min_goodput_retained: f64,
+}
+
+impl Default for FleetBounds {
+    fn default() -> Self {
+        FleetBounds {
+            starvation_floor: 0.5,
+            min_goodput_retained: 0.3,
+        }
+    }
+}
+
+/// End-of-run fleet snapshot handed to the invariant checker.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The audit the router filled in during the run.
+    pub audit: FleetAudit,
+    /// Fairness weight per tenant.
+    pub tenant_weights: Vec<f64>,
+    /// Requests that arrived per tenant.
+    pub tenant_arrivals: Vec<u64>,
+    /// Requests completed per tenant.
+    pub tenant_completed: Vec<u64>,
+    /// Request ids still queued at the router at the end.
+    pub backlog: Vec<u64>,
+    /// Request ids still in flight per cell at the end.
+    pub in_flight: Vec<Vec<u64>>,
+    /// Ground-truth liveness per cell at the end.
+    pub cell_alive: Vec<bool>,
+    /// Breaker-open (quarantined) state per cell at the end.
+    pub cell_quarantined: Vec<bool>,
+    /// Measured goodput dips, one per applied `CellCrash`.
+    pub dips: Vec<GoodputDip>,
+    /// Bounds in force for this run.
+    pub bounds: FleetBounds,
+}
+
+impl FleetOutcome {
+    /// The per-tenant starvation margin: for each tenant with demand, its
+    /// completion share divided by its entitlement — the weighted fair
+    /// share, capped by the tenant's own demand share (a light tenant that
+    /// got everything it asked for is not starved, whatever its weight).
+    /// Returns the minimum margin across tenants; 1.0 when nothing
+    /// completed fleet-wide.
+    pub fn starvation_margin(&self) -> f64 {
+        let total_completed: u64 = self.tenant_completed.iter().sum();
+        let total_arrivals: u64 = self.tenant_arrivals.iter().sum();
+        if total_completed == 0 || total_arrivals == 0 {
+            return 1.0;
+        }
+        let weight_sum: f64 = self
+            .tenant_weights
+            .iter()
+            .zip(&self.tenant_arrivals)
+            .filter(|(_, &a)| a > 0)
+            .map(|(&w, _)| w)
+            .sum();
+        if weight_sum <= 0.0 {
+            return 1.0;
+        }
+        let mut margin = f64::INFINITY;
+        for (t, &arrived) in self.tenant_arrivals.iter().enumerate() {
+            if arrived == 0 {
+                continue;
+            }
+            let fair = self.tenant_weights.get(t).copied().unwrap_or(0.0) / weight_sum;
+            let demand = arrived as f64 / total_arrivals as f64;
+            let entitlement = fair.min(demand);
+            if entitlement <= 0.0 {
+                continue;
+            }
+            let share =
+                self.tenant_completed.get(t).copied().unwrap_or(0) as f64 / total_completed as f64;
+            margin = margin.min(share / entitlement);
+        }
+        if margin.is_finite() {
+            margin
+        } else {
+            1.0
+        }
+    }
+
+    /// The worst goodput retained through any cell kill (1.0 when no cell
+    /// was killed).
+    pub fn min_goodput_retained(&self) -> f64 {
+        self.dips.iter().map(|d| d.retained).fold(1.0f64, f64::min)
+    }
+
+    /// Every violated fleet invariant, empty when the run upheld all
+    /// guarantees.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.audit.violations.clone();
+        // Exactly-once across re-dispatch: a request may be dispatched many
+        // times (once per orphaning crash) but must complete exactly once,
+        // or still be held somewhere (router backlog or a cell).
+        for (req, n) in &self.audit.completed {
+            if *n != 1 {
+                v.push(format!(
+                    "request {req} completed {n} times across re-dispatch"
+                ));
+            }
+            if !self.audit.dispatched.contains_key(req) {
+                v.push(format!("request {req} completed without being dispatched"));
+            }
+        }
+        let backlog: BTreeSet<u64> = self.backlog.iter().copied().collect();
+        let mut resident: BTreeMap<u64, usize> = BTreeMap::new();
+        for (c, ids) in self.in_flight.iter().enumerate() {
+            if !self.cell_alive.get(c).copied().unwrap_or(true) && !ids.is_empty() {
+                v.push(format!("dead cell {c} still holds {} requests", ids.len()));
+            }
+            for &id in ids {
+                if let Some(prev) = resident.insert(id, c) {
+                    v.push(format!("request {id} in flight on cells {prev} and {c}"));
+                }
+            }
+        }
+        for &req in self.audit.dispatched.keys() {
+            let done = self.audit.completed.contains_key(&req);
+            let held = backlog.contains(&req) || resident.contains_key(&req);
+            if !done && !held {
+                v.push(format!(
+                    "request {req} lost: dispatched, never completed, held nowhere"
+                ));
+            }
+            if done && backlog.contains(&req) {
+                v.push(format!("request {req} completed but still in the backlog"));
+            }
+        }
+        // No tenant starvation: completion share must stay above the
+        // weighted-fair floor.
+        let margin = self.starvation_margin();
+        if margin < self.bounds.starvation_floor {
+            v.push(format!(
+                "tenant starvation: completion-share margin {margin:.3} below floor {:.3}",
+                self.bounds.starvation_floor
+            ));
+        }
+        // Bounded goodput dip with measured recovery, per cell kill.
+        for d in &self.dips {
+            if d.retained < self.bounds.min_goodput_retained {
+                v.push(format!(
+                    "cell kill at {:.0}s dropped goodput to {:.3} of baseline (floor {:.3})",
+                    d.fault_at.as_secs_f64(),
+                    d.retained,
+                    self.bounds.min_goodput_retained
+                ));
+            }
+            if d.mttr.is_none() {
+                v.push(format!(
+                    "goodput never recovered after the cell kill at {:.0}s (no finite MTTR)",
+                    d.fault_at.as_secs_f64()
+                ));
+            }
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,5 +1073,176 @@ mod tests {
             v.iter().any(|m| m.contains("ahead of actor version")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn fleet_schedules_are_deterministic_and_bounded() {
+        let cfg = FleetChaosConfig::default();
+        let a = generate_fleet_schedule(21, &cfg);
+        let b = generate_fleet_schedule(21, &cfg);
+        let c = generate_fleet_schedule(22, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert_ne!(a, c, "different seeds must decorrelate");
+        assert_eq!(a.len(), cfg.events);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        let cfg = FleetChaosConfig {
+            events: 64,
+            cells: 3,
+            ..FleetChaosConfig::default()
+        };
+        for seed in 0..8 {
+            for ev in generate_fleet_schedule(seed, &cfg) {
+                match ev.kind {
+                    FleetFaultKind::CellCrash { cell, .. } => assert!(cell < cfg.cells),
+                    FleetFaultKind::CellSlow { cell, factor, .. } => {
+                        assert!(cell < cfg.cells);
+                        assert!(factor > 1.0);
+                    }
+                    FleetFaultKind::RouterPartition { ref cells, .. } => {
+                        assert!(!cells.is_empty());
+                        assert!(cells.len() < cfg.cells, "must leave a reachable cell");
+                        assert!(cells.iter().all(|&c| c < cfg.cells));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scenario_overlaps_three_fault_kinds() {
+        let sched = fleet_overlapping_scenario(4);
+        let t = Time::from_secs(165);
+        let active = sched
+            .iter()
+            .filter(|e| {
+                let end = match &e.kind {
+                    FleetFaultKind::CellCrash { recover_after, .. } => e.at + *recover_after,
+                    FleetFaultKind::CellSlow { duration, .. } => e.at + *duration,
+                    FleetFaultKind::RouterPartition { duration, .. } => e.at + *duration,
+                };
+                e.at <= t && end >= t
+            })
+            .count();
+        assert!(
+            active >= 3,
+            "need ≥3 overlapping fleet faults, got {active}"
+        );
+    }
+
+    #[test]
+    fn fleet_audit_flags_quarantine_dead_and_overcommit_admissions() {
+        let mut audit = FleetAudit::default();
+        audit.dispatch(1, 0, 0, false, true, 3, 8);
+        audit.dispatch(2, 0, 1, true, true, 1, 8);
+        audit.dispatch(3, 1, 2, false, false, 1, 8);
+        audit.dispatch(4, 1, 0, false, true, 9, 8);
+        assert_eq!(audit.violations.len(), 3, "{:?}", audit.violations);
+        assert!(audit.violations[0].contains("quarantined cell 1"));
+        assert!(audit.violations[1].contains("believes dead"));
+        assert!(audit.violations[2].contains("overcommits cell 0"));
+        assert_eq!(audit.cell_admissions, vec![2, 1, 1]);
+    }
+
+    fn clean_fleet_outcome() -> FleetOutcome {
+        FleetOutcome {
+            audit: FleetAudit::default(),
+            tenant_weights: vec![1.0, 1.0],
+            tenant_arrivals: vec![10, 10],
+            tenant_completed: vec![10, 10],
+            backlog: vec![],
+            in_flight: vec![vec![], vec![]],
+            cell_alive: vec![true, true],
+            cell_quarantined: vec![false, false],
+            dips: vec![],
+            bounds: FleetBounds::default(),
+        }
+    }
+
+    #[test]
+    fn fleet_outcome_detects_duplicate_and_lost_requests() {
+        let mut out = clean_fleet_outcome();
+        out.audit.dispatch(1, 0, 0, false, true, 1, 8);
+        out.audit.dispatch(1, 0, 1, false, true, 1, 8); // re-dispatch: fine
+        out.audit.complete(1);
+        out.audit.complete(1); // duplicated: not fine
+        out.audit.dispatch(2, 1, 0, false, true, 1, 8); // never completes, held nowhere
+        let v = out.violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("completed 2 times across re-dispatch")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|m| m.contains("request 2 lost")), "{v:?}");
+
+        // The same re-dispatch completing exactly once, with the straggler
+        // held in the backlog, is clean.
+        let mut out = clean_fleet_outcome();
+        out.audit.dispatch(1, 0, 0, false, true, 1, 8);
+        out.audit.dispatch(1, 0, 1, false, true, 1, 8);
+        out.audit.complete(1);
+        out.audit.dispatch(2, 1, 0, false, true, 1, 8);
+        out.backlog = vec![2];
+        assert_eq!(out.violations(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fleet_outcome_detects_dead_cell_residency() {
+        let mut out = clean_fleet_outcome();
+        out.audit.dispatch(5, 0, 1, false, true, 1, 8);
+        out.cell_alive = vec![true, false];
+        out.in_flight = vec![vec![], vec![5]];
+        let v = out.violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("dead cell 1 still holds 1 requests")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn starvation_margin_honors_weights_and_demand() {
+        // Tenant 1 starved: equal weights and demand, but 1/10th the share.
+        let mut out = clean_fleet_outcome();
+        out.tenant_arrivals = vec![100, 100];
+        out.tenant_completed = vec![100, 10];
+        let m = out.starvation_margin();
+        assert!((m - (10.0 / 110.0) / 0.5).abs() < 1e-9, "margin {m}");
+        assert!(out
+            .violations()
+            .iter()
+            .any(|v| v.contains("tenant starvation")));
+
+        // A light tenant that got everything it asked for is not starved,
+        // even though its share is far below its weighted fair share.
+        let mut out = clean_fleet_outcome();
+        out.tenant_arrivals = vec![100, 5];
+        out.tenant_completed = vec![100, 5];
+        assert!(out.starvation_margin() >= 1.0 - 1e-9);
+        assert_eq!(out.violations(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fleet_outcome_enforces_goodput_dip_bounds() {
+        let mut out = clean_fleet_outcome();
+        out.dips = vec![GoodputDip {
+            fault_at: Time::from_secs(120),
+            baseline: 10.0,
+            trough: 1.0,
+            retained: 0.1,
+            mttr: None,
+        }];
+        let v = out.violations();
+        assert!(v.iter().any(|m| m.contains("dropped goodput")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("no finite MTTR")), "{v:?}");
+        assert!((out.min_goodput_retained() - 0.1).abs() < 1e-9);
+
+        out.dips = vec![GoodputDip {
+            fault_at: Time::from_secs(120),
+            baseline: 10.0,
+            trough: 7.0,
+            retained: 0.7,
+            mttr: Some(Duration::from_secs(45)),
+        }];
+        assert_eq!(out.violations(), Vec::<String>::new());
     }
 }

@@ -27,8 +27,9 @@ pub mod placement;
 pub mod system;
 
 pub use chaos::{
-    generate_schedule, overlapping_scenario, ChaosAudit, ChaosConfig, ChaosOutcome, FaultEvent,
-    FaultKind,
+    fleet_overlapping_scenario, generate_fleet_schedule, generate_schedule, overlapping_scenario,
+    ChaosAudit, ChaosConfig, ChaosOutcome, FaultEvent, FaultKind, FleetAudit, FleetBounds,
+    FleetChaosConfig, FleetFaultEvent, FleetFaultKind, FleetOutcome, GoodputDip,
 };
 pub use convergence::{convergence_curve, ConvergenceConfig, StalenessRegime};
 pub use hyper::{HyperParams, SystemKind};

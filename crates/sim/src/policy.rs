@@ -391,4 +391,87 @@ mod tests {
         assert!(!b.allow(Time::from_secs(100)), "re-opened");
         assert!(b.allow(Time::from_secs(105)), "second cooldown over");
     }
+
+    #[test]
+    fn failed_probe_restarts_cooldown_from_failure_time() {
+        // The fresh cooldown must be anchored at the probe's *failure* time,
+        // not the original trip or the probe's admission — otherwise a slow
+        // probe's failure would grant an immediate (or even retroactive)
+        // second probe.
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            window: Duration::from_secs(60),
+            cooldown: Duration::from_secs(50),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.record_failure(Time::from_secs(0));
+        assert_eq!(b.retry_at(), Some(Time::from_secs(50)));
+        assert!(b.allow(Time::from_secs(60)), "probe admitted");
+        // The probe takes 25s of wall time before it fails.
+        let probe_failed = Time::from_secs(85);
+        b.record_failure(probe_failed);
+        assert_eq!(
+            b.retry_at(),
+            Some(probe_failed + cfg.cooldown),
+            "cooldown restarts at the failure, not the admission"
+        );
+        assert!(
+            !b.allow(probe_failed),
+            "no second probe the instant the first fails"
+        );
+        assert!(
+            !b.allow(Time::from_secs(110)),
+            "still cooling even past admission + cooldown"
+        );
+        assert!(b.is_open(Time::from_secs(134)));
+        assert!(b.allow(Time::from_secs(135)), "fresh cooldown elapsed");
+    }
+
+    #[test]
+    fn retries_stop_exactly_at_budget_exhaustion() {
+        // Off-by-one guard: a policy with N retries yields exactly N delays
+        // — attempt N-1 is the last Some, attempt N is None — and with zero
+        // jitter those N delays sum to total_budget() exactly, so a caller
+        // pacing against the budget runs out of delays and budget together.
+        let p = RetryPolicy {
+            base: Duration::from_secs(2),
+            factor: 2.0,
+            max_delay: Duration::from_secs(20),
+            max_retries: 6,
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::derive(3, "budget-edge", 0);
+        let mut spent = Duration::ZERO;
+        let mut yielded = 0u32;
+        while let Some(d) = p.delay(yielded, &mut rng) {
+            spent += d;
+            yielded += 1;
+            assert!(yielded <= p.max_retries, "policy exceeded its retry bound");
+        }
+        assert_eq!(yielded, p.max_retries, "exactly max_retries delays");
+        assert_eq!(
+            spent.as_nanos(),
+            p.total_budget().as_nanos(),
+            "zero-jitter schedule spends the whole budget and no more"
+        );
+        assert_eq!(p.raw_delay(p.max_retries), None);
+        assert_eq!(
+            p.raw_delay(p.max_retries - 1),
+            Some(Duration::from_secs(20)),
+            "last delay is still granted"
+        );
+        // With jitter, every schedule still fits inside the budget even when
+        // every draw lands on the +jitter edge.
+        let jittered = RetryPolicy { jitter: 0.3, ..p };
+        for seed in 0..16 {
+            let mut rng = SimRng::derive(seed, "budget-edge-jitter", 0);
+            let total: f64 = (0..jittered.max_retries)
+                .map(|k| jittered.delay(k, &mut rng).unwrap().as_secs_f64())
+                .sum();
+            assert!(
+                total <= jittered.total_budget().as_secs_f64() + 1e-9,
+                "seed {seed}: schedule {total} overran the budget"
+            );
+        }
+    }
 }

@@ -94,6 +94,15 @@ if grep -q '"delta_identical": false' "$OUT"; then
     exit 1
 fi
 
+# The fleet block (schema 5) carries the jobs-invariance verdict: the
+# fleet-chaos sweep must serialize to byte-identical rows JSONL at
+# --jobs 1 and at a parallel job count. Deterministic by design, so it
+# likewise fails even under --warn-only.
+if grep -q '"jobs_deterministic": false' "$OUT"; then
+    echo "bench: FAILURE fleet sweep diverged across job counts (fleet.jobs_deterministic = false)" >&2
+    exit 1
+fi
+
 REGRESSED=0
 if [ -n "$PREV" ]; then
     # Fail if the indexed-engine events/sec dropped more than 20% versus the

@@ -26,7 +26,10 @@
 //! * [`baselines`] — verl-sync, one-step, stream-generation, and
 //!   partial-rollout systems over the shared substrate;
 //! * [`core`] — the Laminar system itself, Table 2/3 configurations, and
-//!   the convergence harness.
+//!   the convergence harness;
+//! * [`fleet`] — the fleet control plane: an admission router over many
+//!   Laminar cells with per-tenant rate limiting, health-based routing,
+//!   quarantine, and fleet-level chaos invariants.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use laminar_baselines as baselines;
 pub use laminar_cluster as cluster;
 pub use laminar_core as core;
 pub use laminar_data as data;
+pub use laminar_fleet as fleet;
 pub use laminar_relay as relay;
 pub use laminar_rl as rl;
 pub use laminar_rollout as rollout;
@@ -65,6 +69,10 @@ pub mod prelude {
         StalenessRegime, SystemKind,
     };
     pub use laminar_data::{Experience, ExperienceBuffer, PartialResponsePool, PromptPool};
+    pub use laminar_fleet::{
+        fleet_overlapping_scenario, generate_fleet_schedule, run_fleet, FleetChaosConfig,
+        FleetConfig, FleetFaultEvent, FleetFaultKind, FleetRun, TenantProfile,
+    };
     pub use laminar_relay::{
         run_relay_chaos, RelayChaosConfig, RelaySyncModel, RelayTier, RelayTierConfig,
     };

@@ -1,0 +1,104 @@
+//! Randomized fleet-chaos properties: for many seeds, a generated fleet
+//! fault schedule must leave every fleet invariant intact — every request
+//! completed exactly once across re-dispatch, zero admissions to
+//! quarantined cells, the per-tenant starvation floor upheld, and every
+//! measured cell-kill dip bounded with finite recovery. Mirrors
+//! `tests/chaos_properties.rs` one layer up the stack.
+
+use laminar::prelude::*;
+use laminar::sim::{Duration, Time};
+
+fn fleet_cfg(seed: u64) -> FleetConfig {
+    FleetConfig {
+        horizon: Duration::from_secs(420),
+        ..FleetConfig::standard(4, 3, seed)
+    }
+}
+
+/// ≥16 seeds × clean runs: everything that arrives completes, nobody
+/// starves, no invariant trips.
+#[test]
+fn clean_fleet_runs_uphold_all_invariants() {
+    for seed in 0..16u64 {
+        let run = run_fleet(&fleet_cfg(seed));
+        assert_eq!(
+            run.violations(),
+            Vec::<String>::new(),
+            "seed {seed} violated invariants"
+        );
+        assert_eq!(
+            run.report.completed, run.report.arrivals,
+            "seed {seed}: incomplete drain"
+        );
+        assert!(
+            run.report.starvation_margin >= 0.5,
+            "seed {seed}: margin {}",
+            run.report.starvation_margin
+        );
+    }
+}
+
+/// ≥16 seeds × generated fleet fault schedules (≥4 cells, 3 tenant
+/// classes): the full invariant battery holds under cell crashes,
+/// stragglers, and router partitions.
+#[test]
+fn every_seeded_fleet_schedule_upholds_all_invariants() {
+    let chaos = FleetChaosConfig {
+        events: 3,
+        earliest: Time::from_secs(60),
+        horizon: Time::from_secs(300),
+        cells: 4,
+    };
+    for seed in 0..16u64 {
+        let mut cfg = fleet_cfg(seed);
+        cfg.faults = generate_fleet_schedule(seed, &chaos);
+        assert!(!cfg.faults.is_empty(), "seed {seed}: empty schedule");
+        let run = run_fleet(&cfg);
+        assert_eq!(
+            run.violations(),
+            Vec::<String>::new(),
+            "seed {seed} violated invariants (schedule: {:?})",
+            cfg.faults
+        );
+        assert!(run.report.completed > 0, "seed {seed}: nothing completed");
+        assert_eq!(
+            run.report.completed, run.report.arrivals,
+            "seed {seed}: work lost or stuck"
+        );
+    }
+}
+
+/// The acceptance scenario — a mid-run cell kill with a straggler and a
+/// partition layered on — yields a bounded dip with finite measured MTTR.
+#[test]
+fn cell_kill_yields_bounded_dip_with_finite_mttr() {
+    let mut cfg = FleetConfig::standard(4, 3, 5);
+    cfg.faults = fleet_overlapping_scenario(4);
+    let run = run_fleet(&cfg);
+    assert_eq!(run.violations(), Vec::<String>::new());
+    assert_eq!(run.outcome.dips.len(), 1, "one kill, one measured dip");
+    let dip = &run.outcome.dips[0];
+    assert!(dip.retained >= 0.5, "retained {}", dip.retained);
+    let mttr = dip.mttr.expect("recovery must be measured");
+    assert!(
+        mttr > Duration::ZERO && mttr < Duration::from_secs(300),
+        "implausible MTTR {mttr}"
+    );
+    assert!(run.report.redispatched > 0, "kill must orphan work");
+}
+
+/// A fleet run is a pure function of its seed: same seed, same fingerprint,
+/// byte for byte; different seeds diverge.
+#[test]
+fn fleet_runs_are_reproducible_per_seed() {
+    let chaos = FleetChaosConfig::default();
+    let run = |seed: u64| {
+        let mut cfg = fleet_cfg(seed);
+        cfg.faults = generate_fleet_schedule(seed, &chaos);
+        run_fleet(&cfg).fingerprint()
+    };
+    assert_eq!(run(9), run(9), "fingerprint differs for the same seed");
+    let nine = run(9);
+    let distinct = (0..8u64).any(|seed| run(seed) != nine);
+    assert!(distinct, "eight different seeds all produced seed 9's run");
+}
