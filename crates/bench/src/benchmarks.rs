@@ -60,16 +60,19 @@
 //! diff script can reject incompatible files. Schema 3 adds the
 //! `shard_curve` block; schema 4 adds the `checkpoint` block; schema 5
 //! adds the `fleet` block (acceptance-scenario dip/MTTR/starvation plus
-//! the `jobs_deterministic` verdict over the fleet-chaos sweep). Every
-//! earlier key name is kept so existing diff tooling keeps working.
+//! the `jobs_deterministic` verdict over the fleet-chaos sweep); schema 6
+//! adds the `window_stats` block inside `shard_curve` (barriers per run,
+//! central events per fence window, batch sizes — the fence-batching
+//! driver's parallel-window profile) plus per-shard allocation counts.
+//! Every earlier key name is kept so existing diff tooling keeps working.
 
 use crate::alloc_count::{self, AllocStats};
 use crate::experiments::{all_experiment_ids, run_experiment, Opts};
 use crate::runner::effective_jobs;
 use laminar_cluster::{DecodeModel, GpuSpec, ModelSpec};
-use laminar_core::{placement_for, LaminarSystem, SystemKind};
+use laminar_core::{placement_for, LaminarSystem, SystemKind, WindowStats};
 use laminar_rollout::{EngineConfig, NaiveReplicaEngine, ReplicaEngine};
-use laminar_runtime::{RecordingTrace, RlSystem, SystemConfig};
+use laminar_runtime::{RecordingTrace, SystemConfig};
 use laminar_sim::{ThroughputMeter, Time};
 use laminar_workload::{Checkpoint, WorkloadGenerator};
 use std::fmt::Write as _;
@@ -104,6 +107,174 @@ pub struct ShardPoint {
     pub shards: usize,
     /// Wall seconds for the fixed system run at this shard count.
     pub secs: f64,
+    /// Fence-window profile of the run (all-zero on the serial driver,
+    /// which fences nothing).
+    pub stats: WindowStats,
+    /// Allocator round trips during the run (0 when the counting
+    /// allocator is not registered).
+    pub allocs: u64,
+}
+
+/// Serial-over-best-sharded wall-clock ratio across `curve` (1.0 when no
+/// comparison is possible).
+fn shard_speedup(curve: &[ShardPoint]) -> f64 {
+    let serial = curve.iter().find(|p| p.shards == 1).map(|p| p.secs);
+    let best = curve
+        .iter()
+        .filter(|p| p.shards > 1)
+        .map(|p| p.secs)
+        .min_by(f64::total_cmp);
+    match (serial, best) {
+        (Some(s), Some(b)) => s / b.max(1e-12),
+        _ => 1.0,
+    }
+}
+
+/// Writes the schema-6 `window_stats` object (keys per sharded point) at
+/// `indent`, shared by the full bench report and the standalone
+/// shard-curve report.
+fn write_window_stats_block(s: &mut String, indent: &str, curve: &[ShardPoint]) {
+    let sharded: Vec<&ShardPoint> = curve.iter().filter(|p| p.shards > 1).collect();
+    let by = |f: &dyn Fn(&ShardPoint) -> String| -> String {
+        sharded
+            .iter()
+            .map(|p| format!("\"{}\": {}", p.shards, f(p)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(s, "{indent}\"window_stats\": {{");
+    let _ = writeln!(
+        s,
+        "{indent}  \"barriers_by_shards\": {{{}}},",
+        by(&|p| format!("{}", p.stats.barriers))
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"events_per_window_by_shards\": {{{}}},",
+        by(&|p| format!("{:.3}", p.stats.events_per_window()))
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"batched_windows_by_shards\": {{{}}},",
+        by(&|p| format!("{}", p.stats.batched_windows))
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"max_batch_by_shards\": {{{}}},",
+        by(&|p| format!("{}", p.stats.max_batch))
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"handoff_replays_by_shards\": {{{}}},",
+        by(&|p| format!("{}", p.stats.handoff_replays))
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"allocs_by_shards\": {{{}}}",
+        by(&|p| format!("{}", p.allocs))
+    );
+    let _ = writeln!(s, "{indent}}}");
+}
+
+/// The standalone shard-curve leg — the CI multi-core datapoint. Same
+/// measurement as the `shard_curve` block of the full bench report, with
+/// its own small schema-6 JSON wrapper so the curve can run (and upload)
+/// in seconds without the rest of the suite.
+#[derive(Debug, Clone)]
+pub struct ShardCurveReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'static str,
+    /// The machine's available parallelism at run time.
+    pub available_parallelism: usize,
+    /// See [`BenchReport::shard_curve`].
+    pub points: Vec<ShardPoint>,
+    /// See [`BenchReport::shard_deterministic`].
+    pub deterministic: bool,
+}
+
+impl ShardCurveReport {
+    /// Serial-over-best-sharded wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        shard_speedup(&self.points)
+    }
+
+    /// Serializes the standalone report (a `shard_curve` block plus run
+    /// context, same schema-6 keys as the full bench report).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": 6,");
+        let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(
+            s,
+            "  \"available_parallelism\": {},",
+            self.available_parallelism
+        );
+        let _ = writeln!(s, "  \"shard_curve\": {{");
+        let secs: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| format!("\"{}\": {:.3}", p.shards, p.secs))
+            .collect();
+        let _ = writeln!(s, "    \"secs_by_shards\": {{{}}},", secs.join(", "));
+        let _ = writeln!(s, "    \"deterministic\": {},", self.deterministic);
+        let _ = writeln!(s, "    \"speedup\": {:.2},", self.speedup());
+        write_window_stats_block(&mut s, "    ", &self.points);
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn summary(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|p| format!("{}:{:.2}s", p.shards, p.secs))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let windows = self
+            .points
+            .iter()
+            .filter(|p| p.shards > 1)
+            .map(|p| {
+                format!(
+                    "{}: {} barriers, {:.2} ev/window, max batch {}",
+                    p.shards,
+                    p.stats.barriers,
+                    p.stats.events_per_window(),
+                    p.stats.max_batch
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        format!(
+            "shards: {points} | {:.2}x | deterministic: {} | cores {}\n\
+             window: {windows}",
+            self.speedup(),
+            self.deterministic,
+            self.available_parallelism,
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Runs only the shard-curve leg with allocation accounting bracketed
+/// around it. See [`ShardCurveReport`].
+pub fn run_shard_curve(smoke: bool) -> ShardCurveReport {
+    alloc_count::enable();
+    let (points, deterministic) = time_shard_curve(smoke);
+    alloc_count::disable();
+    ShardCurveReport {
+        mode: if smoke { "smoke" } else { "full" },
+        available_parallelism: crate::runner::default_jobs(),
+        points,
+        deterministic,
+    }
 }
 
 /// Checkpoint-cost profile of the recovery-scenario run (see the module
@@ -238,28 +409,14 @@ impl BenchReport {
     /// single core — the determinism verdict is the load-bearing output
     /// there.
     pub fn shard_speedup(&self) -> f64 {
-        let serial = self
-            .shard_curve
-            .iter()
-            .find(|p| p.shards == 1)
-            .map(|p| p.secs);
-        let best = self
-            .shard_curve
-            .iter()
-            .filter(|p| p.shards > 1)
-            .map(|p| p.secs)
-            .min_by(f64::total_cmp);
-        match (serial, best) {
-            (Some(s), Some(b)) => s / b.max(1e-12),
-            _ => 1.0,
-        }
+        shard_speedup(&self.shard_curve)
     }
 
     /// Serializes the report (see README for the schema).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 5,");
+        let _ = writeln!(s, "  \"schema\": 6,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(
@@ -321,7 +478,8 @@ impl BenchReport {
             .collect();
         let _ = writeln!(s, "    \"secs_by_shards\": {{{}}},", secs.join(", "));
         let _ = writeln!(s, "    \"deterministic\": {},", self.shard_deterministic);
-        let _ = writeln!(s, "    \"speedup\": {:.2}", self.shard_speedup());
+        let _ = writeln!(s, "    \"speedup\": {:.2},", self.shard_speedup());
+        write_window_stats_block(&mut s, "    ", &self.shard_curve);
         let _ = writeln!(s, "  }},");
         let c = &self.checkpoint;
         let _ = writeln!(s, "  \"checkpoint\": {{");
@@ -393,10 +551,26 @@ impl BenchReport {
             .map(|p| format!("{}:{:.2}s", p.shards, p.secs))
             .collect::<Vec<_>>()
             .join(" | ");
+        let window_note = self
+            .shard_curve
+            .iter()
+            .filter(|p| p.shards > 1)
+            .map(|p| {
+                format!(
+                    "{}: {} barriers, {:.2} ev/window, max batch {}",
+                    p.shards,
+                    p.stats.barriers,
+                    p.stats.events_per_window(),
+                    p.stats.max_batch
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
         format!(
             "micro : {} trajectories | naive {:>10.0} ev/s | indexed {:>10.0} ev/s | traced {:>10.0} ev/s | {:.2}x\n\
              {alloc_note}\n\
              shards: {shard_note} | {:.2}x | deterministic: {}\n\
+             window: {window_note}\n\
              ckpt  : {} points | delta {}B/pt vs whole {}B/pt | steady {:.2}x | reused {}/{} chunks | identical: {}\n\
              fleet : {} cells | retained {:.3} | MTTR {:.1}s | starvation {:.2} | violations {} | jobs-deterministic: {}\n\
              e2e   : {} experiments | serial {:.2}s | --jobs {} (effective {}) {:.2}s | {:.2}x",
@@ -511,7 +685,13 @@ fn time_indexed(
 /// Measures the sharded-driver scaling curve: one fixed Laminar system run
 /// repeated at each shard count, returning the points plus the determinism
 /// verdict (report debug string and JSONL trace byte-identical to the
-/// serial leg at every count).
+/// serial leg at every count). Each point carries the fence-window profile
+/// and, when the counting allocator is registered, the run's allocator
+/// round trips — the guard on the zero-alloc window hot loop: the sharded
+/// driver reuses World-owned scratch (eligibility flags, completion-head
+/// arena, wake arenas) across windows, so its allocation count must stay
+/// within a small factor of the serial driver's instead of growing by
+/// O(allocs × barriers).
 fn time_shard_curve(smoke: bool) -> (Vec<ShardPoint>, bool) {
     let model = ModelSpec::qwen_7b();
     let p = placement_for(SystemKind::Laminar, &model, 16);
@@ -524,7 +704,7 @@ fn time_shard_curve(smoke: bool) -> (Vec<ShardPoint>, bool) {
     );
     cfg.iterations = if smoke { 2 } else { 3 };
     cfg.warmup = 0;
-    let mut curve = Vec::new();
+    let mut curve: Vec<ShardPoint> = Vec::new();
     let mut fingerprint: Option<(String, String)> = None;
     let mut deterministic = true;
     for shards in [1usize, 2, 4, 8] {
@@ -534,14 +714,34 @@ fn time_shard_curve(smoke: bool) -> (Vec<ShardPoint>, bool) {
         };
         let mut trace = RecordingTrace::new();
         let start = std::time::Instant::now();
-        let report = sys.run_traced(&cfg, &mut trace);
+        let ((report, stats), alloc_stats) =
+            alloc_count::measure(|| sys.run_traced_stats(&cfg, &mut trace));
         let secs = start.elapsed().as_secs_f64();
         let fp = (format!("{report:?}"), trace.to_jsonl());
         match &fingerprint {
             None => fingerprint = Some(fp),
             Some(serial) => deterministic &= *serial == fp,
         }
-        curve.push(ShardPoint { shards, secs });
+        curve.push(ShardPoint {
+            shards,
+            secs,
+            stats,
+            allocs: alloc_stats.allocs,
+        });
+    }
+    if alloc_count::is_active() {
+        let serial_allocs = curve[0].allocs.max(1);
+        for p in curve.iter().filter(|p| p.shards > 1) {
+            assert!(
+                p.allocs <= serial_allocs.saturating_mul(3) / 2 + 64 * p.shards as u64,
+                "sharded window loop is no longer allocation-free: \
+                 {} allocs at shards={} vs {} serial (a per-window scratch \
+                 allocation regressed — see World::advance_shards)",
+                p.allocs,
+                p.shards,
+                serial_allocs
+            );
+        }
     }
     (curve, deterministic)
 }
@@ -646,8 +846,12 @@ pub fn run_bench(smoke: bool, jobs: usize) -> BenchReport {
     let ((traced_events, traced_secs), traced_stats) =
         alloc_count::measure(|| time_indexed(&specs, repeats, true));
     let alloc_counting_active = alloc_count::is_active();
-    alloc_count::disable();
+    // The shard curve keeps the counter live: its legs run one at a time
+    // (the scoped shard workers are part of the measured run), and the
+    // serial-vs-sharded allocation comparison is the zero-alloc-window
+    // regression guard.
     let (shard_curve, shard_deterministic) = time_shard_curve(smoke);
+    alloc_count::disable();
     let checkpoint = bench_checkpoints();
     let fleet = bench_fleet(jobs);
     let e2e_ids: Vec<String> = if smoke {
@@ -742,10 +946,20 @@ mod tests {
                 ShardPoint {
                     shards: 1,
                     secs: 2.0,
+                    stats: WindowStats::default(),
+                    allocs: 1000,
                 },
                 ShardPoint {
                     shards: 4,
                     secs: 1.0,
+                    stats: WindowStats {
+                        barriers: 100,
+                        central_events: 250,
+                        handoff_replays: 40,
+                        batched_windows: 60,
+                        max_batch: 9,
+                    },
+                    allocs: 1100,
                 },
             ],
             shard_deterministic: true,
@@ -760,7 +974,13 @@ mod tests {
         assert!((r.shard_speedup() - 2.0).abs() < 1e-9);
         assert!(r.checkpoint.delta_ratio() > 5.0);
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 5"));
+        assert!(j.contains("\"schema\": 6"));
+        assert!(j.contains("\"barriers_by_shards\": {\"4\": 100}"));
+        assert!(j.contains("\"events_per_window_by_shards\": {\"4\": 2.500}"));
+        assert!(j.contains("\"batched_windows_by_shards\": {\"4\": 60}"));
+        assert!(j.contains("\"max_batch_by_shards\": {\"4\": 9}"));
+        assert!(j.contains("\"handoff_replays_by_shards\": {\"4\": 40}"));
+        assert!(j.contains("\"allocs_by_shards\": {\"4\": 1100}"));
         assert!(j.contains("\"delta_identical\": true"));
         assert!(j.contains("\"goodput_retained\": 0.851"));
         assert!(j.contains("\"fleet_mttr_secs\": 25.0"));

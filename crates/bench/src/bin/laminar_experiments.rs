@@ -7,6 +7,7 @@
 //!                     [--trace FILE] <id>... | all | list
 //! laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]
 //! laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]
+//! laminar-experiments --shard-curve [--smoke] [--bench-out FILE]
 //! laminar-experiments --resume-from FILE
 //! laminar-experiments --list
 //! ```
@@ -33,6 +34,12 @@
 //! micro-benchmark plus an end-to-end serial-vs-parallel suite timing) and
 //! writes `BENCH_rollout.json` (override with `--bench-out`). `--smoke`
 //! shrinks it to a few seconds for CI.
+//!
+//! `--shard-curve` runs only the sharded-driver scaling curve (the CI
+//! multi-core datapoint): wall seconds, fence-window stats, and the
+//! byte-identity verdict at shards 1/2/4/8, written as a standalone
+//! schema-6 report to `BENCH_shard_curve.json` (override with
+//! `--bench-out`). Exits nonzero on a false determinism verdict.
 //!
 //! `--checkpoint-every SECS` sets the checkpoint cadence the `recovery`
 //! experiment exercises; its report includes `checkpoint ...` descriptor
@@ -74,8 +81,9 @@ fn main() {
     };
     let mut out_dir = PathBuf::from("results");
     let mut bench = false;
+    let mut shard_curve = false;
     let mut smoke = false;
-    let mut bench_out = PathBuf::from("BENCH_rollout.json");
+    let mut bench_out: Option<PathBuf> = None;
     let mut resume_from: Option<PathBuf> = None;
     let mut specs: Vec<PathBuf> = Vec::new();
     let mut ids: Vec<String> = Vec::new();
@@ -85,6 +93,7 @@ fn main() {
             "--full" => opts.quick = false,
             "--quick" => opts.quick = true,
             "--bench" => bench = true,
+            "--shard-curve" => shard_curve = true,
             "--smoke" => smoke = true,
             "--seed" => {
                 opts.seed = args
@@ -148,7 +157,9 @@ fn main() {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
             }
             "--bench-out" => {
-                bench_out = PathBuf::from(args.next().expect("--bench-out requires a file"));
+                bench_out = Some(PathBuf::from(
+                    args.next().expect("--bench-out requires a file"),
+                ));
             }
             "--trace" => {
                 opts.trace = Some(PathBuf::from(args.next().expect("--trace requires a file")));
@@ -178,11 +189,24 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if shard_curve {
+        let report = benchmarks::run_shard_curve(smoke);
+        println!("{}", report.summary());
+        let out = bench_out.unwrap_or_else(|| PathBuf::from("BENCH_shard_curve.json"));
+        report.write(&out).expect("write shard-curve JSON");
+        eprintln!("wrote {}", out.display());
+        if !report.deterministic {
+            eprintln!("shard-curve: FAILURE sharded driver diverged from serial output");
+            std::process::exit(1);
+        }
+        return;
+    }
     if bench {
         let report = benchmarks::run_bench(smoke, opts.jobs);
         println!("{}", report.summary());
-        report.write(&bench_out).expect("write benchmark JSON");
-        eprintln!("wrote {}", bench_out.display());
+        let out = bench_out.unwrap_or_else(|| PathBuf::from("BENCH_rollout.json"));
+        report.write(&out).expect("write benchmark JSON");
+        eprintln!("wrote {}", out.display());
         return;
     }
     if let Some(path) = resume_from {
@@ -228,6 +252,7 @@ fn main() {
             "usage: laminar-experiments [--full] [--seed N] [--jobs N] [--shards N] [--chaos-seed N] [--recovery-seed N] [--fleet-cells N] [--fleet-seed N] [--checkpoint-every SECS] [--out DIR] [--trace FILE] <id>... | all | list\n\
              \x20      laminar-experiments --spec FILE... [--full] [--jobs N] [--out DIR]\n\
              \x20      laminar-experiments --bench [--smoke] [--jobs N] [--bench-out FILE]\n\
+             \x20      laminar-experiments --shard-curve [--smoke] [--bench-out FILE]\n\
              \x20      laminar-experiments --resume-from FILE\n\
              \x20      laminar-experiments --list"
         );

@@ -301,6 +301,12 @@ impl SimWorld for World {
                 self.pulling[r] = false;
                 self.engines[r].set_weight_version(version, now);
                 self.audit.record_version(r, version);
+                if self.sharded {
+                    // The replica re-enters the hand-off min: completions it
+                    // held through the pull (a repack release can park some)
+                    // become observable again.
+                    self.repush_head(r);
+                }
                 self.start_batch(r, now, sched);
                 self.wake(r, sched);
             }

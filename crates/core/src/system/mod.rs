@@ -134,6 +134,12 @@ pub struct LaminarSystem {
     /// driver advances replica engines on up to this many threads between
     /// global interaction fences. Output is byte-identical either way.
     pub shards: usize,
+    /// Sharded runs only: batch consecutive commuting central events into
+    /// one fence window (DESIGN.md §11). When false the driver falls back
+    /// to one central event per fence — the PR-7 loop, kept as the
+    /// equivalence oracle for the batching planner. Output is byte-identical
+    /// either way; the knob only moves the barrier count.
+    pub fence_batch: bool,
 }
 
 impl Default for LaminarSystem {
@@ -150,7 +156,35 @@ impl Default for LaminarSystem {
             recovery: RecoveryOptions::default(),
             staleness_cap: None,
             shards: 1,
+            fence_batch: true,
         }
+    }
+}
+
+/// Fence-window statistics from the sharded conservative-lookahead driver
+/// (all zeros for serial runs): how many barriers the run crossed, how many
+/// central events each window absorbed, and how often windows batched more
+/// than one event. The schema-6 bench `shard_curve` block reports these so
+/// the widened parallel window is measurable, not asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStats {
+    /// Fence windows opened — one `advance_shards` barrier each.
+    pub barriers: u64,
+    /// Central-queue events delivered by the sharded loop.
+    pub central_events: u64,
+    /// Completion-group hand-off instants replayed inside windows.
+    pub handoff_replays: u64,
+    /// Windows that delivered more than one central event at one barrier.
+    pub batched_windows: u64,
+    /// Largest central-event batch one window absorbed.
+    pub max_batch: u64,
+}
+
+impl WindowStats {
+    /// Mean central events per fence window (the headline batching win;
+    /// 1.0 is the PR-7 one-event-per-fence floor).
+    pub fn events_per_window(&self) -> f64 {
+        self.central_events as f64 / self.barriers.max(1) as f64
     }
 }
 
@@ -286,6 +320,26 @@ struct World {
     /// fault plane re-wakes survivors without invalidating their existing
     /// chains), so a queue, not a single slot, is required.
     armed: Vec<WakeQueue>,
+    /// Sharded scratch (not part of the logical run state; deliberately
+    /// excluded from the checkpoint encoding, which drives runs serially):
+    /// cached earliest-completion instant per replica, refreshed by the
+    /// shard workers at each barrier and patched at the few central paths
+    /// that move completions. Backs the incremental hand-off min.
+    completion_heads: Vec<Option<Time>>,
+    /// Lazy min-heap over `(head, replica)` candidates; stale entries
+    /// (cache disagrees) and ineligible replicas are discarded on pop, so
+    /// `next_handoff` is O(log n) amortized instead of an O(replicas) scan
+    /// per micro-step.
+    handoff_heap: std::collections::BinaryHeap<std::cmp::Reverse<(Time, usize)>>,
+    /// Reusable per-window eligibility buffer (PR 5's zero-alloc standard:
+    /// the hot loop must not touch the allocator once buffers are grown).
+    eligible_scratch: Vec<bool>,
+    /// Reusable per-window completion-head arena the shard workers fill.
+    heads_scratch: Vec<Option<Time>>,
+    /// Fence-window counters the sharded driver accumulates (zeros for
+    /// serial runs). Not part of `RunReport`, so the byte-identity oracle
+    /// is unaffected by batching differences.
+    window_stats: WindowStats,
 }
 
 impl World {
@@ -428,6 +482,21 @@ impl LaminarSystem {
         }
     }
 
+    /// Runs like [`RlSystem::run_traced`] and additionally returns the
+    /// sharded driver's fence-window statistics — all zeros for serial
+    /// runs. The stats live outside [`RunReport`] so the report+trace
+    /// byte-identity oracle stays blind to how events were batched.
+    pub fn run_traced_stats(
+        &self,
+        cfg: &SystemConfig,
+        trace: &mut dyn TraceSink,
+    ) -> (RunReport, WindowStats) {
+        let mut world = self.execute(cfg, trace.enabled());
+        world.drain_spans(trace);
+        let stats = world.window_stats;
+        (world.finish_report(), stats)
+    }
+
     /// Builds the world, runs the event loop to completion, and returns the
     /// final world state (spans still buffered inside). Above one shard the
     /// conservative-lookahead driver takes over ([`sharded`]); output is
@@ -513,6 +582,11 @@ impl LaminarSystem {
             degraded_entered: Time::ZERO,
             sharded: self.shards > 1,
             armed: vec![WakeQueue::new(); replicas],
+            completion_heads: vec![None; replicas],
+            handoff_heap: std::collections::BinaryHeap::new(),
+            eligible_scratch: Vec::with_capacity(replicas),
+            heads_scratch: vec![None; replicas],
+            window_stats: WindowStats::default(),
         };
         world.engines = (0..replicas)
             .map(|i| ReplicaEngine::new(i, cfg.decode_model(), world.engine_cfg()))

@@ -7,46 +7,99 @@
 //! hand-offs into the experience buffer, repack passes, and chaos events
 //! are the only cross-replica effects, and all of them either live in the
 //! central event queue or are derivable from engine state. That makes the
-//! queue's next event time a *conservative lookahead fence*: every engine
-//! may advance freely through its internal events up to the fence with no
-//! risk of receiving an effect from the past.
+//! queue a source of *conservative lookahead fences*: every engine may
+//! advance freely through its internal events up to a fence with no risk
+//! of receiving an effect from the past.
 //!
-//! The loop, each round:
+//! PR 7 fenced at the next central event — one barrier per event, which on
+//! realistic runs means the barrier dominates (most central events are
+//! trainer checks and other bookkeeping that never touch an engine). This
+//! driver instead plans a *fence window* per barrier, classifying every
+//! pending event by its effect footprint:
 //!
-//! 1. **Fence.** The next central-queue event time (weight publish, trainer
-//!    completion, repack tick, fault, …) bounds the lookahead window.
-//! 2. **Advance.** [`laminar_rollout::shard::parallel_advance`] fans the
-//!    engines across up to `shards` scoped threads; each processes its
-//!    internal events up to the fence and stops *at its last event* (never
-//!    clamping forward — the forced rate-re-evaluation horizon is keyed off
-//!    the engine clock, so clamping would shift recalc instants off the
-//!    serial timeline). The scope join is the barrier.
-//! 3. **Replay.** Completions that surfaced inside the window are handed
-//!    off in global `(finish time, replica)` order, each group at its own
-//!    instant: buffer writes, audit, breaker bookkeeping, and the
-//!    idle-replica restart all happen exactly as the serial wake chain
-//!    would have done them (`World::process_completions` is the shared
-//!    body). The restart — the only path where a drained effect feeds back
-//!    into an engine — happens at the final completion's instant, which is
-//!    precisely the engine's idle time.
-//! 4. **Step.** When no hand-off remains inside the window, one central
-//!    event is delivered; its handler runs against engines already advanced
-//!    to the fence, which is the same state the serial handler saw.
+//! * **engine-free** (`TrainerCheck`, `DegradeCheck`, trainer failure /
+//!   recovery, relay outages, …) — touches scheduler/trainer/buffer state
+//!   only. Engine advancement commutes with it, so it is delivered *inside*
+//!   the window, after the engines have already run past its instant.
+//! * **single-replica** (`ReplicaResume`, `BreakerProbe`) — touches exactly
+//!   one replica, and only ever strikes a replica that is *frozen* (dead,
+//!   mid weight-pull, or idle with nothing armed), whose engine state at
+//!   the event's instant is therefore exactly its current state. Delivered
+//!   inside the window under that frozen certificate; if the delivery
+//!   restarts the replica, the window breaks so the next barrier advances
+//!   it (the break-guard).
+//! * **global** (weight publishes / repack / sample ticks / machine kills
+//!   and recoveries / stragglers / env stalls / elastic scale-out) — may
+//!   read or write any engine at its instant. Deliverable only *at* the
+//!   window end, where every engine sits exactly at the fence — the PR-7
+//!   position.
+//!
+//! The window end is the earliest global event, additionally capped by the
+//! weight-publish horizon: a trainer completion delivered at `t` spawns
+//! `WeightsAvailable` (global) at exactly `t + avail`, where `avail` is a
+//! pure function of machine/model config — so capping the window at
+//! `min(trainer-event times, earliest hand-off, earliest armed wake) +
+//! avail` guarantees no global event can *materialize* strictly inside a
+//! window after the engines have advanced past its instant. One barrier
+//! then absorbs every interior event; see DESIGN.md §11 for the commuting
+//! argument and the overlap-safety sketch.
+//!
+//! The loop, each window:
+//!
+//! 1. **Plan.** Scan the pending queue (allocation-free) for the earliest
+//!    global event and the spawn-horizon caps; their min is the window end.
+//! 2. **Advance.** [`laminar_rollout::shard::parallel_advance_chains`] fans
+//!    the engines across up to `shards` scoped threads; each replays its
+//!    wake chains up to the window end and — overlapped with the other
+//!    shards still advancing — records its replicas' earliest buffered
+//!    completion instants into a caller-owned arena. The scope join is the
+//!    barrier; the post-barrier hand-off scan is a slice merge feeding an
+//!    incrementally maintained min-heap.
+//! 3. **Micro-loop.** Completion groups replay at their own instants in
+//!    global `(finish time, replica)` order and interior events deliver in
+//!    `(time, seq)` order — exactly the serial interleaving — with no
+//!    further barrier, until the window is exhausted (or a restart arms a
+//!    wake inside it, which re-plans).
 //!
 //! Determinism: the shard partition decides only *which thread* runs an
 //! engine's (self-contained, deterministic) event loop between fences;
 //! every cross-engine effect is applied single-threaded at a barrier in a
-//! canonical order no thread schedule can perturb. Reports and traces are
-//! therefore byte-identical at any shard count — and byte-identical to the
-//! serial driver, up to the measure-zero case of two *distinct* replicas'
-//! events landing on the identical nanosecond, where the serial tiebreak
-//! (scheduler FIFO seq) is replaced by replica order. The core test suite
-//! asserts report + trace equality of serial vs sharded runs outright.
+//! canonical order no thread schedule can perturb, and the interior
+//! deliveries observe exactly the state the serial handler would have seen
+//! (engine advancement commutes with engine-free handlers; frozen replicas
+//! do not advance). Reports and traces are therefore byte-identical at any
+//! shard count — and byte-identical to the serial driver, up to the
+//! measure-zero case of two *distinct* replicas' events landing on the
+//! identical nanosecond, where the serial tiebreak (scheduler FIFO seq) is
+//! replaced by replica order. The core test suite asserts report + trace
+//! equality of serial vs sharded runs outright, plus a 32-seed chaos sweep
+//! of this batching driver against the one-event-per-fence loop (kept
+//! below, selected by [`LaminarSystem::fence_batch`] = false).
 
 use super::{Ev, LaminarSystem, World};
+use crate::chaos::FaultKind;
 use laminar_rollout::shard::parallel_advance_chains;
 use laminar_runtime::SystemConfig;
-use laminar_sim::{Scheduler, Time};
+use laminar_sim::{Scheduler, Simulation, Time};
+use std::cmp::Reverse;
+
+/// Effect footprint of one central event — what the fence-window planner
+/// needs to know about the handler without running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Footprint {
+    /// Touches no engine: deliverable anywhere inside a window.
+    Free,
+    /// Engine-free, but (possibly through a chain of spawns) can produce a
+    /// `WeightsAvailable` — the window must end by this event's time plus
+    /// the weight-publish horizon so that spawned global events land at or
+    /// past the window end.
+    Trainer,
+    /// Touches exactly replica `r`: deliverable inside a window iff `r` is
+    /// frozen (see [`World::frozen`]).
+    Single(usize),
+    /// May touch any engine: deliverable only at the window end.
+    Global,
+}
 
 impl LaminarSystem {
     /// Runs the world to completion under the sharded lookahead loop.
@@ -54,73 +107,344 @@ impl LaminarSystem {
     /// spans still buffered inside.
     pub(super) fn execute_sharded(&self, cfg: &SystemConfig, record_trace: bool) -> World {
         let shards = self.shards.max(1);
-        let mut sim = self.build(cfg, record_trace);
+        let sim = self.build(cfg, record_trace);
+        if self.fence_batch {
+            self.run_batched(sim, cfg, shards)
+        } else {
+            self.run_unbatched(sim, shards)
+        }
+    }
+
+    /// The PR-7 loop: one central event (or hand-off instant) per fence,
+    /// one barrier each. Kept as the equivalence oracle the fence-batching
+    /// planner is swept against, and reachable via
+    /// [`LaminarSystem::fence_batch`] = false.
+    fn run_unbatched(&self, mut sim: Simulation<World>, shards: usize) -> World {
         let mut budget: u64 = 2_000_000_000;
         while !sim.world.done() {
             assert!(budget > 0, "laminar run did not complete its iterations");
             budget -= 1;
             let fence = sim.scheduler.next_event_time().unwrap_or(Time::MAX);
             sim.world.advance_shards(fence, shards);
+            sim.world.window_stats.barriers += 1;
             match sim.world.next_handoff(fence) {
                 // A completion group strictly inside the window: replay it
                 // at its own instant. (At exactly the fence, the central
                 // event keeps priority — see the module determinism note.)
-                Some(t) if t < fence => sim.world.replay_handoffs(t, &mut sim.scheduler),
+                Some(t) if t < fence => {
+                    sim.world.window_stats.handoff_replays += 1;
+                    sim.world.replay_handoffs(t, &mut sim.scheduler);
+                }
                 _ => {
                     let stepped = sim.step();
                     assert!(stepped, "laminar run stalled before completing");
+                    sim.world.window_stats.central_events += 1;
+                    sim.world.window_stats.max_batch = sim.world.window_stats.max_batch.max(1);
                 }
             }
+        }
+        sim.world
+    }
+
+    /// The fence-batching loop: one barrier per *window*, every commuting
+    /// event inside it delivered with no further synchronization.
+    fn run_batched(&self, mut sim: Simulation<World>, cfg: &SystemConfig, shards: usize) -> World {
+        // The weight-publish horizon: `TrainerDone` at `t` schedules
+        // `WeightsAvailable` at exactly `t + avail` (driver.rs), and both
+        // summands are pure functions of machine/model config — a run
+        // constant the planner can rely on.
+        let avail = sim.world.relay.actor_stall()
+            + sim
+                .world
+                .relay
+                .broadcast_time(cfg.rollout_gpus.div_ceil(8).max(1));
+        let mut budget: u64 = 2_000_000_000;
+        while !sim.world.done() {
+            assert!(budget > 0, "laminar run did not complete its iterations");
+            budget -= 1;
+            assert!(
+                sim.scheduler.pending() > 0
+                    || sim.world.armed_min().is_some()
+                    || sim.world.next_handoff(Time::MAX).is_some(),
+                "laminar run stalled before completing"
+            );
+            // Plan: the widest window such that no engine-footprint event
+            // can need delivery strictly inside it. Interior trainer events
+            // (and the hand-offs / armed wakes whose completions schedule
+            // trainer checks) spawn their `WeightsAvailable` at least
+            // `avail` past themselves, hence the three caps.
+            let mut terminal = Time::MAX;
+            let mut cap = Time::MAX;
+            {
+                let (sched, world) = (&sim.scheduler, &sim.world);
+                sched.scan_pending(|t, _seq, ev| match world.classify(ev) {
+                    Footprint::Free => {}
+                    Footprint::Trainer => cap = cap.min(t + avail),
+                    Footprint::Single(r) if world.frozen(r) => {}
+                    Footprint::Single(_) | Footprint::Global => terminal = terminal.min(t),
+                });
+            }
+            if let Some(a) = sim.world.armed_min() {
+                cap = cap.min(a + avail);
+            }
+            if let Some(h) = sim.world.next_handoff(Time::MAX) {
+                cap = cap.min(h + avail);
+            }
+            let mut window_end = terminal.min(cap);
+            // End-of-run guard: once the final iteration is in flight,
+            // `done()` can flip at an interior `TrainerDone` — and every
+            // wake past that instant must never fire (the serial driver's
+            // handlers no-op after completion, leaving engines exactly
+            // where their last pre-completion wake put them). Degenerate
+            // to one-event windows for the closing stretch.
+            if sim.world.iterations_done + 1 >= sim.world.cfg.total_iterations() {
+                window_end = window_end.min(sim.scheduler.next_event_time().unwrap_or(Time::MAX));
+            }
+            sim.world.advance_shards(window_end, shards);
+            sim.world.window_stats.barriers += 1;
+            let mut batch: u64 = 0;
+            loop {
+                if sim.world.done() {
+                    break;
+                }
+                assert!(budget > 0, "laminar run did not complete its iterations");
+                let h = sim.world.next_handoff(window_end);
+                let e = sim.scheduler.next_event_time();
+                if let Some(ht) = h {
+                    // Hand-off strictly before the next central event:
+                    // replay it at its own instant (at a tie the central
+                    // event keeps priority, as in the unbatched loop).
+                    if e.is_none_or(|et| ht < et) {
+                        budget -= 1;
+                        sim.world.window_stats.handoff_replays += 1;
+                        let rearmed = sim.world.replay_handoffs(ht, &mut sim.scheduler);
+                        if rearmed.is_some_and(|w| w <= window_end) {
+                            // A restarted replica armed a wake inside the
+                            // window: it must advance again before anything
+                            // later is observed. Break-guard → new window.
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let Some(et) = e else { break };
+                if et > window_end {
+                    break;
+                }
+                // Interior deliveries must commute with the advancement the
+                // engines have already done; events exactly at the window
+                // end see every engine at the fence (the PR-7 position) and
+                // need no check.
+                let mut single_r = None;
+                if et < window_end {
+                    let (_, _, ev) = sim.scheduler.peek().expect("pending event vanished");
+                    match sim.world.classify(ev) {
+                        Footprint::Free | Footprint::Trainer => {}
+                        Footprint::Single(r) => {
+                            debug_assert!(
+                                sim.world.frozen(r),
+                                "planned-interior single-replica event on unfrozen replica {r}"
+                            );
+                            if !sim.world.frozen(r) {
+                                break;
+                            }
+                            single_r = Some(r);
+                        }
+                        Footprint::Global => {
+                            debug_assert!(
+                                false,
+                                "global event materialized strictly inside a fence window"
+                            );
+                            break;
+                        }
+                    }
+                }
+                budget -= 1;
+                let stepped = sim.step();
+                assert!(stepped, "laminar run stalled before completing");
+                batch += 1;
+                if let Some(r) = single_r {
+                    // The resume/probe may have restarted `r`: if it armed a
+                    // wake inside the window the engine must advance again,
+                    // and either way `r` is no longer certifiably frozen for
+                    // any remaining interior event — re-plan.
+                    let rearmed = sim.world.armed[r].next().is_some_and(|t| t <= window_end);
+                    if rearmed || !sim.world.frozen(r) {
+                        break;
+                    }
+                }
+            }
+            sim.world.window_stats.central_events += batch;
+            if batch > 1 {
+                sim.world.window_stats.batched_windows += 1;
+            }
+            sim.world.window_stats.max_batch = sim.world.window_stats.max_batch.max(batch);
         }
         sim.world
     }
 }
 
 impl World {
+    /// Effect footprint of `ev` — see [`Footprint`]. Fault events are
+    /// classified by their kind: trainer crashes and relay outages touch no
+    /// engine (the former caps the window like any trainer event, since its
+    /// recovery chain can reach a weight publish), while kills, stragglers,
+    /// and env stalls strike engines and stay global.
+    pub(super) fn classify(&self, ev: &Ev) -> Footprint {
+        match ev {
+            Ev::TrainerCheck | Ev::TrainerDone { .. } | Ev::TrainerRecover => Footprint::Trainer,
+            Ev::DegradeCheck => Footprint::Free,
+            Ev::ReplicaResume { r, .. } | Ev::BreakerProbe { r } => Footprint::Single(*r),
+            Ev::Fault { idx } => match &self.opts.faults[*idx].kind {
+                FaultKind::TrainerCrash { .. } => Footprint::Trainer,
+                FaultKind::RelayOutage { .. } => Footprint::Free,
+                _ => Footprint::Global,
+            },
+            _ => Footprint::Global,
+        }
+    }
+
+    /// True when replica `r` provably cannot advance before the next global
+    /// interaction: dead, mid weight-pull, or idle with nothing armed and
+    /// nothing buffered. A frozen replica's engine state at any interior
+    /// instant equals its current state, which is the certificate that lets
+    /// resume/probe events deliver inside a window.
+    pub(super) fn frozen(&self, r: usize) -> bool {
+        r >= self.engines.len()
+            || !self.alive[r]
+            || self.pulling[r]
+            || (self.engines[r].is_idle()
+                && self.armed[r].is_empty()
+                && self.engines[r].first_completion_time().is_none())
+    }
+
+    /// Earliest armed wake across the live fleet — a lower bound on any
+    /// hand-off the next advance can surface (completions materialize only
+    /// at wake-settlement instants).
+    fn armed_min(&self) -> Option<Time> {
+        self.armed
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| self.alive[*r] && !self.pulling[*r])
+            .filter_map(|(_, q)| q.next())
+            .min()
+    }
+
     /// Replays every engine's wake chains up to `fence` across the shard
     /// workers. Dead and mid-pull replicas are flagged ineligible: their
     /// due wakes are consumed without firing, exactly as the serial
     /// handler's alive/pulling guard consumes them at their instants.
     /// (Eligibility only changes at central events and hand-off replays,
     /// i.e. at window boundaries, so a per-window flag is exact.)
-    fn advance_shards(&mut self, fence: Time, shards: usize) {
-        let eligible: Vec<bool> = (0..self.engines.len())
-            .map(|r| self.alive[r] && !self.pulling[r])
-            .collect();
-        parallel_advance_chains(&mut self.engines, &mut self.armed, &eligible, fence, shards);
+    ///
+    /// Both the eligibility flags and the per-replica completion heads are
+    /// written into `World`-owned arenas — no allocation per window once
+    /// the buffers have grown to the fleet size — and the heads (computed
+    /// inside the shard workers, overlapped with still-advancing shards)
+    /// are merged into the incremental hand-off min on return.
+    pub(super) fn advance_shards(&mut self, fence: Time, shards: usize) {
+        let n = self.engines.len();
+        {
+            let (alive, pulling, elig) = (&self.alive, &self.pulling, &mut self.eligible_scratch);
+            elig.clear();
+            elig.extend(alive.iter().zip(pulling).map(|(a, p)| *a && !*p));
+        }
+        if self.heads_scratch.len() != n {
+            self.heads_scratch.resize(n, None);
+        }
+        parallel_advance_chains(
+            &mut self.engines,
+            &mut self.armed,
+            &self.eligible_scratch,
+            &mut self.heads_scratch,
+            fence,
+            shards,
+        );
+        if self.completion_heads.len() != n {
+            self.completion_heads.resize(n, None);
+        }
+        for r in 0..n {
+            let h = self.heads_scratch[r];
+            if h != self.completion_heads[r] {
+                self.completion_heads[r] = h;
+                if let Some(t) = h {
+                    self.handoff_heap.push(Reverse((t, r)));
+                }
+            }
+        }
     }
 
     /// Earliest buffered completion instant at or before `fence` across the
     /// live fleet — the next hand-off interaction the central clock must
     /// observe. Dead replicas keep their undrained completions (the chaos
     /// audit counts them as held work, exactly as the serial path does).
-    fn next_handoff(&self, fence: Time) -> Option<Time> {
-        self.engines
-            .iter()
-            .enumerate()
-            .filter(|(r, _)| self.alive[*r] && !self.pulling[*r])
-            .filter_map(|(_, e)| e.first_completion_time())
-            .filter(|t| *t <= fence)
-            .min()
+    ///
+    /// Served from the incrementally maintained min-heap over cached
+    /// completion heads rather than an O(replicas) engine scan: stale
+    /// entries (the cache moved on) and ineligible replicas are lazily
+    /// discarded on pop. An ineligible replica's entry is re-pushed by
+    /// [`World::repush_head`] when it resumes; a dead one only returns
+    /// through machine recovery, which replaces the engine outright.
+    pub(super) fn next_handoff(&mut self, fence: Time) -> Option<Time> {
+        while let Some(&Reverse((t, r))) = self.handoff_heap.peek() {
+            if self.completion_heads.get(r).copied().flatten() != Some(t) {
+                self.handoff_heap.pop(); // stale: the head moved on
+                continue;
+            }
+            if !self.alive[r] || self.pulling[r] {
+                self.handoff_heap.pop(); // held work; re-pushed on resume
+                continue;
+            }
+            return if t <= fence { Some(t) } else { None };
+        }
+        None
+    }
+
+    /// Recomputes replica `r`'s cached completion head from the engine and
+    /// (re-)pushes it into the hand-off min. Called wherever a central path
+    /// moves completions or restores a replica's eligibility.
+    pub(super) fn repush_head(&mut self, r: usize) {
+        if self.completion_heads.len() <= r {
+            self.completion_heads.resize(r + 1, None);
+        }
+        let h = self.engines[r].first_completion_time();
+        self.completion_heads[r] = h;
+        if let Some(t) = h {
+            self.handoff_heap.push(Reverse((t, r)));
+        }
     }
 
     /// Replays every completion group that finished at exactly `t`, in
     /// replica order, through the shared serial delivery path; a replica
     /// that went idle and has nothing further buffered restarts at `t` —
-    /// its last event's instant, matching the serial wake chain.
-    fn replay_handoffs(&mut self, t: Time, sched: &mut Scheduler<Ev>) {
+    /// its last event's instant, matching the serial wake chain. Returns
+    /// the earliest wake any restart armed, the batched driver's
+    /// break-guard signal.
+    pub(super) fn replay_handoffs(&mut self, t: Time, sched: &mut Scheduler<Ev>) -> Option<Time> {
+        let mut rearmed: Option<Time> = None;
         for r in 0..self.engines.len() {
             if !self.alive[r] || self.pulling[r] {
                 continue;
             }
+            if self.completion_heads.get(r).copied().flatten() != Some(t) {
+                continue;
+            }
             if self.engines[r].first_completion_time() != Some(t) {
+                // A central handler replaced or drained the engine since the
+                // last barrier (machine recovery does): heal the cache.
+                self.repush_head(r);
                 continue;
             }
             let group = self.engines[r].take_completions_through(t);
             self.process_completions(r, group, t, sched);
             if self.engines[r].is_idle() && self.engines[r].first_completion_time().is_none() {
                 self.refresh_and_restart(r, t, sched);
+                if let Some(w) = self.armed[r].next() {
+                    rearmed = Some(rearmed.map_or(w, |x: Time| x.min(w)));
+                }
             }
+            self.repush_head(r);
         }
+        rearmed
     }
 }

@@ -173,10 +173,20 @@ impl WakeQueue {
 /// time (dead or mid weight-pull) — their due entries are consumed without
 /// effect, exactly as the serial guard does. Chunking and the scope-join
 /// barrier mirror [`parallel_advance`].
+///
+/// `heads[r]` receives replica `r`'s earliest buffered completion instant
+/// after the advance. Each worker computes the heads for its own chunk
+/// *inside the worker thread*, overlapped with the other shards' still-
+/// running advances — the caller's post-barrier hand-off scan is thereby
+/// reduced to a slice merge, the overlapped portion of the central step.
+/// Every buffer is caller-owned and reusable, so a hot driver loop touches
+/// no allocator here (the wake queues retain their heap capacity across
+/// windows for the same reason).
 pub fn parallel_advance_chains(
     engines: &mut [ReplicaEngine],
     pending: &mut [WakeQueue],
     eligible: &[bool],
+    heads: &mut [Option<Time>],
     fence: Time,
     shards: usize,
 ) {
@@ -186,22 +196,28 @@ pub fn parallel_advance_chains(
         eligible.len(),
         "one eligibility flag per engine"
     );
+    assert_eq!(engines.len(), heads.len(), "one completion head per engine");
     let live = pending
         .iter()
         .zip(eligible)
         .filter(|(q, ok)| **ok && q.next().is_some_and(|t| t <= fence))
         .count();
     let workers = shards.max(1).min(live.max(1));
-    let run_one = |(e, (q, ok)): (&mut ReplicaEngine, (&mut WakeQueue, &bool))| {
+    let run_one = |((e, h), (q, ok)): (
+        (&mut ReplicaEngine, &mut Option<Time>),
+        (&mut WakeQueue, &bool),
+    )| {
         if *ok {
             e.advance_wake_queue(q, fence);
         } else {
             q.discard_through(fence);
         }
+        *h = e.first_completion_time();
     };
     if workers <= 1 {
         engines
             .iter_mut()
+            .zip(heads.iter_mut())
             .zip(pending.iter_mut().zip(eligible))
             .for_each(run_one);
         return;
@@ -209,32 +225,43 @@ pub fn parallel_advance_chains(
     let chunk = engines.len().div_ceil(workers);
     std::thread::scope(|scope| {
         let mut rest_e = engines;
+        let mut rest_h = heads;
         let mut rest_q = pending;
         let mut rest_ok = eligible;
         let mut handles = Vec::new();
-        let mut first: Option<(&mut [ReplicaEngine], &mut [WakeQueue], &[bool])> = None;
+        #[allow(clippy::type_complexity)]
+        let mut first: Option<(
+            &mut [ReplicaEngine],
+            &mut [Option<Time>],
+            &mut [WakeQueue],
+            &[bool],
+        )> = None;
         for w in 0..workers {
             let take = chunk.min(rest_e.len());
             let (mine_e, tail_e) = rest_e.split_at_mut(take);
+            let (mine_h, tail_h) = rest_h.split_at_mut(take);
             let (mine_q, tail_q) = rest_q.split_at_mut(take);
             let (mine_ok, tail_ok) = rest_ok.split_at(take);
             rest_e = tail_e;
+            rest_h = tail_h;
             rest_q = tail_q;
             rest_ok = tail_ok;
             if w == 0 {
-                first = Some((mine_e, mine_q, mine_ok));
+                first = Some((mine_e, mine_h, mine_q, mine_ok));
             } else if !mine_e.is_empty() {
                 handles.push(scope.spawn(move || {
                     mine_e
                         .iter_mut()
+                        .zip(mine_h.iter_mut())
                         .zip(mine_q.iter_mut().zip(mine_ok))
                         .for_each(run_one);
                 }));
             }
         }
-        if let Some((mine_e, mine_q, mine_ok)) = first {
+        if let Some((mine_e, mine_h, mine_q, mine_ok)) = first {
             mine_e
                 .iter_mut()
+                .zip(mine_h.iter_mut())
                 .zip(mine_q.iter_mut().zip(mine_ok))
                 .for_each(run_one);
         }

@@ -137,6 +137,28 @@ if [ -n "$PREV" ]; then
             fi
         fi
     done
+    # Fence-window regression (schema 6): barriers per run at each shard
+    # count may not grow more than 20% versus the previous run. Barrier
+    # counts are deterministic — growth means the fence-batching planner
+    # lost window width (windows shrank, more synchronization per run).
+    # Silently skipped when the previous report predates schema 6.
+    old_line=$(sed -n 's/.*"barriers_by_shards": {\([^}]*\)}.*/\1/p' "$PREV")
+    new_line=$(sed -n 's/.*"barriers_by_shards": {\([^}]*\)}.*/\1/p' "$OUT")
+    if [ -n "$old_line" ] && [ -n "$new_line" ]; then
+        for shards in 2 4 8; do
+            old=$(echo "$old_line" | tr ',' '\n' | sed -n "s/.*\"$shards\": *\([0-9]*\).*/\1/p")
+            new=$(echo "$new_line" | tr ',' '\n' | sed -n "s/.*\"$shards\": *\([0-9]*\).*/\1/p")
+            if [ -n "$old" ] && [ -n "$new" ]; then
+                grew=$(awk -v o="$old" -v n="$new" 'BEGIN { print (o > 0 && n > 1.2 * o) ? 1 : 0 }')
+                if [ "$grew" = "1" ]; then
+                    echo "bench: REGRESSION barriers per run at shards=$shards grew: $old -> $new (>20%)" >&2
+                    REGRESSED=1
+                else
+                    echo "bench: shards=$shards barriers $old -> $new (ok)"
+                fi
+            fi
+        done
+    fi
     # Checkpoint-cost regression: delta bytes persisted per cadence point
     # may not grow more than 20% versus the previous run. The encoder is
     # deterministic, so growth is a real state-image layout change —
